@@ -1,0 +1,57 @@
+"""Ablation: thread coarsening (Sec. IV-A).
+
+Sweeps the coarsening factor on an Orthogonal-Arbitrary kernel and
+reports block count, special-instruction count, and simulated time —
+showing both the decode amortization the paper claims and the
+occupancy/tail risk it warns about (why coarsening is gated on tensor
+size and one heuristic dimension).
+"""
+
+from conftest import write_result
+
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.gpusim.cost import CostModel
+from repro.kernels.orthogonal_arbitrary import OrthogonalArbitraryKernel
+
+DIMS = (16, 8, 16, 16, 16, 8)
+PERM = (2, 1, 4, 3, 0, 5)
+
+
+def build(coarsen):
+    return OrthogonalArbitraryKernel(
+        TensorLayout(DIMS), Permutation(PERM), 2, 1, 2, 1, coarsen=coarsen
+    )
+
+
+def test_ablation_coarsening(benchmark):
+    cm = CostModel()
+    base = build(None)
+    c_dim = base.coverage.outer_dims()[0]
+    lines = [
+        f"Ablation — thread coarsening (dims {DIMS}, perm {PERM}, "
+        f"coarsened dim {c_dim})",
+        f"{'factor':>7s} {'blocks':>8s} {'special ops':>12s} "
+        f"{'time ms':>9s}",
+    ]
+    times = {}
+    for factor in (1, 2, 4, 8):
+        k = base if factor == 1 else build((c_dim, factor))
+        c = k.counters()
+        t = k.simulated_time(cm)
+        times[factor] = t
+        lines.append(
+            f"{factor:>7d} {k.launch_geometry.num_blocks:>8d} "
+            f"{c.special_ops:>12d} {t * 1e3:>9.4f}"
+        )
+    text = "\n".join(lines)
+    print(text)
+    write_result("ablation_coarsening", text)
+
+    # Data movement is identical, so times stay within a few percent;
+    # the special-op savings must be monotone in the factor.
+    specials = [build((c_dim, f)).counters().special_ops for f in (2, 4, 8)]
+    assert specials == sorted(specials, reverse=True)
+    assert max(times.values()) < 1.1 * min(times.values())
+
+    benchmark(lambda: build((c_dim, 8)).counters())

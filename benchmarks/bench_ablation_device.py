@@ -1,0 +1,60 @@
+"""Ablation: device sensitivity (simulated K40c vs simulated P100).
+
+The library's decisions are parameterized by the device spec, not
+hard-coded; replanning the same problems on a Pascal-class device must
+track its higher bandwidth while preserving the TTLG-vs-baseline
+ordering.  (The paper only evaluates on the K40c; this is an extension
+exercising the spec plumbing.)
+"""
+
+import numpy as np
+
+from conftest import write_result
+
+from repro.baselines import CuttHeuristic, TTLG
+from repro.gpusim.spec import KEPLER_K40C, PASCAL_P100
+
+CASES = [
+    ((16,) * 6, (5, 4, 3, 2, 1, 0)),
+    ((15,) * 6, (4, 1, 2, 5, 3, 0)),
+    ((27,) * 5, (4, 1, 2, 0, 3)),
+]
+
+
+def test_ablation_device(benchmark):
+    lines = [
+        "Ablation — device sensitivity (same problems, two device specs)",
+        f"{'case':<36s} {'K40c GB/s':>10s} {'P100 GB/s':>10s} "
+        f"{'speedup':>8s}",
+    ]
+    speedups = []
+    libs = {
+        "K40c": TTLG(spec=KEPLER_K40C),
+        "P100": TTLG(spec=PASCAL_P100),
+    }
+    cutt = {
+        "K40c": CuttHeuristic(spec=KEPLER_K40C),
+        "P100": CuttHeuristic(spec=PASCAL_P100),
+    }
+    for dims, perm in CASES:
+        bw_k = libs["K40c"].plan(dims, perm).bandwidth_gbps()
+        bw_p = libs["P100"].plan(dims, perm).bandwidth_gbps()
+        speedups.append(bw_p / bw_k)
+        lines.append(
+            f"{str(dims) + ' ' + str(perm):<36s} {bw_k:>10.1f} "
+            f"{bw_p:>10.1f} {bw_p / bw_k:>8.2f}x"
+        )
+        # Library ordering preserved on the new device.
+        assert bw_p >= cutt["P100"].plan(dims, perm).bandwidth_gbps() * 0.99
+    ratio = PASCAL_P100.peak_bandwidth / KEPLER_K40C.peak_bandwidth
+    lines.append(
+        f"\npeak-bandwidth ratio {ratio:.2f}x; achieved speedups "
+        f"{min(speedups):.2f}-{max(speedups):.2f}x"
+    )
+    text = "\n".join(lines)
+    print(text)
+    write_result("ablation_device", text)
+
+    assert all(1.5 < s < ratio * 1.2 for s in speedups)
+
+    benchmark(lambda: libs["P100"].plan(*CASES[0]))

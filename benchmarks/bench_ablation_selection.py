@@ -1,0 +1,87 @@
+"""Ablation: what does model-driven selection buy?
+
+Compares three selection policies over the same candidate sets on a
+sample of 6D permutations:
+
+- **model**  — the shipped regression models (TTLG's design),
+- **oracle** — the simulator's exact cost (an unattainable upper bound),
+- **first**  — taxonomy only, first admissible configuration (what a
+  library without Alg. 3 would do).
+
+The paper's implicit claim is that model-driven choice recovers nearly
+all of the oracle's advantage over a fixed choice; this quantifies it.
+"""
+
+import itertools
+import random
+
+import numpy as np
+
+from conftest import write_result
+
+from repro.core.plan import candidates_for, make_plan
+from repro.core.fusion import fuse_indices
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.core.taxonomy import select_schema
+from repro.gpusim.spec import KEPLER_K40C
+from repro.model.pretrained import oracle_predictor, pretrained_predictor
+
+DIMS = (15,) * 6
+
+
+def first_candidate_time(dims, perm):
+    fused = fuse_indices(TensorLayout(dims), Permutation(perm))
+    decision = select_schema(fused.layout, fused.perm)
+    cands = candidates_for(
+        fused.layout, fused.perm, decision, KEPLER_K40C, 8
+    )
+    return cands[0].simulated_time()
+
+
+def test_ablation_selection(benchmark):
+    rng = random.Random(7)
+    perms = rng.sample(list(itertools.permutations(range(6))), 24)
+    oracle = oracle_predictor()
+    model = pretrained_predictor()
+
+    rows = []
+    for p in perms:
+        t_oracle = make_plan(DIMS, p, predictor=oracle).simulated_time()
+        t_model = make_plan(DIMS, p, predictor=model).simulated_time()
+        t_first = first_candidate_time(DIMS, p)
+        rows.append((p, t_oracle, t_model, t_first))
+
+    lines = [
+        "Ablation — selection policy (6D all-15, 24 random permutations)",
+        f"{'perm':<14s} {'oracle ms':>10s} {'model ms':>10s} "
+        f"{'first ms':>10s} {'model/oracle':>13s} {'first/oracle':>13s}",
+    ]
+    m_over_o, f_over_o = [], []
+    for p, to, tm, tf in rows:
+        m_over_o.append(tm / to)
+        f_over_o.append(tf / to)
+        lines.append(
+            f"{' '.join(map(str, p)):<14s} {to * 1e3:>10.3f} "
+            f"{tm * 1e3:>10.3f} {tf * 1e3:>10.3f} "
+            f"{tm / to:>13.3f} {tf / to:>13.3f}"
+        )
+    m_over_o = np.array(m_over_o)
+    f_over_o = np.array(f_over_o)
+    lines.append(
+        f"\nmodel slowdown vs oracle: mean {m_over_o.mean():.3f} "
+        f"max {m_over_o.max():.3f}"
+    )
+    lines.append(
+        f"first-candidate slowdown vs oracle: mean {f_over_o.mean():.3f} "
+        f"max {f_over_o.max():.3f}"
+    )
+    text = "\n".join(lines)
+    print(text)
+    write_result("ablation_selection", text)
+
+    # The model must recover most of the gap between 'first' and oracle.
+    assert m_over_o.mean() < 1.15
+    assert f_over_o.mean() > m_over_o.mean()
+
+    benchmark(lambda: make_plan(DIMS, perms[0], predictor=model))

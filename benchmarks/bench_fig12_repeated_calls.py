@@ -1,0 +1,86 @@
+"""Fig. 12 reproduction: bandwidth vs number of repeated calls.
+
+The paper amortizes the one-time plan cost over 1..4096 calls of the
+same transposition (6D tensor, all extents 16) for two permutations:
+
+- ``0 2 5 1 4 3`` (matching FVI, Fig. 12a): TTLG always at/above
+  cuTT-measure;
+- ``4 1 2 5 3 0`` (non-matching FVI, Fig. 12b): cuTT-measure eventually
+  catches up (slightly better kernel, much costlier plan) after hundreds
+  of calls.
+"""
+
+import numpy as np
+
+from conftest import write_result
+
+from repro.bench.ascii_plot import multi_series
+
+DIMS = (16,) * 6
+REPEATS = [2**k for k in range(13)]  # 1 .. 4096
+
+
+def run_series(libraries, perm):
+    plans = {lib.name: lib.plan(DIMS, perm) for lib in libraries}
+    series = {
+        name: [
+            plan.bandwidth_gbps(repeats=r, include_plan=True)
+            for r in REPEATS
+        ]
+        for name, plan in plans.items()
+        if name != "TTC"  # offline code generator, as in the paper
+    }
+    return series
+
+
+def render(title, series):
+    lines = [title, f"{'#calls':>8s} " + " ".join(
+        f"{n:>15s}" for n in series
+    )]
+    for i, r in enumerate(REPEATS):
+        cells = " ".join(f"{series[n][i]:>15.1f}" for n in series)
+        lines.append(f"{r:>8d} {cells}")
+    lines.append("")
+    lines.append(
+        multi_series(series, y_label="GB/s", x_label="log2(#calls)")
+    )
+    return "\n".join(lines)
+
+
+def test_fig12a_matching_fvi(benchmark, libraries):
+    perm = (0, 2, 5, 1, 4, 3)
+    series = run_series(libraries, perm)
+    text = render("Fig. 12a — permutation 0 2 5 1 4 3 (matching FVI)", series)
+    print(text)
+    write_result("fig12a_repeated_calls", text)
+
+    ttlg = np.array(series["TTLG"])
+    cutt_m = np.array(series["cuTT Measure"])
+    # Paper: "TTLG always performs better than cuTT-measure".
+    assert np.all(ttlg >= cutt_m * 0.99)
+
+    lib = libraries[0]
+    benchmark(lambda: lib.plan(DIMS, perm).bandwidth_gbps(4096, True))
+
+
+def test_fig12b_non_matching_fvi(benchmark, libraries):
+    perm = (4, 1, 2, 5, 3, 0)
+    series = run_series(libraries, perm)
+    text = render(
+        "Fig. 12b — permutation 4 1 2 5 3 0 (non-matching FVI)", series
+    )
+    print(text)
+    write_result("fig12b_repeated_calls", text)
+
+    ttlg = np.array(series["TTLG"])
+    cutt_m = np.array(series["cuTT Measure"])
+    # Paper: TTLG far ahead at few calls; cuTT-measure closes most of
+    # the gap after thousands of calls (in the paper it passes TTLG
+    # slightly after ~500 calls; our structurally weaker cuTT kernel
+    # menu approaches without overtaking — see EXPERIMENTS.md).
+    assert ttlg[0] > 2 * cutt_m[0]
+    assert cutt_m[-1] > 0.7 * ttlg[-1]
+    assert (ttlg[0] / cutt_m[0]) > 2 * (ttlg[-1] / cutt_m[-1])
+
+    lib = libraries[2]
+    benchmark(lambda: lib.plan(DIMS, perm).bandwidth_gbps(4096, True))

@@ -1,0 +1,67 @@
+"""Fig. 13 reproduction: bandwidth vs dimension sizes.
+
+Fixed permutation ``0 2 1 3`` over 4D tensors with all extents in
+{15, 16, 31, 32, 63, 64, 127, 128}: small volumes are latency/occupancy
+bound for every library; once the tensor is reasonably large TTLG
+outperforms cuTT (the paper's Fig. 13 takeaway).
+"""
+
+import numpy as np
+
+from conftest import write_result
+
+from repro.bench.ascii_plot import multi_series
+from repro.bench.suites import varying_dims_suite
+
+
+def test_fig13(benchmark, libraries):
+    cases = varying_dims_suite()
+    names = [lib.name for lib in libraries if lib.name != "TTC"]
+    series = {n: [] for n in names}
+    lines = [
+        "Fig. 13 — transpose performance, permutation 0 2 1 3, varying "
+        "dimension sizes (repeated use)",
+        f"{'dims':>18s} {'MB':>8s} " + " ".join(f"{n:>15s}" for n in names),
+    ]
+    for case in cases:
+        row = {}
+        for lib in libraries:
+            if lib.name == "TTC":
+                continue
+            plan = lib.plan(case.dims, case.perm)
+            row[lib.name] = plan.bandwidth_gbps()
+            series[lib.name].append(row[lib.name])
+        mb = case.volume * 8 / 1024**2
+        cells = " ".join(f"{row[n]:>15.1f}" for n in names)
+        lines.append(f"{case.label:>18s} {mb:>8.1f} {cells}")
+    lines.append("")
+    lines.append(
+        multi_series(series, y_label="GB/s", x_label="dimension size")
+    )
+    text = "\n".join(lines)
+    print(text)
+    write_result("fig13_varying_dims", text)
+
+    ttlg = np.array(series["TTLG"])
+    cutt_h = np.array(series["cuTT Heuristic"])
+    cutt_m = np.array(series["cuTT Measure"])
+    # Paper shape: low bandwidth for small volumes across the board;
+    # TTLG at/above cuTT once the volume is large.
+    assert ttlg[0] < 0.5 * ttlg[-1]
+    assert cutt_h[0] < 0.5 * max(cutt_h[-1], 1.0)
+    big = slice(4, None)  # 63^4 and up (> 100 MB)
+    assert np.all(ttlg[big] >= cutt_h[big] * 0.99)
+    # Against cuTT-measure: TTLG matches on warp-aligned extents; on odd
+    # extents measurement-based selection may edge the regression model
+    # by a few percent when candidates sit inside its error band (a
+    # documented deviation — the paper shows TTLG ahead everywhere).
+    aligned = [3, 5, 7]  # 32^4, 64^4, 128^4
+    assert np.all(ttlg[aligned] >= cutt_m[aligned] * 0.99)
+    assert np.all(ttlg[big] >= cutt_m[big] * 0.90)
+    # Warp-aligned extents beat their odd neighbours at equal scale.
+    assert ttlg[3] > ttlg[2]  # 32 vs 31
+    assert ttlg[5] > ttlg[4]  # 64 vs 63
+
+    case = cases[-1]
+    lib = libraries[0]
+    benchmark(lambda: lib.plan(case.dims, case.perm))

@@ -1,0 +1,97 @@
+"""Fig. 5 reproduction: predicted vs actual time over slice variants.
+
+The paper plots, for dims 27^5 and permutation ``4 1 2 0 3``, the actual
+and model-predicted execution times of every Orthogonal-Distinct slice
+variant Alg. 3 enumerates, highlighting the chosen one (input slice 189,
+output slice 27).  This bench regenerates the series, prints it with an
+ASCII rendering, and asserts the paper's takeaways: predictions follow
+the actual trend, and the model-chosen variant is at or near the true
+optimum.
+"""
+
+import numpy as np
+
+from conftest import write_result
+
+from repro.bench.ascii_plot import multi_series
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.core.slices import enumerate_orthogonal_distinct
+from repro.gpusim.spec import KEPLER_K40C
+from repro.model.pretrained import oracle_predictor, pretrained_predictor
+
+DIMS = (27, 27, 27, 27, 27)
+PERM = (4, 1, 2, 0, 3)
+
+
+def test_fig5(benchmark):
+    layout, perm = TensorLayout(DIMS), Permutation(PERM)
+    kernels = enumerate_orthogonal_distinct(layout, perm, KEPLER_K40C)
+    actual_t = oracle_predictor()
+    model_t = pretrained_predictor()
+
+    rows = sorted(
+        (
+            (k.A * k.B, k.A, k.B, actual_t(k), model_t(k))
+            for k in kernels
+        ),
+        key=lambda r: r[0],
+    )
+    atimes = np.array([r[3] for r in rows])
+    ptimes = np.array([r[4] for r in rows])
+    chosen = int(np.argmin(ptimes))
+    best = int(np.argmin(atimes))
+
+    lines = [
+        "Fig. 5 — predictions of execution times over slice variants",
+        f"dims {DIMS}, perm {' '.join(map(str, PERM))}, "
+        f"{len(rows)} Orthogonal-Distinct variants",
+        "",
+        f"{'slice vol':>10s} {'A':>6s} {'B':>6s} {'ATIME ms':>10s} "
+        f"{'PTIME ms':>10s}",
+    ]
+    for i, (vol, a, b, at, pt) in enumerate(rows):
+        mark = ""
+        if i == chosen:
+            mark += "  <- CHOICE (model)"
+        if i == best:
+            mark += "  <- true optimum"
+        lines.append(
+            f"{vol:>10d} {a:>6d} {b:>6d} {at * 1e3:>10.4f} "
+            f"{pt * 1e3:>10.4f}{mark}"
+        )
+    lines.append("")
+    lines.append(
+        multi_series(
+            {"ATIME": (atimes * 1e3).tolist(), "PTIME": (ptimes * 1e3).tolist()},
+            y_label="ms",
+            x_label="slice volume (ascending)",
+        )
+    )
+    regret = atimes[chosen] / atimes[best]
+    corr = float(np.corrcoef(atimes, ptimes)[0, 1])
+    lines.append(
+        f"\nprediction/actual correlation: {corr:.3f}; "
+        f"model-choice regret: {regret:.3f}x "
+        f"(paper: chosen A=189, B=27; ours A={rows[chosen][1]}, "
+        f"B={rows[chosen][2]})"
+    )
+    lines.append(
+        "note: our variant-to-variant spread is narrower than the "
+        "paper's (the simulator credits L2 line sharing that softens "
+        "misalignment penalties), so the correlation is over a "
+        "range-restricted series; the takeaway metric is the regret."
+    )
+    text = "\n".join(lines)
+    print(text)
+    write_result("fig5_slice_model", text)
+
+    # Paper takeaways: predictions track the trend well enough that the
+    # chosen variant is (near-)optimal.
+    assert corr > 0.3, "predictions must follow the actual trend"
+    assert regret < 1.1, "model choice must be near the true optimum"
+
+    # Benchmark the full Alg. 3 search for this problem.
+    benchmark(
+        lambda: enumerate_orthogonal_distinct(layout, perm, KEPLER_K40C)
+    )

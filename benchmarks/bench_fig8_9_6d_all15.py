@@ -1,0 +1,59 @@
+"""Figs. 8 and 9 reproduction: 720 permutations of a 6D tensor, extents
+all 15 — repeated use (Fig. 8) and single use (Fig. 9).
+
+Extent 15 is the misaligned case: 15 doubles = 120 B runs straddle
+transaction boundaries and leave warp lanes idle, which is where TTLG's
+dimension combining pays off most against single-dim tilers.
+"""
+
+import numpy as np
+
+from conftest import render_sweep, write_result
+
+EXTENT = 15
+
+
+def _series(sweep, scenario, name):
+    return np.array([r[name] for r in sweep.bandwidths(scenario)])
+
+
+def test_fig8_repeated_use(benchmark, sweep_factory, libraries):
+    sweep = sweep_factory(EXTENT)
+    text = render_sweep(
+        sweep, "repeated", "Fig. 8 — 6D tensor (all 15), repeated use"
+    )
+    print(text)
+    write_result("fig8_6d_all15_repeated", text)
+
+    ttlg = _series(sweep, "repeated", "TTLG")
+    cutt_m = _series(sweep, "repeated", "cuTT Measure")
+    cutt_h = _series(sweep, "repeated", "cuTT Heuristic")
+    ttc = _series(sweep, "repeated", "TTC")
+    assert np.mean(ttlg >= cutt_m * 0.99) > 0.7
+    assert np.mean(cutt_m >= cutt_h * 0.99) > 0.95
+    # TTC sits at the bottom of the library pack on average (its naive
+    # fallback wins the odd case where elementwise streaming is fine).
+    assert ttc.mean() <= cutt_m.mean() * 1.02
+    assert ttc.mean() < 0.9 * ttlg.mean()
+    # The misalignment penalty: mean below the extent-16 sweep's (checked
+    # cross-figure in EXPERIMENTS.md); locally, TTLG still leads.
+    assert ttlg.mean() > 1.1 * cutt_h.mean()
+
+    case = sweep.cases[min(300, len(sweep.cases) - 1)]
+    benchmark(lambda: libraries[0].plan(case.dims, case.perm))
+
+
+def test_fig9_single_use(benchmark, sweep_factory, libraries):
+    sweep = sweep_factory(EXTENT)
+    text = render_sweep(
+        sweep, "single", "Fig. 9 — 6D tensor (all 15), single use"
+    )
+    print(text)
+    write_result("fig9_6d_all15_single", text)
+
+    ttlg = _series(sweep, "single", "TTLG")
+    cutt_m = _series(sweep, "single", "cuTT Measure")
+    assert np.mean(cutt_m < ttlg) > 0.95
+
+    case = sweep.cases[min(300, len(sweep.cases) - 1)]
+    benchmark(lambda: libraries[1].plan(case.dims, case.perm))

@@ -1,0 +1,73 @@
+"""Table II reproduction: regression models, coefficients, precision.
+
+Regenerates the offline dataset, fits the Orthogonal-Distinct and
+Orthogonal-Arbitrary models, and prints per-feature estimate / standard
+error / t value / Pr(>|t|) tables in the paper's format together with
+the precision metric ``mean(|actual-pred|/actual)*100`` on the train and
+test splits (paper: OD 4.161 % / 4.159 %, OA 11.084 % / 10.75 %).
+"""
+
+from conftest import QUICK, write_result
+
+from repro.core.taxonomy import Schema
+from repro.model.dataset import generate_cases
+from repro.model.trainer import train
+
+
+def test_table2(benchmark):
+    cases = generate_cases(
+        ranks=(3, 4) if QUICK else (3, 4, 5, 6),
+        volumes=(2 * 1024**2,)
+        if QUICK
+        else (2 * 1024**2, 16 * 1024**2, 128 * 1024**2),
+        max_perms_per_rank=5 if QUICK else 10,
+    )
+    report = train(cases)
+
+    lines = ["Table II — linear regression fits (simulated measurements)", ""]
+    for schema in (Schema.ORTHOGONAL_DISTINCT, Schema.ORTHOGONAL_ARBITRARY):
+        m = report.models[schema]
+        lines.append(f"== {schema.value} ({report.n_points[schema]} points) ==")
+        lines.append(m.summary.format_table())
+        lines.append(
+            f"precision error: train {report.train_error_pct[schema]:.3f} % "
+            f"test {report.test_error_pct[schema]:.3f} %"
+        )
+        lines.append("")
+    lines.append(
+        "paper: Orthogonal-Distinct 4.161 % / 4.159 % on 77,502 points; "
+        "Orthogonal-Arbitrary 11.084 % / 10.75 % on 8,042 points"
+    )
+    text = "\n".join(lines)
+    print(text)
+    write_result("table2_regression", text)
+
+    # Shape assertions: the majority of features significant (the paper
+    # reports all at p < 2e-16; our simulated dataset leaves secondary
+    # features marginal once the cycles feature explains most variance),
+    # the cycles feature itself highly significant, and precision in the
+    # paper's band.
+    for schema in (Schema.ORTHOGONAL_DISTINCT, Schema.ORTHOGONAL_ARBITRARY):
+        rows = report.models[schema].summary.rows
+        significant = sum(r.p_value < 0.05 for r in rows)
+        assert significant >= (len(rows) + 1) // 2, (
+            schema,
+            [(r.name, r.p_value) for r in rows],
+        )
+        cycles = next(r for r in rows if r.name == "cycles")
+        assert cycles.p_value < 1e-6
+    assert report.test_error_pct[Schema.ORTHOGONAL_DISTINCT] < 10.0
+    assert report.test_error_pct[Schema.ORTHOGONAL_ARBITRARY] < 20.0
+
+    # Benchmark one model prediction (the Alg. 3 inner-loop cost).
+    from repro.core.layout import TensorLayout
+    from repro.core.permutation import Permutation
+    from repro.kernels.orthogonal_distinct import OrthogonalDistinctKernel
+    from repro.model.features import feature_vector
+
+    k = OrthogonalDistinctKernel(
+        TensorLayout((64, 4, 64)), Permutation((2, 1, 0)), 1, 1, 1, 1
+    )
+    model = report.models[Schema.ORTHOGONAL_DISTINCT]
+    x = feature_vector(k)
+    benchmark(lambda: model.predict_one(x))

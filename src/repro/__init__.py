@@ -1,0 +1,60 @@
+"""TTLG reproduction: a tensor transposition library for (simulated) GPUs.
+
+Reimplements *TTLG - An Efficient Tensor Transposition Library for GPUs*
+(Vedurada et al., IPDPS 2018) in Python, with a deterministic GPU
+memory-system simulator standing in for the Tesla K40c testbed.
+
+Quickstart::
+
+    import numpy as np
+    import repro
+
+    a = np.arange(2 * 3 * 4, dtype=np.float64).reshape(2, 3, 4)
+    b = repro.transpose(a, (2, 0, 1))          # like np.transpose
+    est = repro.predict_time((32, 16, 8), (2, 1, 0))
+    print(est.schema, est.kernel_time, est.bandwidth_gbps)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-figure reproductions.
+"""
+
+from repro.core.cache import PlanCache, cached_plan
+from repro.core.api import (
+    Transposer,
+    TransposeEstimate,
+    axes_to_perm,
+    perm_to_axes,
+    plan_transpose,
+    predict_time,
+    transpose,
+    transpose_many,
+)
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.core.plan import TransposePlan, make_plan
+from repro.core.taxonomy import Schema
+from repro.gpusim.spec import KEPLER_K40C, PASCAL_P100, DeviceSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "transpose",
+    "transpose_many",
+    "Transposer",
+    "cached_plan",
+    "PlanCache",
+    "TransposeEstimate",
+    "plan_transpose",
+    "predict_time",
+    "make_plan",
+    "TransposePlan",
+    "TensorLayout",
+    "Permutation",
+    "Schema",
+    "DeviceSpec",
+    "KEPLER_K40C",
+    "PASCAL_P100",
+    "axes_to_perm",
+    "perm_to_axes",
+    "__version__",
+]

@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+plan DIMS PERM [--dtype f32|f64] [--device k40c|p100]
+    Plan a transposition and print the chosen schema, parameters,
+    predicted/simulated time, and bandwidth.
+
+compare DIMS PERM [--device ...]
+    Plan the same problem with TTLG, cuTT (both modes), and TTC and
+    print a comparison table (repeated and single use).
+
+predict DIMS PERM
+    The queryable model: estimated time/bandwidth without executing.
+
+device [k40c|p100]
+    Print the simulated device configuration (Table III analogue).
+
+``DIMS`` and ``PERM`` are comma-separated, dim 0 fastest, permutation in
+the paper convention (``perm[i] = j``: output dim i is input dim j).
+
+Example::
+
+    python -m repro plan 16,16,16,16,16,16 5,4,3,2,1,0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Tuple
+
+from repro.core.api import plan_transpose, predict_time
+from repro.gpusim.spec import KEPLER_K40C, PASCAL_P100
+
+DEVICES = {"k40c": KEPLER_K40C, "p100": PASCAL_P100}
+
+
+def _ints(text: str) -> Tuple[int, ...]:
+    try:
+        return tuple(int(x) for x in text.split(","))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from exc
+
+
+def _elem_bytes(dtype: str) -> int:
+    return {"f32": 4, "f64": 8}[dtype]
+
+
+def cmd_plan(args) -> int:
+    plan = plan_transpose(
+        args.dims, args.perm, _elem_bytes(args.dtype), DEVICES[args.device]
+    )
+    k = plan.kernel
+    print(f"dims            : {plan.layout.dims} (dim 0 fastest)")
+    print(f"perm            : {plan.perm.mapping}")
+    print(f"fused           : dims {plan.fused.layout.dims} "
+          f"perm {plan.fused.perm.mapping} (scaled rank "
+          f"{plan.fused.scaled_rank})")
+    print(f"schema          : {plan.schema.value}")
+    if hasattr(k, "A"):
+        print(f"slice           : A={k.A} B={k.B}")
+    geom = k.launch_geometry
+    print(f"launch          : {geom.num_blocks} blocks x "
+          f"{geom.threads_per_block} threads, "
+          f"{geom.shared_mem_per_block} B smem")
+    print(f"candidates      : {plan.num_candidates}")
+    print(f"predicted time  : {plan.predicted_time * 1e3:.4f} ms")
+    print(f"simulated time  : {plan.simulated_time() * 1e3:.4f} ms")
+    print(f"plan overhead   : {plan.plan_time * 1e3:.4f} ms")
+    print(f"bandwidth       : {plan.bandwidth_gbps():.1f} GB/s (repeated) / "
+          f"{plan.bandwidth_gbps(include_plan=True):.1f} GB/s (single)")
+    if plan.coarsening:
+        print(f"coarsening      : dim {plan.coarsening[0]} "
+              f"x{plan.coarsening[1]}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.baselines import ALL_LIBRARIES
+
+    spec = DEVICES[args.device]
+    print(
+        f"{'library':<16s} {'kernel':<22s} {'repeated GB/s':>14s} "
+        f"{'single GB/s':>12s} {'plan ms':>9s}"
+    )
+    for lib_cls in ALL_LIBRARIES:
+        lib = lib_cls(spec=spec)
+        plan = lib.plan(args.dims, args.perm, _elem_bytes(args.dtype))
+        print(
+            f"{lib.name:<16s} {plan.kernel.schema.value:<22s} "
+            f"{plan.bandwidth_gbps():>14.1f} "
+            f"{plan.bandwidth_gbps(include_plan=True):>12.1f} "
+            f"{plan.plan_time * 1e3:>9.3f}"
+        )
+    return 0
+
+
+def cmd_predict(args) -> int:
+    est = predict_time(
+        args.dims, args.perm, _elem_bytes(args.dtype), DEVICES[args.device]
+    )
+    print(f"schema          : {est.schema.value}")
+    print(f"kernel time     : {est.kernel_time * 1e3:.4f} ms")
+    print(f"plan time       : {est.plan_time * 1e3:.4f} ms")
+    print(f"bandwidth       : {est.bandwidth_gbps:.1f} GB/s")
+    return 0
+
+
+def cmd_device(args) -> int:
+    print(DEVICES[args.device].describe())
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.gpusim.profile import profile_kernel
+
+    plan = plan_transpose(
+        args.dims, args.perm, _elem_bytes(args.dtype), DEVICES[args.device]
+    )
+    print(profile_kernel(plan.kernel).format_report())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="TTLG reproduction CLI (simulated GPU)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_problem(p):
+        p.add_argument("dims", type=_ints, help="extents, dim 0 fastest")
+        p.add_argument("perm", type=_ints, help="permutation, paper convention")
+        p.add_argument("--dtype", choices=("f32", "f64"), default="f64")
+        p.add_argument("--device", choices=tuple(DEVICES), default="k40c")
+
+    p = sub.add_parser("plan", help="plan one transposition")
+    add_problem(p)
+    p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser("compare", help="compare all libraries")
+    add_problem(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("predict", help="query the performance model")
+    add_problem(p)
+    p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("profile", help="nvprof-style report for a plan")
+    add_problem(p)
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("device", help="print the simulated device spec")
+    p.add_argument("device", nargs="?", choices=tuple(DEVICES), default="k40c")
+    p.set_defaults(func=cmd_device)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Comparator libraries reimplemented on the gpusim substrate.
+
+The paper evaluates TTLG against cuTT (heuristic and measure plan modes)
+and TTC (an offline code generator).  Both are rebuilt here as planners
+over the same simulated device so performance differences arise from
+their *structural* choices (kernel families, plan selection policy, plan
+overhead), not from hand-tuned constants.  See DESIGN.md section 2.
+"""
+
+from repro.baselines.library import LibraryPlan, TransposeLibrary
+from repro.baselines.cutt import CuttHeuristic, CuttMeasure
+from repro.baselines.ttc import TTC
+from repro.baselines.ttlg import TTLG
+from repro.baselines.naive_lib import NaiveLibrary
+
+ALL_LIBRARIES = (TTLG, CuttHeuristic, CuttMeasure, TTC)
+
+__all__ = [
+    "LibraryPlan",
+    "TransposeLibrary",
+    "TTLG",
+    "CuttHeuristic",
+    "CuttMeasure",
+    "TTC",
+    "NaiveLibrary",
+    "ALL_LIBRARIES",
+]

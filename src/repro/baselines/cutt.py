@@ -1,0 +1,217 @@
+"""cuTT reimplementation (Hynninen & Lyakh 2017) on the gpusim substrate.
+
+cuTT plans a transposition by generating a small set of candidate
+kernels from its three families and picking one:
+
+- **Tiled**: the classic 32x32 shared-memory tile over the single
+  fastest input dim and single fastest output dim (no dimension
+  combining — the structural difference from TTLG that hurts cuTT when
+  extents are below the warp size).
+- **Packed**: the fastest dims of input and output are combined into
+  flat load/store volumes staged through shared memory (our
+  Orthogonal-Arbitrary kernel with warp-multiple group targets).
+- **PackedSplit**: Packed with a larger combined group split across
+  blocks (coarser variants in the candidate menu).
+
+Two plan modes, as in the paper's evaluation:
+
+- :class:`CuttHeuristic` ranks candidates with an MWP-CWP-style closed
+  formula (Hong & Kim) that models bytes moved and warp-level
+  parallelism but *not* transaction overfetch or idle lanes — fast, but
+  systematically mis-ranks on odd extents (why the paper finds
+  cuTT-measure always at least as good).
+- :class:`CuttMeasure` executes every candidate (simulated, with
+  measurement jitter) and keeps the best — better plans, but the plan
+  itself costs the sum of all candidate executions plus per-measurement
+  synchronization, which is what craters its single-use performance in
+  Figs. 7/9/11.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.baselines.library import LibraryPlan, TransposeLibrary
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.errors import PlanError, SchemaError
+from repro.gpusim.noise import measurement_jitter
+from repro.gpusim.occupancy import occupancy_for
+from repro.gpusim.spec import DeviceSpec
+from repro.kernels.base import TransposeKernel
+from repro.kernels.fvi_match_large import FviMatchLargeKernel
+from repro.kernels.orthogonal_arbitrary import OrthogonalArbitraryKernel
+from repro.kernels.orthogonal_distinct import OrthogonalDistinctKernel
+
+#: Synchronization + timing overhead charged per measured candidate.
+MEASURE_OVERHEAD_S = 2.0e-5
+
+
+
+def cutt_candidates(
+    layout: TensorLayout,
+    perm: Permutation,
+    spec: DeviceSpec,
+    elem_bytes: int,
+) -> List[TransposeKernel]:
+    """cuTT's candidate kernel menu for one (fused) problem."""
+    cands: List[TransposeKernel] = []
+    ws = spec.warp_size
+
+    if perm.fvi_matches():
+        # Packed degenerate case: contiguous runs move unchanged.
+        cands.append(FviMatchLargeKernel(layout, perm, elem_bytes, spec))
+    else:
+        # Tiled: a 32 x 32 tile over the single fastest input dim and
+        # single fastest output dim (sub-dim blocking when an extent
+        # exceeds the tile; the whole dim when it does not).
+        try:
+            cands.append(
+                OrthogonalDistinctKernel(
+                    layout,
+                    perm,
+                    in_prefix=0,
+                    blockA=min(ws, layout.dims[0]),
+                    out_prefix=0,
+                    blockB=min(ws, layout.dims[perm[0]]),
+                    elem_bytes=elem_bytes,
+                    spec=spec,
+                )
+            )
+        except SchemaError:
+            pass
+
+    # Packed / PackedSplit: combined flat groups of *whole* dimensions
+    # (cuTT's Mm/Mk sets).  cuTT never blocks a dimension partially into
+    # the group — fine-grained, model-driven slice sizing is exactly
+    # TTLG's contribution — so the menu is whole-dim prefixes, plus
+    # PackedSplit variants that halve/quarter the group's last dim.
+    smem_words = spec.shared_mem_per_sm // elem_bytes
+    seen = set()
+
+    def group_options(extents):
+        # The empty group: cuTT's Packed degenerates to it when the
+        # other side's set already covers these dims.
+        opts = [(0, 1, 1)]
+        vol = 1
+        for k in range(len(extents)):
+            if vol * extents[k] > smem_words:
+                # PackedSplit: the next dim overflows shared memory, so
+                # split it into the largest chunk that fits.
+                fit = smem_words // vol
+                if fit > 1:
+                    opts.append((k, min(fit, extents[k]), vol * min(fit, extents[k])))
+                break
+            vol *= extents[k]
+            opts.append((k + 1, 1, vol))  # whole-dim prefix
+            if extents[k] % 2 == 0:  # PackedSplit: half the last dim
+                opts.append((k, extents[k] // 2, vol // 2))
+            if vol >= 4 * ws:
+                break  # cuTT stops growing the group past a few warps
+        return opts
+
+    out_extents = [layout.dims[d] for d in perm.mapping]
+    for ip, ba, avol in group_options(list(layout.dims)):
+        for op, bb, bvol in group_options(out_extents):
+            if avol * bvol > smem_words:
+                continue
+            try:
+                k = OrthogonalArbitraryKernel(
+                    layout,
+                    perm,
+                    in_prefix=ip,
+                    blockA=ba,
+                    out_prefix=op,
+                    blockB=bb,
+                    elem_bytes=elem_bytes,
+                    spec=spec,
+                )
+            except SchemaError:
+                continue
+            key = (k.in_prefix, k.blockA, k.out_prefix, k.blockB, k.b_dim)
+            if key not in seen:
+                seen.add(key)
+                cands.append(k)
+    return cands
+
+
+def mwp_cwp_estimate(kernel: TransposeKernel, spec: DeviceSpec) -> float:
+    """Hong & Kim-style analytic estimate used by the heuristic mode.
+
+    Models bytes moved at peak bandwidth scaled by warp-level
+    parallelism (occupancy); deliberately blind to transaction overfetch,
+    idle lanes, and bank conflicts — the approximations real MWP-CWP
+    makes, and the reason heuristic mode mis-ranks on odd extents.
+    """
+    geom = kernel.launch_geometry
+    occ = occupancy_for(spec, geom)
+    bytes_moved = 2 * kernel.volume * kernel.elem_bytes
+    mwp = min(
+        1.0, occ.resident_warps_per_sm / spec.saturation_warps_per_sm
+    )
+    # Grid smaller than the device also limits parallelism.
+    grid = min(1.0, geom.num_blocks / spec.num_sms)
+    bw = spec.effective_bandwidth * mwp * grid
+    return spec.launch_overhead_s + bytes_moved / max(bw, 1.0)
+
+
+class _CuttBase(TransposeLibrary):
+    def _candidates(
+        self, dims: Sequence[int], perm: Sequence[int], elem_bytes: int
+    ) -> List[TransposeKernel]:
+        fused = self.fuse(dims, perm)
+        cands = cutt_candidates(fused.layout, fused.perm, self.spec, elem_bytes)
+        if not cands:
+            raise PlanError(
+                f"cuTT found no candidate for dims={tuple(dims)} "
+                f"perm={tuple(perm)}"
+            )
+        return cands
+
+
+class CuttHeuristic(_CuttBase):
+    """cuTT in heuristic plan mode (fast analytic ranking)."""
+
+    name = "cuTT Heuristic"
+
+    def plan(
+        self, dims: Sequence[int], perm: Sequence[int], elem_bytes: int = 8
+    ) -> LibraryPlan:
+        cands = self._candidates(dims, perm, elem_bytes)
+        best = min(cands, key=lambda k: mwp_cwp_estimate(k, self.spec))
+        # Heuristic cost: allocation plus one cheap formula per candidate.
+        plan_time = self.spec.alloc_overhead_s + self.spec.plan_fixed_cost_s
+        return LibraryPlan(
+            library=self.name,
+            kernel=best,
+            plan_time=plan_time,
+            num_candidates=len(cands),
+        )
+
+
+class CuttMeasure(_CuttBase):
+    """cuTT in measure plan mode (execute every candidate, keep best)."""
+
+    name = "cuTT Measure"
+
+    def plan(
+        self, dims: Sequence[int], perm: Sequence[int], elem_bytes: int = 8
+    ) -> LibraryPlan:
+        cands = self._candidates(dims, perm, elem_bytes)
+        best, best_t, total = None, float("inf"), 0.0
+        for i, k in enumerate(cands):
+            t = k.simulated_time(self.cost_model)
+            measured = t * measurement_jitter(
+                ("cutt-measure", tuple(dims), tuple(perm), i), 0.01
+            )
+            total += t + MEASURE_OVERHEAD_S
+            if measured < best_t:
+                best, best_t = k, measured
+        assert best is not None
+        plan_time = self.spec.alloc_overhead_s + total
+        return LibraryPlan(
+            library=self.name,
+            kernel=best,
+            plan_time=plan_time,
+            num_candidates=len(cands),
+        )

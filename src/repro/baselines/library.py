@@ -1,0 +1,85 @@
+"""Common interface for the compared transposition libraries.
+
+Every library (TTLG and the baselines) plans a problem into a
+:class:`LibraryPlan` carrying the chosen kernel, the simulated one-time
+planning cost, and enough bookkeeping to reproduce the paper's two usage
+scenarios:
+
+- **repeated use** (Figs. 6/8/10/12/14): kernel execution time only;
+- **single use** (Figs. 7/9/11): planning + one execution.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.fusion import FusionResult, fuse_indices
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.gpusim.cost import CostModel
+from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
+from repro.kernels.base import TransposeKernel
+
+
+@dataclass(frozen=True)
+class LibraryPlan:
+    """One library's plan for one transposition problem."""
+
+    library: str
+    kernel: TransposeKernel
+    plan_time: float
+    num_candidates: int
+    #: Offline preparation time excluded from online plan cost (TTC's
+    #: code-generation seconds); reported separately like the paper does.
+    offline_time: float = 0.0
+
+    def kernel_time(self, cost_model: Optional[CostModel] = None) -> float:
+        return self.kernel.simulated_time(cost_model)
+
+    def time_for(
+        self,
+        repeats: int = 1,
+        include_plan: bool = False,
+        cost_model: Optional[CostModel] = None,
+    ) -> float:
+        t = self.kernel_time(cost_model) * repeats
+        return t + (self.plan_time if include_plan else 0.0)
+
+    def bandwidth_gbps(
+        self,
+        repeats: int = 1,
+        include_plan: bool = False,
+        cost_model: Optional[CostModel] = None,
+    ) -> float:
+        cm = cost_model if cost_model is not None else CostModel(self.kernel.spec)
+        t = self.time_for(repeats, include_plan, cm)
+        return cm.bandwidth_gbps(
+            self.kernel.volume * repeats, self.kernel.elem_bytes, t
+        )
+
+    def execute(self, src_flat: np.ndarray) -> np.ndarray:
+        return self.kernel.execute(src_flat)
+
+
+class TransposeLibrary(abc.ABC):
+    """A transposition library: problem in, :class:`LibraryPlan` out."""
+
+    #: Display name used in benchmark output (matches the paper's legend).
+    name: str = "?"
+
+    def __init__(self, spec: DeviceSpec = KEPLER_K40C):
+        self.spec = spec
+        self.cost_model = CostModel(spec)
+
+    def fuse(self, dims: Sequence[int], perm: Sequence[int]) -> FusionResult:
+        return fuse_indices(TensorLayout(dims), Permutation(perm))
+
+    @abc.abstractmethod
+    def plan(
+        self, dims: Sequence[int], perm: Sequence[int], elem_bytes: int = 8
+    ) -> LibraryPlan:
+        """Produce this library's plan for the problem."""

@@ -1,0 +1,26 @@
+"""The d-nested-loop strawman as a library (for ablation benches)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.library import LibraryPlan, TransposeLibrary
+from repro.kernels.naive import NaiveKernel
+
+
+class NaiveLibrary(TransposeLibrary):
+    """Always uses the elementwise kernel; zero planning."""
+
+    name = "Naive"
+
+    def plan(
+        self, dims: Sequence[int], perm: Sequence[int], elem_bytes: int = 8
+    ) -> LibraryPlan:
+        fused = self.fuse(dims, perm)
+        kernel = NaiveKernel(fused.layout, fused.perm, elem_bytes, self.spec)
+        return LibraryPlan(
+            library=self.name,
+            kernel=kernel,
+            plan_time=self.spec.alloc_overhead_s,
+            num_candidates=1,
+        )

@@ -1,0 +1,43 @@
+"""TTLG wrapped in the common library interface for the benchmarks."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.baselines.library import LibraryPlan, TransposeLibrary
+from repro.core.plan import Predictor, make_plan
+from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
+
+
+class TTLG(TransposeLibrary):
+    """The library under evaluation: model-driven kernel + slice choice.
+
+    Plan cost model: one allocation + taxonomy/offset setup + one
+    regression evaluation per candidate (cheap — this is TTLG's
+    single-use advantage over cuTT-measure).
+    """
+
+    name = "TTLG"
+
+    def __init__(
+        self,
+        spec: DeviceSpec = KEPLER_K40C,
+        predictor: Optional[Predictor] = None,
+    ):
+        super().__init__(spec)
+        if predictor is None:
+            from repro.model.pretrained import pretrained_predictor
+
+            predictor = pretrained_predictor(spec)
+        self.predictor = predictor
+
+    def plan(
+        self, dims: Sequence[int], perm: Sequence[int], elem_bytes: int = 8
+    ) -> LibraryPlan:
+        p = make_plan(dims, perm, elem_bytes, self.spec, self.predictor)
+        return LibraryPlan(
+            library=self.name,
+            kernel=p.kernel,
+            plan_time=p.plan_time,
+            num_candidates=p.num_candidates,
+        )

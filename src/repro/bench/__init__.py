@@ -1,0 +1,21 @@
+"""Benchmark harness: suites, runners, and terminal rendering for the
+paper-figure reproductions in ``benchmarks/``."""
+
+from repro.bench.harness import CaseResult, run_case, run_suite
+from repro.bench.record import SuiteResult, summarize_by_group
+from repro.bench.suites import (
+    six_d_suite,
+    ttc_benchmark_suite,
+    varying_dims_suite,
+)
+
+__all__ = [
+    "CaseResult",
+    "run_case",
+    "run_suite",
+    "SuiteResult",
+    "summarize_by_group",
+    "six_d_suite",
+    "ttc_benchmark_suite",
+    "varying_dims_suite",
+]

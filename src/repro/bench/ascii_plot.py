@@ -1,0 +1,60 @@
+"""Minimal terminal plotting for the figure benches.
+
+The paper's figures are line/scatter charts; the benches print an ASCII
+rendering so the shape (who wins, where the staircase steps, where
+crossovers fall) is visible straight from ``pytest -s`` output without a
+plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+#: Glyphs assigned to series in order.
+GLYPHS = "*o+x#@%&"
+
+
+def multi_series(
+    series: Dict[str, Sequence[float]],
+    height: int = 16,
+    width: int = 72,
+    y_label: str = "GB/s",
+    x_label: str = "case",
+    y_max: Optional[float] = None,
+) -> str:
+    """Render several same-length series into one ASCII chart."""
+    names = list(series)
+    data = [np.asarray(series[n], dtype=float) for n in names]
+    n_points = max(len(d) for d in data)
+    if n_points == 0:
+        return "(no data)"
+    top = y_max if y_max is not None else float(
+        np.nanmax([np.nanmax(d) for d in data])
+    )
+    top = max(top, 1e-9)
+    grid = [[" "] * width for _ in range(height)]
+    for si, d in enumerate(data):
+        glyph = GLYPHS[si % len(GLYPHS)]
+        for i, v in enumerate(d):
+            if not np.isfinite(v):
+                continue
+            x = int(i * (width - 1) / max(n_points - 1, 1))
+            y = int((1.0 - min(v, top) / top) * (height - 1))
+            grid[y][x] = glyph
+    lines = []
+    for row_i, row in enumerate(grid):
+        if row_i == 0:
+            label = f"{top:8.1f} |"
+        elif row_i == height - 1:
+            label = f"{0.0:8.1f} |"
+        else:
+            label = " " * 8 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 8 + " +" + "-" * width + f"> {x_label}")
+    legend = "   ".join(
+        f"{GLYPHS[i % len(GLYPHS)]} {n}" for i, n in enumerate(names)
+    )
+    lines.append(f"{y_label}: {legend}")
+    return "\n".join(lines)

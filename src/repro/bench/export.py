@@ -1,0 +1,76 @@
+"""Result export: CSV and JSON for external plotting/analysis.
+
+The figure benches print ASCII renderings; downstream users replotting
+with matplotlib/gnuplot want machine-readable series.  These helpers
+serialize :class:`~repro.bench.record.SuiteResult` losslessly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.bench.record import SuiteResult
+
+
+def suite_to_rows(suite: SuiteResult) -> list:
+    """Flatten a suite into one dict per (case, library) pair."""
+    rows = []
+    for r in suite.results:
+        for lib, bw in r.bandwidth.items():
+            rows.append(
+                {
+                    "suite": suite.title,
+                    "dims": "x".join(map(str, r.case.dims)),
+                    "perm": " ".join(map(str, r.case.perm)),
+                    "scaled_rank": r.case.scaled_rank,
+                    "volume": r.case.volume,
+                    "library": lib,
+                    "bandwidth_gbps": bw,
+                    "kernel_time_s": r.kernel_time.get(lib),
+                    "schema": r.schema.get(lib),
+                }
+            )
+    return rows
+
+
+def suite_to_csv(
+    suite: SuiteResult, path: Optional[Union[str, Path]] = None
+) -> str:
+    """Serialize to CSV; also writes to ``path`` when given."""
+    rows = suite_to_rows(suite)
+    buf = io.StringIO()
+    if rows:
+        writer = csv.DictWriter(
+            buf, fieldnames=list(rows[0].keys()), lineterminator="\n"
+        )
+        writer.writeheader()
+        writer.writerows(rows)
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def suite_to_json(
+    suite: SuiteResult, path: Optional[Union[str, Path]] = None
+) -> str:
+    """Serialize to JSON (list of row objects plus suite metadata)."""
+    payload = {
+        "title": suite.title,
+        "libraries": suite.libraries(),
+        "num_cases": len(suite.results),
+        "rows": suite_to_rows(suite),
+    }
+    text = json.dumps(payload, indent=2)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def load_suite_json(path: Union[str, Path]) -> dict:
+    """Round-trip loader for :func:`suite_to_json` output."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,74 @@
+"""Benchmark runner: plan each case with each library, report GB/s.
+
+The reported metric is the paper's achieved bandwidth
+``2 * volume * elem_bytes / time`` in GB/s, under either usage scenario:
+
+- ``scenario="repeated"`` — kernel time only (plan excluded), Figs. 6/8/10;
+- ``scenario="single"``   — plan + one execution, Figs. 7/9/11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.library import TransposeLibrary
+from repro.bench.suites import BenchCase
+from repro.errors import ReproError
+
+
+@dataclass
+class CaseResult:
+    """Bandwidths (GB/s) of every library on one case."""
+
+    case: BenchCase
+    bandwidth: Dict[str, float] = field(default_factory=dict)
+    kernel_time: Dict[str, float] = field(default_factory=dict)
+    schema: Dict[str, str] = field(default_factory=dict)
+
+    def winner(self) -> str:
+        return max(self.bandwidth, key=self.bandwidth.get)
+
+
+def run_case(
+    case: BenchCase,
+    libraries: Sequence[TransposeLibrary],
+    scenario: str = "repeated",
+    elem_bytes: int = 8,
+    repeats: int = 1,
+) -> CaseResult:
+    """Plan + cost one case under every library.
+
+    ``repeats`` amortizes the plan over several calls when the scenario
+    includes planning (Fig. 12's sweep over call counts).
+    """
+    if scenario not in ("repeated", "single"):
+        raise ValueError(f"unknown scenario {scenario!r}")
+    include_plan = scenario == "single"
+    result = CaseResult(case=case)
+    for lib in libraries:
+        try:
+            plan = lib.plan(case.dims, case.perm, elem_bytes)
+        except ReproError:
+            continue  # library cannot handle this case; leave it out
+        result.bandwidth[lib.name] = plan.bandwidth_gbps(
+            repeats=repeats, include_plan=include_plan
+        )
+        result.kernel_time[lib.name] = plan.kernel_time()
+        result.schema[lib.name] = plan.kernel.schema.value
+    return result
+
+
+def run_suite(
+    cases: Sequence[BenchCase],
+    libraries: Sequence[TransposeLibrary],
+    scenario: str = "repeated",
+    elem_bytes: int = 8,
+    limit: Optional[int] = None,
+) -> List[CaseResult]:
+    """Run every case; ``limit`` subsamples evenly for quick runs."""
+    chosen = list(cases)
+    if limit is not None and limit < len(chosen):
+        step = len(chosen) / limit
+        chosen = [chosen[int(i * step)] for i in range(limit)]
+    return [run_case(c, libraries, scenario, elem_bytes) for c in chosen]

@@ -1,0 +1,98 @@
+"""Result aggregation and table rendering for the figure benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.bench.harness import CaseResult
+
+
+@dataclass
+class SuiteResult:
+    """A finished suite with helpers to print paper-style summaries."""
+
+    title: str
+    results: List[CaseResult]
+
+    def libraries(self) -> List[str]:
+        names: List[str] = []
+        for r in self.results:
+            for n in r.bandwidth:
+                if n not in names:
+                    names.append(n)
+        return names
+
+    def series(self, library: str) -> np.ndarray:
+        return np.array(
+            [r.bandwidth.get(library, np.nan) for r in self.results]
+        )
+
+    # ------------------------------------------------------------------
+    def format_table(self, max_rows: int = 0) -> str:
+        libs = self.libraries()
+        header = f"{'case':<28s} {'rank':>4s} " + " ".join(
+            f"{n:>15s}" for n in libs
+        )
+        lines = [self.title, header, "-" * len(header)]
+        rows = self.results if not max_rows else self.results[:max_rows]
+        for r in rows:
+            label = r.case.label or " ".join(map(str, r.case.perm))
+            cells = " ".join(
+                f"{r.bandwidth.get(n, float('nan')):>15.1f}" for n in libs
+            )
+            lines.append(f"{label:<28s} {r.case.scaled_rank:>4d} {cells}")
+        return "\n".join(lines)
+
+    def format_summary(self) -> str:
+        """Mean GB/s per library plus win counts — the chart's takeaway."""
+        libs = self.libraries()
+        lines = [f"{self.title}: {len(self.results)} cases"]
+        wins = {n: 0 for n in libs}
+        for r in self.results:
+            if r.bandwidth:
+                wins[r.winner()] += 1
+        for n in libs:
+            s = self.series(n)
+            ok = s[~np.isnan(s)]
+            lines.append(
+                f"  {n:<16s} mean {np.mean(ok):7.1f}  median {np.median(ok):7.1f}"
+                f"  peak {np.max(ok):7.1f} GB/s   wins {wins[n]:d}"
+            )
+        return "\n".join(lines)
+
+
+def summarize_by_group(
+    suite: SuiteResult, key=lambda r: r.case.scaled_rank
+) -> Dict[object, Dict[str, float]]:
+    """Mean bandwidth per library within groups (e.g. per scaled rank)."""
+    groups: Dict[object, List[CaseResult]] = {}
+    for r in suite.results:
+        groups.setdefault(key(r), []).append(r)
+    out: Dict[object, Dict[str, float]] = {}
+    for g, rs in sorted(groups.items()):
+        out[g] = {}
+        for lib in suite.libraries():
+            vals = [r.bandwidth[lib] for r in rs if lib in r.bandwidth]
+            if vals:
+                out[g][lib] = float(np.mean(vals))
+    return out
+
+
+def format_group_table(
+    title: str, groups: Dict[object, Dict[str, float]]
+) -> str:
+    """Render the per-scaled-rank staircase as a table."""
+    libs: List[str] = []
+    for row in groups.values():
+        for n in row:
+            if n not in libs:
+                libs.append(n)
+    header = f"{'group':>6s} " + " ".join(f"{n:>15s}" for n in libs)
+    lines = [title, header, "-" * len(header)]
+    for g, row in groups.items():
+        cells = " ".join(f"{row.get(n, float('nan')):>15.1f}" for n in libs)
+        lines.append(f"{str(g):>6s} {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""Benchmark workload suites matching the paper's evaluation (Sec. VI).
+
+- :func:`six_d_suite` — all 720 permutations of a 6D tensor with every
+  extent 15, 16, or 17 (Figs. 6-11), ordered by scaled rank so the
+  charts' red staircase can be drawn.
+- :func:`varying_dims_suite` — fixed permutation ``0 2 1 3`` over
+  4D tensors from 15^4 to 128^4 (Fig. 13).
+- :func:`ttc_benchmark_suite` — a reconstruction of the 57-tensor TTC
+  benchmark [Springer 2016]: ranks 2-6, ~200 MB each, permutations
+  chosen so *no index fusion is possible*.  The original size list is
+  not redistributable here; the generator below reproduces its
+  documented properties (see DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.fusion import scaled_rank
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One benchmark problem with chart metadata."""
+
+    dims: Tuple[int, ...]
+    perm: Tuple[int, ...]
+    scaled_rank: int
+    label: str = ""
+
+    @property
+    def volume(self) -> int:
+        return math.prod(self.dims)
+
+
+def six_d_suite(extent: int) -> List[BenchCase]:
+    """All 6! permutations of a 6D tensor with uniform ``extent``.
+
+    Ordered by scaled rank (after index fusion), then lexicographically —
+    the x-axis ordering of Figs. 6-11.
+    """
+    dims = (extent,) * 6
+    cases = []
+    for p in itertools.permutations(range(6)):
+        cases.append(
+            BenchCase(
+                dims=dims,
+                perm=p,
+                scaled_rank=scaled_rank(dims, p),
+                label=" ".join(map(str, p)),
+            )
+        )
+    cases.sort(key=lambda c: (c.scaled_rank, c.perm))
+    return cases
+
+
+def varying_dims_suite() -> List[BenchCase]:
+    """Fig. 13: permutation ``0 2 1 3``, 4D extents 15..128."""
+    perm = (0, 2, 1, 3)
+    out = []
+    for e in (15, 16, 31, 32, 63, 64, 127, 128):
+        dims = (e,) * 4
+        out.append(
+            BenchCase(
+                dims=dims,
+                perm=perm,
+                scaled_rank=scaled_rank(dims, perm),
+                label=f"{e} {e} {e} {e}",
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# TTC benchmark reconstruction
+# ----------------------------------------------------------------------
+
+def _unfusable_perms(rank: int, count: int) -> List[Tuple[int, ...]]:
+    """The first ``count`` permutations of ``rank`` with no fusible index
+    pair (no input dims ``j, j+1`` adjacent in the same order in the
+    output), in deterministic order.  Rank 2 has exactly one: (1, 0)."""
+    out: List[Tuple[int, ...]] = []
+    for p in itertools.permutations(range(rank)):
+        out_pos = [0] * rank
+        for i, j in enumerate(p):
+            out_pos[j] = i
+        if any(out_pos[j + 1] == out_pos[j] + 1 for j in range(rank - 1)):
+            continue
+        out.append(p)
+        if len(out) >= count:
+            break
+    return out
+
+
+#: Per-rank permutations with no fusible index pair, as the TTC suite
+#: requires (rank 3 only has three such permutations).  Counts chosen so
+#: the suite totals 57 cases like Springer's:
+#: 1*3 + 3*3 + 9*2 + 7*2 + 7*2 = 58, trimmed to 57.
+_TTC_PERMS = {
+    rank: _unfusable_perms(rank, count)
+    for rank, count in ((2, 1), (3, 3), (4, 9), (5, 7), (6, 7))
+}
+
+#: Number of size variants per rank.
+_TTC_SIZES_PER_RANK = {2: 3, 3: 3, 4: 2, 5: 2, 6: 2}
+
+#: Target volume ~200 MB of doubles.
+_TTC_TARGET_ELEMS = 25 * 1024 * 1024
+
+
+def _ttc_dims(rank: int, variant: int) -> Tuple[int, ...]:
+    """Size tuples around the target volume.
+
+    Variant 0: balanced extents; variant 1: small leading dimension
+    (stress case for single-dim tilers); variant 2: large leading
+    dimension.
+    """
+    if variant == 0:
+        base = round(_TTC_TARGET_ELEMS ** (1 / rank))
+        dims = [base] * rank
+    elif variant == 1:
+        lead = 8 if rank >= 4 else 16
+        rest = round((_TTC_TARGET_ELEMS / lead) ** (1 / (rank - 1)))
+        dims = [lead] + [rest] * (rank - 1)
+    else:
+        lead = 4096 if rank <= 3 else 512
+        rest = round((_TTC_TARGET_ELEMS / lead) ** (1 / (rank - 1)))
+        dims = [lead] + [rest] * (rank - 1)
+    # Nudge extents off powers of two the way the original mixes sizes.
+    dims = [max(2, d + (i % 2)) for i, d in enumerate(dims)]
+    return tuple(dims)
+
+
+def ttc_benchmark_suite() -> List[BenchCase]:
+    """The 57-case TTC benchmark reconstruction (Fig. 14)."""
+    cases: List[BenchCase] = []
+    for rank in sorted(_TTC_PERMS):
+        n_sizes = _TTC_SIZES_PER_RANK[rank]
+        for variant in range(n_sizes):
+            for p in _TTC_PERMS[rank]:
+                dims = _ttc_dims(rank, variant)
+                sr = scaled_rank(dims, p)
+                assert sr == rank, (
+                    f"TTC suite permutation {p} fused ({sr} != {rank}); "
+                    "suite requires no fusion"
+                )
+                cases.append(
+                    BenchCase(
+                        dims=dims,
+                        perm=p,
+                        scaled_rank=sr,
+                        label=f"r{rank}v{variant} " + " ".join(map(str, p)),
+                    )
+                )
+    return cases[:57]

@@ -1,0 +1,19 @@
+"""Core tensor-transposition machinery: layouts, permutations, index
+fusion, the schema taxonomy (Alg. 1), slice-size choice (Alg. 3), offset
+arrays (Alg. 4), and the public planning/execution API."""
+
+from repro.core.fusion import FusionResult, fuse_indices, scaled_rank
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.core.taxonomy import Schema, TaxonomyDecision, select_schema
+
+__all__ = [
+    "Permutation",
+    "TensorLayout",
+    "FusionResult",
+    "fuse_indices",
+    "scaled_rank",
+    "Schema",
+    "TaxonomyDecision",
+    "select_schema",
+]

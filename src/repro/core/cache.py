@@ -1,0 +1,107 @@
+"""Plan caching for the repeated-use scenario.
+
+cuTT exposes plan handles the caller stores; TTC bakes plans into
+generated code.  For a library-level ergonomic equivalent, this module
+keeps a bounded LRU of :class:`~repro.core.plan.TransposePlan` keyed by
+``(dims, perm, elem_bytes, device)`` so hot call sites pay the planning
+cost once per process.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from threading import Lock
+from typing import Optional, Sequence
+
+from repro.core.plan import Predictor, TransposePlan, make_plan
+from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
+
+DEFAULT_CAPACITY = 256
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PlanCache:
+    """Thread-safe bounded LRU of transposition plans."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._plans: "OrderedDict[tuple, TransposePlan]" = OrderedDict()
+        self._lock = Lock()
+        self.stats = CacheStats()
+
+    @staticmethod
+    def _key(
+        dims: Sequence[int],
+        perm: Sequence[int],
+        elem_bytes: int,
+        spec: DeviceSpec,
+    ) -> tuple:
+        return (tuple(dims), tuple(perm), elem_bytes, spec.name)
+
+    def get(
+        self,
+        dims: Sequence[int],
+        perm: Sequence[int],
+        elem_bytes: int = 8,
+        spec: DeviceSpec = KEPLER_K40C,
+        predictor: Optional[Predictor] = None,
+    ) -> TransposePlan:
+        """Return a cached plan, planning (and caching) on miss."""
+        key = self._key(dims, perm, elem_bytes, spec)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self.stats.hits += 1
+                return plan
+        # Plan outside the lock: planning is the expensive part.
+        plan = make_plan(dims, perm, elem_bytes, spec, predictor)
+        with self._lock:
+            self.stats.misses += 1
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                self.stats.evictions += 1
+        return plan
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            self.stats = CacheStats()
+
+
+#: Process-wide default cache used by :func:`cached_plan`.
+_global_cache = PlanCache()
+
+
+def cached_plan(
+    dims: Sequence[int],
+    perm: Sequence[int],
+    elem_bytes: int = 8,
+    spec: DeviceSpec = KEPLER_K40C,
+    predictor: Optional[Predictor] = None,
+) -> TransposePlan:
+    """Module-level convenience over the process-wide :class:`PlanCache`."""
+    return _global_cache.get(dims, perm, elem_bytes, spec, predictor)
+
+
+def global_cache() -> PlanCache:
+    return _global_cache

@@ -1,0 +1,51 @@
+"""Thread-coarsening heuristic (Sec. IV-A).
+
+Each slice requires an expensive per-block base-address computation
+(mod/div decode of the block id).  Coarsening lets one thread block
+process several consecutive sub-slices along one dimension, amortizing
+the decode: subsequent sub-slices derive their bases by adding the
+coarsened dimension's stride.
+
+The paper's heuristic: pick the first dimension in input order (fastest
+first) with extent between 4 and 32 that is not already inside the
+slice, and only coarsen tensors larger than 2 MB (a high coarsening
+factor on a small tensor cuts the block count enough to hurt occupancy
+and cause tail effects).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.core.layout import TensorLayout
+
+#: Extent window for a coarsenable dimension.
+MIN_COARSEN_EXTENT = 4
+MAX_COARSEN_EXTENT = 32
+
+#: Minimum tensor size (bytes) before coarsening is considered.
+MIN_TENSOR_BYTES = 2 * 1024 * 1024
+
+
+def choose_coarsening(
+    layout: TensorLayout,
+    slice_dims: Iterable[int],
+    elem_bytes: int = 8,
+) -> Optional[Tuple[int, int]]:
+    """Return ``(dim, factor)`` to coarsen, or ``None``.
+
+    ``slice_dims`` are the dimensions already consumed by the slice
+    (fully or blocked); the coarsening dimension must be a grid
+    dimension.  The factor is the dimension's full extent ("the slice
+    size gets multiplied by the size of the coarsening dimension").
+    """
+    if layout.nbytes(elem_bytes) <= MIN_TENSOR_BYTES:
+        return None
+    excluded = set(slice_dims)
+    for d in range(layout.rank):
+        if d in excluded:
+            continue
+        extent = layout.dims[d]
+        if MIN_COARSEN_EXTENT <= extent <= MAX_COARSEN_EXTENT:
+            return d, extent
+    return None

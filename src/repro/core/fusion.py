@@ -1,0 +1,115 @@
+"""Index fusion (Sec. III / Fig. 3 "index fusion" box).
+
+Indices that occur consecutively *and in the same order* in both the
+input and the output tensor behave as a single longer index for the
+purposes of transposition: fusing them never changes the data movement
+but reduces the effective ("scaled") rank.  Example from the paper: for
+``[i0, i1, i2, i3] => [i3, i1, i2, i0]``, ``i1`` and ``i2`` fuse, giving
+a rank-3 problem with the middle extent ``|i1| * |i2|``.
+
+The paper's 720-permutation charts group results by this *scaled rank*
+(their red staircase lines); ranks 1 and 2 arise from rank-6 inputs whose
+permutations fuse heavily.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+
+
+@dataclass(frozen=True)
+class FusionResult:
+    """A fused transposition problem plus the bookkeeping to undo it.
+
+    Attributes
+    ----------
+    layout:
+        Fused input layout (extents are products over each fused group).
+    perm:
+        Fused permutation (same convention as the original).
+    groups:
+        For each fused input dimension, the tuple of original input
+        dimensions it comprises, in fastest-to-slowest order.
+    """
+
+    layout: TensorLayout
+    perm: Permutation
+    groups: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def scaled_rank(self) -> int:
+        return self.layout.rank
+
+    def original_dims_of(self, fused_dim: int) -> Tuple[int, ...]:
+        return self.groups[fused_dim]
+
+
+def fuse_indices(layout: TensorLayout, perm: Permutation) -> FusionResult:
+    """Fuse all fusible index groups of a transposition.
+
+    Two adjacent input dimensions ``j`` and ``j+1`` fuse iff they are also
+    adjacent, in the same order, in the output — i.e. the output position
+    of ``j+1`` is one greater than that of ``j``.
+
+    The identity permutation fuses to a single rank-1 "copy" problem.
+    Dimensions of extent 1 are degenerate in every position, so they are
+    absorbed into a neighbouring group first (an extent-1 index never
+    constrains data movement).
+    """
+    if perm.rank != layout.rank:
+        raise ValueError(
+            f"permutation rank {perm.rank} does not match layout rank "
+            f"{layout.rank}"
+        )
+    dims = layout.dims
+    rank = layout.rank
+
+    # Drop extent-1 dimensions outright (keeping at least one dim).
+    keep = [j for j in range(rank) if dims[j] > 1]
+    if not keep:
+        keep = [0]
+    if len(keep) < rank:
+        # Renumber the surviving input dims and rebuild the permutation.
+        renumber = {j: t for t, j in enumerate(keep)}
+        kept_out = [j for j in perm.mapping if j in renumber]
+        sub_layout = TensorLayout([dims[j] for j in keep])
+        sub_perm = Permutation([renumber[j] for j in kept_out])
+        inner = fuse_indices(sub_layout, sub_perm)
+        # Map fused groups back to original dim ids.
+        groups = tuple(
+            tuple(keep[t] for t in grp) for grp in inner.groups
+        )
+        return FusionResult(layout=inner.layout, perm=inner.perm, groups=groups)
+
+    # Output position of each input dimension.
+    out_pos = [0] * rank
+    for i, j in enumerate(perm.mapping):
+        out_pos[j] = i
+
+    # Build maximal fusible runs over input order.
+    runs: List[List[int]] = [[0]]
+    for j in range(1, rank):
+        if out_pos[j] == out_pos[j - 1] + 1:
+            runs[-1].append(j)
+        else:
+            runs.append([j])
+
+    fused_dims = [math.prod(dims[j] for j in run) for run in runs]
+    # Order the runs as they appear in the output to build the fused perm.
+    order = sorted(range(len(runs)), key=lambda t: out_pos[runs[t][0]])
+    fused_perm = Permutation(order)
+    return FusionResult(
+        layout=TensorLayout(fused_dims),
+        perm=fused_perm,
+        groups=tuple(tuple(run) for run in runs),
+    )
+
+
+def scaled_rank(dims: Sequence[int], perm: Sequence[int]) -> int:
+    """Rank of the transposition after index fusion (paper's staircase)."""
+    return fuse_indices(TensorLayout(dims), Permutation(perm)).scaled_rank

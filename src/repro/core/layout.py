@@ -1,0 +1,123 @@
+"""Linearized tensor layouts.
+
+A :class:`TensorLayout` is a tuple of extents plus the derived strides of
+the canonical dense layout where **dimension 0 is fastest varying**:
+``stride[0] = 1`` and ``stride[k] = prod(dims[:k])``.  The linear offset
+of index tuple ``idx`` is ``sum(idx[k] * stride[k])``.
+
+The output layout of a transposition by permutation ``p`` has extents
+``p.apply(dims)`` and its own canonical strides; the element at input
+index ``idx`` lands at output index ``p.apply(idx)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.permutation import Permutation
+from repro.errors import InvalidLayoutError
+
+
+@dataclass(frozen=True)
+class TensorLayout:
+    """Extents + canonical dense strides of a linearized tensor."""
+
+    dims: Tuple[int, ...]
+
+    def __init__(self, dims: Sequence[int]):
+        d = tuple(int(x) for x in dims)
+        if len(d) == 0:
+            raise InvalidLayoutError("tensor rank must be >= 1")
+        if any(x <= 0 for x in d):
+            raise InvalidLayoutError(f"extents must be positive, got {d}")
+        object.__setattr__(self, "dims", d)
+
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def volume(self) -> int:
+        return math.prod(self.dims)
+
+    @property
+    def strides(self) -> Tuple[int, ...]:
+        out = []
+        s = 1
+        for d in self.dims:
+            out.append(s)
+            s *= d
+        return tuple(out)
+
+    def stride(self, k: int) -> int:
+        """Stride of dimension ``k`` (elements)."""
+        return math.prod(self.dims[:k])
+
+    def nbytes(self, elem_bytes: int) -> int:
+        return self.volume * elem_bytes
+
+    # ------------------------------------------------------------------
+    def linearize(self, idx: Sequence[int]) -> int:
+        """Linear offset of one index tuple."""
+        if len(idx) != self.rank:
+            raise InvalidLayoutError(
+                f"index of rank {len(idx)} does not match layout rank {self.rank}"
+            )
+        off = 0
+        for i, (x, d, s) in enumerate(zip(idx, self.dims, self.strides)):
+            if not 0 <= x < d:
+                raise InvalidLayoutError(
+                    f"index {x} out of range [0, {d}) in dimension {i}"
+                )
+            off += x * s
+        return off
+
+    def delinearize(self, offset: int) -> Tuple[int, ...]:
+        """Index tuple of one linear offset."""
+        if not 0 <= offset < self.volume:
+            raise InvalidLayoutError(
+                f"offset {offset} out of range [0, {self.volume})"
+            )
+        idx = []
+        for d in self.dims:
+            idx.append(offset % d)
+            offset //= d
+        return tuple(idx)
+
+    def linearize_many(self, idx: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`linearize`; ``idx`` has shape ``(n, rank)``."""
+        idx = np.asarray(idx, dtype=np.int64)
+        strides = np.asarray(self.strides, dtype=np.int64)
+        return idx @ strides
+
+    def delinearize_many(self, offsets: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`delinearize`; returns shape ``(n, rank)``."""
+        offsets = np.asarray(offsets, dtype=np.int64)
+        out = np.empty((offsets.size, self.rank), dtype=np.int64)
+        rem = offsets.copy()
+        for k, d in enumerate(self.dims):
+            out[:, k] = rem % d
+            rem //= d
+        return out
+
+    # ------------------------------------------------------------------
+    def permuted(self, perm: Permutation) -> "TensorLayout":
+        """Layout of the transposition output (extents permuted)."""
+        return TensorLayout(perm.apply(self.dims))
+
+    def prefix_volume(self, k: int) -> int:
+        """Product of the ``k`` fastest-varying extents."""
+        return math.prod(self.dims[:k])
+
+    def as_numpy_shape(self) -> Tuple[int, ...]:
+        """Shape for a NumPy array holding this tensor (NumPy's last axis
+        is fastest varying, so the extent order is reversed)."""
+        return self.dims[::-1]
+
+    def __repr__(self) -> str:
+        return f"TensorLayout(dims={self.dims})"

@@ -1,0 +1,158 @@
+"""Index permutations.
+
+Conventions (Sec. III footnote of the paper):
+
+- Dimension 0 is the **fastest varying** dimension of the linearized
+  tensor (MATLAB/Fortran-style abstract notation over a row-major C
+  implementation — only the *naming* differs, the math is identical).
+- A permutation ``p`` describes the output tensor in terms of the input:
+  ``p[i] = j`` means output dimension ``i`` is input dimension ``j``
+  (the paper's ``P[i] = j`` convention from the Fig. 12 discussion).
+  Equivalently, output extents are ``dims[p[i]]`` and the output index
+  tuple of the element at input index ``idx`` is ``idx[p[i]]``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from repro.errors import InvalidPermutationError
+
+
+class Permutation:
+    """An immutable bijection over ``range(rank)``.
+
+    Examples
+    --------
+    >>> p = Permutation((2, 0, 1))
+    >>> p.apply(("a", "b", "c"))        # output dims in terms of input
+    ('c', 'a', 'b')
+    >>> p.inverse().apply(("c", "a", "b"))
+    ('a', 'b', 'c')
+    """
+
+    __slots__ = ("_map",)
+
+    def __init__(self, mapping: Iterable[int]):
+        m = tuple(int(x) for x in mapping)
+        if len(m) == 0:
+            raise InvalidPermutationError("permutation must have rank >= 1")
+        if sorted(m) != list(range(len(m))):
+            raise InvalidPermutationError(
+                f"{m} is not a permutation of range({len(m)})"
+            )
+        self._map = m
+
+    # -- basics ---------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return len(self._map)
+
+    @property
+    def mapping(self) -> Tuple[int, ...]:
+        return self._map
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._map)
+
+    def __getitem__(self, i: int) -> int:
+        return self._map[i]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Permutation):
+            return self._map == other._map
+        if isinstance(other, (tuple, list)):
+            return self._map == tuple(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._map)
+
+    def __repr__(self) -> str:
+        return f"Permutation({self._map})"
+
+    # -- algebra --------------------------------------------------------
+    @classmethod
+    def identity(cls, rank: int) -> "Permutation":
+        return cls(range(rank))
+
+    @classmethod
+    def reversal(cls, rank: int) -> "Permutation":
+        """The full transposition ``[i0, ..., id-1] => [id-1, ..., i0]``."""
+        return cls(range(rank - 1, -1, -1))
+
+    def inverse(self) -> "Permutation":
+        inv = [0] * self.rank
+        for i, j in enumerate(self._map):
+            inv[j] = i
+        return Permutation(inv)
+
+    def compose(self, other: "Permutation") -> "Permutation":
+        """Return the permutation equivalent to applying ``other`` first,
+        then ``self`` (``(self . other)[i] = other[self[i]]``).
+
+        ``a.compose(b).apply(x) == a.apply(b.apply(x))``.
+        """
+        if other.rank != self.rank:
+            raise InvalidPermutationError(
+                f"rank mismatch: {self.rank} vs {other.rank}"
+            )
+        return Permutation(tuple(other._map[j] for j in self._map))
+
+    def apply(self, seq: Sequence) -> tuple:
+        """Permute a sequence: element ``i`` of the result is ``seq[p[i]]``."""
+        if len(seq) != self.rank:
+            raise InvalidPermutationError(
+                f"sequence of length {len(seq)} does not match rank {self.rank}"
+            )
+        return tuple(seq[j] for j in self._map)
+
+    # -- structural queries ----------------------------------------------
+    def is_identity(self) -> bool:
+        return all(i == j for i, j in enumerate(self._map))
+
+    def fvi_matches(self) -> bool:
+        """True when the fastest varying index is the same in input and
+        output — the right branch of the paper's Fig. 3 flow chart."""
+        return self._map[0] == 0
+
+    def fixed_points(self) -> Tuple[int, ...]:
+        return tuple(i for i, j in enumerate(self._map) if i == j)
+
+    def cycles(self) -> Tuple[Tuple[int, ...], ...]:
+        """Disjoint cycle decomposition (useful for tests/diagnostics)."""
+        seen = [False] * self.rank
+        out = []
+        for start in range(self.rank):
+            if seen[start]:
+                continue
+            cyc = []
+            i = start
+            while not seen[i]:
+                seen[i] = True
+                cyc.append(i)
+                i = self._map[i]
+            out.append(tuple(cyc))
+        return tuple(out)
+
+    # -- numpy interop ----------------------------------------------------
+    def numpy_axes(self) -> Tuple[int, ...]:
+        """Axes argument for ``np.transpose`` under our conventions.
+
+        We store a tensor of extents ``dims`` (dim 0 fastest) as a NumPy
+        array of shape ``dims[::-1]`` (NumPy's last axis is fastest).  The
+        output of the transposition, viewed the same way, is
+        ``np.transpose(arr, axes)`` with the axes produced here.
+
+        Derivation: input dim ``j`` lives on NumPy axis ``rank-1-j``;
+        output dim ``i`` (= input dim ``p[i]``) must land on NumPy axis
+        ``rank-1-i``.  So ``axes[rank-1-i] = rank-1-p[i]``.
+        """
+        r = self.rank
+        axes = [0] * r
+        for i, j in enumerate(self._map):
+            axes[r - 1 - i] = r - 1 - j
+        return tuple(axes)

@@ -1,0 +1,210 @@
+"""Transposition planning: taxonomy + candidate enumeration + selection.
+
+A :class:`TransposePlan` binds a problem to the model-chosen kernel and
+records everything the evaluation needs: the fused problem, the taxonomy
+decision, the predicted time, how many candidates the search evaluated
+(which determines the simulated planning overhead — the single-use
+scenario of Figs. 7/9/11), and the coarsening choice.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.coarsening import choose_coarsening
+from repro.core.fusion import FusionResult, fuse_indices
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.core.slices import (
+    choose_best,
+    enumerate_orthogonal_arbitrary,
+    enumerate_orthogonal_distinct,
+)
+from repro.core.taxonomy import Schema, TaxonomyDecision, select_schema
+from repro.errors import PlanError
+from repro.gpusim.cost import CostModel
+from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
+from repro.kernels.base import TransposeKernel
+from repro.kernels.fvi_match_large import FviMatchLargeKernel
+from repro.kernels.fvi_match_small import FviMatchSmallKernel
+from repro.kernels.orthogonal_arbitrary import OrthogonalArbitraryKernel
+
+Predictor = Callable[[TransposeKernel], float]
+
+
+@dataclass(frozen=True)
+class TransposePlan:
+    """An executable, costed transposition plan."""
+
+    layout: TensorLayout
+    perm: Permutation
+    elem_bytes: int
+    fused: FusionResult
+    decision: TaxonomyDecision
+    kernel: TransposeKernel
+    predicted_time: float
+    num_candidates: int
+    coarsening: Optional[Tuple[int, int]]
+    plan_time: float
+
+    @property
+    def schema(self) -> Schema:
+        return self.kernel.schema
+
+    def execute(self, src_flat: np.ndarray) -> np.ndarray:
+        """Move linearized data (fused and unfused linearizations agree)."""
+        return self.kernel.execute(src_flat)
+
+    def simulated_time(self, cost_model: Optional[CostModel] = None) -> float:
+        """Simulated kernel execution time (repeated-use metric)."""
+        return self.kernel.simulated_time(cost_model)
+
+    def bandwidth_gbps(
+        self,
+        repeats: int = 1,
+        include_plan: bool = False,
+        cost_model: Optional[CostModel] = None,
+    ) -> float:
+        """The paper's achieved-bandwidth metric over ``repeats`` calls.
+
+        ``include_plan`` adds the one-time planning cost, amortized over
+        the repeats — Fig. 12's experiment in one call.
+        """
+        cm = cost_model if cost_model is not None else CostModel(self.kernel.spec)
+        t = self.simulated_time(cm) * repeats
+        if include_plan:
+            t += self.plan_time
+        return cm.bandwidth_gbps(self.layout.volume * repeats, self.elem_bytes, t)
+
+
+def fvi_small_candidates(
+    layout: TensorLayout,
+    perm: Permutation,
+    spec: DeviceSpec,
+    elem_bytes: int,
+) -> List[TransposeKernel]:
+    """Admissible blocking factors for the FVI-Match-Small kernel."""
+    out: List[TransposeKernel] = []
+    n0 = layout.dims[0]
+    ws = spec.warp_size
+    max_b = min(ws, spec.max_threads_per_block // ws)
+    # Always include the smallest b that fills a warp's run, plus
+    # power-of-two sweeps up to the shared-memory limit.
+    bs = sorted({min(max_b, max(1, math.ceil(ws / n0))), 2, 4, 8, 16, 32})
+    for b in bs:
+        if b > max_b:
+            continue
+        smem = b * (b * n0 + ws) * elem_bytes
+        if smem > spec.shared_mem_per_sm:
+            continue
+        try:
+            out.append(FviMatchSmallKernel(layout, perm, b, elem_bytes, spec))
+        except Exception:
+            continue
+    return out
+
+
+def candidates_for(
+    layout: TensorLayout,
+    perm: Permutation,
+    decision: TaxonomyDecision,
+    spec: DeviceSpec,
+    elem_bytes: int,
+) -> List[TransposeKernel]:
+    """Candidate kernels for every schema the taxonomy allows."""
+    out: List[TransposeKernel] = []
+    for schema in decision.all_candidates:
+        if schema is Schema.FVI_MATCH_LARGE:
+            out.append(FviMatchLargeKernel(layout, perm, elem_bytes, spec))
+        elif schema is Schema.FVI_MATCH_SMALL:
+            out.extend(fvi_small_candidates(layout, perm, spec, elem_bytes))
+        elif schema is Schema.ORTHOGONAL_DISTINCT:
+            out.extend(
+                enumerate_orthogonal_distinct(layout, perm, spec, elem_bytes)
+            )
+        elif schema is Schema.ORTHOGONAL_ARBITRARY:
+            out.extend(
+                enumerate_orthogonal_arbitrary(layout, perm, spec, elem_bytes)
+            )
+    return out
+
+
+def make_plan(
+    dims: Sequence[int],
+    perm: Sequence[int],
+    elem_bytes: int = 8,
+    spec: DeviceSpec = KEPLER_K40C,
+    predictor: Optional[Predictor] = None,
+) -> TransposePlan:
+    """Plan a transposition: fuse, classify, enumerate, select.
+
+    ``predictor`` defaults to the shipped pretrained regression models
+    (with the analytic cost model as fallback for unmodeled schemas).
+    """
+    layout = TensorLayout(dims)
+    permutation = Permutation(perm)
+    if predictor is None:
+        from repro.model.pretrained import pretrained_predictor
+
+        predictor = pretrained_predictor(spec)
+
+    fused = fuse_indices(layout, permutation)
+    decision = select_schema(fused.layout, fused.perm, warp_size=spec.warp_size)
+    cands = candidates_for(fused.layout, fused.perm, decision, spec, elem_bytes)
+    if not cands:
+        raise PlanError(
+            f"no candidate kernel for dims={tuple(dims)} perm={tuple(perm)}"
+        )
+    result = choose_best(cands, predictor)
+    kernel = result.kernel
+
+    slice_dims: set = set()
+    cov = getattr(kernel, "coverage", None)
+    if cov is not None:
+        slice_dims = {
+            d for d in range(fused.layout.rank) if d not in cov.outer_dims()
+        }
+    coarsening = None
+    if kernel.schema is not Schema.ORTHOGONAL_DISTINCT:
+        coarsening = choose_coarsening(fused.layout, slice_dims, elem_bytes)
+    if coarsening is not None and isinstance(kernel, OrthogonalArbitraryKernel):
+        # Rebuild the chosen kernel with the coarsened grid and keep it
+        # only if the model agrees (a big factor can cost occupancy —
+        # the paper's caveat).
+        try:
+            coarse = OrthogonalArbitraryKernel(
+                fused.layout,
+                fused.perm,
+                in_prefix=kernel.in_prefix,
+                blockA=kernel.blockA,
+                out_prefix=kernel.out_prefix,
+                blockB=kernel.blockB,
+                elem_bytes=elem_bytes,
+                spec=spec,
+                pad=kernel.pad,
+                coarsen=coarsening,
+            )
+            if predictor(coarse) <= predictor(kernel):
+                kernel = coarse
+            else:
+                coarsening = None
+        except Exception:
+            coarsening = None
+
+    cm = CostModel(spec)
+    return TransposePlan(
+        layout=layout,
+        perm=permutation,
+        elem_bytes=elem_bytes,
+        fused=fused,
+        decision=decision,
+        kernel=kernel,
+        predicted_time=result.predicted_time,
+        num_candidates=result.num_candidates,
+        coarsening=coarsening,
+        plan_time=cm.plan_time(result.num_candidates),
+    )

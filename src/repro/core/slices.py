@@ -1,0 +1,270 @@
+"""Slice-size and blocking-factor search (Alg. 3).
+
+For the Orthogonal-Distinct and Orthogonal-Arbitrary kernels the combined
+input-group volume ``A`` and output-group volume ``B`` are free
+parameters.  Alg. 3 enumerates targets ``limit_a``/``limit_b`` in warp
+multiples, derives the minimal prefix+block that reaches each target, and
+keeps the configuration with the best *predicted* time.
+
+The enumeration deduplicates derived ``(in_prefix, blockA, out_prefix,
+blockB)`` tuples — many warp-multiple targets collapse to the same
+configuration (for the paper's 27^5 example this yields the ~31 slice
+variants of Fig. 5).
+
+The upper bound on slice volume keeps the grid "overbooked": at least
+``overbooking_factor`` times the number of thread blocks that can be
+resident on the whole device, so SMs never starve (the paper determined
+the factor empirically).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.errors import PlanError, SchemaError
+from repro.gpusim.spec import DeviceSpec
+from repro.kernels.base import TransposeKernel
+from repro.kernels.orthogonal_arbitrary import OrthogonalArbitraryKernel
+from repro.kernels.orthogonal_distinct import OrthogonalDistinctKernel
+from repro.kernels.orthogonal_distinct import PAD, TILE
+
+#: The paper's empirical grid-overbooking multiplier.
+DEFAULT_OVERBOOKING = 4
+
+#: A predictor maps a candidate kernel to an estimated time in seconds.
+Predictor = Callable[[TransposeKernel], float]
+
+
+@dataclass(frozen=True)
+class GroupChoice:
+    """One derived side of a slice: prefix dims + block on the next."""
+
+    prefix: int
+    block: int
+    size: int  # combined extent
+
+
+def derive_group(
+    extents: Sequence[int], limit: int
+) -> Optional[GroupChoice]:
+    """Alg. 3 lines 8-12/13-18: smallest prefix+block reaching ``limit``.
+
+    ``extents`` are the candidate dims' extents in combining order
+    (input order for the input side, output order for the output side).
+    Returns ``None`` when the whole tensor is smaller than ``limit``.
+    """
+    if limit <= 0:
+        raise ValueError(f"limit must be positive, got {limit}")
+    vol = 1
+    for k, e in enumerate(extents):
+        if vol * e >= limit:
+            block = math.ceil(limit / vol)
+            return GroupChoice(prefix=k, block=block, size=vol * block)
+        vol *= e
+    return None
+
+
+def max_slice_volume(
+    layout: TensorLayout,
+    spec: DeviceSpec,
+    smem_per_block: int,
+    overbooking: int = DEFAULT_OVERBOOKING,
+) -> int:
+    """Upper bound on per-block slice volume for grid overbooking.
+
+    ``volume / slice_vol`` thread blocks must be at least ``overbooking``
+    times the device's resident-block capacity (Alg. 3's ``maxlimit``).
+    """
+    resident_per_sm = max(1, spec.shared_mem_per_sm // max(smem_per_block, 1))
+    resident_per_sm = min(resident_per_sm, spec.max_blocks_per_sm)
+    min_num_blocks = spec.num_sms * resident_per_sm
+    cap = layout.volume // max(overbooking * min_num_blocks, 1)
+    return max(cap, spec.warp_size * spec.warp_size)
+
+
+# ----------------------------------------------------------------------
+# Orthogonal-Distinct enumeration
+# ----------------------------------------------------------------------
+
+
+def distinct_groups(
+    extents: Sequence[int], ws: int, cap: int
+) -> List[GroupChoice]:
+    """All distinct groups derivable from warp-multiple targets.
+
+    Equivalent to running :func:`derive_group` for every ``limit`` in
+    ``ws, 2*ws, ...`` up to ``cap`` and deduplicating — the paper's two
+    outer loops — but generated directly.
+    """
+    groups: List[GroupChoice] = []
+    seen = set()
+    # Pure-prefix groups *below* the warp-size target: when every
+    # warp-sized grouping overlaps the other side, Alg. 3 settles for a
+    # smaller disjoint group (the paper's 27^5 example has output slice
+    # 27 < 32).  Prefixes at or above the warp size arise from the
+    # derivation loop below (full-extent blocks normalize into prefixes).
+    vol = 1
+    for k, e in enumerate(extents):
+        vol *= e
+        if vol >= ws or vol > cap:
+            break
+        seen.add((k + 1, 1))
+        groups.append(GroupChoice(prefix=k + 1, block=1, size=vol))
+    limit = ws
+    while limit <= cap:
+        g = derive_group(extents, limit)
+        if g is None:
+            break
+        candidates = [g]
+        # Also consider the largest block *below* the derived one whose
+        # size still clears the previous warp multiple — e.g. for extents
+        # 27^5 and limit 192 the derived block is 8 (A = 216) but block 7
+        # (A = 189 >= 176) is admissible and is the paper's Fig. 5 best.
+        if g.block > 1:
+            prev = GroupChoice(
+                prefix=g.prefix,
+                block=g.block - 1,
+                size=g.size // g.block * (g.block - 1),
+            )
+            if prev.size >= ws:
+                candidates.append(prev)
+        for cand in candidates:
+            key = (cand.prefix, cand.block)
+            if key not in seen and cand.size <= max(cap, ws):
+                seen.add(key)
+                groups.append(cand)
+        # Jump to the next limit that changes the derived group: the
+        # smallest warp multiple exceeding the current derived size.
+        limit = max(limit + ws, (g.size // ws + 1) * ws)
+    return groups
+
+
+def enumerate_orthogonal_distinct(
+    layout: TensorLayout,
+    perm: Permutation,
+    spec: DeviceSpec,
+    elem_bytes: int = 8,
+    overbooking: int = DEFAULT_OVERBOOKING,
+    max_configs: int = 256,
+) -> List[OrthogonalDistinctKernel]:
+    """All admissible OD slice configurations (deduplicated)."""
+    ws = spec.warp_size
+    smem = TILE * (TILE + PAD) * elem_bytes
+    cap = max_slice_volume(layout, spec, smem, overbooking)
+    out_extents = [layout.dims[d] for d in perm.mapping]
+    kernels: List[OrthogonalDistinctKernel] = []
+    for ga in distinct_groups(layout.dims, ws, cap):
+        for gb in distinct_groups(out_extents, ws, max(cap // ga.size, ws)):
+            if ga.size * gb.size > cap:
+                break
+            if len(kernels) >= max_configs:
+                return kernels
+            try:
+                kernels.append(
+                    OrthogonalDistinctKernel(
+                        layout,
+                        perm,
+                        in_prefix=ga.prefix,
+                        blockA=ga.block,
+                        out_prefix=gb.prefix,
+                        blockB=gb.block,
+                        elem_bytes=elem_bytes,
+                        spec=spec,
+                    )
+                )
+            except SchemaError:
+                pass  # overlapping groups — skip this combination
+    return kernels
+
+
+# ----------------------------------------------------------------------
+# Orthogonal-Arbitrary enumeration
+# ----------------------------------------------------------------------
+
+
+def enumerate_orthogonal_arbitrary(
+    layout: TensorLayout,
+    perm: Permutation,
+    spec: DeviceSpec,
+    elem_bytes: int = 8,
+    max_configs: int = 128,
+) -> List[OrthogonalArbitraryKernel]:
+    """All admissible OA slice configurations.
+
+    The buffer holds the whole ``A x B`` slice, so admissibility is
+    bounded by shared memory (the paper trained on ~10x fewer OA
+    configurations for exactly this reason).
+    """
+    ws = spec.warp_size
+    smem_words = spec.shared_mem_per_sm // elem_bytes
+    out_extents = [layout.dims[d] for d in perm.mapping]
+    kernels: List[OrthogonalArbitraryKernel] = []
+    seen = set()
+    # The empty output group (B = 1) matters when the input group itself
+    # covers the output-fastest dims (e.g. a 16 x N matrix transpose
+    # where blocking the slow dim makes both sides coalesced).
+    empty_out = GroupChoice(prefix=0, block=1, size=1)
+    for ga in distinct_groups(layout.dims, ws, smem_words):
+        for gb in [empty_out] + distinct_groups(
+            out_extents, ws, max(smem_words // ga.size, ws)
+        ):
+            if ga.size * gb.size > smem_words:
+                break
+            if len(kernels) >= max_configs:
+                return kernels
+            try:
+                # pad="auto": TTLG's Sec. IV specialization — stagger the
+                # buffer pitch when the gather pattern conflicts.
+                k = OrthogonalArbitraryKernel(
+                    layout,
+                    perm,
+                    in_prefix=ga.prefix,
+                    blockA=ga.block,
+                    out_prefix=gb.prefix,
+                    blockB=gb.block,
+                    elem_bytes=elem_bytes,
+                    spec=spec,
+                    pad="auto",
+                )
+            except SchemaError:
+                continue  # infeasible combination (smem, empty group, ...)
+            # Kernel construction normalizes parameters (full-extent and
+            # input-covered blocks); dedupe on the normalized identity.
+            key = (k.in_prefix, k.blockA, k.out_prefix, k.blockB, k.b_dim)
+            if key not in seen:
+                seen.add(key)
+                kernels.append(k)
+    return kernels
+
+
+# ----------------------------------------------------------------------
+# Selection
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SliceSearchResult:
+    kernel: TransposeKernel
+    predicted_time: float
+    num_candidates: int
+
+
+def choose_best(
+    candidates: Sequence[TransposeKernel], predictor: Predictor
+) -> SliceSearchResult:
+    """Alg. 3's selection loop: keep the best predicted candidate."""
+    if not candidates:
+        raise PlanError("no admissible slice configuration")
+    best, best_t = None, math.inf
+    for k in candidates:
+        t = predictor(k)
+        if t < best_t:
+            best, best_t = k, t
+    assert best is not None
+    return SliceSearchResult(
+        kernel=best, predicted_time=best_t, num_candidates=len(candidates)
+    )

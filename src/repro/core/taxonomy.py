@@ -1,0 +1,172 @@
+"""Schema taxonomy (Alg. 1 / Fig. 3).
+
+Given a (fused) transposition, decide which of the four data-movement
+schemas applies:
+
+- ``FVI_MATCH_LARGE``  — matching fastest-varying index, extent >= warp
+  size: direct register copy (Alg. 7).
+- ``FVI_MATCH_SMALL``  — matching FVI, extent < warp size but the two
+  fastest input *and* output extents each combine past the warp size:
+  blocked shared-memory staging (Alg. 6).
+- ``ORTHOGONAL_DISTINCT`` — the combined input-FVI group and combined
+  output-FVI group are disjoint: generalized 32x33 tile transpose
+  (Alg. 2).
+- ``ORTHOGONAL_ARBITRARY`` — everything else: whole-slice staging with
+  indirection arrays (Alg. 5).
+
+Following the paper, the FVI-match-small vs orthogonal-arbitrary
+borderline (Fig. 3's "Alg 4 or Alg 6" box) is resolved by the
+performance model at planning time; :func:`select_schema` reports both
+candidates via :attr:`TaxonomyDecision.alternatives`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Set, Tuple
+
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+
+#: Warp size used as the combining threshold B in Alg. 1.
+DEFAULT_REQUIRED_SLICE = 32
+
+
+class Schema(enum.Enum):
+    """The four TTLG data-movement schemas plus the naive strawman."""
+
+    FVI_MATCH_LARGE = "fvi-match-large"
+    FVI_MATCH_SMALL = "fvi-match-small"
+    ORTHOGONAL_DISTINCT = "orthogonal-distinct"
+    ORTHOGONAL_ARBITRARY = "orthogonal-arbitrary"
+    NAIVE = "naive"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class TaxonomyDecision:
+    """Outcome of Alg. 1 with enough context for diagnostics.
+
+    Attributes
+    ----------
+    schema:
+        The primary schema chosen by the flow chart.
+    alternatives:
+        Schemas the performance model is allowed to compare against the
+        primary (Fig. 3's model-resolved boxes).
+    input_group / output_group:
+        The combined FVI index sets I and O of Alg. 1 (input dim ids).
+    input_group_volume / output_group_volume:
+        Their combined extents (Alg. 1's ``Ivol`` / ``Ovol``).
+    """
+
+    schema: Schema
+    alternatives: Tuple[Schema, ...]
+    input_group: Tuple[int, ...]
+    output_group: Tuple[int, ...]
+    input_group_volume: int
+    output_group_volume: int
+
+    @property
+    def all_candidates(self) -> Tuple[Schema, ...]:
+        return (self.schema, *self.alternatives)
+
+
+def combined_fvi_group(
+    dims: Tuple[int, ...], order: Tuple[int, ...], required: int
+) -> Tuple[Tuple[int, ...], int]:
+    """Alg. 1 lines 2-7: take dims in ``order`` until volume >= required.
+
+    Returns the selected dim ids and their combined volume.  If the whole
+    tensor is smaller than ``required`` the group is all dimensions.
+    """
+    group = []
+    vol = 1
+    for j in order:
+        if vol >= required:
+            break
+        group.append(j)
+        vol *= dims[j]
+    return tuple(group), vol
+
+
+def select_schema(
+    layout: TensorLayout,
+    perm: Permutation,
+    required_slice: int = DEFAULT_REQUIRED_SLICE,
+    warp_size: int = 32,
+) -> TaxonomyDecision:
+    """Run Alg. 1 on an (already fused) transposition.
+
+    The caller is expected to fuse first (``repro.core.fusion``); passing
+    an unfused problem is legal but may misclassify borderline cases the
+    same way the paper's flow chart would before its fusion step.
+    """
+    dims = layout.dims
+    # I: input dims combined from the input FVI; O: from the output FVI,
+    # expressed as input dim ids (o_i = perm[i]).
+    in_group, ivol = combined_fvi_group(
+        dims, tuple(range(layout.rank)), required_slice
+    )
+    out_group, ovol = combined_fvi_group(dims, perm.mapping, required_slice)
+
+    iset: Set[int] = set(in_group)
+    oset: Set[int] = set(out_group)
+
+    if perm.is_identity():
+        # Pure copy; FVI-Match-Large handles it with zero overhead.
+        return TaxonomyDecision(
+            schema=Schema.FVI_MATCH_LARGE,
+            alternatives=(),
+            input_group=in_group,
+            output_group=out_group,
+            input_group_volume=ivol,
+            output_group_volume=ovol,
+        )
+
+    if not iset & oset:
+        schema = Schema.ORTHOGONAL_DISTINCT
+        alternatives: Tuple[Schema, ...] = (Schema.ORTHOGONAL_ARBITRARY,)
+    elif perm.fvi_matches():
+        n0 = dims[0]
+        if n0 >= warp_size:
+            schema = Schema.FVI_MATCH_LARGE
+            # Refinement over the paper's flow chart: when the matching
+            # FVI run is not transaction-aligned (n0 not a multiple of
+            # the warp size), a staged kernel that extends the output
+            # runs can beat the direct copy; let the model decide.
+            alternatives = (
+                () if n0 % warp_size == 0 else (Schema.ORTHOGONAL_ARBITRARY,)
+            )
+        elif (
+            layout.rank >= 2
+            and perm.rank >= 2
+            and n0 * dims[1] >= warp_size
+            and dims[perm[0]] * dims[perm[1]] >= warp_size
+        ):
+            schema = Schema.FVI_MATCH_SMALL
+            alternatives = (Schema.ORTHOGONAL_ARBITRARY,)
+        else:
+            # Fig. 3: "Alg 4 or Alg 6 (based on performance prediction)".
+            schema = Schema.ORTHOGONAL_ARBITRARY
+            alternatives = (Schema.FVI_MATCH_SMALL,) if layout.rank >= 2 else ()
+    else:
+        # Non-matching FVI with overlapping warp-sized groups: the
+        # Orthogonal-Arbitrary kernel is the primary, but Alg. 3 may still
+        # find a *smaller* disjoint grouping that makes Orthogonal-Distinct
+        # competitive (the paper's 27^5 / perm 4 1 2 0 3 example), so the
+        # model compares both.
+        schema = Schema.ORTHOGONAL_ARBITRARY
+        alternatives = (Schema.ORTHOGONAL_DISTINCT,)
+
+    return TaxonomyDecision(
+        schema=schema,
+        alternatives=alternatives,
+        input_group=in_group,
+        output_group=out_group,
+        input_group_volume=ivol,
+        output_group_volume=ovol,
+    )

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures without masking programming errors
+(``TypeError`` etc. still propagate unwrapped).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro/TTLG library."""
+
+
+class InvalidPermutationError(ReproError, ValueError):
+    """A permutation is not a bijection over ``range(rank)``."""
+
+
+class InvalidLayoutError(ReproError, ValueError):
+    """Tensor extents/strides are malformed (non-positive extent, rank 0, ...)."""
+
+
+class PlanError(ReproError, RuntimeError):
+    """A transposition plan could not be constructed for the given problem."""
+
+
+class SchemaError(PlanError):
+    """A kernel was asked to handle a case outside its schema's preconditions."""
+
+
+class DeviceConfigError(ReproError, ValueError):
+    """A simulated-device specification is inconsistent."""
+
+
+class ModelError(ReproError, RuntimeError):
+    """Performance-model training, loading, or prediction failed."""
+
+
+class ContractionError(ReproError, ValueError):
+    """A TTGT contraction specification is malformed or inconsistent."""

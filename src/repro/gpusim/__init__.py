@@ -1,0 +1,36 @@
+"""A deterministic Kepler-class GPU memory-system simulator.
+
+This subpackage is the hardware substitute for the Tesla K40c used in the
+paper's evaluation (DESIGN.md section 2).  It models the parts of the GPU
+that determine tensor-transposition performance:
+
+- warp-granularity global-memory coalescing into 128-byte transactions
+  (:mod:`repro.gpusim.transactions`),
+- the 32-bank shared memory with conflict serialization
+  (:mod:`repro.gpusim.sharedmem`),
+- a texture cache for the read-only offset arrays
+  (:mod:`repro.gpusim.texture`),
+- occupancy and wave/tail effects (:mod:`repro.gpusim.occupancy`),
+- a calibrated cost model turning transaction counters into seconds
+  (:mod:`repro.gpusim.cost`), and
+- a slow per-warp "detailed" execution engine used to validate the
+  kernels' analytic counters (:mod:`repro.gpusim.engine`).
+"""
+
+from repro.gpusim.counters import KernelCounters, LaunchGeometry
+from repro.gpusim.cost import CostModel
+from repro.gpusim.noise import measurement_jitter
+from repro.gpusim.occupancy import Occupancy, occupancy_for
+from repro.gpusim.spec import KEPLER_K40C, PASCAL_P100, DeviceSpec
+
+__all__ = [
+    "DeviceSpec",
+    "KEPLER_K40C",
+    "PASCAL_P100",
+    "KernelCounters",
+    "LaunchGeometry",
+    "CostModel",
+    "Occupancy",
+    "occupancy_for",
+    "measurement_jitter",
+]

@@ -1,0 +1,181 @@
+"""Cost model: counters + launch geometry -> seconds.
+
+Tensor transposition is bandwidth-bound, so the dominant term is DRAM
+traffic divided by *achievable* bandwidth.  Achievable bandwidth is
+derated by three effects the paper's evaluation exposes:
+
+1. **Lane efficiency** — warps with idle lanes (partial tiles, extents
+   like 15/17) issue fewer concurrent memory requests, reducing
+   memory-level parallelism.  Derating uses
+   ``lane_efficiency ** lane_efficiency_gamma``.
+2. **Occupancy / grid size** — a launch must expose enough resident
+   warps to saturate DRAM (``saturation_warps_per_sm``); tiny grids
+   (Fig. 13's KB-scale tensors) are latency-bound.
+3. **Tail waves** — a grid slightly larger than a multiple of the block
+   slots leaves SMs idle in the last wave (why Alg. 3 bounds the slice
+   volume and why coarsening is restricted to > 2 MB tensors).
+
+Secondary terms — shared-memory serialization (with bank-conflict
+cycles), LD/ST issue throughput, special-function (mod/div) throughput,
+and texture misses — are combined with the DRAM term by ``max`` since a
+GPU overlaps them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+from repro.gpusim.counters import KernelCounters, LaunchGeometry
+from repro.gpusim.noise import measurement_jitter
+from repro.gpusim.occupancy import Occupancy, occupancy_for
+from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Per-resource time components of a simulated launch (seconds)."""
+
+    dram_s: float
+    smem_s: float
+    issue_s: float
+    special_s: float
+    tex_s: float
+    tail_factor: float
+    launch_s: float
+    total_s: float
+
+    @property
+    def bound_resource(self) -> str:
+        parts = {
+            "dram": self.dram_s,
+            "smem": self.smem_s,
+            "issue": self.issue_s,
+            "special": self.special_s,
+            "tex": self.tex_s,
+        }
+        return max(parts, key=parts.get)
+
+
+@dataclass
+class CostModel:
+    """Converts :class:`KernelCounters` into simulated execution time.
+
+    Parameters
+    ----------
+    spec:
+        The simulated device.
+    jitter_scale:
+        Relative magnitude of the deterministic measurement jitter.
+        ``0`` gives exactly repeatable analytic times (the default for
+        planning); the trainer enables jitter so regression precision is
+        honest.
+    """
+
+    spec: DeviceSpec = field(default_factory=lambda: KEPLER_K40C)
+    jitter_scale: float = 0.0
+
+    # ------------------------------------------------------------------
+    def _achievable_bandwidth(
+        self, counters: KernelCounters, occ: Occupancy, geom: LaunchGeometry
+    ) -> float:
+        spec = self.spec
+        bw = spec.effective_bandwidth
+        # Memory-level parallelism from resident warps across the grid.
+        sms_used = min(geom.num_blocks, spec.num_sms * occ.blocks_per_sm)
+        sms_used = min(sms_used, spec.num_sms) if occ.blocks_per_sm else 0
+        resident = occ.resident_warps_per_sm * max(sms_used, 1)
+        # Warps actually available may be fewer than residency allows.
+        total_warps = geom.num_blocks * geom.warps_per_block(spec.warp_size)
+        resident = min(resident, total_warps)
+        needed = spec.saturation_warps_per_sm * spec.num_sms
+        mlp = min(1.0, resident / needed) if needed > 0 else 1.0
+        bw *= mlp
+        # Idle lanes reduce outstanding requests per warp.
+        bw *= counters.lane_efficiency**spec.lane_efficiency_gamma
+        return max(bw, 1.0)
+
+    def breakdown(
+        self,
+        counters: KernelCounters,
+        geom: LaunchGeometry,
+        jitter_key: Optional[Hashable] = None,
+    ) -> CostBreakdown:
+        """Full per-resource decomposition of the launch time."""
+        spec = self.spec
+        counters.validate()
+        occ = occupancy_for(spec, geom)
+
+        bw = self._achievable_bandwidth(counters, occ, geom)
+        dram_bytes = counters.dram_bytes_moved + counters.tex_miss_tx * 128
+        dram_s = dram_bytes / bw
+
+        # Shared memory: each warp access costs one cycle plus conflict
+        # cycles, serviced by one smem unit per SM.
+        sms_used = max(1, min(geom.num_blocks, spec.num_sms))
+        smem_cycles = counters.smem_accesses + counters.smem_conflict_cycles
+        smem_s = smem_cycles / (sms_used * spec.clock_hz)
+
+        # LD/ST issue: every global/texture warp access occupies an LSU slot.
+        issue_cycles = (
+            counters.warp_global_accesses
+            + counters.tex_accesses
+            + counters.smem_accesses
+        ) / spec.lsu_issue_per_cycle
+        issue_s = issue_cycles / (sms_used * spec.clock_hz)
+
+        # Special (MUFU-converted mod/div) throughput.
+        special_s = counters.special_ops / max(
+            sms_used * spec.sfu_per_sm * spec.clock_hz, 1.0
+        )
+
+        # Texture hits are nearly free; misses were already added to DRAM.
+        # Keep a small constant latency term per miss for visibility.
+        tex_s = counters.tex_miss_tx * 4 / spec.clock_hz
+
+        tail = 1.0 / occ.wave_efficiency if occ.wave_efficiency > 0 else 1.0
+        exec_s = max(dram_s, smem_s, issue_s, special_s, tex_s) * tail
+        total = spec.launch_overhead_s + max(exec_s, spec.min_kernel_time_s)
+        if jitter_key is not None and self.jitter_scale > 0:
+            total *= measurement_jitter(jitter_key, self.jitter_scale)
+        return CostBreakdown(
+            dram_s=dram_s,
+            smem_s=smem_s,
+            issue_s=issue_s,
+            special_s=special_s,
+            tex_s=tex_s,
+            tail_factor=tail,
+            launch_s=spec.launch_overhead_s,
+            total_s=total,
+        )
+
+    def kernel_time(
+        self,
+        counters: KernelCounters,
+        geom: LaunchGeometry,
+        jitter_key: Optional[Hashable] = None,
+    ) -> float:
+        """Simulated wall time of one kernel launch, in seconds."""
+        return self.breakdown(counters, geom, jitter_key).total_s
+
+    # ------------------------------------------------------------------
+    def plan_time(self, num_candidates: int) -> float:
+        """Host-side planning cost for a model-driven planner.
+
+        One allocation, fixed setup (taxonomy + offset arrays), plus one
+        regression evaluation per candidate configuration considered.
+        """
+        if num_candidates < 0:
+            raise ValueError("num_candidates must be >= 0")
+        return (
+            self.spec.alloc_overhead_s
+            + self.spec.plan_fixed_cost_s
+            + num_candidates * self.spec.plan_eval_cost_s
+        )
+
+    def bandwidth_gbps(self, volume: int, elem_bytes: int, time_s: float) -> float:
+        """The paper's reported metric: ``2 * volume * elem_bytes / time``
+        in GB/s (each element is read once and written once)."""
+        if time_s <= 0:
+            raise ValueError(f"time must be positive, got {time_s}")
+        return (2.0 * volume * elem_bytes) / (time_s * 1e9)

@@ -1,0 +1,158 @@
+"""Transaction counters and launch geometry.
+
+:class:`KernelCounters` is the common currency between the kernels (which
+produce counts, either analytically per Table I of the paper or from the
+detailed engine) and the cost model (which converts counts to seconds).
+
+All DRAM counts are in *transactions* of ``DeviceSpec.transaction_bytes``
+(128 B), with partial transactions counted as whole ones — exactly the
+``ceil`` convention of the paper's Section IV-C analysis.  Shared-memory
+counts are warp-level accesses; bank conflicts are carried separately as
+the total number of *extra* serialized cycles they induce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class LaunchGeometry:
+    """Grid/block shape of a simulated kernel launch."""
+
+    num_blocks: int
+    threads_per_block: int
+    shared_mem_per_block: int = 0
+    registers_per_thread: int = 32
+
+    def __post_init__(self) -> None:
+        if self.num_blocks < 0:
+            raise ValueError(f"num_blocks must be >= 0, got {self.num_blocks}")
+        if self.threads_per_block <= 0:
+            raise ValueError(
+                f"threads_per_block must be positive, got {self.threads_per_block}"
+            )
+        if self.shared_mem_per_block < 0:
+            raise ValueError("shared_mem_per_block must be >= 0")
+
+    @property
+    def total_threads(self) -> int:
+        return self.num_blocks * self.threads_per_block
+
+    def warps_per_block(self, warp_size: int = 32) -> int:
+        return -(-self.threads_per_block // warp_size)
+
+
+@dataclass
+class KernelCounters:
+    """Aggregate activity counters for one kernel launch.
+
+    ``dram_*_tx`` follow the paper's Table I quantities (C1/C2/C3/C3');
+    ``*_useful_bytes`` track how much of each transaction actually carried
+    payload, so the cost model can penalize over-fetch from unaligned or
+    short rows.  ``lane_slots``/``active_lanes`` measure warp (SIMT lane)
+    efficiency — the "idle threads in boundary tiles" effect that the
+    paper's *Cycles* feature captures.
+    """
+
+    # Global memory (DRAM), 128 B transaction granularity.
+    dram_ld_tx: int = 0
+    dram_st_tx: int = 0
+    dram_ld_useful_bytes: int = 0
+    dram_st_useful_bytes: int = 0
+
+    # Warp-level global LD/ST instructions issued.
+    warp_ld_accesses: int = 0
+    warp_st_accesses: int = 0
+
+    # SIMT lane occupancy across all global accesses.
+    lane_slots: int = 0
+    active_lanes: int = 0
+
+    # Shared memory: warp-level accesses plus extra serialized cycles
+    # caused by bank conflicts (0 when conflict-free).
+    smem_ld_accesses: int = 0
+    smem_st_accesses: int = 0
+    smem_conflict_cycles: int = 0
+
+    # Texture memory (offset arrays): warp accesses and the subset that
+    # misses the texture cache and costs a DRAM transaction.
+    tex_accesses: int = 0
+    tex_miss_tx: int = 0
+
+    # Instruction mix.
+    special_ops: int = 0  # integer mod/div -> MUFU (Sec. V "Special Instr")
+    alu_ops: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def dram_tx(self) -> int:
+        return self.dram_ld_tx + self.dram_st_tx
+
+    @property
+    def dram_bytes_moved(self) -> int:
+        """Bytes the memory system actually transfers (incl. overfetch)."""
+        return self.dram_tx * 128
+
+    @property
+    def useful_bytes(self) -> int:
+        return self.dram_ld_useful_bytes + self.dram_st_useful_bytes
+
+    @property
+    def warp_global_accesses(self) -> int:
+        return self.warp_ld_accesses + self.warp_st_accesses
+
+    @property
+    def smem_accesses(self) -> int:
+        return self.smem_ld_accesses + self.smem_st_accesses
+
+    @property
+    def lane_efficiency(self) -> float:
+        """Fraction of SIMT lane slots doing useful work (1.0 if no data)."""
+        if self.lane_slots == 0:
+            return 1.0
+        return self.active_lanes / self.lane_slots
+
+    @property
+    def transaction_efficiency(self) -> float:
+        """Useful payload per byte the DRAM system moved (1.0 if no data)."""
+        moved = self.dram_bytes_moved
+        if moved == 0:
+            return 1.0
+        return min(1.0, self.useful_bytes / moved)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "KernelCounters") -> "KernelCounters":
+        """Return the elementwise sum of two counter sets."""
+        out = KernelCounters()
+        for f in fields(KernelCounters):
+            setattr(out, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return out
+
+    def __iadd__(self, other: "KernelCounters") -> "KernelCounters":
+        for f in fields(KernelCounters):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def scaled(self, factor: int) -> "KernelCounters":
+        """Return counters multiplied by an integer repetition factor.
+
+        Used by kernels that compute exact counts for one representative
+        slice/block and replicate across identical blocks.
+        """
+        if factor < 0:
+            raise ValueError(f"factor must be >= 0, got {factor}")
+        out = KernelCounters()
+        for f in fields(KernelCounters):
+            setattr(out, f.name, getattr(self, f.name) * factor)
+        return out
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on internally inconsistent counts."""
+        for f in fields(KernelCounters):
+            if getattr(self, f.name) < 0:
+                raise ValueError(f"counter {f.name} is negative")
+        if self.active_lanes > self.lane_slots:
+            raise ValueError("active_lanes exceeds lane_slots")
+        if self.tex_miss_tx > self.tex_accesses:
+            raise ValueError("tex_miss_tx exceeds tex_accesses")

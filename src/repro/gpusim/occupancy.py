@@ -1,0 +1,99 @@
+"""Occupancy and wave/tail modeling.
+
+Occupancy — how many thread blocks (and hence warps) can be resident on
+one SM — determines how much memory-level parallelism a launch exposes.
+The paper leans on this twice: Alg. 3 caps slice volume so that the block
+count stays high ("overbooking factor"), and the coarsening heuristic
+(Sec. IV-A) refuses to coarsen small tensors to avoid tail effects.  The
+cost model consumes :class:`Occupancy` to derate achievable bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.counters import LaunchGeometry
+from repro.gpusim.spec import DeviceSpec
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Residency of a kernel launch on the simulated device."""
+
+    blocks_per_sm: int
+    resident_warps_per_sm: int
+    #: Fraction of the SM's maximum resident warps in use.
+    occupancy: float
+    #: Number of sequential "waves" of thread blocks.
+    waves: int
+    #: Fraction of block slots doing work in the *last* wave.
+    tail_utilization: float
+
+    @property
+    def wave_efficiency(self) -> float:
+        """Average block-slot utilization across all waves.
+
+        1.0 when the grid divides evenly into waves; approaches
+        ``1 / waves``-discounted values for multi-wave grids with a nearly
+        idle final wave.  Single-wave launches return 1.0 — their
+        underutilization is a *parallelism* (bandwidth-saturation) effect
+        that the cost model handles separately, not a tail effect.
+        """
+        if self.waves <= 1:
+            return 1.0
+        return (self.waves - 1 + self.tail_utilization) / self.waves
+
+
+def blocks_per_sm_limit(spec: DeviceSpec, geom: LaunchGeometry) -> int:
+    """Resident blocks per SM allowed by threads, smem, and block limits."""
+    by_threads = spec.max_threads_per_sm // geom.threads_per_block
+    if geom.shared_mem_per_block > 0:
+        by_smem = spec.shared_mem_per_sm // geom.shared_mem_per_block
+    else:
+        by_smem = spec.max_blocks_per_sm
+    by_regs = spec.max_registers_per_sm // max(
+        geom.registers_per_thread * geom.threads_per_block, 1
+    )
+    return max(0, min(by_threads, by_smem, by_regs, spec.max_blocks_per_sm))
+
+
+def occupancy_for(spec: DeviceSpec, geom: LaunchGeometry) -> Occupancy:
+    """Compute :class:`Occupancy` for a launch on ``spec``.
+
+    Raises
+    ------
+    ValueError
+        If the block cannot run at all (e.g. requests more shared memory
+        or threads than one SM provides).
+    """
+    if geom.threads_per_block > spec.max_threads_per_block:
+        raise ValueError(
+            f"block of {geom.threads_per_block} threads exceeds device limit "
+            f"{spec.max_threads_per_block}"
+        )
+    if geom.shared_mem_per_block > spec.shared_mem_per_sm:
+        raise ValueError(
+            f"block requests {geom.shared_mem_per_block} B shared memory, "
+            f"SM has {spec.shared_mem_per_sm} B"
+        )
+    bps = blocks_per_sm_limit(spec, geom)
+    if bps == 0:
+        raise ValueError("kernel cannot be resident on any SM")
+    warps_per_block = geom.warps_per_block(spec.warp_size)
+    resident_warps = min(bps * warps_per_block, spec.max_warps_per_sm)
+    occ = resident_warps / spec.max_warps_per_sm
+
+    slots = bps * spec.num_sms
+    if geom.num_blocks == 0:
+        waves, tail = 0, 1.0
+    else:
+        waves = -(-geom.num_blocks // slots)
+        in_last_wave = geom.num_blocks - (waves - 1) * slots
+        tail = in_last_wave / slots
+    return Occupancy(
+        blocks_per_sm=bps,
+        resident_warps_per_sm=resident_warps,
+        occupancy=occ,
+        waves=waves,
+        tail_utilization=tail,
+    )

@@ -1,0 +1,117 @@
+"""Kernel profiling reports (an ``nvprof``-style view of a plan).
+
+Turns a kernel's counters, launch geometry, occupancy, and cost
+breakdown into the efficiency metrics a GPU profiler would show —
+global load/store efficiency, warp execution efficiency, shared-memory
+bank-conflict rate, achieved occupancy, and the bound resource — so a
+user can see *why* a plan performs the way it does, not just how fast
+it is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.gpusim.cost import CostBreakdown, CostModel
+from repro.gpusim.counters import KernelCounters, LaunchGeometry
+from repro.gpusim.occupancy import Occupancy, occupancy_for
+from repro.kernels.base import TransposeKernel
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Profiler-style metrics for one kernel launch."""
+
+    kernel_name: str
+    schema: str
+    geometry: LaunchGeometry
+    counters: KernelCounters
+    occupancy: Occupancy
+    breakdown: CostBreakdown
+    bandwidth_gbps: float
+
+    # -- derived metrics -------------------------------------------------
+    @property
+    def gld_efficiency(self) -> float:
+        """Useful bytes per byte fetched on loads (nvprof gld_efficiency)."""
+        moved = self.counters.dram_ld_tx * 128
+        if moved == 0:
+            return 1.0
+        return min(1.0, self.counters.dram_ld_useful_bytes / moved)
+
+    @property
+    def gst_efficiency(self) -> float:
+        moved = self.counters.dram_st_tx * 128
+        if moved == 0:
+            return 1.0
+        return min(1.0, self.counters.dram_st_useful_bytes / moved)
+
+    @property
+    def warp_execution_efficiency(self) -> float:
+        return self.counters.lane_efficiency
+
+    @property
+    def bank_conflict_rate(self) -> float:
+        """Extra serialized cycles per shared-memory access."""
+        acc = self.counters.smem_accesses
+        if acc == 0:
+            return 0.0
+        return self.counters.smem_conflict_cycles / acc
+
+    @property
+    def tex_hit_rate(self) -> float:
+        acc = self.counters.tex_accesses
+        if acc == 0:
+            return 1.0
+        return 1.0 - self.counters.tex_miss_tx / acc
+
+    def format_report(self) -> str:
+        c, bd = self.counters, self.breakdown
+        lines = [
+            f"== {self.kernel_name} ({self.schema}) ==",
+            f"grid              : {self.geometry.num_blocks} blocks x "
+            f"{self.geometry.threads_per_block} threads, "
+            f"{self.geometry.shared_mem_per_block} B smem/block",
+            f"occupancy         : {self.occupancy.occupancy:.2f} "
+            f"({self.occupancy.resident_warps_per_sm} warps/SM, "
+            f"{self.occupancy.blocks_per_sm} blocks/SM, "
+            f"{self.occupancy.waves} waves)",
+            f"dram transactions : {c.dram_ld_tx:,} ld + {c.dram_st_tx:,} st "
+            f"({c.dram_bytes_moved / 1e6:.1f} MB moved)",
+            f"gld/gst efficiency: {self.gld_efficiency * 100:.1f} % / "
+            f"{self.gst_efficiency * 100:.1f} %",
+            f"warp exec eff     : {self.warp_execution_efficiency * 100:.1f} %",
+            f"smem accesses     : {c.smem_accesses:,} "
+            f"(conflict rate {self.bank_conflict_rate:.2f} extra cyc/access)",
+            f"texture           : {c.tex_accesses:,} accesses, "
+            f"hit rate {self.tex_hit_rate * 100:.1f} %",
+            f"time breakdown    : dram {bd.dram_s * 1e3:.3f} ms, smem "
+            f"{bd.smem_s * 1e3:.3f} ms, issue {bd.issue_s * 1e3:.3f} ms, "
+            f"special {bd.special_s * 1e3:.3f} ms (tail x{bd.tail_factor:.2f})",
+            f"bound resource    : {bd.bound_resource}",
+            f"kernel time       : {bd.total_s * 1e3:.4f} ms "
+            f"({self.bandwidth_gbps:.1f} GB/s achieved)",
+        ]
+        return "\n".join(lines)
+
+
+def profile_kernel(
+    kernel: TransposeKernel, cost_model: Optional[CostModel] = None
+) -> KernelProfile:
+    """Profile one kernel instance on its device."""
+    cm = cost_model if cost_model is not None else CostModel(kernel.spec)
+    counters = kernel.counters()
+    geom = kernel.launch_geometry
+    bd = cm.breakdown(counters, geom)
+    return KernelProfile(
+        kernel_name=type(kernel).__name__,
+        schema=kernel.schema.value,
+        geometry=geom,
+        counters=counters,
+        occupancy=occupancy_for(kernel.spec, geom),
+        breakdown=bd,
+        bandwidth_gbps=cm.bandwidth_gbps(
+            kernel.volume, kernel.elem_bytes, bd.total_s
+        ),
+    )

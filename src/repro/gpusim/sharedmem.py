@@ -1,0 +1,106 @@
+"""Shared-memory bank-conflict analysis.
+
+Shared memory on the simulated device is divided into
+``DeviceSpec.shared_mem_banks`` banks of ``bank_bytes`` each.  A warp
+access whose active lanes hit ``k`` distinct words in the same bank is
+serialized into ``k`` cycles (``k - 1`` *extra* conflict cycles).  Lanes
+reading the same word broadcast for free.
+
+TTLG avoids conflicts by padding: a ``32 x 33`` tile buffer in the
+Orthogonal-Distinct kernel, and an ``N0``-dependent pad in FVI-Match-Small
+(Sec. IV, Alg. 6 discussion).  These functions let kernels verify their
+padding analytically and let the detailed engine measure conflicts on
+arbitrary access patterns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def conflict_degree(
+    word_addresses: np.ndarray, num_banks: int = 32
+) -> int:
+    """Serialization factor of one warp-level shared-memory access.
+
+    Parameters
+    ----------
+    word_addresses:
+        Word index (``byte_address // bank_bytes``) touched by each active
+        lane.  Inactive lanes must be omitted.
+    num_banks:
+        Number of shared-memory banks.
+
+    Returns
+    -------
+    int
+        Number of cycles the access takes: 1 when conflict-free, up to the
+        warp size in the fully serialized case.  Multiple lanes addressing
+        the *same word* broadcast and count once.
+    """
+    if word_addresses.size == 0:
+        return 0
+    words = np.unique(np.asarray(word_addresses, dtype=np.int64))
+    banks = words % num_banks
+    _, counts = np.unique(banks, return_counts=True)
+    return int(counts.max())
+
+
+def extra_conflict_cycles(word_addresses: np.ndarray, num_banks: int = 32) -> int:
+    """Conflict cycles beyond the conflict-free single cycle."""
+    degree = conflict_degree(word_addresses, num_banks)
+    return max(0, degree - 1)
+
+
+def column_access_degree(
+    num_rows: int, row_pitch_words: int, num_banks: int = 32
+) -> int:
+    """Conflict degree of a warp reading one element from each of
+    ``num_rows`` consecutive rows of a 2D buffer (a "column" access).
+
+    This is the canonical transpose read pattern: lane ``r`` reads word
+    ``r * row_pitch_words + c``.  With ``row_pitch_words`` sharing a large
+    factor with ``num_banks`` the column collapses onto few banks; a pitch
+    of 33 words (the 32x33 padded tile) is conflict-free.
+    """
+    if num_rows <= 0:
+        return 0
+    lanes = np.arange(num_rows, dtype=np.int64) * row_pitch_words
+    return conflict_degree(lanes, num_banks)
+
+
+def conflict_free_pad(
+    n0: int, row_words: int = 0, num_banks: int = 32
+) -> int:
+    """Pad (in words) for the FVI-Match-Small buffer (Alg. 6, Fig. 4).
+
+    The ``b x b x N0`` buffer is viewed as ``b`` rows of ``row_words =
+    b * N0`` words plus the pad.  The write-out phase has lane ``l`` of a
+    warp read vertically stacked "pencils": lane ``l`` touches word
+    ``(l // n0) * (row_words + pad) + (l % n0)``.  The paper's rule —
+    choose ``pad`` so the first word of row 1 maps to bank ``N0`` —
+    staggers successive rows by exactly one pencil, conflict-free
+    whenever ``n0`` divides ``num_banks``; for other extents the search
+    below returns the least-conflicting pad.
+    """
+    if n0 <= 0:
+        raise ValueError(f"n0 must be positive, got {n0}")
+    if row_words <= 0:
+        row_words = n0
+    best_pad, best_degree = 0, num_banks + 1
+    for pad in range(num_banks):
+        pitch = row_words + pad
+        # Evaluate one warp's worth of vertically stacked pencils.
+        lanes = np.arange(num_banks, dtype=np.int64)
+        words = (lanes // n0) * pitch + (lanes % n0)
+        degree = conflict_degree(words, num_banks)
+        if degree < best_degree:
+            best_degree, best_pad = degree, pad
+        if degree == 1:
+            break
+    return best_pad
+
+
+def padded_tile_pitch(tile: int = 32, pad: int = 1) -> int:
+    """Row pitch in words of the padded Orthogonal-Distinct tile buffer."""
+    return tile + pad

@@ -1,0 +1,145 @@
+"""Simulated-device specifications.
+
+:data:`KEPLER_K40C` mirrors Table III of the paper (Tesla K40c, 15 Kepler
+SMs, 12 GB global memory, ECC off).  The calibration constants at the
+bottom of :class:`DeviceSpec` are *model* parameters: they tune the cost
+model so that well-coalesced transposes achieve roughly the ~200 GB/s the
+paper reports on this card.  They are not claims about the silicon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import DeviceConfigError
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Parameters of a simulated CUDA device.
+
+    Attributes mirror the CUDA occupancy/transaction vocabulary.  All
+    throughput figures are per *device* unless suffixed ``_per_sm``.
+    """
+
+    name: str
+    num_sms: int
+    cores_per_sm: int
+    clock_hz: float
+    #: Theoretical DRAM bandwidth in bytes/second (K40c: 288 GB/s, ECC off).
+    peak_bandwidth: float
+    #: Global-memory transaction granularity in bytes (128 B on Kepler).
+    transaction_bytes: int = 128
+    warp_size: int = 32
+    shared_mem_per_sm: int = 48 * 1024
+    shared_mem_banks: int = 32
+    #: Width of one shared-memory bank in bytes (Kepler: configurable 4/8;
+    #: TTLG uses the 8-byte mode for double tensors).
+    bank_bytes: int = 8
+    max_threads_per_block: int = 1024
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 16
+    max_registers_per_sm: int = 65536
+    #: Special-function units per SM (Kepler GK110: 32) — bounds the
+    #: throughput of the MUFU-converted mod/div "special instructions"
+    #: that the Orthogonal-Arbitrary model counts as a feature.
+    sfu_per_sm: int = 32
+    #: Warp-instruction issue slots per SM per cycle devoted to LD/ST.
+    lsu_issue_per_cycle: float = 1.0
+    global_memory_bytes: int = 12 * 1024**3
+
+    # ---- cost-model calibration (see gpusim.cost) -------------------
+    #: Fraction of peak bandwidth achievable by a perfectly coalesced,
+    #: fully occupant streaming kernel (copy kernels on a K40c reach
+    #: ~80 % of the 288 GB/s theoretical peak).
+    bandwidth_efficiency: float = 0.80
+    #: Resident warps per SM needed to saturate DRAM bandwidth.
+    saturation_warps_per_sm: float = 24.0
+    #: Exponent applied to warp lane efficiency when derating achieved
+    #: bandwidth (fewer active lanes => less memory-level parallelism).
+    lane_efficiency_gamma: float = 0.65
+    #: Fixed kernel-launch overhead in seconds.
+    launch_overhead_s: float = 5.0e-6
+    #: Minimum wall time of any kernel (driver/runtime floor).
+    min_kernel_time_s: float = 3.0e-6
+    #: cudaMalloc-style allocation overhead charged once per plan.
+    alloc_overhead_s: float = 2.5e-4
+    #: Host-side cost of evaluating one regression-model candidate during
+    #: planning (Alg. 3's inner loop).
+    plan_eval_cost_s: float = 2.0e-6
+    #: Host-side fixed planning cost (taxonomy + offset-array setup).
+    plan_fixed_cost_s: float = 2.0e-4
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0:
+            raise DeviceConfigError(f"num_sms must be positive, got {self.num_sms}")
+        if self.warp_size <= 0 or self.warp_size & (self.warp_size - 1):
+            raise DeviceConfigError(
+                f"warp_size must be a positive power of two, got {self.warp_size}"
+            )
+        if self.transaction_bytes % self.bank_bytes:
+            raise DeviceConfigError(
+                "transaction_bytes must be a multiple of bank_bytes "
+                f"({self.transaction_bytes} % {self.bank_bytes})"
+            )
+        if self.peak_bandwidth <= 0 or self.clock_hz <= 0:
+            raise DeviceConfigError("peak_bandwidth and clock_hz must be positive")
+        if not 0.0 < self.bandwidth_efficiency <= 1.0:
+            raise DeviceConfigError("bandwidth_efficiency must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+    @property
+    def max_warps_per_sm(self) -> int:
+        return self.max_threads_per_sm // self.warp_size
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Best-case achievable DRAM bandwidth in bytes/second."""
+        return self.peak_bandwidth * self.bandwidth_efficiency
+
+    @property
+    def block_slots(self) -> int:
+        """Concurrent thread-block slots across the whole device."""
+        return self.num_sms * self.max_blocks_per_sm
+
+    def with_overrides(self, **kwargs) -> "DeviceSpec":
+        """Return a copy with the given fields replaced (for ablations)."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        """Human-readable one-paragraph summary (Table III analogue)."""
+        return (
+            f"{self.name}: {self.num_sms} SMs x {self.cores_per_sm} cores @ "
+            f"{self.clock_hz / 1e6:.0f} MHz, "
+            f"{self.global_memory_bytes / 1024**3:.0f} GB global memory, "
+            f"{self.peak_bandwidth / 1e9:.0f} GB/s peak "
+            f"({self.effective_bandwidth / 1e9:.0f} GB/s achievable), "
+            f"{self.shared_mem_per_sm // 1024} KB shared memory/SM, "
+            f"{self.shared_mem_banks} banks x {self.bank_bytes} B, "
+            f"warp size {self.warp_size}, "
+            f"{self.transaction_bytes} B transactions"
+        )
+
+
+#: The paper's evaluation platform (Table III): Tesla K40c, ECC off.
+KEPLER_K40C = DeviceSpec(
+    name="Tesla K40c (simulated)",
+    num_sms=15,
+    cores_per_sm=192,
+    clock_hz=745e6,
+    peak_bandwidth=288e9,
+)
+
+#: A newer device used only for the device-sensitivity ablation bench.
+PASCAL_P100 = DeviceSpec(
+    name="Tesla P100 (simulated)",
+    num_sms=56,
+    cores_per_sm=64,
+    clock_hz=1328e6,
+    peak_bandwidth=732e9,
+    shared_mem_per_sm=64 * 1024,
+    bank_bytes=4,
+    max_blocks_per_sm=32,
+    global_memory_bytes=16 * 1024**3,
+    saturation_warps_per_sm=28.0,
+)

@@ -1,0 +1,134 @@
+"""Global-memory coalescing analysis.
+
+Kepler coalesces the addresses issued by the 32 lanes of a warp into the
+minimal set of aligned 128-byte transactions that covers them.  The
+functions here implement that rule two ways:
+
+- :func:`warp_transactions` — exact, from a vector of byte addresses
+  (used by the detailed engine),
+- :func:`contiguous_run_transactions` — closed form for the common case
+  of a warp reading ``n`` contiguous elements starting at a given byte
+  offset (used by the kernels' fast analytic counters).
+
+Both count a partially used transaction as a whole one, matching the
+``ceil`` convention of the paper's Section IV-C.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def warp_transactions(
+    byte_addresses: np.ndarray,
+    elem_bytes: int,
+    transaction_bytes: int = 128,
+) -> int:
+    """Number of 128 B transactions for one warp-level access.
+
+    Parameters
+    ----------
+    byte_addresses:
+        Byte address of the first byte touched by each *active* lane.
+        Inactive lanes must be omitted by the caller.
+    elem_bytes:
+        Size of the element each lane reads/writes.
+    transaction_bytes:
+        Coalescing granularity.
+    """
+    if byte_addresses.size == 0:
+        return 0
+    addrs = np.asarray(byte_addresses, dtype=np.int64)
+    first = addrs // transaction_bytes
+    last = (addrs + elem_bytes - 1) // transaction_bytes
+    # Each lane may straddle a transaction boundary; collect all segments.
+    segments = np.concatenate([first, last])
+    return int(np.unique(segments).size)
+
+
+def contiguous_run_transactions(
+    start_byte: int, num_elems: int, elem_bytes: int, transaction_bytes: int = 128
+) -> int:
+    """Transactions needed for ``num_elems`` contiguous elements.
+
+    Equivalent to :func:`warp_transactions` on
+    ``start_byte + elem_bytes * arange(num_elems)`` but O(1).
+    """
+    if num_elems <= 0:
+        return 0
+    if start_byte < 0:
+        raise ValueError(f"start_byte must be >= 0, got {start_byte}")
+    first = start_byte // transaction_bytes
+    last = (start_byte + num_elems * elem_bytes - 1) // transaction_bytes
+    return int(last - first + 1)
+
+
+def run_transactions_over_strided_rows(
+    num_rows: int,
+    row_elems: int,
+    row_stride_elems: int,
+    base_byte: int,
+    elem_bytes: int,
+    transaction_bytes: int = 128,
+) -> int:
+    """Total transactions for ``num_rows`` contiguous runs at a fixed stride.
+
+    This is the workhorse of the analytic counters: a kernel that moves a
+    slice touches many rows of ``row_elems`` contiguous elements whose
+    starting addresses advance by ``row_stride_elems``.  Rather than loop
+    over millions of rows, exploit the periodicity of alignment: the
+    per-row transaction count only depends on ``start_byte mod
+    transaction_bytes``, which cycles with period
+    ``lcm(transaction, stride) / stride`` rows.
+    """
+    if num_rows <= 0 or row_elems <= 0:
+        return 0
+    stride_bytes = row_stride_elems * elem_bytes
+    if stride_bytes == 0:
+        # Degenerate broadcast: all rows share one footprint.
+        return contiguous_run_transactions(
+            base_byte, row_elems, elem_bytes, transaction_bytes
+        )
+    g = np.gcd(int(stride_bytes), transaction_bytes)
+    period = transaction_bytes // g  # rows before alignment phase repeats
+    period = min(period, num_rows)
+    # Count one full period exactly.
+    per_period = 0
+    for r in range(period):
+        per_period += contiguous_run_transactions(
+            base_byte + r * stride_bytes, row_elems, elem_bytes, transaction_bytes
+        )
+    full_periods, rem = divmod(num_rows, period)
+    total = per_period * full_periods
+    for r in range(rem):
+        total += contiguous_run_transactions(
+            base_byte + r * stride_bytes, row_elems, elem_bytes, transaction_bytes
+        )
+    return int(total)
+
+
+def average_row_transactions(
+    row_elems: int, elem_bytes: int, transaction_bytes: int = 128
+) -> float:
+    """Expected transactions for a ``row_elems``-element contiguous run
+    whose start is uniformly distributed over alignment phases.
+
+    Used when the exact base alignment is unknowable at plan time (the
+    paper's model faces the same situation and folds it into regression
+    features).  For a run of ``L`` bytes the footprint is ``L/T + P``
+    transactions where ``P`` is the probability of straddling one extra
+    boundary; this returns the exact expectation over the ``T/gcd``
+    possible phases.
+    """
+    if row_elems <= 0:
+        return 0.0
+    run_bytes = row_elems * elem_bytes
+    g = np.gcd(elem_bytes, transaction_bytes)
+    phases = transaction_bytes // g
+    total = 0
+    for p in range(phases):
+        start = p * g
+        total += contiguous_run_transactions(
+            start, row_elems, elem_bytes, transaction_bytes
+        )
+    return total / phases

@@ -1,0 +1,18 @@
+"""The four TTLG transposition kernels (Algs. 2, 5, 6, 7) plus the naive
+d-nested-loop strawman, all implemented against the gpusim substrate."""
+
+from repro.kernels.base import TransposeKernel
+from repro.kernels.fvi_match_large import FviMatchLargeKernel
+from repro.kernels.fvi_match_small import FviMatchSmallKernel
+from repro.kernels.naive import NaiveKernel
+from repro.kernels.orthogonal_arbitrary import OrthogonalArbitraryKernel
+from repro.kernels.orthogonal_distinct import OrthogonalDistinctKernel
+
+__all__ = [
+    "TransposeKernel",
+    "FviMatchLargeKernel",
+    "FviMatchSmallKernel",
+    "OrthogonalDistinctKernel",
+    "OrthogonalArbitraryKernel",
+    "NaiveKernel",
+]

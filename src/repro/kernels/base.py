@@ -1,0 +1,122 @@
+"""Abstract base class for transposition kernels.
+
+Every kernel binds a (fused) transposition problem to one data-movement
+schema with concrete parameters, and provides three views of itself:
+
+- :meth:`execute` — functional data movement with NumPy, element-exact
+  against the reference transposition (used by the public API and tests);
+- :meth:`counters` — fast analytic activity counts (Table I of the paper
+  with partial-tile corrections), consumed by the cost model;
+- :meth:`trace` — optional per-warp access trace for the detailed engine
+  (validation of the analytic counts on small tensors).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.core.taxonomy import Schema
+from repro.errors import SchemaError
+from repro.gpusim.counters import KernelCounters, LaunchGeometry
+from repro.gpusim.cost import CostModel
+from repro.gpusim.engine import WarpAccess
+from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
+
+
+class TransposeKernel(abc.ABC):
+    """One schema bound to one problem with concrete parameters."""
+
+    #: Schema implemented by the subclass.
+    schema: Schema
+
+    def __init__(
+        self,
+        layout: TensorLayout,
+        perm: Permutation,
+        elem_bytes: int = 8,
+        spec: DeviceSpec = KEPLER_K40C,
+    ):
+        if perm.rank != layout.rank:
+            raise SchemaError(
+                f"permutation rank {perm.rank} != layout rank {layout.rank}"
+            )
+        if elem_bytes not in (4, 8):
+            raise SchemaError(f"elem_bytes must be 4 or 8, got {elem_bytes}")
+        self.layout = layout
+        self.perm = perm
+        self.elem_bytes = elem_bytes
+        self.spec = spec
+        self.out_layout = layout.permuted(perm)
+
+    # ------------------------------------------------------------------
+    @property
+    def volume(self) -> int:
+        return self.layout.volume
+
+    @property
+    @abc.abstractmethod
+    def launch_geometry(self) -> LaunchGeometry:
+        """Grid/block shape of the kernel launch."""
+
+    @abc.abstractmethod
+    def counters(self) -> KernelCounters:
+        """Analytic activity counters for the full launch."""
+
+    @abc.abstractmethod
+    def execute(self, src: np.ndarray) -> np.ndarray:
+        """Move data: 1-D linearized input -> 1-D linearized output.
+
+        ``src`` must have ``self.volume`` elements; the result is a new
+        array in the output layout's linearization.
+        """
+
+    def trace(self, max_blocks: Optional[int] = None) -> Iterator[WarpAccess]:
+        """Per-warp access trace (detailed engine input).
+
+        Subclasses that support detailed validation override this;
+        the default raises ``NotImplementedError``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not provide a detailed trace"
+        )
+
+    def tex_array_bytes(self) -> int:
+        """Total bytes of texture-mapped offset arrays (0 if none)."""
+        return 0
+
+    def features(self) -> Dict[str, float]:
+        """Raw feature values for the performance model (Sec. V)."""
+        geom = self.launch_geometry
+        return {
+            "volume": float(self.volume),
+            "num_blocks": float(geom.num_blocks),
+            "num_threads": float(geom.total_threads),
+        }
+
+    # ------------------------------------------------------------------
+    def simulated_time(
+        self, cost_model: Optional[CostModel] = None, jitter_key=None
+    ) -> float:
+        """Simulated execution time of one launch, in seconds."""
+        cm = cost_model if cost_model is not None else CostModel(self.spec)
+        return cm.kernel_time(self.counters(), self.launch_geometry, jitter_key)
+
+    def check_input(self, src: np.ndarray) -> np.ndarray:
+        """Validate and flatten the input array for :meth:`execute`."""
+        arr = np.ascontiguousarray(src).reshape(-1)
+        if arr.size != self.volume:
+            raise SchemaError(
+                f"input has {arr.size} elements, layout volume is {self.volume}"
+            )
+        return arr
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(dims={self.layout.dims}, "
+            f"perm={self.perm.mapping})"
+        )

@@ -1,0 +1,205 @@
+"""FVI-Match-Large kernel (Alg. 7).
+
+When the fastest-varying index is the same in input and output and its
+extent ``N0`` is at least the warp size, whole ``N0``-element contiguous
+runs move unchanged: each thread block streams one (or a chunk of one)
+run from input to output through registers — no shared memory, no offset
+arrays (Table I row: ``C2`` DRAM transactions, everything else zero).
+
+When the grid of runs alone would under-occupy the device (e.g. the
+identity permutation fuses to a single giant run), runs are split into
+chunks, which is what a production kernel does with a grid-stride loop.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.core.taxonomy import Schema
+from repro.errors import SchemaError
+from repro.gpusim.counters import KernelCounters, LaunchGeometry
+from repro.gpusim.engine import WarpAccess
+from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
+from repro.kernels.base import TransposeKernel
+from repro.kernels.common import ceil_div, reference_transpose
+
+
+class FviMatchLargeKernel(TransposeKernel):
+    """Direct contiguous-run copy (no shared memory)."""
+
+    schema = Schema.FVI_MATCH_LARGE
+
+    #: Threads per block; 256 keeps 8 warps per block, plenty for copy.
+    THREADS = 256
+
+    def __init__(
+        self,
+        layout: TensorLayout,
+        perm: Permutation,
+        elem_bytes: int = 8,
+        spec: DeviceSpec = KEPLER_K40C,
+        chunk: Optional[int] = None,
+    ):
+        super().__init__(layout, perm, elem_bytes, spec)
+        if not perm.fvi_matches():
+            raise SchemaError(
+                "FVI-Match-Large requires the fastest varying index to match "
+                f"(perm={perm.mapping})"
+            )
+        self.n0 = layout.dims[0]
+        self.num_runs = self.volume // self.n0
+        self.chunk = chunk if chunk is not None else self._choose_chunk()
+        if self.chunk <= 0:
+            raise SchemaError(f"chunk must be positive, got {self.chunk}")
+
+    def _choose_chunk(self) -> int:
+        """Split runs so the grid comfortably fills the device.
+
+        A run is one chunk unless that leaves too few blocks to overbook
+        the device's *actual* resident-block slots (the Alg. 3
+        overbooking idea: many waves amortize the ragged final wave);
+        then runs split into warp-aligned chunks.
+        """
+        resident = min(
+            self.spec.max_threads_per_sm // self.THREADS,
+            self.spec.max_blocks_per_sm,
+        )
+        slots = resident * self.spec.num_sms
+        # Many waves keep the ragged final wave negligible (~1/waves).
+        target_blocks = 128 * slots
+        if self.num_runs >= target_blocks or self.n0 <= self.THREADS:
+            return self.n0
+        pieces = ceil_div(target_blocks, self.num_runs)
+        chunk = ceil_div(self.n0, pieces)
+        # Round DOWN to a warp multiple: rounding up could drop the block
+        # count back below the occupancy target.
+        ws = self.spec.warp_size
+        return max(ws, chunk // ws * ws)
+
+    # ------------------------------------------------------------------
+    @property
+    def chunks_per_run(self) -> int:
+        return ceil_div(self.n0, self.chunk)
+
+    @property
+    def runs_per_block(self) -> int:
+        """Short runs are grouped so a block keeps all its warps busy
+        (a block of 256 threads copies 8 consecutive 32-element runs)."""
+        ws = self.spec.warp_size
+        span = max(min(self.chunk, self.n0), ws)
+        return max(1, self.THREADS // span)
+
+    @property
+    def launch_geometry(self) -> LaunchGeometry:
+        blocks = (
+            ceil_div(self.num_runs, self.runs_per_block) * self.chunks_per_run
+        )
+        span = max(min(self.chunk, self.n0), self.spec.warp_size)
+        threads = min(self.THREADS, self.runs_per_block * span)
+        return LaunchGeometry(
+            num_blocks=blocks,
+            threads_per_block=min(threads, self.spec.max_threads_per_block),
+            shared_mem_per_block=0,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_out_offsets(self, max_runs: Optional[int] = None) -> np.ndarray:
+        """Output element offset of each run's first element.
+
+        Runs enumerate the outer dims (1..rank-1) in input order; a run's
+        output offset permutes those coordinates.
+        """
+        n = self.num_runs if max_runs is None else min(self.num_runs, max_runs)
+        if self.layout.rank == 1:
+            return np.zeros(n, dtype=np.int64)
+        outer = TensorLayout(self.layout.dims[1:])
+        coords = outer.delinearize_many(np.arange(n, dtype=np.int64))
+        out_strides = self.out_layout.strides
+        # Output position of input dim d (d >= 1).
+        off = np.zeros(n, dtype=np.int64)
+        for q, d in enumerate(self.perm.mapping):
+            if d == 0:
+                continue
+            off += coords[:, d - 1] * out_strides[q]
+        return off
+
+    def execute(self, src: np.ndarray) -> np.ndarray:
+        src = self.check_input(src)
+        # The data movement is exactly "permute the outer dims, keep the
+        # contiguous FVI runs" — a reshape/transpose expresses it directly.
+        return reference_transpose(src, self.layout, self.perm)
+
+    # ------------------------------------------------------------------
+    def counters(self) -> KernelCounters:
+        c = KernelCounters()
+        eb = self.elem_bytes
+        ws = self.spec.warp_size
+        n0, runs = self.n0, self.num_runs
+        # Input runs tile the address space contiguously; each run of n0
+        # elements starting at a multiple of n0*eb bytes.
+        per_run_accesses = ceil_div(n0, ws)
+        # Loads sweep the input contiguously (runs enumerate the outer
+        # dims in input order), so they cost the exact line footprint.
+        # Stores land in scattered runs; chain them through output dims
+        # the grid enumerates adjacently, like the orthogonal kernels do.
+        from repro.kernels.common import (
+            Coverage,
+            DimCoverage,
+            effective_runs,
+            lattice_run_transactions,
+        )
+
+        c.dram_ld_tx = ceil_div(self.volume * eb, self.spec.transaction_bytes)
+        coverage = {0: DimCoverage(0, Coverage.FULL)}
+        for d in range(1, self.layout.rank):
+            coverage[d] = DimCoverage(d, Coverage.OUTER)
+        st_tx = 0.0
+        for count, r in effective_runs(
+            self.perm.mapping, coverage, self.layout.dims, self.volume,
+            self.spec.block_slots,
+        ):
+            lat = math.gcd(self.spec.transaction_bytes, r * eb)
+            st_tx += count * lattice_run_transactions(r, eb, lat)
+        c.dram_st_tx = int(round(st_tx))
+        c.dram_ld_useful_bytes = self.volume * eb
+        c.dram_st_useful_bytes = self.volume * eb
+        c.warp_ld_accesses = runs * per_run_accesses
+        c.warp_st_accesses = runs * per_run_accesses
+        c.lane_slots = 2 * runs * per_run_accesses * ws
+        c.active_lanes = 2 * self.volume
+        # Per-block index decode: one mod+div per outer dimension.
+        c.special_ops = self.launch_geometry.num_blocks * max(
+            self.layout.rank - 1, 1
+        ) * 2
+        c.alu_ops = 2 * self.volume
+        return c
+
+    def features(self) -> dict:
+        base = super().features()
+        base.update(run_length=float(self.n0), chunk=float(self.chunk))
+        return base
+
+    # ------------------------------------------------------------------
+    def trace(self, max_blocks: Optional[int] = None) -> Iterator[WarpAccess]:
+        eb = self.elem_bytes
+        ws = self.spec.warp_size
+        out_offsets = self._run_out_offsets()
+        n = self.num_runs
+        if max_blocks is not None:
+            n = min(n, max_blocks)
+        for r in range(n):
+            in_start = r * self.n0
+            out_start = int(out_offsets[r])
+            for w0 in range(0, self.n0, ws):
+                lanes = np.arange(w0, min(w0 + ws, self.n0), dtype=np.int64)
+                yield WarpAccess(
+                    "gld", (in_start + lanes) * eb, eb, warp_size=ws
+                )
+                yield WarpAccess(
+                    "gst", (out_start + lanes) * eb, eb, warp_size=ws
+                )

@@ -1,0 +1,229 @@
+"""FVI-Match-Small kernel (Alg. 6, Fig. 4).
+
+The fastest-varying index matches but its extent ``N0`` is below the warp
+size, so direct copying would waste most of each warp.  Instead a thread
+block stages a ``b x b x N0`` slice (``b`` values of the input's second
+index ``i1``, ``b`` values of the output's second index ``ik``, all of
+``i0``) through shared memory:
+
+- copy-in: each of the block's ``b`` warps streams ``b * N0`` contiguous
+  input elements (a bundle of ``b`` consecutive ``i1``-rows for one
+  ``ik`` value);
+- copy-out: each warp gathers ``b`` vertically stacked "pencils" from the
+  buffer and writes ``b * N0`` contiguous output elements.
+
+A pad chosen per ``N0`` (see :func:`repro.gpusim.sharedmem.conflict_free_pad`)
+staggers the buffer rows so the pencil gather is bank-conflict-free.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.core.taxonomy import Schema
+from repro.errors import SchemaError
+from repro.gpusim.counters import KernelCounters, LaunchGeometry
+from repro.gpusim.engine import WarpAccess
+from repro.gpusim.sharedmem import conflict_free_pad, conflict_degree
+from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
+from repro.kernels.base import TransposeKernel
+from repro.kernels.common import (
+    Coverage,
+    DimCoverage,
+    SliceCoverage,
+    ceil_div,
+    effective_runs,
+    lattice_run_transactions,
+    reference_transpose,
+)
+
+
+class FviMatchSmallKernel(TransposeKernel):
+    """Blocked shared-memory staging for small matching FVI."""
+
+    schema = Schema.FVI_MATCH_SMALL
+
+    def __init__(
+        self,
+        layout: TensorLayout,
+        perm: Permutation,
+        b: int,
+        elem_bytes: int = 8,
+        spec: DeviceSpec = KEPLER_K40C,
+    ):
+        super().__init__(layout, perm, elem_bytes, spec)
+        if not perm.fvi_matches():
+            raise SchemaError("FVI-Match-Small requires matching FVI")
+        if layout.rank < 3:
+            raise SchemaError(
+                "FVI-Match-Small needs rank >= 3 after fusion "
+                f"(got rank {layout.rank})"
+            )
+        self.n0 = layout.dims[0]
+        if self.n0 >= spec.warp_size:
+            raise SchemaError(
+                f"FVI extent {self.n0} >= warp size: use FVI-Match-Large"
+            )
+        self.i1 = 1                      # input's second-fastest dim
+        self.ik = perm.mapping[1]        # output's second-fastest dim
+        if self.ik == self.i1:
+            raise SchemaError(
+                "input and output second dims coincide; fuse first"
+            )
+        if not 1 <= b <= min(spec.warp_size, spec.max_threads_per_block // spec.warp_size):
+            raise SchemaError(f"blocking factor b={b} out of range")
+        self.b = b
+        self.pad = conflict_free_pad(
+            self.n0, b * self.n0, spec.shared_mem_banks
+        )
+        smem_bytes = b * (b * self.n0 + self.pad) * elem_bytes
+        if smem_bytes > spec.shared_mem_per_sm:
+            raise SchemaError(
+                f"b={b} with N0={self.n0} needs {smem_bytes} B shared "
+                f"memory; SM has {spec.shared_mem_per_sm} B"
+            )
+        covs = [DimCoverage(0, Coverage.FULL)]
+        for d in range(1, layout.rank):
+            if d in (self.i1, self.ik):
+                covs.append(DimCoverage(d, Coverage.BLOCK, b))
+            else:
+                covs.append(DimCoverage(d, Coverage.OUTER))
+        self.coverage = SliceCoverage(layout, perm, covs)
+
+    # ------------------------------------------------------------------
+    @property
+    def launch_geometry(self) -> LaunchGeometry:
+        ws = self.spec.warp_size
+        row_words = self.b * self.n0 + self.pad
+        return LaunchGeometry(
+            num_blocks=self.coverage.num_blocks,
+            threads_per_block=self.b * ws,
+            shared_mem_per_block=self.b * row_words * self.elem_bytes,
+        )
+
+    def smem_read_conflict_degree(self) -> int:
+        """Bank-conflict degree of the pencil-gather read, given the pad."""
+        ws = self.spec.warp_size
+        pitch = self.b * self.n0 + self.pad
+        lanes = np.arange(ws, dtype=np.int64)
+        words = (lanes // self.n0) * pitch + (lanes % self.n0)
+        return conflict_degree(words, self.spec.shared_mem_banks)
+
+    # ------------------------------------------------------------------
+    def dram_tx_totals(self) -> Tuple[int, int]:
+        """Whole-launch DRAM (load, store) transaction counts via the
+        effective-run decomposition (see the orthogonal kernels)."""
+        eb = self.elem_bytes
+        vol = self.volume
+        resident = self.spec.block_slots
+
+        def total(order):
+            t = 0.0
+            for count, r in effective_runs(
+                order, self.coverage.by_dim, self.layout.dims, vol, resident
+            ):
+                lat = math.gcd(self.spec.transaction_bytes, r * eb)
+                t += count * lattice_run_transactions(r, eb, lat)
+            return int(round(t))
+
+        return total(range(self.layout.rank)), total(self.perm.mapping)
+
+    def _variant_counters(
+        self, b1: int, bk: int
+    ) -> Tuple[KernelCounters, int]:
+        """Per-block counters for shape (b1 on i1, bk on ik); DRAM
+        transactions are accounted globally by :meth:`dram_tx_totals`."""
+        c = KernelCounters()
+        eb, ws = self.elem_bytes, self.spec.warp_size
+        n0 = self.n0
+        in_run = b1 * n0
+        out_run = bk * n0
+        ld_acc_per_warp = ceil_div(in_run, ws)
+        st_acc_per_warp = ceil_div(out_run, ws)
+        c.warp_ld_accesses = bk * ld_acc_per_warp
+        c.warp_st_accesses = b1 * st_acc_per_warp
+        vol = b1 * bk * n0
+        c.dram_ld_useful_bytes = vol * eb
+        c.dram_st_useful_bytes = vol * eb
+        c.lane_slots = (c.warp_ld_accesses + c.warp_st_accesses) * ws
+        c.active_lanes = 2 * vol
+        c.smem_st_accesses = c.warp_ld_accesses
+        c.smem_ld_accesses = c.warp_st_accesses
+        degree = self.smem_read_conflict_degree()
+        c.smem_conflict_cycles = (degree - 1) * c.smem_ld_accesses
+        partial = int(b1 != self.b or bk != self.b)
+        c.special_ops = (self.layout.rank * 2) + partial * (
+            4 * (c.warp_ld_accesses + c.warp_st_accesses)
+        )
+        c.alu_ops = 4 * vol
+        return c, vol
+
+    def counters(self) -> KernelCounters:
+        total = KernelCounters()
+        for v in self.coverage.variants():
+            b1 = v.size_of(self.i1, self.b)
+            bk = v.size_of(self.ik, self.b)
+            per_block, _ = self._variant_counters(b1, bk)
+            total += per_block.scaled(v.count)
+        total.dram_ld_tx, total.dram_st_tx = self.dram_tx_totals()
+        return total
+
+    def features(self) -> Dict[str, float]:
+        base = super().features()
+        base.update(
+            slice_volume=float(self.b * self.b * self.n0),
+            block_b=float(self.b),
+            fvi_extent=float(self.n0),
+            conflict_degree=float(self.smem_read_conflict_degree()),
+        )
+        return base
+
+    # ------------------------------------------------------------------
+    def execute(self, src: np.ndarray) -> np.ndarray:
+        src = self.check_input(src)
+        # Run-contiguous staging through the buffer is value-equivalent to
+        # the reshape/transpose; per-warp fidelity is exercised by trace().
+        return reference_transpose(src, self.layout, self.perm)
+
+    # ------------------------------------------------------------------
+    def trace(self, max_blocks: Optional[int] = None) -> Iterator[WarpAccess]:
+        eb, ws = self.elem_bytes, self.spec.warp_size
+        n0 = self.n0
+        in_strides = self.layout.strides
+        out_strides = self.out_layout.strides
+        out_pos = {d: q for q, d in enumerate(self.perm.mapping)}
+        in_base, out_base, variant = self.coverage.block_bases(max_blocks)
+        vorder = self.coverage.variants_order()
+        pitch = self.b * n0 + self.pad
+        for blk in range(len(in_base)):
+            sizes = vorder[variant[blk]]
+            b1 = sizes.get(self.i1, self.b)
+            bk = sizes.get(self.ik, self.b)
+            ib, ob = int(in_base[blk]), int(out_base[blk])
+            # copy-in: warp w handles ik-value w, reads b1*n0 contiguous.
+            for w in range(bk):
+                start = ib + w * in_strides[self.ik]
+                run = b1 * n0
+                for a0 in range(0, run, ws):
+                    lanes = np.arange(a0, min(a0 + ws, run), dtype=np.int64)
+                    yield WarpAccess("gld", (start + lanes) * eb, eb, ws)
+                    # smem store: row w of the padded buffer, contiguous.
+                    yield WarpAccess(
+                        "sst", (w * pitch + lanes) * eb, eb, ws
+                    )
+            # copy-out: warp w handles i1-value w, writes bk*n0 contiguous
+            # output gathered as pencils from the buffer.
+            for w in range(b1):
+                out_start = ob + w * out_strides[out_pos[self.i1]]
+                run = bk * n0
+                for a0 in range(0, run, ws):
+                    lanes = np.arange(a0, min(a0 + ws, run), dtype=np.int64)
+                    rows = lanes // n0  # ik index within block
+                    cols = w * n0 + lanes % n0
+                    yield WarpAccess("sld", (rows * pitch + cols) * eb, eb, ws)
+                    yield WarpAccess("gst", (out_start + lanes) * eb, eb, ws)

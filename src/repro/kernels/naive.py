@@ -1,0 +1,115 @@
+"""Naive transposition kernel (the Sec. I strawman).
+
+One thread per element: thread ``t`` reads input element ``t`` and writes
+it at its permuted position.  Reads are perfectly coalesced; writes
+scatter with the output stride of the input's fastest dimension, which on
+any non-trivial permutation wastes most of every store transaction.  This
+is the 2-3x-slower baseline the prior work (Lyakh) improved upon and the
+motivation for everything else in the library.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.core.taxonomy import Schema
+from repro.gpusim.counters import KernelCounters, LaunchGeometry
+from repro.gpusim.engine import WarpAccess
+from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
+from repro.kernels.base import TransposeKernel
+from repro.kernels.common import ceil_div, reference_transpose
+
+
+class NaiveKernel(TransposeKernel):
+    """Uncoalesced elementwise copy; the performance strawman."""
+
+    schema = Schema.NAIVE
+
+    THREADS = 256
+
+    def __init__(
+        self,
+        layout: TensorLayout,
+        perm: Permutation,
+        elem_bytes: int = 8,
+        spec: DeviceSpec = KEPLER_K40C,
+    ):
+        super().__init__(layout, perm, elem_bytes, spec)
+
+    @property
+    def launch_geometry(self) -> LaunchGeometry:
+        return LaunchGeometry(
+            num_blocks=ceil_div(self.volume, self.THREADS),
+            threads_per_block=self.THREADS,
+            shared_mem_per_block=0,
+        )
+
+    # ------------------------------------------------------------------
+    def _out_addresses_of_warp(self, start: int, count: int) -> np.ndarray:
+        """Output element offsets of ``count`` consecutive input elements."""
+        idx = self.layout.delinearize_many(
+            np.arange(start, start + count, dtype=np.int64)
+        )
+        out_strides = np.asarray(self.out_layout.strides, dtype=np.int64)
+        perm = self.perm.mapping
+        out_idx = idx[:, list(perm)]
+        return out_idx @ out_strides
+
+    def counters(self) -> KernelCounters:
+        c = KernelCounters()
+        eb, ws = self.elem_bytes, self.spec.warp_size
+        vol = self.volume
+        n_warps = ceil_div(vol, ws)
+        c.warp_ld_accesses = n_warps
+        c.warp_st_accesses = n_warps
+        c.dram_ld_tx = ceil_div(vol * eb, self.spec.transaction_bytes)
+        # Store scatter: replay a contiguous window of warps through the
+        # same small line cache the detailed engine uses, so partially
+        # shared lines between nearby warps are credited, then
+        # extrapolate per-warp.  Exact when the window covers the launch.
+        from repro.gpusim.engine import _LineCache
+
+        window = min(n_warps, 256)
+        cache = _LineCache()
+        tx = 0
+        tb = self.spec.transaction_bytes
+        for w in range(window):
+            start = w * ws
+            count = min(ws, vol - start)
+            addrs = self._out_addresses_of_warp(start, count) * eb
+            lines = np.unique(
+                np.concatenate([addrs // tb, (addrs + eb - 1) // tb])
+            )
+            tx += cache.misses(lines)
+        c.dram_st_tx = int(round(tx / window * n_warps))
+        c.dram_ld_useful_bytes = vol * eb
+        c.dram_st_useful_bytes = vol * eb
+        c.lane_slots = 2 * n_warps * ws
+        c.active_lanes = 2 * vol
+        # Full per-element index arithmetic: rank mod/div pairs each.
+        c.special_ops = 2 * self.layout.rank * vol // ws
+        c.alu_ops = 2 * self.layout.rank * vol
+        return c
+
+    def execute(self, src: np.ndarray) -> np.ndarray:
+        src = self.check_input(src)
+        return reference_transpose(src, self.layout, self.perm)
+
+    def trace(self, max_blocks: Optional[int] = None) -> Iterator[WarpAccess]:
+        eb, ws = self.elem_bytes, self.spec.warp_size
+        vol = self.volume
+        n_warps = ceil_div(vol, ws)
+        if max_blocks is not None:
+            n_warps = min(n_warps, max_blocks * (self.THREADS // ws))
+        for w in range(n_warps):
+            start = w * ws
+            count = min(ws, vol - start)
+            lanes = np.arange(start, start + count, dtype=np.int64)
+            yield WarpAccess("gld", lanes * eb, eb, ws)
+            yield WarpAccess(
+                "gst", self._out_addresses_of_warp(start, count) * eb, eb, ws
+            )

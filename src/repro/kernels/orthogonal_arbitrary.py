@@ -1,0 +1,541 @@
+"""Orthogonal-Arbitrary kernel (Alg. 5, offsets per Alg. 4).
+
+Used when the combined input-FVI group and output-FVI group overlap, so
+the slice cannot be viewed as a 2D orthogonal product.  The whole
+``A x B`` slice (``A`` = input-group volume, ``B`` = volume of the output
+group's dims *not* in the input group) is staged in shared memory:
+
+- copy-in: row ``y`` of the buffer receives ``A`` contiguous input
+  elements starting at ``in_base + input_offset[y]`` — fully coalesced;
+- copy-out: threads walk the slice in *output-linear* order ``t``,
+  writing ``out_base + out_offset[t]`` (coalesced, with breaks where the
+  covered output dims are exhausted) while gathering from
+  ``sm_out_offset[t]`` — an arbitrary shared-memory pattern that may
+  incur bank conflicts (Sec. IV: "it could suffer from some shared
+  memory bank conflict").
+
+Unlike Orthogonal-Distinct's fixed 32x33 buffer, the buffer size is the
+slice volume, so admissible slice sizes are bounded by the shared-memory
+capacity (why the paper's OA model trained on far fewer configurations).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.core.taxonomy import Schema
+from repro.errors import SchemaError
+from repro.gpusim.counters import KernelCounters, LaunchGeometry
+from repro.gpusim.engine import WarpAccess
+from repro.gpusim.sharedmem import conflict_degree
+from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
+from repro.kernels.base import TransposeKernel
+from repro.kernels.common import (
+    Coverage,
+    DimCoverage,
+    SliceCoverage,
+    ceil_div,
+    effective_runs,
+    lattice_run_transactions,
+)
+
+
+class OrthogonalArbitraryKernel(TransposeKernel):
+    """Whole-slice shared-memory staging with indirection arrays."""
+
+    schema = Schema.ORTHOGONAL_ARBITRARY
+
+    THREADS = 256
+
+    def __init__(
+        self,
+        layout: TensorLayout,
+        perm: Permutation,
+        in_prefix: int,
+        blockA: int,
+        out_prefix: int,
+        blockB: int,
+        elem_bytes: int = 8,
+        spec: DeviceSpec = KEPLER_K40C,
+        pad: int | str = 0,
+        coarsen: Optional[Tuple[int, int]] = None,
+    ):
+        """``pad`` adds words to the buffer's row pitch to stagger the
+        copy-out gather across banks (Sec. IV: bank conflicts "can be
+        solved by specialization in many cases").  ``pad="auto"`` picks
+        the least-conflicting pad in 0..4 — the TTLG specialization; the
+        cuTT baseline uses the unpadded default.
+
+        ``coarsen = (dim, factor)`` applies Sec. IV-A thread coarsening:
+        one thread block processes ``factor`` consecutive sub-slices
+        along the given grid dimension, amortizing the mod/div base
+        decode (subsequent bases are stride additions).  Total data
+        movement is unchanged; the launch has fewer blocks and fewer
+        special instructions.
+        """
+        super().__init__(layout, perm, elem_bytes, spec)
+        rank, dims = layout.rank, layout.dims
+        out_order = perm.mapping
+        # Normalize full-extent blocks into the prefixes.
+        while in_prefix < rank and blockA == dims[in_prefix]:
+            in_prefix, blockA = in_prefix + 1, 1
+        while out_prefix < rank and blockB == dims[out_order[out_prefix]]:
+            out_prefix, blockB = out_prefix + 1, 1
+        if in_prefix == 0 and blockA == 1:
+            raise SchemaError("input group is empty")
+        self.in_prefix, self.blockA = in_prefix, blockA
+        self.out_prefix, self.blockB = out_prefix, blockB
+        self.a_dim = in_prefix if (in_prefix < rank and blockA > 1) else None
+        self.b_dim = (
+            out_order[out_prefix] if (out_prefix < rank and blockB > 1) else None
+        )
+        self.in_group = set(range(in_prefix)) | (
+            {self.a_dim} if self.a_dim is not None else set()
+        )
+        if self.b_dim is not None and self.b_dim in self.in_group:
+            # The output-side block falls on a dim the input group already
+            # covers (fully, or partially via blockA); the output run gets
+            # its extension from that coverage for free, so the block adds
+            # nothing to the slice.
+            self.b_dim, self.blockB = None, 1
+        # Output-group dims not in the input group, fastest-output first.
+        self.only_out: List[int] = [
+            d for d in out_order[:out_prefix] if d not in self.in_group
+        ]
+        self.only_out_full = list(self.only_out)
+        if self.b_dim is not None:
+            self.only_out.append(self.b_dim)
+
+        self.A = layout.prefix_volume(in_prefix) * blockA
+        self.B = math.prod(dims[d] for d in self.only_out_full) * blockB
+        if self.B < 1:
+            self.B = 1
+        smem_bytes = self.A * self.B * elem_bytes
+        if smem_bytes > spec.shared_mem_per_sm:
+            raise SchemaError(
+                f"slice of {self.A}x{self.B} elements needs {smem_bytes} B "
+                f"shared memory; SM has {spec.shared_mem_per_sm} B"
+            )
+
+        covs: List[DimCoverage] = []
+        for d in range(rank):
+            if d in set(range(in_prefix)) or d in self.only_out_full:
+                covs.append(DimCoverage(d, Coverage.FULL))
+            elif d == self.a_dim:
+                covs.append(DimCoverage(d, Coverage.BLOCK, blockA))
+            elif d == self.b_dim:
+                covs.append(DimCoverage(d, Coverage.BLOCK, blockB))
+            else:
+                covs.append(DimCoverage(d, Coverage.OUTER))
+        self.coverage = SliceCoverage(layout, perm, covs)
+        self._out_pos = {d: q for q, d in enumerate(out_order)}
+
+        if pad == "auto":
+            self.pad = self._choose_pad()
+        else:
+            self.pad = int(pad)
+            if self.pad < 0:
+                raise SchemaError(f"pad must be >= 0, got {pad}")
+        if (self.A + self.pad) * self.B * elem_bytes > spec.shared_mem_per_sm:
+            # Padded buffer no longer fits: drop back to unpadded.
+            self.pad = 0
+
+        self.coarsen: Optional[Tuple[int, int]] = None
+        if coarsen is not None:
+            c_dim, c_factor = coarsen
+            cov = self.coverage.by_dim.get(c_dim)
+            if cov is None or cov.coverage is not Coverage.OUTER:
+                raise SchemaError(
+                    f"coarsening dim {c_dim} is not a grid dimension"
+                )
+            if not 1 < c_factor <= dims[c_dim]:
+                raise SchemaError(
+                    f"coarsening factor {c_factor} out of range for dim "
+                    f"{c_dim} (extent {dims[c_dim]})"
+                )
+            self.coarsen = (c_dim, c_factor)
+
+    def _choose_pad(self, candidates=(0, 1, 2, 3, 4)) -> int:
+        """Least-conflicting row pitch for the copy-out gather."""
+        best_pad, best_degree = 0, float("inf")
+        for p in candidates:
+            if (self.A + p) * self.B * self.elem_bytes > self.spec.shared_mem_per_sm:
+                break
+            degree = self._conflict_degree_for_pad(p)
+            if degree < best_degree:
+                best_degree, best_pad = degree, p
+            if degree <= 1.0:
+                break
+        return best_pad
+
+    # ------------------------------------------------------------------
+    @property
+    def coarsen_factor(self) -> int:
+        return self.coarsen[1] if self.coarsen else 1
+
+    @property
+    def launch_geometry(self) -> LaunchGeometry:
+        # No point launching more threads than slice elements; round the
+        # block down to the warp granularity of the slice volume.
+        ws = self.spec.warp_size
+        threads = min(self.THREADS, ceil_div(self.A * self.B, ws) * ws)
+        blocks = self.coverage.num_blocks
+        if self.coarsen:
+            c_dim, c_factor = self.coarsen
+            extent = self.layout.dims[c_dim]
+            # The coarsened dim contributes ceil(extent/factor) grid
+            # positions instead of extent.
+            blocks = blocks // extent * ceil_div(extent, c_factor)
+        return LaunchGeometry(
+            num_blocks=blocks,
+            threads_per_block=threads,
+            shared_mem_per_block=(self.A + self.pad) * self.B * self.elem_bytes,
+        )
+
+    # -- covered output dims, in output order ----------------------------
+    def _covered_sizes(self, sizes: Dict[int, int]) -> List[Tuple[int, int]]:
+        """``(dim, covered_extent)`` for every slice dim, in output order.
+
+        Non-slice dims are skipped (they are grid dims); the write phase
+        enumerates the slice over exactly these digits, so output runs
+        break wherever a skipped dim interrupts the output prefix.
+        """
+        out: List[Tuple[int, int]] = []
+        dims = self.layout.dims
+        slice_dims = self.in_group | set(self.only_out)
+        for d in self.perm.mapping:
+            if d not in slice_dims:
+                continue
+            if d == self.a_dim:
+                out.append((d, sizes.get(d, self.blockA)))
+            elif d == self.b_dim:
+                out.append((d, sizes.get(d, self.blockB)))
+            else:
+                out.append((d, dims[d]))
+        return out
+
+    def output_run_length(self, sizes: Optional[Dict[int, int]] = None) -> int:
+        """Contiguous output run length ("output stride" feature).
+
+        Walk output dims in output order while they are slice-covered and
+        full; a partially covered dim contributes its covered size and
+        ends the run, and a non-slice dim ends it immediately.
+        """
+        sizes = sizes or {}
+        dims = self.layout.dims
+        covered = dict(self._covered_sizes(sizes))
+        run = 1
+        for d in self.perm.mapping:
+            if d not in covered:
+                break
+            run *= covered[d]
+            if covered[d] != dims[d]:
+                break
+        return run
+
+    # -- Alg. 4 offset arrays --------------------------------------------
+    def offset_arrays(
+        self, sizes: Optional[Dict[int, int]] = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(input_offset[B], out_offset[A*B], sm_out_offset[A*B])``.
+
+        ``sizes`` optionally overrides blocked-dim covered sizes (partial
+        slices).  All offsets are element units relative to the block's
+        base addresses; ``sm_out_offset`` indexes the row-major
+        ``B x A`` buffer.
+        """
+        sizes = sizes or {}
+        dims, in_strides = self.layout.dims, self.layout.strides
+        out_strides = self.out_layout.strides
+        a_cov = sizes.get(self.a_dim, self.blockA) if self.a_dim is not None else 1
+        b_cov = sizes.get(self.b_dim, self.blockB) if self.b_dim is not None else 1
+        a_size = self.layout.prefix_volume(self.in_prefix) * a_cov
+        b_size = math.prod(dims[d] for d in self.only_out_full) * b_cov
+
+        # input_offset: delinearize rows over the only-out dims.
+        oo_extents = [
+            (d, dims[d]) for d in self.only_out_full
+        ] + ([(self.b_dim, b_cov)] if self.b_dim is not None else [])
+        ys = np.arange(b_size, dtype=np.int64)
+        in_off = np.zeros(b_size, dtype=np.int64)
+        rem = ys.copy()
+        for d, e in oo_extents:
+            in_off += (rem % e) * in_strides[d]
+            rem //= e
+
+        # Write phase: enumerate the slice in output-linear order.
+        covered = self._covered_sizes(sizes)
+        n = a_size * b_size
+        assert math.prod(e for _, e in covered) == n, "slice coverage mismatch"
+        ts = np.arange(n, dtype=np.int64)
+        out_off = np.zeros(n, dtype=np.int64)
+        sm_off = np.zeros(n, dtype=np.int64)
+        # Per-dim strides inside the buffer: input-group dims are columns
+        # (input order), only-out dims are rows (output order).
+        col_stride: Dict[int, int] = {}
+        s = 1
+        for d in range(self.in_prefix):
+            col_stride[d] = s
+            s *= dims[d]
+        if self.a_dim is not None:
+            col_stride[self.a_dim] = s
+        row_stride: Dict[int, int] = {}
+        s = 1
+        for d, e in oo_extents:
+            row_stride[d] = s
+            s *= e
+        rem = ts.copy()
+        for d, e in covered:
+            digit = rem % e
+            rem //= e
+            out_off += digit * out_strides[self._out_pos[d]]
+            if d in col_stride:
+                sm_off += digit * col_stride[d]
+            else:
+                sm_off += digit * row_stride[d] * a_size
+        return in_off, out_off, sm_off
+
+    def tex_array_bytes(self) -> int:
+        return (self.B + 2 * self.A * self.B) * 4
+
+    # ------------------------------------------------------------------
+    def _sm_off_sample(self) -> np.ndarray:
+        cached = getattr(self, "_sm_off", None)
+        if cached is None:
+            _, _, cached = self.offset_arrays()
+            self._sm_off = cached
+        return cached
+
+    def _conflict_degree_for_pad(self, pad: int, samples: int = 8) -> float:
+        """Average bank-conflict degree of the copy-out buffer gather for
+        a given row pitch, sampled from the real ``sm_out_offset``."""
+        sm_off = self._sm_off_sample()
+        ws = self.spec.warp_size
+        n = len(sm_off)
+        if n == 0:
+            return 1.0
+        step = max(1, (n // ws) // max(samples, 1))
+        degrees = []
+        for w in range(0, n // ws, step):
+            off = sm_off[w * ws : (w + 1) * ws]
+            padded = (off // self.A) * (self.A + pad) + off % self.A
+            words = padded * self.elem_bytes // self.spec.bank_bytes
+            degrees.append(conflict_degree(words, self.spec.shared_mem_banks))
+            if len(degrees) >= samples:
+                break
+        return float(np.mean(degrees)) if degrees else 1.0
+
+    def smem_read_conflict_degree(self, samples: int = 8) -> float:
+        """Average bank-conflict degree of the copy-out buffer gather
+        under the kernel's chosen pad."""
+        return self._conflict_degree_for_pad(self.pad, samples)
+
+    def _variant_counters(self, sizes: Dict[int, int]) -> KernelCounters:
+        # Memoized: Alg. 3 evaluates features() and counters() on many
+        # candidates, and both walk the same <=4 variants.
+        cache = getattr(self, "_vc_cache", None)
+        if cache is None:
+            cache = self._vc_cache = {}
+        key = tuple(sorted(sizes.items()))
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        c = self._variant_counters_uncached(sizes)
+        cache[key] = c
+        return c
+
+    def dram_tx_totals(self) -> Tuple[int, int]:
+        """Whole-launch DRAM (load, store) transaction counts via the
+        effective-run decomposition (see the OD kernel's counterpart)."""
+        eb = self.elem_bytes
+        vol = self.volume
+        resident = self.spec.block_slots
+        in_runs = effective_runs(
+            range(self.layout.rank),
+            self.coverage.by_dim,
+            self.layout.dims,
+            vol,
+            resident,
+        )
+        out_runs = effective_runs(
+            self.perm.mapping,
+            self.coverage.by_dim,
+            self.layout.dims,
+            vol,
+            resident,
+        )
+
+        def total(runs):
+            t = 0.0
+            for count, r in runs:
+                lat = math.gcd(self.spec.transaction_bytes, r * eb)
+                t += count * lattice_run_transactions(r, eb, lat)
+            return int(round(t))
+
+        return total(in_runs), total(out_runs)
+
+    def _variant_counters_uncached(self, sizes: Dict[int, int]) -> KernelCounters:
+        c = KernelCounters()
+        eb, ws = self.elem_bytes, self.spec.warp_size
+        dims = self.layout.dims
+        a_cov = sizes.get(self.a_dim, self.blockA) if self.a_dim is not None else 1
+        b_cov = sizes.get(self.b_dim, self.blockB) if self.b_dim is not None else 1
+        a = self.layout.prefix_volume(self.in_prefix) * a_cov
+        b = math.prod(dims[d] for d in self.only_out_full) * b_cov
+        vol = a * b
+
+        ld_acc = b * ceil_div(a, ws)
+        c.warp_ld_accesses = ld_acc
+        st_acc = ceil_div(vol, ws)
+        c.warp_st_accesses = st_acc
+
+        c.dram_ld_useful_bytes = vol * eb
+        c.dram_st_useful_bytes = vol * eb
+        c.lane_slots = (ld_acc + st_acc) * ws
+        c.active_lanes = 2 * vol
+        c.smem_st_accesses = ld_acc
+        c.smem_ld_accesses = st_acc
+        degree = self._smem_degree_cache
+        c.smem_conflict_cycles = int(round((degree - 1.0) * st_acc))
+        c.tex_accesses = ld_acc + 2 * st_acc
+        partial = int(bool(sizes) and (a != self.A or b != self.B))
+        c.special_ops = 2 * self.layout.rank + (
+            4 * (ld_acc + st_acc) if partial else 0
+        )
+        c.alu_ops = 8 * vol
+        return c
+
+    @property
+    def _smem_degree_cache(self) -> float:
+        if not hasattr(self, "_smem_degree"):
+            self._smem_degree = self.smem_read_conflict_degree()
+        return self._smem_degree
+
+    def counters(self) -> KernelCounters:
+        total = KernelCounters()
+        for v in self.coverage.variants():
+            total += self._variant_counters(v.sizes).scaled(v.count)
+        total.dram_ld_tx, total.dram_st_tx = self.dram_tx_totals()
+        if self.coarsen:
+            # Coarsening's whole point (Sec. IV-A): the expensive mod/div
+            # base decode runs once per launch block; subsequent
+            # sub-slices derive their bases by adding strides.
+            subs = self.coverage.num_blocks
+            blocks = self.launch_geometry.num_blocks
+            saved = 2 * self.layout.rank * max(subs - blocks, 0)
+            total.special_ops = max(0, total.special_ops - saved)
+            total.alu_ops += 2 * max(subs - blocks, 0)
+        return total
+
+    def cycles(self) -> float:
+        """Sec. V OA cycles: total input+output transactions over all
+        full and partial slices (f1 + f2 + f3 + f4 structure), normalized
+        by the launch's memory-level parallelism.
+
+        Deviation from the paper (documented in EXPERIMENTS.md): the raw
+        transaction count alone leaves a linear model ~35 % off on our
+        simulator because the slice-proportional shared-memory footprint
+        throttles occupancy hyperbolically; dividing by the achievable
+        residency fraction restores a near-linear relationship (the
+        paper's NumThreads/TotalSlice features evidently played this role
+        on real hardware).
+        """
+        from repro.gpusim.occupancy import occupancy_for
+
+        ld, st = self.dram_tx_totals()
+        total = float(ld + st)
+        # Bank-conflict serialization is this kernel's other inefficiency
+        # channel (Sec. IV admits it "could suffer from some shared
+        # memory bank conflict").  Execution overlaps DRAM and shared
+        # memory, so the binding resource is the *max* of the two;
+        # express conflicts in transaction-equivalent units (one 128 B
+        # transaction buys effective_bandwidth-worth of time, one smem
+        # cycle buys an SM cycle) and take the max so conflict-bound
+        # configurations become visible to the linear model without
+        # polluting bandwidth-bound ones.
+        conflict_cycles = sum(
+            v.count * self._variant_counters(v.sizes).smem_conflict_cycles
+            for v in self.coverage.variants()
+        )
+        tx_seconds = self.spec.transaction_bytes / self.spec.effective_bandwidth
+        cycle_seconds = 1.0 / (self.spec.num_sms * self.spec.clock_hz)
+        total = max(total, conflict_cycles * cycle_seconds / tx_seconds)
+        occ = occupancy_for(self.spec, self.launch_geometry)
+        mlp = min(
+            1.0,
+            occ.resident_warps_per_sm / self.spec.saturation_warps_per_sm,
+        )
+        return total / max(mlp, 0.05)
+
+    def features(self) -> Dict[str, float]:
+        base = super().features()
+        base.update(
+            total_slice=float(self.A * self.B),
+            input_stride=float(self.A),
+            output_stride=float(self.output_run_length()),
+            special_instr=float(
+                sum(
+                    v.count * self._variant_counters(v.sizes).special_ops
+                    for v in self.coverage.variants()
+                )
+            ),
+            cycles=float(self.cycles()),
+        )
+        return base
+
+    # ------------------------------------------------------------------
+    def execute(self, src: np.ndarray) -> np.ndarray:
+        src = self.check_input(src)
+        dst = np.empty(self.volume, dtype=src.dtype)
+        in_base, out_base, variant = self.coverage.block_bases()
+        vorder = self.coverage.variants_order()
+        dims = self.layout.dims
+        for vid, sizes in enumerate(vorder):
+            sel = np.nonzero(variant == vid)[0]
+            if sel.size == 0:
+                continue
+            in_off, out_off, sm_off = self.offset_arrays(sizes)
+            a_cov = sizes.get(self.a_dim, self.blockA) if self.a_dim is not None else 1
+            a = self.layout.prefix_volume(self.in_prefix) * a_cov
+            b = len(in_off)
+            ib, ob = in_base[sel], out_base[sel]
+            gather = ib[:, None, None] + in_off[None, :, None] + np.arange(
+                a, dtype=np.int64
+            )[None, None, :]
+            buf = src[gather].reshape(sel.size, a * b)  # row-major B x A
+            dst[ob[:, None] + out_off[None, :]] = buf[:, sm_off]
+        return dst
+
+    # ------------------------------------------------------------------
+    def trace(self, max_blocks: Optional[int] = None) -> Iterator[WarpAccess]:
+        eb, ws = self.elem_bytes, self.spec.warp_size
+        in_base, out_base, variant = self.coverage.block_bases(max_blocks)
+        vorder = self.coverage.variants_order()
+        for blk in range(len(in_base)):
+            sizes = vorder[variant[blk]]
+            in_off, out_off, sm_off = self.offset_arrays(sizes)
+            a_cov = sizes.get(self.a_dim, self.blockA) if self.a_dim is not None else 1
+            a = self.layout.prefix_volume(self.in_prefix) * a_cov
+            b = len(in_off)
+            ib, ob = int(in_base[blk]), int(out_base[blk])
+            pitch = a + self.pad
+            for y in range(b):
+                yield WarpAccess("tld", np.array([y * 4]), 4, ws)
+                for x0 in range(0, a, ws):
+                    lanes = np.arange(x0, min(x0 + ws, a), dtype=np.int64)
+                    yield WarpAccess("gld", (ib + in_off[y] + lanes) * eb, eb, ws)
+                    yield WarpAccess("sst", (y * pitch + lanes) * eb, eb, ws)
+            n = a * b
+            for t0 in range(0, n, ws):
+                ts = np.arange(t0, min(t0 + ws, n), dtype=np.int64)
+                padded = (sm_off[ts] // a) * pitch + sm_off[ts] % a
+                yield WarpAccess("tld", ts[:1] * 4, 4, ws)
+                yield WarpAccess("tld", ts[:1] * 4 + 4, 4, ws)
+                yield WarpAccess("sld", padded * eb, eb, ws)
+                yield WarpAccess("gst", (ob + out_off[ts]) * eb, eb, ws)
+        return

@@ -1,0 +1,361 @@
+"""Orthogonal-Distinct kernel (Alg. 2, Fig. 2).
+
+The combined input-FVI group (dims ``0..in_prefix-1`` plus ``blockA``
+values of dim ``in_prefix``) and the combined output-FVI group (the first
+``out_prefix`` output dims plus ``blockB`` values of the next) are
+disjoint, so the per-block slice is the 2D cartesian product
+``A x B`` (``A`` contiguous in input, ``B`` contiguous in output) — a
+direct generalization of 2D matrix transposition.
+
+Each block walks the slice in ``32 x 32`` tiles through a fixed padded
+``32 x 33`` shared-memory buffer (thread coarsening when the slice
+exceeds one tile):
+
+- copy-in: warps read 32-element rows along the input-contiguous axis,
+  addressed as ``in_base + in_offset[y] + x`` (the ``in_offset`` array is
+  precomputed by Alg. 4 and lives in texture memory);
+- copy-out: warps read buffer columns and write 32-element rows along the
+  output-contiguous axis at ``out_base + out_offset[x] + y``.
+
+Both global phases are fully coalesced; the padded pitch makes the column
+reads bank-conflict-free (Sec. III).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.core.taxonomy import Schema
+from repro.errors import SchemaError
+from repro.gpusim.counters import KernelCounters, LaunchGeometry
+from repro.gpusim.engine import WarpAccess
+from repro.gpusim.sharedmem import column_access_degree
+from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
+from repro.kernels.base import TransposeKernel
+from repro.kernels.common import (
+    Coverage,
+    DimCoverage,
+    SliceCoverage,
+    ceil_div,
+    effective_runs,
+    lattice_run_transactions,
+    reference_transpose,
+    weighted_slice_cycles,
+)
+
+#: Fixed tile side (warp size) and pad of the shared buffer (32 x 33).
+TILE = 32
+PAD = 1
+
+
+class OrthogonalDistinctKernel(TransposeKernel):
+    """Generalized tiled matrix transposition over disjoint FVI groups."""
+
+    schema = Schema.ORTHOGONAL_DISTINCT
+
+    THREADS = 256
+
+    def __init__(
+        self,
+        layout: TensorLayout,
+        perm: Permutation,
+        in_prefix: int,
+        blockA: int,
+        out_prefix: int,
+        blockB: int,
+        elem_bytes: int = 8,
+        spec: DeviceSpec = KEPLER_K40C,
+    ):
+        super().__init__(layout, perm, elem_bytes, spec)
+        rank = layout.rank
+        dims = layout.dims
+        if not 0 <= in_prefix <= rank or not 0 <= out_prefix <= rank:
+            raise SchemaError("group prefix out of range")
+        # Normalize: a block factor equal to the extent means the dim is
+        # fully in the group.
+        while in_prefix < rank and blockA == dims[in_prefix]:
+            in_prefix, blockA = in_prefix + 1, 1
+        out_dims_order = perm.mapping
+        while out_prefix < rank and blockB == dims[out_dims_order[out_prefix]]:
+            out_prefix, blockB = out_prefix + 1, 1
+        self.in_prefix = in_prefix
+        self.out_prefix = out_prefix
+        self.blockA = blockA
+        self.blockB = blockB
+        self.a_dim = in_prefix if (in_prefix < rank and blockA > 1) else None
+        self.b_dim = (
+            out_dims_order[out_prefix]
+            if (out_prefix < rank and blockB > 1)
+            else None
+        )
+        if blockA > 1 and in_prefix >= rank:
+            raise SchemaError("blockA given but no dimension left to block")
+        if blockB > 1 and out_prefix >= rank:
+            raise SchemaError("blockB given but no dimension left to block")
+        if self.a_dim is not None and not 1 <= blockA <= dims[self.a_dim]:
+            raise SchemaError(f"blockA={blockA} out of range")
+        if self.b_dim is not None and not 1 <= blockB <= dims[self.b_dim]:
+            raise SchemaError(f"blockB={blockB} out of range")
+
+        in_full = set(range(in_prefix))
+        out_full = {out_dims_order[q] for q in range(out_prefix)}
+        in_group = in_full | ({self.a_dim} if self.a_dim is not None else set())
+        out_group = out_full | ({self.b_dim} if self.b_dim is not None else set())
+        if in_group & out_group:
+            raise SchemaError(
+                "Orthogonal-Distinct requires disjoint FVI groups; "
+                f"overlap: {sorted(in_group & out_group)}"
+            )
+        self.in_full, self.out_full = in_full, out_full
+        self.A = layout.prefix_volume(in_prefix) * blockA
+        self.B = math.prod(dims[d] for d in out_full) * blockB
+        if self.A <= 0 or self.B <= 0:
+            raise SchemaError("empty slice")
+
+        covs: List[DimCoverage] = []
+        for d in range(rank):
+            if d in in_full or d in out_full:
+                covs.append(DimCoverage(d, Coverage.FULL))
+            elif d == self.a_dim:
+                covs.append(DimCoverage(d, Coverage.BLOCK, blockA))
+            elif d == self.b_dim:
+                covs.append(DimCoverage(d, Coverage.BLOCK, blockB))
+            else:
+                covs.append(DimCoverage(d, Coverage.OUTER))
+        self.coverage = SliceCoverage(layout, perm, covs)
+        self._out_pos = {d: q for q, d in enumerate(perm.mapping)}
+
+    # ------------------------------------------------------------------
+    @property
+    def launch_geometry(self) -> LaunchGeometry:
+        return LaunchGeometry(
+            num_blocks=self.coverage.num_blocks,
+            threads_per_block=self.THREADS,
+            shared_mem_per_block=TILE * (TILE + PAD) * self.elem_bytes,
+        )
+
+    # -- offset arrays (Alg. 4 restricted to the disjoint case) ---------
+    def in_offset_array(self, b_size: Optional[int] = None) -> np.ndarray:
+        """Input offset of each output-group row ``y`` (element units)."""
+        b_size = self.B if b_size is None else b_size
+        dims, strides = self.layout.dims, self.layout.strides
+        # Output-group dims in OUTPUT order, fastest first.
+        order = [self.perm.mapping[q] for q in range(self.out_prefix)]
+        extents = [dims[d] for d in order]
+        if self.b_dim is not None:
+            order.append(self.b_dim)
+            extents.append(
+                max(1, b_size // max(math.prod(extents), 1))
+                if extents
+                else b_size
+            )
+        ys = np.arange(b_size, dtype=np.int64)
+        off = np.zeros(b_size, dtype=np.int64)
+        rem = ys.copy()
+        for d, e in zip(order, extents):
+            off += (rem % e) * strides[d]
+            rem //= e
+        return off
+
+    def out_offset_array(self, a_size: Optional[int] = None) -> np.ndarray:
+        """Output offset of each input-group column ``x`` (element units)."""
+        a_size = self.A if a_size is None else a_size
+        dims = self.layout.dims
+        out_strides = self.out_layout.strides
+        order = list(range(self.in_prefix))
+        extents = [dims[d] for d in order]
+        if self.a_dim is not None:
+            order.append(self.a_dim)
+            extents.append(
+                max(1, a_size // max(math.prod(extents), 1))
+                if extents
+                else a_size
+            )
+        xs = np.arange(a_size, dtype=np.int64)
+        off = np.zeros(a_size, dtype=np.int64)
+        rem = xs.copy()
+        for d, e in zip(order, extents):
+            off += (rem % e) * out_strides[self._out_pos[d]]
+            rem //= e
+        return off
+
+    def tex_array_bytes(self) -> int:
+        return (self.A + self.B) * 4  # int32 offset arrays
+
+    # ------------------------------------------------------------------
+    def dram_tx_totals(self) -> Tuple[int, int]:
+        """Whole-launch DRAM (load, store) transaction counts.
+
+        Traffic on each side decomposes into effective contiguous runs
+        (:func:`repro.kernels.common.effective_runs`): slice rows chained
+        through fully covered dims and temporally adjacent blocks, each
+        costing its covering 128 B lines once.
+        """
+        eb = self.elem_bytes
+        vol = self.volume
+        resident = self.spec.block_slots
+        in_runs = effective_runs(
+            range(self.layout.rank),
+            self.coverage.by_dim,
+            self.layout.dims,
+            vol,
+            resident,
+        )
+        out_runs = effective_runs(
+            self.perm.mapping,
+            self.coverage.by_dim,
+            self.layout.dims,
+            vol,
+            resident,
+        )
+
+        def total(runs):
+            t = 0.0
+            for count, r in runs:
+                lat = math.gcd(self.spec.transaction_bytes, r * eb)
+                t += count * lattice_run_transactions(r, eb, lat)
+            return int(round(t))
+
+        return total(in_runs), total(out_runs)
+
+    def _variant_counters(self, a: int, b: int) -> KernelCounters:
+        """Analytic counters for one slice of shape ``a x b``.
+
+        DRAM transactions are accounted globally (:meth:`dram_tx_totals`);
+        this method covers the per-slice warp/lane/smem/texture activity.
+        """
+        c = KernelCounters()
+        eb, ws = self.elem_bytes, self.spec.warp_size
+        # copy-in: for each of b rows, ceil(a/ws) warp reads of <=ws
+        # contiguous elements; tile boundaries align to ws*eb.
+        ld_acc = b * ceil_div(a, ws)
+        st_acc = a * ceil_div(b, ws)
+        vol = a * b
+        c.dram_ld_useful_bytes = vol * eb
+        c.dram_st_useful_bytes = vol * eb
+        c.warp_ld_accesses = ld_acc
+        c.warp_st_accesses = st_acc
+        c.lane_slots = (ld_acc + st_acc) * ws
+        c.active_lanes = 2 * vol
+        c.smem_st_accesses = ld_acc
+        c.smem_ld_accesses = st_acc
+        degree = column_access_degree(
+            min(ws, b), TILE + PAD, self.spec.shared_mem_banks
+        )
+        c.smem_conflict_cycles = (degree - 1) * st_acc
+        c.tex_accesses = ld_acc + st_acc
+        partial = int(a != self.A or b != self.B)
+        c.special_ops = 2 * self.layout.rank + partial * 2 * (ld_acc + st_acc)
+        c.alu_ops = 6 * vol
+        return c
+
+    def slice_variant_shapes(self) -> List[Tuple[int, int, int]]:
+        """``(count, a, b)`` for every full/partial slice variant —
+        the N1..N4 of the paper's cycles feature."""
+        shapes: List[Tuple[int, int, int]] = []
+        base_in = self.layout.prefix_volume(self.in_prefix)
+        base_out = math.prod(self.layout.dims[d] for d in self.out_full)
+        for v in self.coverage.variants():
+            a = base_in * (
+                v.size_of(self.a_dim, 1) if self.a_dim is not None else 1
+            )
+            b = base_out * (
+                v.size_of(self.b_dim, 1) if self.b_dim is not None else 1
+            )
+            shapes.append((v.count, a, b))
+        return shapes
+
+    def cycles(self) -> int:
+        """The Sec. V warp-inefficiency feature for this configuration."""
+        return weighted_slice_cycles(self.slice_variant_shapes(), self.spec.warp_size)
+
+    def counters(self) -> KernelCounters:
+        total = KernelCounters()
+        for count, a, b in self.slice_variant_shapes():
+            total += self._variant_counters(a, b).scaled(count)
+        total.dram_ld_tx, total.dram_st_tx = self.dram_tx_totals()
+        return total
+
+    def features(self) -> Dict[str, float]:
+        base = super().features()
+        base.update(
+            input_slice=float(self.A),
+            output_slice=float(self.B),
+            cycles=float(self.cycles()),
+        )
+        return base
+
+    # ------------------------------------------------------------------
+    def execute(self, src: np.ndarray) -> np.ndarray:
+        """Vectorized per-block movement through the offset arrays."""
+        src = self.check_input(src)
+        dst = np.empty(self.volume, dtype=src.dtype)
+        in_base, out_base, variant = self.coverage.block_bases()
+        vorder = self.coverage.variants_order()
+        base_in = self.layout.prefix_volume(self.in_prefix)
+        base_out = math.prod(self.layout.dims[d] for d in self.out_full)
+        for vid, sizes in enumerate(vorder):
+            sel = np.nonzero(variant == vid)[0]
+            if sel.size == 0:
+                continue
+            a = base_in * (sizes.get(self.a_dim, 1) if self.a_dim is not None else 1)
+            b = base_out * (sizes.get(self.b_dim, 1) if self.b_dim is not None else 1)
+            in_off = self.in_offset_array(b)
+            out_off = self.out_offset_array(a)
+            ib = in_base[sel]
+            ob = out_base[sel]
+            # Gather the slice as [block, y(B), x(A)] -- the copy-in phase
+            # (rows along the input-contiguous axis through the tile
+            # buffer), then scatter columns -- the copy-out phase.
+            gather_idx = ib[:, None, None] + in_off[None, :, None] + np.arange(
+                a, dtype=np.int64
+            )[None, None, :]
+            buf = src[gather_idx]
+            scatter_idx = ob[:, None, None] + out_off[None, :, None] + np.arange(
+                b, dtype=np.int64
+            )[None, None, :]
+            dst[scatter_idx] = buf.transpose(0, 2, 1)
+        return dst
+
+    # ------------------------------------------------------------------
+    def trace(self, max_blocks: Optional[int] = None) -> Iterator[WarpAccess]:
+        eb, ws = self.elem_bytes, self.spec.warp_size
+        in_base, out_base, variant = self.coverage.block_bases(max_blocks)
+        vorder = self.coverage.variants_order()
+        base_in = self.layout.prefix_volume(self.in_prefix)
+        base_out = math.prod(self.layout.dims[d] for d in self.out_full)
+        pitch = TILE + PAD
+        for blk in range(len(in_base)):
+            sizes = vorder[variant[blk]]
+            a = base_in * (sizes.get(self.a_dim, 1) if self.a_dim is not None else 1)
+            b = base_out * (sizes.get(self.b_dim, 1) if self.b_dim is not None else 1)
+            in_off = self.in_offset_array(b)
+            out_off = self.out_offset_array(a)
+            ib, ob = int(in_base[blk]), int(out_base[blk])
+            for ty in range(0, b, TILE):
+                hy = min(TILE, b - ty)
+                for tx in range(0, a, TILE):
+                    hx = min(TILE, a - tx)
+                    # copy-in rows
+                    for y in range(ty, ty + hy):
+                        lanes = np.arange(tx, tx + hx, dtype=np.int64)
+                        yield WarpAccess(
+                            "gld", (ib + in_off[y] + lanes) * eb, eb, ws
+                        )
+                        yield WarpAccess("tld", np.array([y * 4]), 4, ws)
+                        srow = (y - ty) * pitch + (lanes - tx)
+                        yield WarpAccess("sst", srow * eb, eb, ws)
+                    # copy-out columns
+                    for x in range(tx, tx + hx):
+                        lanes = np.arange(ty, ty + hy, dtype=np.int64)
+                        scol = (lanes - ty) * pitch + (x - tx)
+                        yield WarpAccess("sld", scol * eb, eb, ws)
+                        yield WarpAccess("tld", np.array([x * 4]), 4, ws)
+                        yield WarpAccess(
+                            "gst", (ob + out_off[x] + lanes) * eb, eb, ws
+                        )

@@ -1,0 +1,23 @@
+"""Performance modeling (Sec. V of the paper).
+
+Linear-regression models per kernel schema predict execution time from
+analytic features (volume, #blocks, slice volumes, warp-efficiency
+cycles, strides, special instructions).  The models drive Alg. 3's
+slice-size search, the taxonomy's model-resolved branches, and the
+public ``predict_time`` API that higher-level libraries (e.g. TTGT
+contraction planners) query.
+"""
+
+from repro.model.features import FEATURE_NAMES, feature_vector
+from repro.model.regression import FittedModel, LinearRegression, RegressionSummary
+from repro.model.pretrained import load_pretrained, pretrained_predictor
+
+__all__ = [
+    "FEATURE_NAMES",
+    "feature_vector",
+    "LinearRegression",
+    "FittedModel",
+    "RegressionSummary",
+    "load_pretrained",
+    "pretrained_predictor",
+]

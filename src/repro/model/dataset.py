@@ -1,0 +1,145 @@
+"""Training-set configuration generator (Sec. V "DataSet").
+
+The paper's dataset covers tensor ranks 3-6 with all permutations, five
+orderings among the extents, and volumes from 16 MB to 2 GB:
+
+1. all extents equal,
+2. monotonically increasing,
+3. monotonically decreasing,
+4. increasing to the centre then decreasing,
+5. decreasing to the centre then increasing.
+
+Four-fifths of the configurations train, the rest test.  Because our
+"measurements" are analytic simulator evaluations (O(rank) per point,
+independent of volume), the full volume range costs nothing to cover.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+
+#: The five extent orderings of the paper.
+ORDERINGS = ("same", "increasing", "decreasing", "peak", "valley")
+
+
+def ordered_extents(rank: int, base: int, ordering: str) -> Tuple[int, ...]:
+    """Extents of the given ordering whose geometric middle is ``base``.
+
+    The spread between consecutive extents is ~25 % so the volume stays
+    near ``base ** rank`` for every ordering.
+    """
+    if ordering not in ORDERINGS:
+        raise ValueError(f"unknown ordering {ordering!r}")
+    if ordering == "same":
+        return (base,) * rank
+    # Multiplicative steps around the base.
+    def seq(n: int, sign: int) -> List[int]:
+        offs = [i - (n - 1) / 2 for i in range(n)]
+        return [max(2, round(base * (1.25 ** (sign * o)))) for o in offs]
+
+    if ordering == "increasing":
+        return tuple(seq(rank, +1))
+    if ordering == "decreasing":
+        return tuple(seq(rank, -1))
+    half = (rank + 1) // 2
+    up = seq(half, +1)
+    down = seq(rank - half + 1, -1)
+    if ordering == "peak":
+        return tuple(up + down[1:])
+    # valley
+    down2 = seq(half, -1)
+    up2 = seq(rank - half + 1, +1)
+    return tuple(down2 + up2[1:])
+
+
+def base_extent_for_volume(rank: int, volume: int) -> int:
+    """Extent whose ``rank``-th power approximates ``volume`` elements."""
+    return max(2, round(volume ** (1.0 / rank)))
+
+
+@dataclass(frozen=True)
+class TransposeCase:
+    """One (dims, perm) problem in the dataset."""
+
+    dims: Tuple[int, ...]
+    perm: Tuple[int, ...]
+
+    @property
+    def layout(self) -> TensorLayout:
+        return TensorLayout(self.dims)
+
+    @property
+    def permutation(self) -> Permutation:
+        return Permutation(self.perm)
+
+    @property
+    def volume(self) -> int:
+        return math.prod(self.dims)
+
+
+def generate_cases(
+    ranks: Sequence[int] = (3, 4, 5, 6),
+    volumes: Sequence[int] = (2 * 1024**2, 16 * 1024**2, 128 * 1024**2),
+    max_perms_per_rank: int = 24,
+    seed: int = 20180521,
+) -> List[TransposeCase]:
+    """Build the dataset grid: rank x ordering x volume x permutation.
+
+    ``volumes`` are element counts (the paper uses byte volumes 16 MB -
+    2 GB of doubles; defaults here sit inside that range).  Permutations
+    are sampled without replacement per rank when the full factorial
+    (e.g. 720 at rank 6) exceeds ``max_perms_per_rank``; the identity is
+    excluded (it fuses to a copy).
+    """
+    rng = random.Random(seed)
+    cases: List[TransposeCase] = []
+    for rank in ranks:
+        all_perms = [
+            p
+            for p in itertools.permutations(range(rank))
+            if p != tuple(range(rank))
+        ]
+        if len(all_perms) > max_perms_per_rank:
+            perms = rng.sample(all_perms, max_perms_per_rank)
+        else:
+            perms = all_perms
+        # The uniform sample under-represents matching-FVI cases, which
+        # starves the FVI-Match models; force a couple in.
+        fvi_perms = [p for p in all_perms if p[0] == 0]
+        if fvi_perms and not any(p[0] == 0 for p in perms):
+            perms = perms + rng.sample(fvi_perms, min(2, len(fvi_perms)))
+        for volume in volumes:
+            base = base_extent_for_volume(rank, volume)
+            for ordering in ORDERINGS:
+                dims = ordered_extents(rank, base, ordering)
+                for p in perms:
+                    cases.append(TransposeCase(dims=dims, perm=p))
+            # Small-FVI shapes (first extent below the warp size) for the
+            # FVI-Match-Small model.
+            for n0 in (4, 8, 15, 16):
+                rest = base_extent_for_volume(rank - 1, max(volume // n0, 2))
+                dims = (n0,) + (rest,) * (rank - 1)
+                for p in fvi_perms[: min(3, len(fvi_perms))]:
+                    cases.append(TransposeCase(dims=dims, perm=p))
+    return cases
+
+
+def train_test_split(
+    items: Sequence, train_fraction: float = 0.8, seed: int = 7
+) -> Tuple[list, list]:
+    """The paper's split: a random four-fifths trains, the rest tests."""
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    idx = list(range(len(items)))
+    random.Random(seed).shuffle(idx)
+    cut = int(round(len(items) * train_fraction))
+    train = [items[i] for i in idx[:cut]]
+    test = [items[i] for i in idx[cut:]]
+    return train, test

@@ -1,0 +1,98 @@
+"""Feature extraction for the per-kernel regression models.
+
+Table II of the paper defines the feature sets:
+
+- **Orthogonal-Distinct**: Volume, NumBlocks, Input slice, Output slice,
+  Cycles (the warp-inefficiency count of Sec. V).
+- **Orthogonal-Arbitrary**: Volume, NumThreads, Total Slice, Input
+  Stride, Output Stride, Special Instr, Cycles (transaction-based).
+
+The paper omits the FVI-match models "due to space constraints"; we use
+analogous small feature sets so every schema is model-predictable.
+
+Feature values come from each kernel's :meth:`features` dict; this
+module pins the order so coefficient vectors are stable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.taxonomy import Schema
+from repro.kernels.base import TransposeKernel
+
+#: Canonical feature order per schema (intercept handled by the model).
+FEATURE_NAMES: Dict[Schema, List[str]] = {
+    Schema.ORTHOGONAL_DISTINCT: [
+        "volume",
+        "num_blocks",
+        "input_slice",
+        "output_slice",
+        "cycles",
+    ],
+    Schema.ORTHOGONAL_ARBITRARY: [
+        "volume",
+        "num_threads",
+        "total_slice",
+        "input_stride",
+        "output_stride",
+        "special_instr",
+        "cycles",
+    ],
+    Schema.FVI_MATCH_LARGE: [
+        "volume",
+        "num_blocks",
+        "run_length",
+    ],
+    Schema.FVI_MATCH_SMALL: [
+        "volume",
+        "num_blocks",
+        "slice_volume",
+        "block_b",
+        "fvi_extent",
+    ],
+}
+
+#: Pretty labels used when rendering the Table II reproduction.
+DISPLAY_NAMES: Dict[str, str] = {
+    "volume": "Volume",
+    "num_blocks": "NumBlocks",
+    "num_threads": "NumThreads",
+    "input_slice": "Input slice",
+    "output_slice": "Output slice",
+    "total_slice": "Total Slice",
+    "input_stride": "Input Stride",
+    "output_stride": "Output Stride",
+    "special_instr": "Special Instr",
+    "cycles": "Cycles",
+    "run_length": "Run length",
+    "slice_volume": "Slice volume",
+    "block_b": "Block b",
+    "fvi_extent": "FVI extent",
+}
+
+
+def feature_vector(kernel: TransposeKernel) -> np.ndarray:
+    """Ordered feature vector for one kernel instance.
+
+    Raises
+    ------
+    KeyError
+        If the kernel's schema has no registered feature set, or the
+        kernel's :meth:`features` dict is missing a registered feature.
+    """
+    names = FEATURE_NAMES[kernel.schema]
+    feats = kernel.features()
+    return np.array([feats[n] for n in names], dtype=np.float64)
+
+
+def feature_matrix(kernels: Sequence[TransposeKernel]) -> np.ndarray:
+    """Stack feature vectors for same-schema kernels into a matrix."""
+    if not kernels:
+        return np.empty((0, 0))
+    schema = kernels[0].schema
+    if any(k.schema is not schema for k in kernels):
+        raise ValueError("all kernels must share one schema")
+    return np.vstack([feature_vector(k) for k in kernels])

@@ -1,0 +1,62 @@
+"""JSON round-trip for fitted models (and the shipped pretrained file)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.core.taxonomy import Schema
+from repro.errors import ModelError
+from repro.model.regression import FittedModel
+
+FORMAT_VERSION = 1
+
+
+def models_to_dict(models: Dict[Schema, FittedModel]) -> dict:
+    return {
+        "format_version": FORMAT_VERSION,
+        "models": {
+            schema.value: {
+                "feature_names": m.feature_names,
+                "coef": [float(c) for c in m.coef],
+                "intercept": float(m.intercept),
+            }
+            for schema, m in models.items()
+        },
+    }
+
+
+def models_from_dict(payload: dict) -> Dict[Schema, FittedModel]:
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported model file version {payload.get('format_version')}"
+        )
+    out: Dict[Schema, FittedModel] = {}
+    for name, body in payload["models"].items():
+        try:
+            schema = Schema(name)
+        except ValueError as exc:
+            raise ModelError(f"unknown schema {name!r} in model file") from exc
+        coef = np.asarray(body["coef"], dtype=np.float64)
+        if len(coef) != len(body["feature_names"]):
+            raise ModelError(f"coefficient/feature mismatch for {name}")
+        out[schema] = FittedModel(
+            feature_names=list(body["feature_names"]),
+            coef=coef,
+            intercept=float(body["intercept"]),
+        )
+    return out
+
+
+def save_models(models: Dict[Schema, FittedModel], path: Union[str, Path]) -> None:
+    Path(path).write_text(json.dumps(models_to_dict(models), indent=2))
+
+
+def load_models(path: Union[str, Path]) -> Dict[Schema, FittedModel]:
+    p = Path(path)
+    if not p.exists():
+        raise ModelError(f"model file not found: {p}")
+    return models_from_dict(json.loads(p.read_text()))

@@ -1,0 +1,20 @@
+"""TTGT tensor contraction built on TTLG.
+
+The paper's introduction motivates TTLG's queryable performance model
+with the Transpose-Transpose-GEMM-Transpose approach to tensor
+contraction: transpose the inputs into GEMM-friendly layouts, multiply,
+transpose the result back.  The layout choice matters, and a TTGT
+planner picks it by *querying the transposition performance model* —
+exactly what :func:`repro.core.api.predict_time` exposes.
+"""
+
+from repro.ttgt.spec import ContractionSpec, parse_contraction
+from repro.ttgt.contraction import TTGTPlan, contract, plan_contraction
+
+__all__ = [
+    "ContractionSpec",
+    "parse_contraction",
+    "TTGTPlan",
+    "plan_contraction",
+    "contract",
+]

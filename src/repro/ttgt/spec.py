@@ -1,0 +1,123 @@
+"""Einsum-style contraction specifications.
+
+A contraction is written ``"abc,cd->abd"``: index labels of A, of B, and
+of the output C.  Labels follow the library's layout convention — the
+*first* label is the fastest-varying dimension.
+
+Classification of the labels (standard TTGT vocabulary):
+
+- **M**: labels in A and C but not B (row space of the GEMM),
+- **N**: labels in B and C but not A (column space),
+- **K**: labels in A and B but not C (contracted),
+- batch/hadamard labels (in all three) are rejected — plain TTGT cannot
+  fold them into a single GEMM.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.errors import ContractionError
+
+
+@dataclass(frozen=True)
+class ContractionSpec:
+    """Parsed and validated contraction."""
+
+    a_labels: Tuple[str, ...]
+    b_labels: Tuple[str, ...]
+    c_labels: Tuple[str, ...]
+    extents: Dict[str, int]
+
+    @property
+    def m_labels(self) -> Tuple[str, ...]:
+        return tuple(
+            l for l in self.a_labels if l in self.c_labels and l not in self.b_labels
+        )
+
+    @property
+    def n_labels(self) -> Tuple[str, ...]:
+        return tuple(
+            l for l in self.b_labels if l in self.c_labels and l not in self.a_labels
+        )
+
+    @property
+    def k_labels(self) -> Tuple[str, ...]:
+        return tuple(
+            l for l in self.a_labels if l in self.b_labels and l not in self.c_labels
+        )
+
+    def volume(self, labels: Sequence[str]) -> int:
+        return math.prod(self.extents[l] for l in labels)
+
+    @property
+    def flops(self) -> int:
+        """Multiply-add count of the GEMM: 2 * M * N * K."""
+        return (
+            2
+            * self.volume(self.m_labels)
+            * self.volume(self.n_labels)
+            * self.volume(self.k_labels)
+        )
+
+    def dims_of(self, labels: Sequence[str]) -> Tuple[int, ...]:
+        return tuple(self.extents[l] for l in labels)
+
+
+def parse_contraction(
+    expr: str, extents: Dict[str, int]
+) -> ContractionSpec:
+    """Parse ``"abc,cd->abd"`` plus per-label extents.
+
+    Raises
+    ------
+    ContractionError
+        On malformed expressions, repeated labels within one tensor,
+        output labels missing from the inputs, batch (three-way) labels,
+        or missing/invalid extents.
+    """
+    if "->" not in expr or "," not in expr.split("->")[0]:
+        raise ContractionError(
+            f"expected 'A,B->C' contraction expression, got {expr!r}"
+        )
+    lhs, c_part = expr.split("->", 1)
+    a_part, b_part = lhs.split(",", 1)
+    a, b, c = tuple(a_part.strip()), tuple(b_part.strip()), tuple(c_part.strip())
+    for name, labels in (("A", a), ("B", b), ("C", c)):
+        if len(set(labels)) != len(labels):
+            raise ContractionError(f"repeated label in {name}: {labels}")
+        if not labels:
+            raise ContractionError(f"{name} has no indices in {expr!r}")
+    for l in c:
+        if l not in a and l not in b:
+            raise ContractionError(f"output label {l!r} not in any input")
+    for l in set(a) & set(b) & set(c):
+        raise ContractionError(
+            f"label {l!r} appears in A, B and C; batched TTGT is unsupported"
+        )
+    for l in set(a) | set(b) | set(c):
+        if l not in extents:
+            raise ContractionError(f"no extent given for label {l!r}")
+        if extents[l] <= 0:
+            raise ContractionError(f"extent of {l!r} must be positive")
+    for l in a:
+        if l not in b and l not in c:
+            raise ContractionError(
+                f"label {l!r} of A is neither contracted nor in the output"
+            )
+    for l in b:
+        if l not in a and l not in c:
+            raise ContractionError(
+                f"label {l!r} of B is neither contracted nor in the output"
+            )
+    spec = ContractionSpec(
+        a_labels=a,
+        b_labels=b,
+        c_labels=c,
+        extents={l: int(extents[l]) for l in set(a) | set(b) | set(c)},
+    )
+    if not spec.k_labels:
+        raise ContractionError(f"no contracted index in {expr!r}")
+    return spec

@@ -1,0 +1,9 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(20180578)

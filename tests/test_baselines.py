@@ -1,0 +1,186 @@
+"""Tests for the comparator libraries (cuTT, TTC) and the paper's
+qualitative performance relationships."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ALL_LIBRARIES,
+    CuttHeuristic,
+    CuttMeasure,
+    NaiveLibrary,
+    TTC,
+    TTLG,
+)
+from repro.baselines.cutt import cutt_candidates, mwp_cwp_estimate
+from repro.baselines.ttc import CODEGEN_TIME_S
+from repro.core.fusion import fuse_indices
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.core.taxonomy import Schema
+from repro.gpusim.spec import KEPLER_K40C
+from repro.kernels.common import reference_transpose
+from repro.model.pretrained import oracle_predictor
+
+
+@pytest.fixture(scope="module")
+def libs():
+    return {
+        "ttlg": TTLG(predictor=oracle_predictor()),
+        "cutt_h": CuttHeuristic(),
+        "cutt_m": CuttMeasure(),
+        "ttc": TTC(),
+        "naive": NaiveLibrary(),
+    }
+
+
+class TestPlansExecuteCorrectly:
+    @pytest.mark.parametrize(
+        "dims,perm",
+        [
+            ((8, 2, 8, 8), (2, 1, 3, 0)),
+            ((16, 16, 16), (2, 1, 0)),
+            ((8, 12, 10), (0, 2, 1)),
+            ((6, 5, 7, 4), (3, 0, 2, 1)),
+        ],
+    )
+    def test_all_libraries(self, libs, dims, perm, rng):
+        layout, p = TensorLayout(dims), Permutation(perm)
+        src = rng.standard_normal(layout.volume)
+        ref = reference_transpose(src, layout, p)
+        for lib in libs.values():
+            plan = lib.plan(dims, perm)
+            np.testing.assert_array_equal(plan.execute(src), ref)
+
+
+class TestCuttStructure:
+    def test_candidate_menu_nonempty(self):
+        fused = fuse_indices(TensorLayout((16,) * 4), Permutation((3, 2, 1, 0)))
+        cands = cutt_candidates(fused.layout, fused.perm, KEPLER_K40C, 8)
+        assert cands
+
+    def test_tiled_present_for_non_matching_fvi(self):
+        fused = fuse_indices(TensorLayout((64, 5, 64)), Permutation((2, 1, 0)))
+        cands = cutt_candidates(fused.layout, fused.perm, KEPLER_K40C, 8)
+        assert any(k.schema is Schema.ORTHOGONAL_DISTINCT for k in cands)
+
+    def test_packed_copy_for_matching_fvi(self):
+        fused = fuse_indices(
+            TensorLayout((64, 5, 7)), Permutation((0, 2, 1))
+        )
+        cands = cutt_candidates(fused.layout, fused.perm, KEPLER_K40C, 8)
+        assert any(k.schema is Schema.FVI_MATCH_LARGE for k in cands)
+
+    def test_heuristic_estimate_positive(self):
+        fused = fuse_indices(TensorLayout((16,) * 4), Permutation((3, 2, 1, 0)))
+        for k in cutt_candidates(fused.layout, fused.perm, KEPLER_K40C, 8):
+            assert mwp_cwp_estimate(k, KEPLER_K40C) > 0
+
+    def test_measure_plan_cost_includes_executions(self, libs):
+        dims, perm = (16,) * 6, (5, 4, 3, 2, 1, 0)
+        pm = libs["cutt_m"].plan(dims, perm)
+        ph = libs["cutt_h"].plan(dims, perm)
+        # Measure mode executes every candidate: plan >> heuristic plan.
+        assert pm.plan_time > 5 * ph.plan_time
+
+    def test_measure_never_slower_than_heuristic(self, libs):
+        """Paper: 'cuTT measure ... always better than cuTT-heuristic'
+        (same menu, measured selection)."""
+        for perm in [(5, 4, 3, 2, 1, 0), (4, 1, 2, 5, 3, 0), (1, 0, 3, 2, 5, 4)]:
+            tm = libs["cutt_m"].plan((16,) * 6, perm).kernel_time()
+            th = libs["cutt_h"].plan((16,) * 6, perm).kernel_time()
+            assert tm <= th * 1.02  # jitter tolerance
+
+
+class TestTtcStructure:
+    def test_offline_codegen_time_reported(self, libs):
+        plan = libs["ttc"].plan((16,) * 4, (3, 2, 1, 0))
+        assert plan.offline_time == CODEGEN_TIME_S
+
+    def test_online_plan_is_cheap(self, libs):
+        plan = libs["ttc"].plan((16,) * 4, (3, 2, 1, 0))
+        assert plan.plan_time <= 1e-3
+
+    def test_single_dim_tiling_only(self, libs):
+        """TTC never combines dims: its tiled kernel uses bare FVI dims."""
+        plan = libs["ttc"].plan((16,) * 6, (5, 4, 3, 2, 1, 0))
+        k = plan.kernel
+        if k.schema is Schema.ORTHOGONAL_DISTINCT:
+            assert k.A == 16 and k.B == 16
+
+
+class TestPaperShapes:
+    """The qualitative relationships the paper's charts show."""
+
+    def test_repeated_use_ordering_6d_reversal(self, libs):
+        """Fig. 6/8/10 shape: TTLG >= cuTT-measure >= cuTT-heuristic
+        and TTC at/below cuTT-heuristic on small-extent 6D tensors."""
+        for extent in (15, 16, 17):
+            dims, perm = (extent,) * 6, (5, 4, 3, 2, 1, 0)
+            bw = {
+                name: lib.plan(dims, perm).bandwidth_gbps()
+                for name, lib in libs.items()
+            }
+            assert bw["ttlg"] >= bw["cutt_m"] * 0.98
+            assert bw["cutt_m"] >= bw["cutt_h"] * 0.98
+            assert bw["ttc"] <= bw["cutt_m"] * 1.02
+            assert bw["naive"] < bw["ttlg"]
+
+    def test_extent_16_beats_15_and_17(self, libs):
+        """Warp-aligned extents achieve higher bandwidth."""
+        perm = (5, 4, 3, 2, 1, 0)
+        bw = {
+            e: libs["ttlg"].plan((e,) * 6, perm).bandwidth_gbps()
+            for e in (15, 16, 17)
+        }
+        assert bw[16] > bw[15]
+        assert bw[16] > bw[17]
+
+    def test_single_use_cutt_measure_craters(self, libs):
+        """Fig. 7/9/11: cuTT-measure single-use far below TTLG."""
+        dims, perm = (16,) * 6, (5, 4, 3, 2, 1, 0)
+        ttlg = libs["ttlg"].plan(dims, perm).bandwidth_gbps(include_plan=True)
+        cutt = libs["cutt_m"].plan(dims, perm).bandwidth_gbps(include_plan=True)
+        assert cutt < ttlg / 3
+
+    def test_single_use_drop_for_ttlg(self, libs):
+        """TTLG's own single-use bandwidth drops vs repeated use
+        (peak ~200 -> ~130 in the paper)."""
+        dims, perm = (16,) * 6, (5, 4, 3, 2, 1, 0)
+        plan = libs["ttlg"].plan(dims, perm)
+        rep = plan.bandwidth_gbps()
+        single = plan.bandwidth_gbps(include_plan=True)
+        assert 0.4 * rep < single < 0.9 * rep
+
+    def test_ttlg_peak_bandwidth_band(self, libs):
+        """Peak repeated-use bandwidth lands in the paper's ~200-230
+        GB/s region for the friendliest cases."""
+        bw = libs["ttlg"].plan((16,) * 6, (0, 2, 5, 1, 4, 3)).bandwidth_gbps()
+        assert 180 < bw < 240
+
+    def test_ttc_closer_on_large_extents(self, libs):
+        """Fig. 14 vs Fig. 6: TTC's deficit shrinks when extents exceed
+        the warp size (its single-dim tiles stop hurting)."""
+        small = (16,) * 6
+        big = (4096, 6144)
+        perm6, perm2 = (5, 4, 3, 2, 1, 0), (1, 0)
+        ratio_small = (
+            libs["ttc"].plan(small, perm6).bandwidth_gbps()
+            / libs["ttlg"].plan(small, perm6).bandwidth_gbps()
+        )
+        ratio_big = (
+            libs["ttc"].plan(big, perm2).bandwidth_gbps()
+            / libs["ttlg"].plan(big, perm2).bandwidth_gbps()
+        )
+        assert ratio_big > ratio_small
+
+    def test_amortization_crossover_fig12(self, libs):
+        """Fig. 12: at one call TTLG beats cuTT-measure by a lot; with
+        thousands of calls the gap closes."""
+        dims, perm = (16,) * 6, (4, 1, 2, 5, 3, 0)
+        t = libs["ttlg"].plan(dims, perm)
+        c = libs["cutt_m"].plan(dims, perm)
+        one = t.bandwidth_gbps(1, True) / c.bandwidth_gbps(1, True)
+        many = t.bandwidth_gbps(4096, True) / c.bandwidth_gbps(4096, True)
+        assert one > 2.0
+        assert many < 0.5 * one  # amortization closes most of the gap

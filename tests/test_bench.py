@@ -1,0 +1,133 @@
+"""Tests for the benchmark harness, suites, and rendering."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CuttHeuristic, TTLG
+from repro.bench.ascii_plot import multi_series
+from repro.bench.harness import run_case, run_suite
+from repro.bench.record import (
+    SuiteResult,
+    format_group_table,
+    summarize_by_group,
+)
+from repro.bench.suites import (
+    six_d_suite,
+    ttc_benchmark_suite,
+    varying_dims_suite,
+)
+from repro.core.fusion import scaled_rank
+from repro.model.pretrained import oracle_predictor
+
+
+@pytest.fixture(scope="module")
+def libs():
+    return [TTLG(predictor=oracle_predictor()), CuttHeuristic()]
+
+
+class TestSuites:
+    def test_six_d_has_720_cases(self):
+        cases = six_d_suite(16)
+        assert len(cases) == 720
+        assert len({c.perm for c in cases}) == 720
+
+    def test_six_d_sorted_by_scaled_rank(self):
+        ranks = [c.scaled_rank for c in six_d_suite(16)]
+        assert ranks == sorted(ranks)
+        assert ranks[0] == 1 and ranks[-1] == 6
+
+    def test_six_d_scaled_ranks_consistent(self):
+        for c in six_d_suite(15)[::97]:
+            assert c.scaled_rank == scaled_rank(c.dims, c.perm)
+
+    def test_varying_dims_extents(self):
+        cases = varying_dims_suite()
+        assert [c.dims[0] for c in cases] == [15, 16, 31, 32, 63, 64, 127, 128]
+        assert all(c.perm == (0, 2, 1, 3) for c in cases)
+
+    def test_ttc_suite_has_57_unfusable_cases(self):
+        cases = ttc_benchmark_suite()
+        assert len(cases) == 57
+        for c in cases:
+            assert scaled_rank(c.dims, c.perm) == len(c.dims)
+
+    def test_ttc_suite_volumes_near_200mb(self):
+        for c in ttc_benchmark_suite():
+            assert 50 * 1024**2 < c.volume * 8 < 800 * 1024**2
+
+    def test_ttc_suite_covers_ranks_2_to_6(self):
+        ranks = {len(c.dims) for c in ttc_benchmark_suite()}
+        assert ranks == {2, 3, 4, 5, 6}
+
+
+class TestHarness:
+    def test_run_case_repeated(self, libs):
+        case = six_d_suite(16)[400]
+        res = run_case(case, libs, scenario="repeated")
+        assert set(res.bandwidth) == {"TTLG", "cuTT Heuristic"}
+        assert all(v > 0 for v in res.bandwidth.values())
+
+    def test_single_use_slower(self, libs):
+        case = six_d_suite(16)[400]
+        rep = run_case(case, libs, "repeated")
+        single = run_case(case, libs, "single")
+        for name in rep.bandwidth:
+            assert single.bandwidth[name] < rep.bandwidth[name]
+
+    def test_repeats_amortize(self, libs):
+        case = six_d_suite(16)[400]
+        one = run_case(case, libs, "single", repeats=1)
+        many = run_case(case, libs, "single", repeats=128)
+        for name in one.bandwidth:
+            assert many.bandwidth[name] > one.bandwidth[name]
+
+    def test_unknown_scenario(self, libs):
+        with pytest.raises(ValueError):
+            run_case(six_d_suite(16)[0], libs, "bogus")
+
+    def test_run_suite_limit_subsamples(self, libs):
+        results = run_suite(six_d_suite(16), libs, limit=10)
+        assert len(results) == 10
+
+    def test_winner(self, libs):
+        res = run_case(six_d_suite(16)[700], libs)
+        assert res.winner() in res.bandwidth
+
+
+class TestRecord:
+    @pytest.fixture(scope="class")
+    def suite_result(self, libs):
+        results = run_suite(six_d_suite(16), libs, limit=12)
+        return SuiteResult(title="test suite", results=results)
+
+    def test_series_alignment(self, suite_result):
+        s = suite_result.series("TTLG")
+        assert len(s) == 12
+        assert np.all(np.isfinite(s))
+
+    def test_format_table(self, suite_result):
+        text = suite_result.format_table()
+        assert "TTLG" in text and "rank" in text
+
+    def test_format_summary_includes_wins(self, suite_result):
+        assert "wins" in suite_result.format_summary()
+
+    def test_group_summary_by_rank(self, suite_result):
+        groups = summarize_by_group(suite_result)
+        assert all(1 <= g <= 6 for g in groups)
+        text = format_group_table("by rank", groups)
+        assert "by rank" in text
+
+
+class TestAsciiPlot:
+    def test_renders_series(self):
+        text = multi_series({"a": [1, 2, 3], "b": [3, 2, 1]})
+        assert "a" in text and "b" in text
+        assert "*" in text and "o" in text
+
+    def test_empty(self):
+        assert multi_series({"a": []}) == "(no data)"
+
+    def test_handles_nan(self):
+        text = multi_series({"a": [1.0, float("nan"), 3.0]})
+        assert "a" in text

@@ -1,0 +1,105 @@
+"""Tests for the plan cache and the CLI entry point."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.cache import PlanCache, cached_plan, global_cache
+from repro.gpusim.spec import KEPLER_K40C, PASCAL_P100
+from repro.model.pretrained import oracle_predictor
+
+ORACLE = oracle_predictor()
+
+
+class TestPlanCache:
+    def test_hit_returns_same_plan(self):
+        cache = PlanCache()
+        a = cache.get((8, 8, 8), (2, 1, 0), predictor=ORACLE)
+        b = cache.get((8, 8, 8), (2, 1, 0), predictor=ORACLE)
+        assert a is b
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_distinct_problems_miss(self):
+        cache = PlanCache()
+        cache.get((8, 8, 8), (2, 1, 0), predictor=ORACLE)
+        cache.get((8, 8, 8), (1, 2, 0), predictor=ORACLE)
+        assert cache.stats.misses == 2
+
+    def test_device_in_key(self):
+        cache = PlanCache()
+        a = cache.get((8, 8, 8), (2, 1, 0), spec=KEPLER_K40C, predictor=ORACLE)
+        b = cache.get(
+            (8, 8, 8), (2, 1, 0), spec=PASCAL_P100,
+            predictor=oracle_predictor(PASCAL_P100),
+        )
+        assert a is not b
+
+    def test_eviction(self):
+        cache = PlanCache(capacity=2)
+        cache.get((4, 4), (1, 0), predictor=ORACLE)
+        cache.get((4, 8), (1, 0), predictor=ORACLE)
+        cache.get((8, 4), (1, 0), predictor=ORACLE)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+
+    def test_lru_order(self):
+        cache = PlanCache(capacity=2)
+        a = cache.get((4, 4), (1, 0), predictor=ORACLE)
+        cache.get((4, 8), (1, 0), predictor=ORACLE)
+        cache.get((4, 4), (1, 0), predictor=ORACLE)  # refresh a
+        cache.get((8, 4), (1, 0), predictor=ORACLE)  # evicts (4,8)
+        assert cache.get((4, 4), (1, 0), predictor=ORACLE) is a
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+    def test_global_cache_shared(self):
+        global_cache().clear()
+        a = cached_plan((6, 6, 6), (2, 0, 1), predictor=ORACLE)
+        b = cached_plan((6, 6, 6), (2, 0, 1), predictor=ORACLE)
+        assert a is b
+        assert global_cache().stats.hit_rate == 0.5
+
+
+def run_cli(*args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestCli:
+    def test_plan(self):
+        out = run_cli("plan", "16,16,16", "2,1,0")
+        assert "schema" in out and "bandwidth" in out
+
+    def test_predict(self):
+        out = run_cli("predict", "32,8,16", "1,2,0")
+        assert "kernel time" in out
+
+    def test_compare(self):
+        out = run_cli("compare", "8,8,8,8", "3,2,1,0")
+        assert "TTLG" in out and "cuTT Measure" in out
+
+    def test_device(self):
+        out = run_cli("device", "p100")
+        assert "P100" in out
+
+    def test_plan_f32(self):
+        out = run_cli("plan", "16,16,16", "2,1,0", "--dtype", "f32")
+        assert "schema" in out
+
+    def test_bad_dims_rejected(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "plan", "16,x", "1,0"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode != 0

@@ -1,0 +1,81 @@
+"""Tests for the coarsening heuristic and the error hierarchy."""
+
+import pytest
+
+import repro
+from repro.core.coarsening import (
+    MIN_TENSOR_BYTES,
+    choose_coarsening,
+)
+from repro.core.layout import TensorLayout
+from repro.errors import (
+    ContractionError,
+    InvalidLayoutError,
+    InvalidPermutationError,
+    ModelError,
+    PlanError,
+    ReproError,
+    SchemaError,
+)
+
+
+class TestCoarsening:
+    def test_small_tensor_never_coarsened(self):
+        """Sec. IV-A: only tensors above 2 MB are coarsened."""
+        layout = TensorLayout((16, 16, 16))  # 32 KB
+        assert choose_coarsening(layout, slice_dims=[0]) is None
+
+    def test_first_eligible_dim_in_input_order(self):
+        layout = TensorLayout((64, 8, 16, 64, 64))  # > 2 MB
+        dim_factor = choose_coarsening(layout, slice_dims=[0])
+        assert dim_factor == (1, 8)
+
+    def test_slice_dims_excluded(self):
+        layout = TensorLayout((64, 8, 16, 64, 64))
+        dim_factor = choose_coarsening(layout, slice_dims=[0, 1])
+        assert dim_factor == (2, 16)
+
+    def test_extent_window(self):
+        """Extents outside [4, 32] are not coarsenable."""
+        layout = TensorLayout((64, 2, 64, 128, 64))
+        assert choose_coarsening(layout, slice_dims=[0]) is None
+
+    def test_factor_is_full_extent(self):
+        layout = TensorLayout((64, 32, 64, 64))
+        d, f = choose_coarsening(layout, slice_dims=[0])
+        assert f == layout.dims[d]
+
+    def test_threshold_boundary(self):
+        vol = MIN_TENSOR_BYTES // 8  # exactly 2 MB of doubles
+        layout = TensorLayout((vol // 8, 8))
+        assert choose_coarsening(layout, slice_dims=[0]) is None
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            InvalidPermutationError,
+            InvalidLayoutError,
+            PlanError,
+            SchemaError,
+            ModelError,
+            ContractionError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_schema_error_is_plan_error(self):
+        assert issubclass(SchemaError, PlanError)
+
+    def test_value_errors_catchable_as_builtin(self):
+        assert issubclass(InvalidPermutationError, ValueError)
+        assert issubclass(InvalidLayoutError, ValueError)
+        assert issubclass(ContractionError, ValueError)
+
+    def test_api_raises_library_errors(self):
+        with pytest.raises(ReproError):
+            repro.plan_transpose((4, 4), (0, 0))
+        with pytest.raises(ReproError):
+            repro.plan_transpose((0, 4), (1, 0))

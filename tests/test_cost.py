@@ -1,0 +1,138 @@
+"""Unit tests for the cost model (repro.gpusim.cost)."""
+
+import pytest
+
+from repro.gpusim.cost import CostModel
+from repro.gpusim.counters import KernelCounters, LaunchGeometry
+from repro.gpusim.spec import KEPLER_K40C
+
+
+def streaming_counters(n_bytes: int, lane_eff: float = 1.0) -> KernelCounters:
+    """A perfectly coalesced copy moving n_bytes each way."""
+    tx = n_bytes // 128
+    warps = n_bytes // (32 * 8)
+    slots = int(warps * 32 / lane_eff) if lane_eff else warps * 32
+    return KernelCounters(
+        dram_ld_tx=tx,
+        dram_st_tx=tx,
+        dram_ld_useful_bytes=n_bytes,
+        dram_st_useful_bytes=n_bytes,
+        warp_ld_accesses=warps,
+        warp_st_accesses=warps,
+        lane_slots=2 * slots,
+        active_lanes=2 * warps * 32,
+    )
+
+
+BIG = 256 * 1024 * 1024  # 256 MB per direction
+
+
+class TestBandwidthBound:
+    def test_big_copy_near_peak(self):
+        cm = CostModel()
+        geom = LaunchGeometry(BIG // (256 * 8), 256)
+        t = cm.kernel_time(streaming_counters(BIG), geom)
+        bw = cm.bandwidth_gbps(BIG // 8, 8, t)
+        # A calibrated streaming kernel should land near the achievable
+        # ~230 GB/s, never above it.
+        assert 180 < bw <= KEPLER_K40C.effective_bandwidth / 1e9 + 1
+
+    def test_time_scales_linearly_with_volume(self):
+        cm = CostModel()
+        g1 = LaunchGeometry(BIG // (256 * 8), 256)
+        g2 = LaunchGeometry(2 * BIG // (256 * 8), 256)
+        t1 = cm.kernel_time(streaming_counters(BIG), g1)
+        t2 = cm.kernel_time(streaming_counters(2 * BIG), g2)
+        assert t2 / t1 == pytest.approx(2.0, rel=0.05)
+
+    def test_idle_lanes_derate_bandwidth(self):
+        cm = CostModel()
+        geom = LaunchGeometry(BIG // (256 * 8), 256)
+        t_full = cm.kernel_time(streaming_counters(BIG, 1.0), geom)
+        t_half = cm.kernel_time(streaming_counters(BIG, 0.5), geom)
+        assert t_half > t_full * 1.2
+
+    def test_small_grid_latency_bound(self):
+        """Fig. 13's left edge: tiny tensors cannot saturate DRAM."""
+        cm = CostModel()
+        small = 64 * 1024
+        geom = LaunchGeometry(4, 256)
+        t = cm.kernel_time(streaming_counters(small), geom)
+        bw = cm.bandwidth_gbps(small // 8, 8, t)
+        assert bw < 40
+
+
+class TestSecondaryResources:
+    def test_bank_conflicts_can_dominate(self):
+        cm = CostModel()
+        c = streaming_counters(BIG)
+        c.smem_ld_accesses = c.warp_ld_accesses
+        c.smem_st_accesses = c.warp_st_accesses
+        base = cm.kernel_time(c, LaunchGeometry(BIG // (256 * 8), 256))
+        c.smem_conflict_cycles = 31 * c.smem_ld_accesses  # 32-way conflicts
+        worse = cm.kernel_time(c, LaunchGeometry(BIG // (256 * 8), 256))
+        assert worse > base
+
+    def test_special_ops_cost(self):
+        cm = CostModel()
+        c = streaming_counters(BIG)
+        base = cm.kernel_time(c, LaunchGeometry(BIG // (256 * 8), 256))
+        c.special_ops = 10**10
+        worse = cm.kernel_time(c, LaunchGeometry(BIG // (256 * 8), 256))
+        assert worse > base * 2
+
+    def test_minimum_kernel_time(self):
+        cm = CostModel()
+        t = cm.kernel_time(KernelCounters(), LaunchGeometry(1, 32))
+        assert t >= KEPLER_K40C.min_kernel_time_s
+
+    def test_breakdown_names_bound_resource(self):
+        cm = CostModel()
+        bd = cm.breakdown(
+            streaming_counters(BIG), LaunchGeometry(BIG // (256 * 8), 256)
+        )
+        assert bd.bound_resource == "dram"
+        assert bd.total_s > 0
+
+
+class TestJitter:
+    def test_no_key_no_jitter(self):
+        cm = CostModel(jitter_scale=0.05)
+        geom = LaunchGeometry(100, 256)
+        c = streaming_counters(1 << 20)
+        assert cm.kernel_time(c, geom) == cm.kernel_time(c, geom)
+
+    def test_jitter_deterministic_per_key(self):
+        cm = CostModel(jitter_scale=0.05)
+        geom = LaunchGeometry(100, 256)
+        c = streaming_counters(1 << 20)
+        a = cm.kernel_time(c, geom, jitter_key="x")
+        b = cm.kernel_time(c, geom, jitter_key="x")
+        d = cm.kernel_time(c, geom, jitter_key="y")
+        assert a == b
+        assert a != d
+
+
+class TestPlanTime:
+    def test_scales_with_candidates(self):
+        cm = CostModel()
+        assert cm.plan_time(100) > cm.plan_time(1)
+
+    def test_includes_alloc(self):
+        cm = CostModel()
+        assert cm.plan_time(0) >= KEPLER_K40C.alloc_overhead_s
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            CostModel().plan_time(-1)
+
+
+class TestBandwidthMetric:
+    def test_formula(self):
+        """Paper: bandwidth = 2 * volume * 8 / (time * 1e9)."""
+        cm = CostModel()
+        assert cm.bandwidth_gbps(10**9, 8, 1.0) == pytest.approx(16.0)
+
+    def test_zero_time_raises(self):
+        with pytest.raises(ValueError):
+            CostModel().bandwidth_gbps(100, 8, 0.0)

@@ -1,0 +1,50 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "matches NumPy" in out
+    assert "bandwidth" in out
+
+
+def test_ttgt_contraction():
+    out = run_example("ttgt_contraction.py")
+    assert "max |TTGT - einsum|" in out
+    assert "GEMM" in out
+
+
+def test_kernel_explorer():
+    out = run_example("kernel_explorer.py", "10")
+    assert "orthogonal" in out
+    assert "fused rank" in out
+
+
+def test_library_comparison():
+    out = run_example("library_comparison.py")
+    for name in ("TTLG", "cuTT Heuristic", "cuTT Measure", "TTC", "Naive"):
+        assert name in out
+
+
+def test_model_training_quick():
+    out = run_example("model_training.py", "--quick")
+    assert "precision error" in out
+    assert "orthogonal-distinct" in out

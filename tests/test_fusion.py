@@ -1,0 +1,123 @@
+"""Unit tests for index fusion (repro.core.fusion)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fusion import fuse_indices, scaled_rank
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.kernels.common import reference_transpose
+
+
+def fuse(dims, perm):
+    return fuse_indices(TensorLayout(dims), Permutation(perm))
+
+
+class TestPaperExamples:
+    def test_paper_middle_pair(self):
+        """[i0,i1,i2,i3] => [i3,i1,i2,i0]: i1,i2 fuse (Sec. III)."""
+        r = fuse((2, 3, 4, 5), (3, 1, 2, 0))
+        assert r.layout.dims == (2, 12, 5)
+        assert r.perm.mapping == (2, 1, 0)
+        assert r.groups == ((0,), (1, 2), (3,))
+
+    def test_scaled_rank_example(self):
+        """Perm (0 2 1 3 4 5...) style: contiguous tail fuses."""
+        assert scaled_rank((16,) * 6, (0, 2, 1, 3, 4, 5)) == 4
+
+    def test_identity_fuses_to_rank_one(self):
+        r = fuse((4, 5, 6), (0, 1, 2))
+        assert r.layout.dims == (120,)
+        assert r.perm.is_identity()
+
+    def test_reversal_never_fuses(self):
+        r = fuse((4, 5, 6, 7), (3, 2, 1, 0))
+        assert r.layout.rank == 4
+
+
+class TestSemantics:
+    @pytest.mark.parametrize(
+        "dims,perm",
+        [
+            ((2, 3, 4, 5), (3, 1, 2, 0)),
+            ((4, 4, 4, 4), (1, 0, 3, 2)),
+            ((2, 2, 2, 2, 2), (4, 2, 3, 0, 1)),
+            ((6, 5), (0, 1)),
+            ((3, 1, 4), (2, 1, 0)),
+        ],
+    )
+    def test_fused_transpose_equals_original(self, dims, perm):
+        """The fused problem must move data identically: the output
+        linearizations agree element for element."""
+        layout, p = TensorLayout(dims), Permutation(perm)
+        r = fuse_indices(layout, p)
+        src = np.arange(layout.volume, dtype=np.int64)
+        ref = reference_transpose(src, layout, p)
+        fused_ref = reference_transpose(src, r.layout, r.perm)
+        np.testing.assert_array_equal(ref, fused_ref)
+
+    def test_volume_preserved(self):
+        r = fuse((3, 4, 5, 6), (2, 3, 0, 1))
+        assert r.layout.volume == 360
+
+    def test_groups_partition_in_input_order(self):
+        r = fuse((2, 3, 4, 5, 6), (4, 0, 1, 2, 3))
+        flat = [d for g in r.groups for d in g]
+        assert flat == sorted(flat)
+
+    def test_fused_perm_consistent_with_groups(self):
+        """Fused output order must list groups by their output position."""
+        dims, perm = (2, 3, 4, 5), (1, 2, 3, 0)
+        r = fuse(dims, perm)
+        out_pos = {j: i for i, j in enumerate(perm)}
+        group_pos = [out_pos[g[0]] for g in r.groups]
+        expected_order = sorted(
+            range(len(r.groups)), key=lambda t: group_pos[t]
+        )
+        assert list(r.perm.mapping) == expected_order
+
+
+class TestExtentOne:
+    def test_extent_one_dims_dropped(self):
+        r = fuse((4, 1, 5), (2, 1, 0))
+        assert 1 not in r.layout.dims
+        assert r.layout.volume == 20
+
+    def test_all_ones(self):
+        r = fuse((1, 1, 1), (2, 0, 1))
+        assert r.layout.dims == (1,)
+        assert r.perm.is_identity()
+
+    def test_extent_one_bridges_fusion(self):
+        """(4, 1, 5) with perm keeping 4 before 5 in output: the size-1
+        dim drops and the 4,5 pair may fuse if adjacent in output."""
+        r = fuse((4, 1, 5), (0, 1, 2))
+        assert r.layout.dims == (20,)
+
+    def test_semantics_with_ones(self):
+        dims, perm = (3, 1, 4, 1, 2), (4, 2, 3, 0, 1)
+        layout, p = TensorLayout(dims), Permutation(perm)
+        r = fuse_indices(layout, p)
+        src = np.arange(layout.volume, dtype=np.int64)
+        np.testing.assert_array_equal(
+            reference_transpose(src, layout, p),
+            reference_transpose(src, r.layout, r.perm),
+        )
+
+
+class TestScaledRankDistribution:
+    def test_6d_all_perms_ranks_in_range(self):
+        import itertools
+
+        ranks = [
+            scaled_rank((16,) * 6, p)
+            for p in itertools.permutations(range(6))
+        ]
+        assert min(ranks) == 1  # identity
+        assert max(ranks) == 6
+        # The paper's charts show every scaled rank 1..6 populated.
+        assert set(ranks) == {1, 2, 3, 4, 5, 6}
+
+    def test_rank_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            fuse_indices(TensorLayout((2, 3)), Permutation((0, 1, 2)))

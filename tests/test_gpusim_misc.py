@@ -1,0 +1,192 @@
+"""Unit tests for texture, occupancy, noise, counters, spec."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceConfigError
+from repro.gpusim.counters import KernelCounters, LaunchGeometry
+from repro.gpusim.noise import measurement_jitter
+from repro.gpusim.occupancy import blocks_per_sm_limit, occupancy_for
+from repro.gpusim.spec import KEPLER_K40C, PASCAL_P100, DeviceSpec
+from repro.gpusim.texture import offset_array_traffic
+
+
+class TestSpec:
+    def test_k40_matches_table_iii(self):
+        assert KEPLER_K40C.num_sms == 15
+        assert KEPLER_K40C.cores_per_sm == 192
+        assert KEPLER_K40C.global_memory_bytes == 12 * 1024**3
+        assert KEPLER_K40C.clock_hz == pytest.approx(745e6)
+
+    def test_derived_quantities(self):
+        assert KEPLER_K40C.max_warps_per_sm == 64
+        assert KEPLER_K40C.block_slots == 15 * 16
+        assert KEPLER_K40C.effective_bandwidth < KEPLER_K40C.peak_bandwidth
+
+    def test_describe_mentions_key_numbers(self):
+        text = KEPLER_K40C.describe()
+        assert "15 SMs" in text and "288 GB/s" in text
+
+    def test_with_overrides(self):
+        spec = KEPLER_K40C.with_overrides(num_sms=30)
+        assert spec.num_sms == 30
+        assert KEPLER_K40C.num_sms == 15  # original untouched
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_sms", 0),
+            ("warp_size", 33),
+            ("peak_bandwidth", -1.0),
+            ("bandwidth_efficiency", 1.5),
+        ],
+    )
+    def test_invalid_specs(self, field, value):
+        with pytest.raises(DeviceConfigError):
+            KEPLER_K40C.with_overrides(**{field: value})
+
+
+class TestTexture:
+    def test_compulsory_misses(self):
+        t = offset_array_traffic(array_bytes=1024, warp_accesses=8)
+        assert t.miss_tx == 8  # fewer accesses than lines: all miss
+
+    def test_steady_state_hit_rate(self):
+        t = offset_array_traffic(array_bytes=128, warp_accesses=100_000)
+        # ~0.5% steady misses plus 1 compulsory.
+        assert 300 < t.miss_tx < 700
+
+    def test_zero_array(self):
+        t = offset_array_traffic(0, 100)
+        assert t.miss_tx <= 100
+
+    def test_misses_never_exceed_accesses(self):
+        t = offset_array_traffic(array_bytes=10**6, warp_accesses=3)
+        assert t.miss_tx == 3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            offset_array_traffic(-1, 10)
+        with pytest.raises(ValueError):
+            offset_array_traffic(10, 10, hit_rate=1.5)
+
+
+class TestOccupancy:
+    def test_smem_limits_blocks(self):
+        geom = LaunchGeometry(1000, 256, shared_mem_per_block=10 * 1024)
+        assert blocks_per_sm_limit(KEPLER_K40C, geom) == 4  # 48K/10K
+
+    def test_thread_limit(self):
+        geom = LaunchGeometry(1000, 1024, shared_mem_per_block=0)
+        occ = occupancy_for(KEPLER_K40C, geom)
+        assert occ.blocks_per_sm == 2  # 2048 threads / 1024
+
+    def test_wave_count(self):
+        geom = LaunchGeometry(1000, 256, shared_mem_per_block=0)
+        occ = occupancy_for(KEPLER_K40C, geom)
+        slots = occ.blocks_per_sm * 15
+        assert occ.waves == math.ceil(1000 / slots)
+
+    def test_single_wave_efficiency_is_one(self):
+        geom = LaunchGeometry(3, 256)
+        assert occupancy_for(KEPLER_K40C, geom).wave_efficiency == 1.0
+
+    def test_even_waves_efficiency_one(self):
+        geom = LaunchGeometry(15 * 8 * 2, 256)
+        occ = occupancy_for(KEPLER_K40C, geom)
+        if occ.waves > 1:
+            assert occ.wave_efficiency == pytest.approx(1.0)
+
+    def test_ragged_tail_hurts(self):
+        geom_even = LaunchGeometry(15 * 8 * 4, 256)
+        geom_ragged = LaunchGeometry(15 * 8 * 3 + 1, 256)
+        assert (
+            occupancy_for(KEPLER_K40C, geom_ragged).wave_efficiency
+            < occupancy_for(KEPLER_K40C, geom_even).wave_efficiency
+        )
+
+    def test_oversized_block_raises(self):
+        with pytest.raises(ValueError):
+            occupancy_for(KEPLER_K40C, LaunchGeometry(1, 2048))
+
+    def test_oversized_smem_raises(self):
+        with pytest.raises(ValueError):
+            occupancy_for(
+                KEPLER_K40C, LaunchGeometry(1, 256, shared_mem_per_block=64 * 1024)
+            )
+
+    def test_p100_more_resident_blocks(self):
+        geom = LaunchGeometry(10_000, 128, shared_mem_per_block=0)
+        assert (
+            occupancy_for(PASCAL_P100, geom).blocks_per_sm
+            > occupancy_for(KEPLER_K40C, geom).blocks_per_sm / 2
+        )
+
+
+class TestNoise:
+    def test_deterministic(self):
+        assert measurement_jitter("k") == measurement_jitter("k")
+
+    def test_distinct_keys_differ(self):
+        assert measurement_jitter("a") != measurement_jitter("b")
+
+    def test_zero_scale_is_identity(self):
+        assert measurement_jitter("x", 0.0) == 1.0
+
+    def test_bounded(self):
+        for i in range(200):
+            f = measurement_jitter(("key", i), 0.02)
+            assert math.exp(-0.07) < f < math.exp(0.07)
+
+    def test_negative_scale_raises(self):
+        with pytest.raises(ValueError):
+            measurement_jitter("x", -0.1)
+
+
+class TestCounters:
+    def test_merge_adds(self):
+        a = KernelCounters(dram_ld_tx=3, active_lanes=10, lane_slots=32)
+        b = KernelCounters(dram_ld_tx=4, active_lanes=5, lane_slots=32)
+        m = a.merge(b)
+        assert m.dram_ld_tx == 7
+        assert m.active_lanes == 15
+
+    def test_iadd(self):
+        a = KernelCounters(dram_st_tx=2)
+        a += KernelCounters(dram_st_tx=5)
+        assert a.dram_st_tx == 7
+
+    def test_scaled(self):
+        c = KernelCounters(dram_ld_tx=3).scaled(4)
+        assert c.dram_ld_tx == 12
+
+    def test_scaled_negative_raises(self):
+        with pytest.raises(ValueError):
+            KernelCounters().scaled(-1)
+
+    def test_lane_efficiency(self):
+        c = KernelCounters(lane_slots=64, active_lanes=32)
+        assert c.lane_efficiency == 0.5
+        assert KernelCounters().lane_efficiency == 1.0
+
+    def test_transaction_efficiency(self):
+        c = KernelCounters(dram_ld_tx=2, dram_ld_useful_bytes=128)
+        assert c.transaction_efficiency == 0.5
+
+    def test_validate_catches_inconsistency(self):
+        with pytest.raises(ValueError):
+            KernelCounters(active_lanes=5, lane_slots=1).validate()
+        with pytest.raises(ValueError):
+            KernelCounters(dram_ld_tx=-1).validate()
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            LaunchGeometry(-1, 256)
+        with pytest.raises(ValueError):
+            LaunchGeometry(1, 0)
+
+    def test_geometry_warps(self):
+        assert LaunchGeometry(1, 256).warps_per_block() == 8
+        assert LaunchGeometry(1, 33).warps_per_block() == 2

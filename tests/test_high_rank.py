@@ -1,0 +1,50 @@
+"""High-rank support (the paper's Sec. IV-B supports tensors to rank 15)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.kernels.common import reference_transpose
+from repro.model.pretrained import oracle_predictor
+
+ORACLE = oracle_predictor()
+
+
+class TestHighRank:
+    def test_rank_10_reversal(self, rng):
+        dims = (2,) * 10
+        perm = tuple(range(9, -1, -1))
+        plan = repro.make_plan(dims, perm, predictor=ORACLE)
+        src = rng.standard_normal(1024)
+        ref = reference_transpose(src, TensorLayout(dims), Permutation(perm))
+        np.testing.assert_array_equal(plan.execute(src), ref)
+
+    def test_rank_15_shuffle(self, rng):
+        dims = (2,) * 15
+        perm = (14, 0, 13, 1, 12, 2, 11, 3, 10, 4, 9, 5, 8, 6, 7)
+        plan = repro.make_plan(dims, perm, predictor=ORACLE)
+        src = rng.standard_normal(2**15)
+        ref = reference_transpose(src, TensorLayout(dims), Permutation(perm))
+        np.testing.assert_array_equal(plan.execute(src), ref)
+        assert plan.simulated_time() > 0
+
+    def test_rank_8_mixed_extents(self, rng):
+        dims = (3, 2, 5, 2, 4, 2, 3, 2)
+        perm = (6, 1, 4, 7, 0, 3, 2, 5)
+        plan = repro.make_plan(dims, perm, predictor=ORACLE)
+        src = rng.standard_normal(plan.layout.volume)
+        ref = reference_transpose(src, TensorLayout(dims), Permutation(perm))
+        np.testing.assert_array_equal(plan.execute(src), ref)
+
+    def test_high_rank_fuses_down(self):
+        """Rank 12 with long fusible tails collapses to a small problem."""
+        dims = (4,) * 12
+        perm = (6, 7, 8, 9, 10, 11, 0, 1, 2, 3, 4, 5)
+        plan = repro.make_plan(dims, perm, predictor=ORACLE)
+        assert plan.fused.scaled_rank == 2
+
+    def test_predict_time_high_rank(self):
+        est = repro.predict_time((2,) * 12, tuple(range(11, -1, -1)))
+        assert est.kernel_time > 0

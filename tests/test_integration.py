@@ -1,0 +1,143 @@
+"""End-to-end integration tests across the whole stack."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines import CuttMeasure, TTLG
+from repro.core.fusion import scaled_rank
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.gpusim.engine import simulate_warp_accesses
+from repro.gpusim.spec import KEPLER_K40C, PASCAL_P100
+from repro.kernels.common import reference_transpose
+from repro.model.pretrained import oracle_predictor
+from repro.ttgt import contract, parse_contraction
+
+ORACLE = oracle_predictor()
+
+
+class TestAllPermutationsSmall:
+    def test_every_4d_permutation_correct(self, rng):
+        """Plan + execute all 24 permutations of an awkward 4D shape."""
+        dims = (5, 8, 3, 7)
+        layout = TensorLayout(dims)
+        src = rng.standard_normal(layout.volume)
+        for perm in itertools.permutations(range(4)):
+            plan = repro.make_plan(dims, perm, predictor=ORACLE)
+            ref = reference_transpose(src, layout, Permutation(perm))
+            np.testing.assert_array_equal(plan.execute(src), ref)
+
+    def test_every_3d_permutation_on_mixed_extents(self, rng):
+        dims = (33, 2, 17)
+        layout = TensorLayout(dims)
+        src = rng.standard_normal(layout.volume)
+        for perm in itertools.permutations(range(3)):
+            plan = repro.make_plan(dims, perm, predictor=ORACLE)
+            ref = reference_transpose(src, layout, Permutation(perm))
+            np.testing.assert_array_equal(plan.execute(src), ref)
+
+
+class TestPlannedCountersMatchReplay:
+    @pytest.mark.parametrize(
+        "dims,perm",
+        [
+            ((16, 4, 16), (2, 1, 0)),
+            ((8, 4, 8, 4), (2, 1, 3, 0)),
+            ((64, 6, 3), (0, 2, 1)),
+        ],
+    )
+    def test_chosen_kernel_counts_validate(self, dims, perm):
+        """Whatever kernel the planner chooses, its analytic counters
+        must be close to the per-warp replay."""
+        plan = repro.make_plan(dims, perm, predictor=ORACLE)
+        k = plan.kernel
+        ana = k.counters()
+        det = simulate_warp_accesses(
+            k.trace(), KEPLER_K40C, k.tex_array_bytes()
+        )
+        assert abs(ana.dram_ld_tx - det.dram_ld_tx) <= 0.15 * max(det.dram_ld_tx, 1)
+        assert abs(ana.dram_st_tx - det.dram_st_tx) <= 0.15 * max(det.dram_st_tx, 1)
+
+
+class TestDeviceSensitivity:
+    def test_p100_faster_than_k40(self):
+        """Same plan logic on a higher-bandwidth device must run faster."""
+        dims, perm = (16,) * 6, (5, 4, 3, 2, 1, 0)
+        t_k40 = TTLG(spec=KEPLER_K40C, predictor=oracle_predictor(KEPLER_K40C)) \
+            .plan(dims, perm).kernel_time()
+        t_p100 = TTLG(spec=PASCAL_P100, predictor=oracle_predictor(PASCAL_P100)) \
+            .plan(dims, perm).kernel_time()
+        assert t_p100 < t_k40
+
+
+class TestScaledRankTrend:
+    def test_ttlg_advantage_grows_with_scaled_rank(self):
+        """The real story of Figs. 6/8/10: TTLG's edge over the
+        single-dim-tiling baseline widens at high scaled rank, where
+        dimension combining is what saves warp efficiency.
+
+        (Our simulator's within-TTLG staircase is flatter than the
+        paper's for extent 16 — see EXPERIMENTS.md deviations — so the
+        asserted invariant is the relative one.)
+        """
+        from repro.baselines import CuttHeuristic
+
+        ttlg = TTLG(predictor=ORACLE)
+        cutt = CuttHeuristic()
+        perms_by_rank = {2: [], 6: []}
+        for p in itertools.permutations(range(6)):
+            if p[0] == 0:
+                continue  # FVI-match cases are easy for every library
+            r = scaled_rank((16,) * 6, p)
+            if r in perms_by_rank and len(perms_by_rank[r]) < 4:
+                perms_by_rank[r].append(p)
+        ratio = {}
+        for r, ps in perms_by_rank.items():
+            vals = []
+            for p in ps:
+                t = ttlg.plan((16,) * 6, p).bandwidth_gbps()
+                c = cutt.plan((16,) * 6, p).bandwidth_gbps()
+                vals.append(t / c)
+            ratio[r] = np.mean(vals)
+        assert ratio[6] > ratio[2]
+        assert ratio[6] > 1.05
+
+
+class TestTtgtOnTopOfLibrary:
+    def test_ccsd_like_contraction(self, rng):
+        """A computational-chemistry-shaped contraction runs through
+        TTGT with TTLG transposes and matches einsum."""
+        ext = dict(a=6, b=7, i=8, j=9, c=5)
+        expr = "acij,bc->abij"
+        spec = parse_contraction(expr, ext)
+        A = rng.standard_normal(spec.volume(spec.a_labels))
+        B = rng.standard_normal(spec.volume(spec.b_labels))
+        C = contract(expr, A, B, ext)
+        An = A.reshape(*[ext[l] for l in reversed(spec.a_labels)])
+        Bn = B.reshape(*[ext[l] for l in reversed(spec.b_labels)])
+        ref = np.einsum("jica,cb->jiba", An, Bn).reshape(-1)
+        np.testing.assert_allclose(C, ref, rtol=1e-10)
+
+
+class TestEndToEndScenario:
+    def test_plan_once_run_many(self, rng):
+        """The repeated-use scenario end to end: a Transposer planned
+        once stays consistent across calls and dtypes."""
+        t = repro.Transposer((12, 10, 14), (2, 0, 1))
+        for _ in range(3):
+            src = rng.standard_normal(12 * 10 * 14)
+            ref = reference_transpose(
+                src, TensorLayout((12, 10, 14)), Permutation((2, 0, 1))
+            )
+            np.testing.assert_array_equal(t(src), ref)
+
+    def test_measure_mode_reports_better_or_equal_kernel(self):
+        """cuTT-measure's pick can't be slower than its own heuristic's
+        estimate ranking would suggest on the same menu."""
+        dims, perm = (15,) * 6, (5, 4, 3, 2, 1, 0)
+        m = CuttMeasure().plan(dims, perm)
+        assert m.kernel_time() > 0
+        assert m.num_candidates >= 2

@@ -1,0 +1,185 @@
+"""Unit tests for the Orthogonal-Arbitrary kernel (Algs. 4 and 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.core.taxonomy import Schema
+from repro.errors import SchemaError
+from repro.gpusim.engine import simulate_warp_accesses
+from repro.gpusim.spec import KEPLER_K40C
+from repro.kernels.orthogonal_arbitrary import OrthogonalArbitraryKernel
+
+from tests.helpers import assert_kernel_correct
+
+
+def make(dims, perm, ip, ba, op, bb, **kw):
+    return OrthogonalArbitraryKernel(
+        TensorLayout(dims), Permutation(perm), ip, ba, op, bb, **kw
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "dims,perm,ip,ba,op,bb",
+        [
+            ((8, 2, 8, 8), (2, 1, 3, 0), 3, 1, 3, 1),  # paper example
+            ((6, 5, 7, 9), (1, 3, 0, 2), 2, 3, 2, 1),
+            ((16, 16, 16), (1, 0, 2), 1, 2, 1, 2),
+            ((8, 8, 8, 8), (1, 2, 0, 3), 2, 1, 2, 1),
+            ((5, 3, 11, 2), (2, 1, 3, 0), 2, 1, 2, 1),
+            ((12, 10, 9), (2, 0, 1), 1, 1, 2, 1),
+        ],
+    )
+    def test_moves_data_correctly(self, dims, perm, ip, ba, op, bb, rng):
+        assert_kernel_correct(make(dims, perm, ip, ba, op, bb), rng)
+
+    def test_schema(self):
+        k = make((8, 2, 8, 8), (2, 1, 3, 0), 3, 1, 3, 1)
+        assert k.schema is Schema.ORTHOGONAL_ARBITRARY
+
+    def test_paper_example_slice_sizes(self):
+        """[a,b,c,d] => [c,b,d,a], 8,2,8,8: combining {a,b,c} and
+        {c,b,d} gives fused sizes 128 each (Sec. III)."""
+        k = make((8, 2, 8, 8), (2, 1, 3, 0), 3, 1, 3, 1)
+        assert k.A == 128
+        assert k.B == 8  # only-out dims: just d (c, b overlap the input)
+        # The slice covers every dimension, so its output footprint is
+        # one fully contiguous run.
+        assert k.output_run_length() == 128 * 8
+        assert k.launch_geometry.num_blocks == 1
+
+
+class TestNormalization:
+    def test_output_block_inside_input_group_dropped(self):
+        """blockB on an input-covered dim adds nothing to the slice."""
+        k = make((16, 256, 16, 16, 16), (3, 1, 4, 2, 0), 1, 2, 1, 2)
+        assert k.b_dim is None
+        assert k.blockB == 1
+
+    def test_full_extent_blocks_fold_into_prefix(self):
+        k = make((4, 8, 16), (2, 1, 0), 1, 8, 1, 1)
+        assert k.in_prefix == 2
+        assert k.blockA == 1
+
+    def test_empty_input_group_rejected(self):
+        with pytest.raises(SchemaError):
+            make((8, 8), (1, 0), 0, 1, 1, 1)
+
+    def test_oversized_smem_rejected(self):
+        with pytest.raises(SchemaError):
+            make((128, 128, 4), (1, 0, 2), 1, 1, 1, 1)
+
+
+class TestOffsetArrays:
+    def test_shapes(self):
+        k = make((8, 2, 8, 8), (2, 1, 3, 0), 3, 1, 3, 1)
+        in_off, out_off, sm_off = k.offset_arrays()
+        assert len(in_off) == k.B
+        assert len(out_off) == k.A * k.B
+        assert len(sm_off) == k.A * k.B
+
+    def test_sm_offsets_are_a_permutation_of_the_buffer(self):
+        k = make((8, 2, 8, 8), (2, 1, 3, 0), 3, 1, 3, 1)
+        _, _, sm_off = k.offset_arrays()
+        assert sorted(sm_off.tolist()) == list(range(k.A * k.B))
+
+    def test_out_offsets_unique(self):
+        k = make((6, 5, 7, 9), (1, 3, 0, 2), 2, 1, 2, 1)
+        _, out_off, _ = k.offset_arrays()
+        assert len(np.unique(out_off)) == len(out_off)
+
+    def test_out_offsets_contiguous_within_runs(self):
+        """Consecutive write ids advance by one inside each output run —
+        the coalescing property the indirection buys."""
+        k = make((8, 2, 8, 8), (2, 1, 3, 0), 3, 1, 3, 1)
+        _, out_off, _ = k.offset_arrays()
+        lout = k.output_run_length()
+        runs = out_off.reshape(-1, lout)
+        assert np.all(np.diff(runs, axis=1) == 1)
+
+    def test_input_offsets_first_is_zero(self):
+        k = make((8, 2, 8, 8), (2, 1, 3, 0), 3, 1, 3, 1)
+        in_off, _, _ = k.offset_arrays()
+        assert in_off[0] == 0
+
+
+class TestCounters:
+    def test_detailed_engine_agreement(self):
+        k = make((8, 2, 8, 8), (2, 1, 3, 0), 3, 1, 3, 1)
+        ana = k.counters()
+        det = simulate_warp_accesses(k.trace(), KEPLER_K40C, k.tex_array_bytes())
+        assert ana.dram_ld_tx == det.dram_ld_tx
+        assert ana.dram_st_tx == det.dram_st_tx
+        assert ana.warp_ld_accesses == det.warp_ld_accesses
+        assert ana.warp_st_accesses == det.warp_st_accesses
+        assert ana.smem_conflict_cycles == det.smem_conflict_cycles
+
+    def test_detailed_engine_agreement_blocked(self):
+        """Misaligned blocked slices: the analytic model averages run
+        starts over the address lattice, while the replay sees the actual
+        (non-uniform, few-row) distribution — agree within ~15 %."""
+        k = make((6, 5, 7, 9), (1, 3, 0, 2), 2, 3, 2, 1)
+        ana = k.counters()
+        det = simulate_warp_accesses(k.trace(), KEPLER_K40C, k.tex_array_bytes())
+        assert ana.warp_ld_accesses == det.warp_ld_accesses
+        assert abs(ana.dram_ld_tx - det.dram_ld_tx) <= 0.15 * det.dram_ld_tx
+        assert abs(ana.dram_st_tx - det.dram_st_tx) <= 0.15 * det.dram_st_tx
+
+    def test_table1_texture_traffic(self):
+        """Table I last row: TM = C3 on input, 2 x C3' on output —
+        i.e. one offset read per load access, two per store access."""
+        k = make((8, 2, 8, 8), (2, 1, 3, 0), 3, 1, 3, 1)
+        c = k.counters()
+        assert c.tex_accesses == c.warp_ld_accesses + 2 * c.warp_st_accesses
+
+    def test_smem_mirrors_global(self):
+        c = make((8, 2, 8, 8), (2, 1, 3, 0), 3, 1, 3, 1).counters()
+        assert c.smem_st_accesses == c.warp_ld_accesses
+        assert c.smem_ld_accesses == c.warp_st_accesses
+
+    def test_variant_counts_cover_grid(self):
+        k = make((6, 5, 7, 9), (1, 3, 0, 2), 2, 3, 2, 1)
+        total = sum(v.count for v in k.coverage.variants())
+        assert total == k.coverage.num_blocks
+
+
+class TestFeatures:
+    def test_feature_names_match_table2(self):
+        f = make((8, 2, 8, 8), (2, 1, 3, 0), 3, 1, 3, 1).features()
+        for key in (
+            "volume",
+            "num_threads",
+            "total_slice",
+            "input_stride",
+            "output_stride",
+            "special_instr",
+            "cycles",
+        ):
+            assert key in f
+
+    def test_input_stride_is_contiguous_run(self):
+        k = make((8, 2, 8, 8), (2, 1, 3, 0), 3, 1, 3, 1)
+        assert k.features()["input_stride"] == 128.0
+
+    def test_cycles_positive(self):
+        assert make((8, 8, 8), (1, 2, 0), 1, 1, 2, 1).cycles() > 0
+
+    def test_partial_slices_add_special_ops(self):
+        even = make((8, 8, 8), (1, 2, 0), 1, 2, 2, 1).counters()
+        ragged = make((8, 7, 9), (1, 2, 0), 1, 2, 2, 1).counters()
+        assert ragged.special_ops > even.special_ops
+
+
+class TestConflicts:
+    def test_conflict_degree_sampled_from_real_offsets(self):
+        k = make((8, 2, 8, 8), (2, 1, 3, 0), 3, 1, 3, 1)
+        d = k.smem_read_conflict_degree()
+        assert 1.0 <= d <= 32.0
+
+    def test_conflicting_pattern_detected(self):
+        """Output-order gather with a power-of-two input stride lands on
+        few banks: the kernel must report a degree > 1 somewhere."""
+        k = make((32, 32, 16), (1, 0, 2), 1, 1, 1, 1)
+        assert k.smem_read_conflict_degree() > 1.0

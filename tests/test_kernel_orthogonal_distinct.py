@@ -1,0 +1,180 @@
+"""Unit tests for the Orthogonal-Distinct kernel (Alg. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.core.taxonomy import Schema
+from repro.errors import SchemaError
+from repro.gpusim.engine import simulate_warp_accesses
+from repro.gpusim.spec import KEPLER_K40C
+from repro.kernels.orthogonal_distinct import PAD, TILE, OrthogonalDistinctKernel
+
+from tests.helpers import assert_kernel_correct
+
+
+def make(dims, perm, in_prefix, blockA, out_prefix, blockB, **kw):
+    return OrthogonalDistinctKernel(
+        TensorLayout(dims), Permutation(perm), in_prefix, blockA,
+        out_prefix, blockB, **kw
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "dims,perm,ip,ba,op,bb",
+        [
+            ((64, 7, 9), (2, 1, 0), 1, 1, 1, 1),
+            ((16, 5, 7, 16), (3, 2, 1, 0), 1, 3, 1, 4),
+            ((16, 2, 32, 32), (3, 2, 1, 0), 2, 1, 1, 1),
+            ((9, 7, 64), (2, 1, 0), 1, 5, 1, 1),
+            ((40, 40), (1, 0), 1, 1, 1, 1),
+            ((33, 5, 31), (2, 1, 0), 1, 2, 1, 1),
+            ((6, 5, 7, 8), (2, 3, 0, 1), 2, 1, 2, 1),
+        ],
+    )
+    def test_moves_data_correctly(self, dims, perm, ip, ba, op, bb, rng):
+        assert_kernel_correct(make(dims, perm, ip, ba, op, bb), rng)
+
+    def test_schema(self):
+        assert make((64, 7, 9), (2, 1, 0), 1, 1, 1, 1).schema is (
+            Schema.ORTHOGONAL_DISTINCT
+        )
+
+    def test_float32(self, rng):
+        k = make((40, 6, 36), (2, 1, 0), 1, 1, 1, 1, elem_bytes=4)
+        assert_kernel_correct(k, rng, dtype=np.float32)
+
+
+class TestPreconditions:
+    def test_rejects_overlapping_groups(self):
+        """[a,b,c,d] => [d,c,b,a] with c on both sides (Sec. IV)."""
+        with pytest.raises(SchemaError):
+            make((8, 2, 8, 8), (3, 2, 1, 0), 3, 1, 2, 1)
+
+    def test_normalizes_full_extent_block(self):
+        k = make((16, 4, 9), (2, 1, 0), 1, 4, 1, 1)
+        assert k.in_prefix == 2
+        assert k.blockA == 1
+
+    def test_block_out_of_range(self):
+        with pytest.raises(SchemaError):
+            make((16, 4, 9), (2, 1, 0), 1, 5, 1, 1)
+
+
+class TestGeometry:
+    def test_paper_fig2_slice(self):
+        """Fig. 2: 9 x 7 x 64 slice, thread block per slice."""
+        k = make((64, 7, 9), (2, 1, 0), 1, 1, 1, 7)
+        # A = 64 (i0), B = 9 * 7 = 63 (i2 full + block 7 of i1).
+        assert k.A == 64
+        assert k.B == 63
+        assert k.launch_geometry.num_blocks == 1
+
+    def test_fixed_smem_footprint(self):
+        k = make((64, 7, 9), (2, 1, 0), 1, 1, 1, 1)
+        assert k.launch_geometry.shared_mem_per_block == TILE * (TILE + PAD) * 8
+
+    def test_num_blocks(self):
+        k = make((16, 5, 7, 16), (3, 2, 1, 0), 1, 1, 1, 1)
+        # outer: dims 1 (5) and 2 (7); groups dims 0 and 3.
+        assert k.launch_geometry.num_blocks == 35
+
+    def test_blocked_dims_ceil(self):
+        k = make((16, 5, 7, 16), (3, 2, 1, 0), 1, 3, 1, 4)
+        # ceil(5/3) * ceil(7/4) = 2 * 2
+        assert k.launch_geometry.num_blocks == 4
+
+
+class TestOffsets:
+    def test_in_offsets_are_valid_and_unique(self):
+        k = make((16, 5, 7, 16), (3, 2, 1, 0), 1, 1, 1, 1)
+        off = k.in_offset_array()
+        assert len(off) == k.B
+        assert len(np.unique(off)) == k.B
+
+    def test_out_offsets_are_valid_and_unique(self):
+        k = make((16, 5, 7, 16), (3, 2, 1, 0), 1, 1, 1, 1)
+        off = k.out_offset_array()
+        assert len(off) == k.A
+        assert len(np.unique(off)) == k.A
+
+    def test_tex_bytes(self):
+        k = make((64, 7, 9), (2, 1, 0), 1, 1, 1, 1)
+        assert k.tex_array_bytes() == (k.A + k.B) * 4
+
+
+class TestCounters:
+    def test_table1_c3_aligned(self):
+        """For float data with A, B multiples of 32 the counts equal
+        C3 = ceil(A/32) * vol/A and C3' = ceil(B/32) * vol/B exactly."""
+        k = make((32, 4, 32), (2, 1, 0), 1, 1, 1, 1, elem_bytes=4)
+        c = k.counters()
+        vol = 32 * 4 * 32
+        assert c.dram_ld_tx == (32 * 4 // 128) * vol // 32
+        assert c.dram_st_tx == (32 * 4 // 128) * vol // 32
+
+    def test_no_bank_conflicts_with_padding(self):
+        c = make((64, 7, 9), (2, 1, 0), 1, 1, 1, 1).counters()
+        assert c.smem_conflict_cycles == 0
+
+    def test_texture_traffic_matches_accesses(self):
+        c = make((64, 7, 9), (2, 1, 0), 1, 1, 1, 1).counters()
+        assert c.tex_accesses == c.warp_ld_accesses + c.warp_st_accesses
+
+    def test_detailed_engine_agreement_aligned(self):
+        k = make((32, 4, 32), (2, 1, 0), 1, 1, 1, 1)
+        ana = k.counters()
+        det = simulate_warp_accesses(k.trace(), KEPLER_K40C, k.tex_array_bytes())
+        assert ana.dram_ld_tx == det.dram_ld_tx
+        assert ana.dram_st_tx == det.dram_st_tx
+        assert ana.warp_ld_accesses == det.warp_ld_accesses
+        assert ana.warp_st_accesses == det.warp_st_accesses
+        assert ana.smem_conflict_cycles == det.smem_conflict_cycles == 0
+        assert ana.active_lanes == det.active_lanes
+
+    def test_detailed_engine_agreement_ragged(self):
+        """Partial tiles: the analytic model assumes co-resident blocks
+        share boundary lines through the L2; replaying with an L2-sized
+        line cache must agree exactly, and the pessimistic small-cache
+        replay must bracket it from above."""
+        k = make((40, 7, 36), (2, 1, 0), 1, 1, 1, 1)
+        ana = k.counters()
+        l2 = simulate_warp_accesses(
+            k.trace(), KEPLER_K40C, k.tex_array_bytes(),
+            line_cache_capacity=4096,
+        )
+        assert ana.dram_ld_tx == l2.dram_ld_tx
+        assert ana.dram_st_tx == l2.dram_st_tx
+        small = simulate_warp_accesses(
+            k.trace(), KEPLER_K40C, k.tex_array_bytes()
+        )
+        assert ana.warp_ld_accesses == small.warp_ld_accesses
+        assert ana.dram_ld_tx <= small.dram_ld_tx
+        assert ana.dram_st_tx <= small.dram_st_tx
+
+
+class TestCyclesFeature:
+    def test_full_tiles_only(self):
+        """A = B = 64: four full tiles per slice, 64 cycles each."""
+        k = make((64, 3, 64), (2, 1, 0), 1, 1, 1, 1)
+        per_slice = (64 // 32) * (64 // 32) * 64
+        assert k.cycles() == 3 * per_slice
+
+    def test_partial_tiles_cost_less(self):
+        k_full = make((64, 3, 64), (2, 1, 0), 1, 1, 1, 1)
+        k_rag = make((48, 3, 48), (2, 1, 0), 1, 1, 1, 1)
+        # Ragged slices do less total work per slice.
+        assert k_rag.cycles() < k_full.cycles()
+
+    def test_features_dict(self):
+        f = make((64, 3, 64), (2, 1, 0), 1, 1, 1, 1).features()
+        assert f["input_slice"] == 64.0
+        assert f["output_slice"] == 64.0
+        assert f["cycles"] > 0
+
+    def test_slice_variants_cover_all_blocks(self):
+        k = make((16, 5, 7, 16), (3, 2, 1, 0), 1, 3, 1, 4)
+        total = sum(c for c, _, _ in k.slice_variant_shapes())
+        assert total == k.launch_geometry.num_blocks

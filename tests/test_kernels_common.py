@@ -1,0 +1,225 @@
+"""Unit tests for the shared kernel machinery (repro.kernels.common)."""
+
+import numpy as np
+import pytest
+
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.gpusim.engine import _LineCache
+from repro.kernels.common import (
+    Coverage,
+    DimCoverage,
+    SliceCoverage,
+    ceil_div,
+    effective_runs,
+    lattice_run_transactions,
+    reference_transpose,
+    strides_lattice,
+    tile_cycles,
+    weighted_slice_cycles,
+)
+
+
+class TestReferenceTranspose:
+    def test_matches_manual_element_mapping(self):
+        layout = TensorLayout((3, 4, 5))
+        perm = Permutation((2, 0, 1))
+        src = np.arange(60)
+        out = reference_transpose(src, layout, perm)
+        out_layout = layout.permuted(perm)
+        for off in range(60):
+            idx = layout.delinearize(off)
+            out_idx = perm.apply(idx)
+            assert out[out_layout.linearize(out_idx)] == src[off]
+
+    def test_identity(self):
+        layout = TensorLayout((4, 5))
+        src = np.arange(20)
+        np.testing.assert_array_equal(
+            reference_transpose(src, layout, Permutation((0, 1))), src
+        )
+
+
+class TestSliceCoverage:
+    def make(self):
+        layout = TensorLayout((8, 5, 6, 7))
+        perm = Permutation((2, 1, 3, 0))
+        covs = [
+            DimCoverage(0, Coverage.FULL),
+            DimCoverage(1, Coverage.BLOCK, 2),
+            DimCoverage(2, Coverage.FULL),
+            DimCoverage(3, Coverage.OUTER),
+        ]
+        return SliceCoverage(layout, perm, covs)
+
+    def test_num_blocks(self):
+        cov = self.make()
+        assert cov.num_blocks == ceil_div(5, 2) * 7  # 3 * 7
+
+    def test_slice_volume(self):
+        assert self.make().slice_volume() == 8 * 2 * 6
+
+    def test_outer_dims(self):
+        assert self.make().outer_dims() == (1, 3)
+
+    def test_variants_cover_all_blocks(self):
+        cov = self.make()
+        assert sum(v.count for v in cov.variants()) == cov.num_blocks
+
+    def test_variants_sizes(self):
+        cov = self.make()
+        sizes = sorted(v.sizes[1] for v in cov.variants())
+        assert sizes == [1, 2]  # remainder 1, full block 2
+
+    def test_block_bases_are_valid_offsets(self):
+        cov = self.make()
+        in_base, out_base, variant = cov.block_bases()
+        assert len(in_base) == cov.num_blocks
+        assert in_base.min() >= 0
+        assert in_base.max() < cov.layout.volume
+        assert out_base.max() < cov.out_layout.volume
+        assert set(np.unique(variant)) <= {0, 1}
+
+    def test_block_bases_distinct(self):
+        cov = self.make()
+        in_base, _, _ = cov.block_bases()
+        assert len(np.unique(in_base)) == len(in_base)
+
+    def test_variant_ids_match_order(self):
+        cov = self.make()
+        _, _, variant = cov.block_bases()
+        order = cov.variants_order()
+        # id 0 = full block(2) on dim 1; id 1 = remainder (1).
+        assert order[0][1] == 2
+        assert order[1][1] == 1
+        # The remainder position is the last along dim 1 (every 3rd).
+        assert np.all(variant.reshape(7, 3)[:, 2] == 1)
+
+    def test_rejects_incomplete_coverage(self):
+        layout = TensorLayout((4, 4))
+        with pytest.raises(ValueError):
+            SliceCoverage(
+                layout, Permutation((1, 0)), [DimCoverage(0, Coverage.FULL)]
+            )
+
+
+class TestEffectiveRuns:
+    def cov(self, spec):
+        return {d: DimCoverage(d, c, b) for d, (c, b) in spec.items()}
+
+    def test_covered_prefix(self):
+        """Fully covered fast dims form the base run."""
+        runs = effective_runs(
+            range(3),
+            self.cov({0: (Coverage.FULL, 1), 1: (Coverage.OUTER, 1), 2: (Coverage.OUTER, 1)}),
+            (16, 5, 7),
+            16 * 5 * 7,
+            resident_blocks=1,
+        )
+        # dim 1 cannot chain (only 1 resident block) -> runs of 16.
+        assert runs == [(35, 16)]
+
+    def test_outer_dim_chains_within_residency(self):
+        runs = effective_runs(
+            range(3),
+            self.cov({0: (Coverage.FULL, 1), 1: (Coverage.OUTER, 1), 2: (Coverage.OUTER, 1)}),
+            (16, 5, 7),
+            16 * 5 * 7,
+            resident_blocks=240,
+        )
+        # Both outer dims chain: the whole tensor is one span.
+        assert runs == [(1, 16 * 5 * 7)]
+
+    def test_blocked_dim_with_remainder_splits(self):
+        runs = effective_runs(
+            range(2),
+            self.cov({0: (Coverage.FULL, 1), 1: (Coverage.BLOCK, 3)}),
+            (8, 7),
+            56,
+            resident_blocks=1,
+        )
+        # 2 full blocks of 3 and a remainder of 1 per outer setting.
+        assert sorted(runs) == [(1, 8 * 1), (2, 8 * 3)]
+
+    def test_blocked_dim_chains_when_resident(self):
+        runs = effective_runs(
+            range(2),
+            self.cov({0: (Coverage.FULL, 1), 1: (Coverage.BLOCK, 3)}),
+            (8, 7),
+            56,
+            resident_blocks=16,
+        )
+        assert runs == [(1, 56)]
+
+    def test_gap_stops_chain(self):
+        """An output-order walk hits a non-fastest grid dim and stops."""
+        runs = effective_runs(
+            [2, 0, 1],  # output order: dim2 first
+            self.cov({0: (Coverage.FULL, 1), 1: (Coverage.OUTER, 1), 2: (Coverage.FULL, 1)}),
+            (4, 5, 6),
+            120,
+            resident_blocks=240,
+        )
+        # Walk starts at dim2 (covered, x6) then dim0 (covered, x4) then
+        # dim1 (outer, and the only grid dim -> fastest) chains.
+        assert runs == [(1, 120)]
+
+    def test_total_elements_preserved(self):
+        for resident in (1, 4, 240):
+            runs = effective_runs(
+                range(3),
+                self.cov({0: (Coverage.FULL, 1), 1: (Coverage.BLOCK, 2), 2: (Coverage.OUTER, 1)}),
+                (8, 5, 6),
+                240,
+                resident_blocks=resident,
+            )
+            assert sum(c * r for c, r in runs) == 240
+
+
+class TestLatticeHelpers:
+    def test_lattice_aligned_exact(self):
+        # 16 doubles on a 128-byte lattice: exactly one line.
+        assert lattice_run_transactions(16, 8, 128) == 1.0
+
+    def test_lattice_unaligned_average(self):
+        v = lattice_run_transactions(16, 8, 8)
+        assert 1.0 < v < 2.0
+
+    def test_strides_lattice(self):
+        assert strides_lattice([256, 384]) == 128
+        assert strides_lattice([96]) == 32
+        assert strides_lattice([7]) == 1
+        assert strides_lattice([]) == 128
+
+
+class TestCycles:
+    def test_exact_full_tile(self):
+        assert tile_cycles(32, 32) == 64
+
+    def test_paper_formula_mixed(self):
+        # 40 x 40: n1=1 full, n2=n3=1 partial (rem 8), n4=1 corner.
+        expect = 1 * 64 + 1 * (32 + 8) + 1 * (8 + 32) + 1 * 16
+        assert tile_cycles(40, 40) == expect
+
+    def test_weighted_sum(self):
+        assert weighted_slice_cycles([(3, 32, 32), (1, 8, 8)]) == (
+            3 * 64 + 16
+        )
+
+
+class TestLineCache:
+    def test_compulsory_misses(self):
+        c = _LineCache(4)
+        assert c.misses(np.array([1, 2, 3])) == 3
+
+    def test_hit_on_recent(self):
+        c = _LineCache(4)
+        c.misses(np.array([1, 2]))
+        assert c.misses(np.array([2, 3])) == 1
+
+    def test_lru_eviction(self):
+        c = _LineCache(2)
+        c.misses(np.array([1, 2]))
+        c.misses(np.array([3]))  # evicts 1
+        assert c.misses(np.array([1])) == 1
+        assert c.misses(np.array([3])) == 0

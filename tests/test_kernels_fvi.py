@@ -1,0 +1,156 @@
+"""Unit tests for the FVI-Match kernels (Algs. 6 and 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.core.taxonomy import Schema
+from repro.errors import SchemaError
+from repro.gpusim.engine import simulate_warp_accesses
+from repro.gpusim.spec import KEPLER_K40C
+from repro.kernels.fvi_match_large import FviMatchLargeKernel
+from repro.kernels.fvi_match_small import FviMatchSmallKernel
+
+from tests.helpers import assert_kernel_correct
+
+
+def make_large(dims, perm, **kw):
+    return FviMatchLargeKernel(TensorLayout(dims), Permutation(perm), **kw)
+
+
+def make_small(dims, perm, b, **kw):
+    return FviMatchSmallKernel(TensorLayout(dims), Permutation(perm), b, **kw)
+
+
+class TestFviMatchLarge:
+    @pytest.mark.parametrize(
+        "dims,perm",
+        [
+            ((64, 8, 10, 6), (0, 3, 2, 1)),
+            ((32, 5, 7), (0, 2, 1)),
+            ((100, 4, 9), (0, 2, 1)),
+            ((128,), (0,)),  # fused identity
+        ],
+    )
+    def test_correct(self, dims, perm, rng):
+        assert_kernel_correct(make_large(dims, perm), rng)
+
+    def test_rejects_non_matching_fvi(self):
+        with pytest.raises(SchemaError):
+            make_large((64, 8), (1, 0))
+
+    def test_schema_tag(self):
+        assert make_large((64, 4), (0, 1)).schema is Schema.FVI_MATCH_LARGE
+
+    def test_table1_c2_transactions(self):
+        """Table I: C2 = ceil(N0*eb/128) per run, runs = rest volume —
+        for float data, ceil(size(i0)/32) x prod(other extents)."""
+        k = make_large((64, 8, 10), (0, 2, 1), elem_bytes=4)
+        c = k.counters()
+        assert c.dram_ld_tx == (64 * 4 // 128) * 8 * 10
+        assert c.dram_st_tx == c.dram_ld_tx
+
+    def test_no_shared_memory(self):
+        c = make_large((64, 8, 10), (0, 2, 1)).counters()
+        assert c.smem_accesses == 0
+        assert c.tex_accesses == 0
+
+    def test_analytic_matches_detailed(self):
+        k = make_large((96, 6, 5), (0, 2, 1))
+        ana = k.counters()
+        det = simulate_warp_accesses(k.trace(), KEPLER_K40C)
+        assert ana.dram_ld_tx == det.dram_ld_tx
+        assert ana.dram_st_tx == det.dram_st_tx
+        assert ana.warp_ld_accesses == det.warp_ld_accesses
+        assert ana.active_lanes == det.active_lanes
+
+    def test_chunking_keeps_grid_occupied(self):
+        """A fused identity (single giant run) must still launch enough
+        blocks to fill the device."""
+        k = make_large((1 << 22,), (0,))
+        assert k.launch_geometry.num_blocks >= 2 * KEPLER_K40C.block_slots
+
+    def test_small_runs_one_block_each(self):
+        k = make_large((64, 100, 100), (0, 2, 1))
+        assert k.chunks_per_run == 1
+
+    def test_partial_warp_lane_efficiency(self):
+        """N0 = 48: each run needs two accesses, second half-empty."""
+        c = make_large((48, 8, 8), (0, 2, 1)).counters()
+        assert c.lane_efficiency == pytest.approx(48 / 64)
+
+
+class TestFviMatchSmall:
+    @pytest.mark.parametrize(
+        "dims,perm,b",
+        [
+            ((8, 12, 10, 6), (0, 2, 1, 3), 4),
+            ((8, 12, 10, 6), (0, 2, 1, 3), 3),
+            ((16, 9, 7), (0, 2, 1), 2),
+            ((4, 33, 17), (0, 2, 1), 8),
+            ((2, 10, 10, 3), (0, 3, 1, 2), 5),
+        ],
+    )
+    def test_correct(self, dims, perm, b, rng):
+        assert_kernel_correct(make_small(dims, perm, b), rng)
+
+    def test_rejects_large_fvi(self):
+        with pytest.raises(SchemaError):
+            make_small((32, 8, 8), (0, 2, 1), 4)
+
+    def test_rejects_non_matching(self):
+        with pytest.raises(SchemaError):
+            make_small((8, 8, 8), (2, 1, 0), 4)
+
+    def test_rejects_rank_two(self):
+        with pytest.raises(SchemaError):
+            make_small((8, 8), (0, 1), 4)
+
+    def test_rejects_oversized_smem(self):
+        with pytest.raises(SchemaError):
+            make_small((31, 40, 40), (0, 2, 1), 32)
+
+    def test_table1_c1_structure(self):
+        """Table I: loads = stores, smem traffic mirrors global."""
+        k = make_small((8, 12, 10, 6), (0, 2, 1, 3), 4)
+        c = k.counters()
+        assert c.smem_st_accesses == c.warp_ld_accesses
+        assert c.smem_ld_accesses == c.warp_st_accesses
+        assert c.tex_accesses == 0  # Table I: TM = 0 for this kernel
+
+    def test_c1_formula_even_case(self):
+        """b*N0 multiple of 32, extents divide b: C1 exactly
+        ceil(size(i0)*b/32) * prod(other)/b (for floats)."""
+        k = make_small((8, 12, 8, 6), (0, 2, 1, 3), b=4, elem_bytes=4)
+        c = k.counters()
+        expected = -(-8 * 4 * 4 // 128) * (12 * 8 * 6) // 4
+        assert c.dram_ld_tx == expected
+
+    def test_pad_gives_conflict_free_reads(self):
+        k = make_small((8, 12, 10, 6), (0, 2, 1, 3), 4)
+        assert k.smem_read_conflict_degree() == 1
+        assert k.counters().smem_conflict_cycles == 0
+
+    def test_analytic_close_to_detailed(self):
+        k = make_small((8, 12, 10, 6), (0, 2, 1, 3), 4)
+        ana = k.counters()
+        det = simulate_warp_accesses(k.trace(), KEPLER_K40C)
+        assert ana.dram_ld_tx == det.dram_ld_tx
+        assert ana.dram_st_tx == det.dram_st_tx
+        assert ana.warp_ld_accesses == det.warp_ld_accesses
+        assert ana.warp_st_accesses == det.warp_st_accesses
+        # Partial-bundle conflict estimates may differ slightly.
+        assert ana.smem_conflict_cycles >= det.smem_conflict_cycles
+
+    def test_features_present(self):
+        f = make_small((8, 12, 10, 6), (0, 2, 1, 3), 4).features()
+        for key in ("volume", "num_blocks", "slice_volume", "block_b"):
+            assert key in f
+
+    def test_larger_b_fewer_blocks(self):
+        k2 = make_small((8, 16, 16), (0, 2, 1), 2)
+        k8 = make_small((8, 16, 16), (0, 2, 1), 8)
+        assert (
+            k8.launch_geometry.num_blocks < k2.launch_geometry.num_blocks
+        )

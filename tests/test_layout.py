@@ -1,0 +1,101 @@
+"""Unit tests for repro.core.layout."""
+
+import numpy as np
+import pytest
+
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.errors import InvalidLayoutError
+
+
+class TestConstruction:
+    def test_basic(self):
+        l = TensorLayout((4, 5, 6))
+        assert l.rank == 3
+        assert l.volume == 120
+        assert l.dims == (4, 5, 6)
+
+    def test_strides_fastest_first(self):
+        assert TensorLayout((4, 5, 6)).strides == (1, 4, 20)
+
+    def test_stride_method(self):
+        l = TensorLayout((4, 5, 6))
+        assert [l.stride(k) for k in range(3)] == [1, 4, 20]
+
+    def test_rank_one(self):
+        l = TensorLayout((7,))
+        assert l.strides == (1,)
+        assert l.volume == 7
+
+    def test_nbytes(self):
+        assert TensorLayout((10, 10)).nbytes(8) == 800
+
+    @pytest.mark.parametrize("bad", [(), (0,), (-1, 3), (3, 0, 2)])
+    def test_invalid(self, bad):
+        with pytest.raises(InvalidLayoutError):
+            TensorLayout(bad)
+
+
+class TestLinearize:
+    def test_roundtrip_all_offsets(self):
+        l = TensorLayout((3, 4, 2))
+        for off in range(l.volume):
+            assert l.linearize(l.delinearize(off)) == off
+
+    def test_known_offsets(self):
+        l = TensorLayout((4, 5))
+        assert l.linearize((0, 0)) == 0
+        assert l.linearize((3, 0)) == 3
+        assert l.linearize((0, 1)) == 4
+        assert l.linearize((3, 4)) == 19
+
+    def test_out_of_range_index(self):
+        with pytest.raises(InvalidLayoutError):
+            TensorLayout((3, 3)).linearize((3, 0))
+
+    def test_negative_index(self):
+        with pytest.raises(InvalidLayoutError):
+            TensorLayout((3, 3)).linearize((-1, 0))
+
+    def test_rank_mismatch(self):
+        with pytest.raises(InvalidLayoutError):
+            TensorLayout((3, 3)).linearize((0,))
+
+    def test_offset_out_of_range(self):
+        with pytest.raises(InvalidLayoutError):
+            TensorLayout((3, 3)).delinearize(9)
+
+    def test_vectorized_matches_scalar(self):
+        l = TensorLayout((3, 5, 4))
+        offs = np.arange(l.volume)
+        coords = l.delinearize_many(offs)
+        for off in range(l.volume):
+            assert tuple(coords[off]) == l.delinearize(off)
+        back = l.linearize_many(coords)
+        np.testing.assert_array_equal(back, offs)
+
+
+class TestDerived:
+    def test_permuted_extents(self):
+        l = TensorLayout((4, 5, 6))
+        assert l.permuted(Permutation((2, 0, 1))).dims == (6, 4, 5)
+
+    def test_permuted_preserves_volume(self):
+        l = TensorLayout((4, 5, 6))
+        assert l.permuted(Permutation((1, 2, 0))).volume == l.volume
+
+    def test_prefix_volume(self):
+        l = TensorLayout((4, 5, 6))
+        assert [l.prefix_volume(k) for k in range(4)] == [1, 4, 20, 120]
+
+    def test_numpy_shape_is_reversed(self):
+        assert TensorLayout((4, 5, 6)).as_numpy_shape() == (6, 5, 4)
+
+    def test_linearization_matches_numpy_c_order(self):
+        """Our dim-0-fastest linearization equals C order on the
+        reversed shape — the bridge the whole library relies on."""
+        l = TensorLayout((3, 4, 5))
+        arr = np.arange(l.volume).reshape(l.as_numpy_shape())
+        for off in range(0, l.volume, 7):
+            idx = l.delinearize(off)
+            assert arr[tuple(reversed(idx))] == off

@@ -1,0 +1,121 @@
+"""Edge-path tests: harness failure handling, degenerate ranks, misc."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines.library import LibraryPlan, TransposeLibrary
+from repro.bench.harness import run_case
+from repro.bench.suites import BenchCase
+from repro.core.api import axes_to_perm
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.errors import PlanError
+from repro.gpusim.cost import CostModel
+from repro.gpusim.counters import KernelCounters, LaunchGeometry
+from repro.model.pretrained import oracle_predictor
+
+ORACLE = oracle_predictor()
+
+
+class FailingLibrary(TransposeLibrary):
+    name = "Broken"
+
+    def plan(self, dims, perm, elem_bytes=8):
+        raise PlanError("nope")
+
+
+class TestHarnessEdges:
+    def test_failing_library_omitted_not_fatal(self):
+        from repro.baselines import TTLG
+
+        case = BenchCase(dims=(8, 8), perm=(1, 0), scaled_rank=2)
+        res = run_case(case, [TTLG(predictor=ORACLE), FailingLibrary()])
+        assert "TTLG" in res.bandwidth
+        assert "Broken" not in res.bandwidth
+
+    def test_library_plan_carries_schema(self):
+        from repro.baselines import TTLG
+
+        plan = TTLG(predictor=ORACLE).plan((8, 8, 8), (2, 1, 0))
+        assert isinstance(plan, LibraryPlan)
+        assert plan.kernel.schema is not None
+        assert plan.time_for(repeats=3) == pytest.approx(
+            3 * plan.kernel_time()
+        )
+
+
+class TestDegenerateShapes:
+    def test_rank_one(self, rng):
+        a = rng.standard_normal(37)
+        np.testing.assert_array_equal(repro.transpose(a, (0,)), a)
+
+    def test_axes_to_perm_rank_one(self):
+        assert axes_to_perm((0,)) == (0,)
+
+    def test_single_element_tensor(self):
+        a = np.array([[3.0]])
+        np.testing.assert_array_equal(repro.transpose(a, (1, 0)), a)
+
+    def test_reversal_rank_one(self):
+        assert Permutation.reversal(1).mapping == (0,)
+
+    def test_extent_one_everywhere(self, rng):
+        a = rng.standard_normal((1, 5, 1))
+        np.testing.assert_array_equal(
+            repro.transpose(a, (2, 1, 0)), np.transpose(a, (2, 1, 0))
+        )
+
+    def test_prime_extents(self, rng):
+        a = rng.standard_normal((13, 11, 7))
+        np.testing.assert_array_equal(
+            repro.transpose(a, (2, 0, 1)), np.transpose(a, (2, 0, 1))
+        )
+
+
+class TestCostModelEdges:
+    def test_zero_counters_min_time(self):
+        cm = CostModel()
+        t = cm.kernel_time(KernelCounters(), LaunchGeometry(1, 32))
+        assert t == pytest.approx(
+            cm.spec.launch_overhead_s + cm.spec.min_kernel_time_s
+        )
+
+    def test_jitter_key_types(self):
+        cm = CostModel(jitter_scale=0.02)
+        c = KernelCounters(dram_ld_tx=100, dram_st_tx=100)
+        g = LaunchGeometry(10, 256)
+        for key in ("str", 42, (1, "a"), frozenset({1})):
+            assert cm.kernel_time(c, g, jitter_key=key) > 0
+
+    def test_breakdown_total_consistent(self):
+        cm = CostModel()
+        c = KernelCounters(
+            dram_ld_tx=10**5,
+            dram_st_tx=10**5,
+            dram_ld_useful_bytes=10**5 * 128,
+            dram_st_useful_bytes=10**5 * 128,
+        )
+        g = LaunchGeometry(1000, 256)
+        bd = cm.breakdown(c, g)
+        assert bd.total_s >= max(
+            bd.dram_s, bd.smem_s, bd.issue_s, bd.special_s
+        )
+
+
+class TestProfileOnEveryKernel:
+    @pytest.mark.parametrize(
+        "dims,perm",
+        [
+            ((64, 6, 5), (0, 2, 1)),        # FVI large
+            ((8, 12, 10), (0, 2, 1)),       # FVI small
+            ((40, 7, 36), (2, 1, 0)),       # OD
+            ((8, 2, 8, 8), (2, 1, 3, 0)),   # OA
+        ],
+    )
+    def test_profile_renders(self, dims, perm):
+        from repro.gpusim.profile import profile_kernel
+
+        plan = repro.make_plan(dims, perm, predictor=ORACLE)
+        report = profile_kernel(plan.kernel).format_report()
+        assert "kernel time" in report

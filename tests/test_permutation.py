@@ -1,0 +1,129 @@
+"""Unit tests for repro.core.permutation."""
+
+import numpy as np
+import pytest
+
+from repro.core.permutation import Permutation
+from repro.errors import InvalidPermutationError
+
+
+class TestConstruction:
+    def test_valid(self):
+        p = Permutation((2, 0, 1))
+        assert p.rank == 3
+        assert p.mapping == (2, 0, 1)
+
+    def test_identity_factory(self):
+        assert Permutation.identity(4).mapping == (0, 1, 2, 3)
+
+    def test_reversal_factory(self):
+        assert Permutation.reversal(4).mapping == (3, 2, 1, 0)
+
+    def test_accepts_iterables(self):
+        assert Permutation([1, 0]) == Permutation((1, 0))
+        assert Permutation(range(3)).is_identity()
+
+    def test_rank_one(self):
+        p = Permutation((0,))
+        assert p.is_identity()
+        assert p.fvi_matches()
+
+    @pytest.mark.parametrize(
+        "bad", [(), (1,), (0, 0), (0, 2), (1, 2, 3), (-1, 0)]
+    )
+    def test_invalid(self, bad):
+        with pytest.raises(InvalidPermutationError):
+            Permutation(bad)
+
+
+class TestAlgebra:
+    def test_inverse(self):
+        p = Permutation((2, 0, 3, 1))
+        inv = p.inverse()
+        assert p.compose(inv).is_identity()
+        assert inv.compose(p).is_identity()
+
+    def test_inverse_involution(self):
+        p = Permutation((3, 1, 0, 2))
+        assert p.inverse().inverse() == p
+
+    def test_apply(self):
+        p = Permutation((2, 0, 1))
+        assert p.apply(("a", "b", "c")) == ("c", "a", "b")
+
+    def test_apply_then_inverse_roundtrip(self):
+        p = Permutation((1, 3, 0, 2))
+        seq = ("w", "x", "y", "z")
+        assert p.inverse().apply(p.apply(seq)) == seq
+
+    def test_compose_matches_sequential_apply(self):
+        a = Permutation((1, 2, 0))
+        b = Permutation((2, 1, 0))
+        seq = ("p", "q", "r")
+        assert a.compose(b).apply(seq) == a.apply(b.apply(seq))
+
+    def test_compose_rank_mismatch(self):
+        with pytest.raises(InvalidPermutationError):
+            Permutation((0, 1)).compose(Permutation((0, 1, 2)))
+
+    def test_apply_length_mismatch(self):
+        with pytest.raises(InvalidPermutationError):
+            Permutation((0, 1)).apply((1, 2, 3))
+
+
+class TestQueries:
+    def test_fvi_matches(self):
+        assert Permutation((0, 2, 1)).fvi_matches()
+        assert not Permutation((2, 1, 0)).fvi_matches()
+
+    def test_fixed_points(self):
+        assert Permutation((0, 2, 1, 3)).fixed_points() == (0, 3)
+
+    def test_cycles_cover_all_indices(self):
+        p = Permutation((1, 2, 0, 4, 3))
+        flat = sorted(i for cyc in p.cycles() for i in cyc)
+        assert flat == list(range(5))
+
+    def test_cycles_identity(self):
+        assert Permutation.identity(3).cycles() == ((0,), (1,), (2,))
+
+    def test_hash_and_eq(self):
+        assert hash(Permutation((1, 0))) == hash(Permutation((1, 0)))
+        assert Permutation((1, 0)) == (1, 0)
+        assert Permutation((1, 0)) != Permutation((0, 1))
+
+    def test_iteration_and_indexing(self):
+        p = Permutation((2, 0, 1))
+        assert list(p) == [2, 0, 1]
+        assert p[0] == 2
+        assert len(p) == 3
+
+
+class TestNumpyInterop:
+    @pytest.mark.parametrize(
+        "dims,perm",
+        [
+            ((3, 4), (1, 0)),
+            ((2, 3, 4), (2, 0, 1)),
+            ((2, 3, 4, 5), (3, 1, 2, 0)),
+            ((5, 2, 7), (0, 2, 1)),
+        ],
+    )
+    def test_numpy_axes_matches_definition(self, dims, perm):
+        """np.transpose with numpy_axes must realize the abstract
+        permutation: output index i holds input dim perm[i]."""
+        p = Permutation(perm)
+        arr = np.arange(int(np.prod(dims))).reshape(dims[::-1])
+        t = np.transpose(arr, p.numpy_axes())
+        # Spot-check elementwise semantics.
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            idx = tuple(rng.integers(0, d) for d in dims)
+            out_idx = p.apply(idx)
+            assert t[tuple(reversed(out_idx))] == arr[tuple(reversed(idx))]
+
+    def test_numpy_axes_identity(self):
+        assert Permutation.identity(3).numpy_axes() == (0, 1, 2)
+
+    def test_numpy_axes_reversal(self):
+        assert Permutation.reversal(3).numpy_axes() == (2, 1, 0)

@@ -1,0 +1,224 @@
+"""Tests for the planner (repro.core.plan) and public API (core.api)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.api import axes_to_perm, perm_to_axes
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.core.plan import make_plan
+from repro.core.taxonomy import Schema
+from repro.errors import InvalidLayoutError, InvalidPermutationError
+from repro.kernels.common import reference_transpose
+from repro.model.pretrained import oracle_predictor
+
+ORACLE = oracle_predictor()
+
+
+class TestMakePlan:
+    @pytest.mark.parametrize(
+        "dims,perm",
+        [
+            ((16,) * 6, (4, 1, 2, 5, 3, 0)),
+            ((8, 2, 8, 8), (2, 1, 3, 0)),
+            ((64, 8, 10, 6), (0, 3, 2, 1)),
+            ((8, 12, 10, 6), (0, 2, 1, 3)),
+            ((128, 128), (1, 0)),
+            ((32, 32, 32), (0, 1, 2)),
+            ((5, 7), (1, 0)),
+            ((3, 3, 3, 3, 3, 3, 3), (6, 5, 4, 3, 2, 1, 0)),
+        ],
+    )
+    def test_plans_and_executes_correctly(self, dims, perm, rng):
+        plan = make_plan(dims, perm, predictor=ORACLE)
+        layout, p = TensorLayout(dims), Permutation(perm)
+        src = rng.standard_normal(layout.volume)
+        np.testing.assert_array_equal(
+            plan.execute(src), reference_transpose(src, layout, p)
+        )
+
+    def test_identity_uses_copy_kernel(self):
+        plan = make_plan((16, 16, 16), (0, 1, 2), predictor=ORACLE)
+        assert plan.schema is Schema.FVI_MATCH_LARGE
+
+    def test_plan_time_positive_and_scales(self):
+        p1 = make_plan((64, 8), (1, 0), predictor=ORACLE)
+        assert p1.plan_time > 0
+        assert p1.num_candidates >= 1
+
+    def test_pretrained_predictor_default(self):
+        plan = make_plan((16,) * 4, (3, 2, 1, 0))
+        assert plan.predicted_time > 0
+
+    def test_model_choice_close_to_oracle(self):
+        """The regression-driven choice must be within 25 % of the
+        oracle-optimal simulated time (Fig. 5's 'choose the potential
+        best slice variant')."""
+        dims, perm = (27,) * 5, (4, 1, 2, 0, 3)
+        t_model = make_plan(dims, perm).simulated_time()
+        t_oracle = make_plan(dims, perm, predictor=ORACLE).simulated_time()
+        assert t_model <= 1.25 * t_oracle
+
+    def test_coarsening_consistent_with_kernel(self):
+        """When the planner records a coarsening, the kernel must carry
+        it; when the model rejects it, none is recorded."""
+        plan = make_plan((16,) * 6, (4, 1, 2, 5, 3, 0), predictor=ORACLE)
+        kernel_coarsen = getattr(plan.kernel, "coarsen", None)
+        assert plan.coarsening == kernel_coarsen
+
+    def test_coarsening_mechanism(self, rng):
+        """Sec. IV-A applied explicitly: same traffic, fewer blocks,
+        fewer mod/div special instructions, identical data movement."""
+        from repro.core.layout import TensorLayout as TL
+        from repro.kernels.orthogonal_arbitrary import (
+            OrthogonalArbitraryKernel,
+        )
+
+        dims, perm = (16, 8, 16, 16, 16), (2, 1, 4, 3, 0)
+        base = OrthogonalArbitraryKernel(
+            TL(dims), Permutation(perm), 2, 1, 2, 1
+        )
+        outer = base.coverage.outer_dims()
+        c_dim = outer[0]
+        coarse = OrthogonalArbitraryKernel(
+            TL(dims), Permutation(perm), 2, 1, 2, 1,
+            coarsen=(c_dim, dims[c_dim]),
+        )
+        cb, cc = base.counters(), coarse.counters()
+        assert cc.dram_tx == cb.dram_tx
+        assert cc.special_ops < cb.special_ops
+        assert (
+            coarse.launch_geometry.num_blocks
+            < base.launch_geometry.num_blocks
+        )
+        src = rng.standard_normal(base.volume)
+        np.testing.assert_array_equal(coarse.execute(src), base.execute(src))
+
+    def test_coarsening_invalid_dim_rejected(self):
+        from repro.core.layout import TensorLayout as TL
+        from repro.errors import SchemaError
+        from repro.kernels.orthogonal_arbitrary import (
+            OrthogonalArbitraryKernel,
+        )
+
+        with pytest.raises(SchemaError):
+            OrthogonalArbitraryKernel(
+                TL((16, 8, 16)), Permutation((2, 1, 0)), 1, 1, 1, 1,
+                coarsen=(0, 4),  # dim 0 is inside the slice
+            )
+
+    def test_no_coarsening_small_tensor(self):
+        plan = make_plan((8, 8, 8), (1, 2, 0), predictor=ORACLE)
+        assert plan.coarsening is None
+
+    def test_bandwidth_amortization(self):
+        plan = make_plan((16,) * 6, (5, 4, 3, 2, 1, 0), predictor=ORACLE)
+        bw1 = plan.bandwidth_gbps(repeats=1, include_plan=True)
+        bw64 = plan.bandwidth_gbps(repeats=64, include_plan=True)
+        bw_inf = plan.bandwidth_gbps(repeats=1, include_plan=False)
+        assert bw1 < bw64 <= bw_inf * 1.001
+
+
+class TestAxesConversion:
+    @pytest.mark.parametrize(
+        "axes", [(1, 0), (2, 0, 1), (0, 2, 1), (3, 1, 0, 2)]
+    )
+    def test_roundtrip(self, axes):
+        assert perm_to_axes(axes_to_perm(axes)) == tuple(axes)
+
+    def test_transpose_matches_numpy(self, rng):
+        """The conversion must make repro.transpose == np.transpose."""
+        a = rng.standard_normal((3, 4, 5, 2))
+        for axes in [(2, 0, 3, 1), (3, 2, 1, 0), (0, 1, 2, 3)]:
+            np.testing.assert_array_equal(
+                repro.transpose(a, axes), np.transpose(a, axes)
+            )
+
+
+class TestPublicApi:
+    def test_transpose_2d(self, rng):
+        a = rng.standard_normal((40, 50))
+        np.testing.assert_array_equal(repro.transpose(a, (1, 0)), a.T)
+
+    def test_transpose_float32(self, rng):
+        a = rng.standard_normal((6, 7, 8)).astype(np.float32)
+        np.testing.assert_array_equal(
+            repro.transpose(a, (1, 2, 0)), np.transpose(a, (1, 2, 0))
+        )
+
+    def test_transpose_rejects_unsupported_dtype(self):
+        a = np.zeros((4, 4), dtype=np.int16)
+        with pytest.raises(InvalidLayoutError):
+            repro.transpose(a, (1, 0))
+
+    def test_transpose_rejects_bad_axes(self):
+        with pytest.raises(InvalidLayoutError):
+            repro.transpose(np.zeros((4, 4)), (1, 0, 2))
+
+    def test_transposer_repeated_use(self, rng):
+        t = repro.Transposer((8, 9, 10), (2, 1, 0))
+        src = rng.standard_normal(720)
+        out1 = t(src)
+        out2 = t(src)
+        np.testing.assert_array_equal(out1, out2)
+        assert t.calls == 2
+
+    def test_transposer_estimate(self):
+        t = repro.Transposer((16,) * 5, (4, 3, 2, 1, 0))
+        est = t.estimate()
+        assert est.kernel_time > 0
+        assert est.plan_time > 0
+        assert est.single_use_time == est.kernel_time + est.plan_time
+        assert est.bandwidth_gbps > 0
+
+    def test_predict_time_interface(self):
+        est = repro.predict_time((16,) * 6, (5, 4, 3, 2, 1, 0))
+        assert est.schema in tuple(Schema)
+        assert est.num_candidates >= 1
+
+    def test_predict_time_invalid_perm(self):
+        with pytest.raises(InvalidPermutationError):
+            repro.predict_time((4, 4), (0, 0))
+
+    def test_dunder_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name)
+
+
+class TestTransposeMany:
+    def test_batch_matches_numpy(self, rng):
+        import repro
+
+        batch = [rng.standard_normal((3, 4, 5)) for _ in range(4)]
+        outs = repro.transpose_many(batch, (1, 2, 0))
+        for a, b in zip(batch, outs):
+            np.testing.assert_array_equal(b, np.transpose(a, (1, 2, 0)))
+
+    def test_empty_batch(self):
+        import repro
+
+        assert repro.transpose_many([], (1, 0)) == []
+
+    def test_heterogeneous_batch_rejected(self, rng):
+        import repro
+
+        batch = [rng.standard_normal((3, 4)), rng.standard_normal((4, 3))]
+        with pytest.raises(InvalidLayoutError):
+            repro.transpose_many(batch, (1, 0))
+
+    def test_dtype_mismatch_rejected(self, rng):
+        import repro
+
+        batch = [
+            rng.standard_normal((3, 4)),
+            rng.standard_normal((3, 4)).astype(np.float32),
+        ]
+        with pytest.raises(InvalidLayoutError):
+            repro.transpose_many(batch, (1, 0))
+
+    def test_axes_rank_mismatch(self, rng):
+        import repro
+
+        with pytest.raises(InvalidLayoutError):
+            repro.transpose_many([rng.standard_normal((3, 4))], (1, 0, 2))

@@ -1,0 +1,144 @@
+"""Tests for the profiler view (repro.gpusim.profile) and OA padding."""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.core.plan import make_plan
+from repro.gpusim.engine import simulate_warp_accesses
+from repro.gpusim.profile import profile_kernel
+from repro.gpusim.spec import KEPLER_K40C
+from repro.kernels.common import reference_transpose
+from repro.kernels.orthogonal_arbitrary import OrthogonalArbitraryKernel
+from repro.kernels.orthogonal_distinct import OrthogonalDistinctKernel
+from repro.model.pretrained import oracle_predictor
+
+ORACLE = oracle_predictor()
+
+
+class TestProfile:
+    @pytest.fixture(scope="class")
+    def prof(self):
+        plan = make_plan((16,) * 6, (5, 4, 3, 2, 1, 0), predictor=ORACLE)
+        return profile_kernel(plan.kernel)
+
+    def test_efficiencies_in_range(self, prof):
+        assert 0.0 < prof.gld_efficiency <= 1.0
+        assert 0.0 < prof.gst_efficiency <= 1.0
+        assert 0.0 < prof.warp_execution_efficiency <= 1.0
+        assert 0.0 <= prof.tex_hit_rate <= 1.0
+
+    def test_aligned_case_full_efficiency(self, prof):
+        """16-extent doubles: every transaction fully useful."""
+        assert prof.gld_efficiency == pytest.approx(1.0)
+        assert prof.gst_efficiency == pytest.approx(1.0)
+
+    def test_report_mentions_key_sections(self, prof):
+        text = prof.format_report()
+        for needle in (
+            "occupancy",
+            "dram transactions",
+            "bound resource",
+            "GB/s",
+        ):
+            assert needle in text
+
+    def test_bound_resource_is_dram_for_big_transpose(self, prof):
+        assert prof.breakdown.bound_resource == "dram"
+
+    def test_misaligned_case_lower_efficiency(self):
+        k = OrthogonalDistinctKernel(
+            TensorLayout((15, 15, 15, 15)), Permutation((3, 2, 1, 0)),
+            1, 3, 1, 3,
+        )
+        p = profile_kernel(k)
+        assert p.gld_efficiency < 1.0
+
+    def test_conflicted_kernel_reports_rate(self):
+        k = OrthogonalArbitraryKernel(
+            TensorLayout((32, 32, 16)), Permutation((1, 0, 2)),
+            1, 1, 1, 1, pad=0,
+        )
+        assert profile_kernel(k).bank_conflict_rate > 1.0
+
+    def test_cli_profile(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "profile", "16,16,16", "2,1,0"],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "bound resource" in proc.stdout
+
+
+class TestOrthogonalArbitraryPadding:
+    def make(self, pad):
+        return OrthogonalArbitraryKernel(
+            TensorLayout((32, 32, 16)), Permutation((1, 0, 2)),
+            1, 1, 1, 1, pad=pad,
+        )
+
+    def test_auto_pad_removes_conflicts(self):
+        assert self.make(0).smem_read_conflict_degree() == 32.0
+        assert self.make("auto").smem_read_conflict_degree() == 1.0
+
+    def test_padded_execution_still_correct(self, rng):
+        k = self.make("auto")
+        src = rng.standard_normal(k.volume)
+        ref = reference_transpose(src, k.layout, k.perm)
+        np.testing.assert_array_equal(k.execute(src), ref)
+
+    def test_padded_counters_match_replay(self):
+        for pad in (0, "auto"):
+            k = self.make(pad)
+            ana = k.counters()
+            det = simulate_warp_accesses(
+                k.trace(), KEPLER_K40C, k.tex_array_bytes(),
+                line_cache_capacity=4096,
+            )
+            assert ana.smem_conflict_cycles == det.smem_conflict_cycles
+
+    def test_pad_increases_smem_footprint(self):
+        k = self.make("auto")
+        assert k.pad >= 1
+        assert (
+            k.launch_geometry.shared_mem_per_block
+            == (k.A + k.pad) * k.B * 8
+        )
+
+    def test_negative_pad_rejected(self):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            self.make(-1)
+
+    def test_auto_pad_never_faster_unpadded(self):
+        assert (
+            self.make("auto").simulated_time()
+            <= self.make(0).simulated_time()
+        )
+
+    def test_planner_enumeration_uses_auto_pad(self):
+        """TTLG's enumeration must produce padded OA candidates where a
+        row-pitch pad actually removes conflicts (multi-row buffers with
+        a conflicting column gather)."""
+        from repro.core.slices import enumerate_orthogonal_arbitrary
+        from repro.gpusim.spec import KEPLER_K40C
+
+        ks = enumerate_orthogonal_arbitrary(
+            TensorLayout((32, 32, 16)), Permutation((1, 0, 2)), KEPLER_K40C
+        )
+        padded = [k for k in ks if k.pad > 0 and k.B > 1]
+        assert padded, "expected at least one auto-padded candidate"
+        for k in padded:
+            assert k.smem_read_conflict_degree() <= (
+                OrthogonalArbitraryKernel(
+                    k.layout, k.perm, k.in_prefix, k.blockA,
+                    k.out_prefix, k.blockB, pad=0,
+                ).smem_read_conflict_degree()
+            )

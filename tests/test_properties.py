@@ -1,0 +1,175 @@
+"""Property-based tests (hypothesis) over the core invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.api import axes_to_perm
+from repro.core.fusion import fuse_indices
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.core.plan import make_plan
+from repro.core.slices import derive_group
+from repro.gpusim.sharedmem import conflict_degree
+from repro.gpusim.transactions import (
+    contiguous_run_transactions,
+    warp_transactions,
+)
+from repro.kernels.common import (
+    lattice_run_transactions,
+    reference_transpose,
+    tile_cycles,
+)
+from repro.model.pretrained import oracle_predictor
+
+ORACLE = oracle_predictor()
+
+# -- strategies ---------------------------------------------------------
+
+ranks = st.integers(min_value=1, max_value=5)
+
+
+@st.composite
+def problems(draw, max_extent=9, min_rank=1, max_rank=5):
+    rank = draw(st.integers(min_rank, max_rank))
+    dims = tuple(
+        draw(st.integers(1, max_extent)) for _ in range(rank)
+    )
+    perm = tuple(draw(st.permutations(range(rank))))
+    return dims, perm
+
+
+# -- permutation / layout ------------------------------------------------
+
+
+@given(st.permutations(range(6)))
+def test_inverse_composes_to_identity(p):
+    perm = Permutation(tuple(p))
+    assert perm.compose(perm.inverse()).is_identity()
+
+
+@given(st.permutations(range(5)))
+def test_axes_perm_conversion_involution(axes):
+    assert axes_to_perm(axes_to_perm(tuple(axes))) == tuple(axes)
+
+
+@given(problems())
+def test_linearize_bijective(problem):
+    dims, _ = problem
+    layout = TensorLayout(dims)
+    offs = np.arange(layout.volume)
+    back = layout.linearize_many(layout.delinearize_many(offs))
+    assert np.array_equal(back, offs)
+
+
+# -- fusion ---------------------------------------------------------------
+
+
+@given(problems())
+@settings(max_examples=60)
+def test_fusion_preserves_semantics(problem):
+    dims, perm = problem
+    layout, p = TensorLayout(dims), Permutation(perm)
+    fused = fuse_indices(layout, p)
+    assert fused.layout.volume == layout.volume
+    src = np.arange(layout.volume, dtype=np.int64)
+    assert np.array_equal(
+        reference_transpose(src, layout, p),
+        reference_transpose(src, fused.layout, fused.perm),
+    )
+
+
+@given(problems())
+def test_fusion_is_idempotent(problem):
+    dims, perm = problem
+    fused = fuse_indices(TensorLayout(dims), Permutation(perm))
+    again = fuse_indices(fused.layout, fused.perm)
+    assert again.layout.dims == fused.layout.dims
+    assert again.perm == fused.perm
+
+
+# -- coalescing / banks ----------------------------------------------------
+
+
+@given(
+    st.integers(0, 4096),
+    st.integers(1, 64),
+    st.sampled_from([4, 8]),
+)
+def test_contiguous_run_bounds(start, n, eb):
+    tx = contiguous_run_transactions(start * eb, n, eb)
+    lower = math.ceil(n * eb / 128)
+    assert lower <= tx <= lower + 1
+
+
+@given(st.lists(st.integers(0, 10**6), min_size=1, max_size=32))
+def test_warp_transactions_bounds(addrs):
+    tx = warp_transactions(np.array(addrs), 8)
+    assert 1 <= tx <= 2 * len(set(addrs))
+
+
+@given(st.integers(1, 128), st.sampled_from([4, 8]), st.sampled_from([8, 16, 32, 64, 128]))
+def test_lattice_average_bounds(n, eb, lat):
+    avg = lattice_run_transactions(n, eb, lat)
+    lower = math.ceil(n * eb / 128)
+    assert lower <= avg <= lower + 1
+
+
+@given(st.lists(st.integers(0, 10**5), min_size=1, max_size=32))
+def test_conflict_degree_bounds(words):
+    d = conflict_degree(np.array(words))
+    assert 1 <= d <= len(set(words))
+
+
+# -- tile cycles -----------------------------------------------------------
+
+
+@given(st.integers(1, 200), st.integers(1, 200))
+def test_tile_cycles_bounds(a, b):
+    """Cycles are bounded by the fully-padded tile grid and at least the
+    work itself (each tile row/col contributes its active length)."""
+    c = tile_cycles(a, b)
+    tiles = math.ceil(a / 32) * math.ceil(b / 32)
+    assert 2 <= c <= tiles * 64
+    # Monotone in both arguments.
+    assert tile_cycles(a + 32, b) > c
+    assert tile_cycles(a, b + 32) > c
+
+
+# -- Alg. 3 derive ----------------------------------------------------------
+
+
+@given(
+    st.lists(st.integers(2, 40), min_size=1, max_size=5),
+    st.integers(1, 256),
+)
+def test_derive_group_minimal_above_limit(extents, limit):
+    g = derive_group(extents, limit)
+    vol = math.prod(extents)
+    if vol < limit:
+        assert g is None
+    else:
+        assert g.size >= limit
+        # Minimal: one fewer block falls below the limit.
+        prefix_vol = math.prod(extents[: g.prefix])
+        assert prefix_vol * (g.block - 1) < limit
+        assert 1 <= g.block <= extents[g.prefix]
+
+
+# -- end-to-end planning -----------------------------------------------------
+
+
+@given(problems(max_extent=7, min_rank=2, max_rank=4))
+@settings(max_examples=40, deadline=None)
+def test_any_problem_plans_and_executes(problem):
+    """The planner must produce a correct executable plan for every
+    shape/permutation, including degenerate extent-1 dims."""
+    dims, perm = problem
+    plan = make_plan(dims, perm, predictor=ORACLE)
+    layout, p = TensorLayout(dims), Permutation(perm)
+    src = np.arange(layout.volume, dtype=np.float64)
+    assert np.array_equal(
+        plan.execute(src), reference_transpose(src, layout, p)
+    )
+    assert plan.simulated_time() > 0

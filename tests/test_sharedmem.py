@@ -1,0 +1,83 @@
+"""Unit tests for the bank-conflict model (repro.gpusim.sharedmem)."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.sharedmem import (
+    column_access_degree,
+    conflict_degree,
+    conflict_free_pad,
+    extra_conflict_cycles,
+    padded_tile_pitch,
+)
+
+
+class TestConflictDegree:
+    def test_contiguous_is_free(self):
+        assert conflict_degree(np.arange(32)) == 1
+
+    def test_same_word_broadcast(self):
+        assert conflict_degree(np.zeros(32, dtype=np.int64)) == 1
+
+    def test_stride_32_fully_serialized(self):
+        """Column of an unpadded 32-wide buffer: all lanes on bank 0."""
+        assert conflict_degree(np.arange(32) * 32) == 32
+
+    def test_stride_33_conflict_free(self):
+        """The paper's 32x33 padding: stride 33 hits every bank once."""
+        assert conflict_degree(np.arange(32) * 33) == 1
+
+    def test_stride_2_two_way(self):
+        assert conflict_degree(np.arange(32) * 2) == 2
+
+    def test_stride_16_sixteen_way(self):
+        assert conflict_degree(np.arange(32) * 16) == 16
+
+    def test_empty(self):
+        assert conflict_degree(np.array([])) == 0
+
+    def test_extra_cycles(self):
+        assert extra_conflict_cycles(np.arange(32) * 32) == 31
+        assert extra_conflict_cycles(np.arange(32)) == 0
+
+
+class TestColumnAccess:
+    def test_padded_pitch_free(self):
+        assert column_access_degree(32, padded_tile_pitch()) == 1
+
+    def test_unpadded_pitch_serial(self):
+        assert column_access_degree(32, 32) == 32
+
+    def test_partial_column(self):
+        assert column_access_degree(7, 33) == 1
+
+    def test_zero_rows(self):
+        assert column_access_degree(0, 33) == 0
+
+
+class TestConflictFreePad:
+    @pytest.mark.parametrize("n0", [2, 4, 8, 16])
+    def test_power_of_two_n0_resolves(self, n0):
+        """Fig. 4's rule: pad so row 1 starts at bank N0 — for N0
+        dividing the bank count a conflict-free pad must exist."""
+        pad = conflict_free_pad(n0)
+        pitch = n0 + pad
+        lanes = np.arange(32, dtype=np.int64)
+        words = (lanes // n0) * pitch + (lanes % n0)
+        assert conflict_degree(words) == 1
+
+    @pytest.mark.parametrize("n0", [3, 5, 6, 7, 12, 24, 31])
+    def test_any_n0_minimizes(self, n0):
+        """For other extents the chosen pad must be at least as good as
+        every alternative pad."""
+        best = conflict_free_pad(n0)
+        pitch = best + n0
+        lanes = np.arange(32, dtype=np.int64)
+        chosen = conflict_degree((lanes // n0) * pitch + (lanes % n0))
+        for pad in range(32):
+            words = (lanes // n0) * (n0 + pad) + (lanes % n0)
+            assert chosen <= conflict_degree(words)
+
+    def test_invalid_n0(self):
+        with pytest.raises(ValueError):
+            conflict_free_pad(0)

@@ -1,0 +1,145 @@
+"""Unit tests for Alg. 3 (slice-size choice) in repro.core.slices."""
+
+import pytest
+
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.core.slices import (
+    choose_best,
+    derive_group,
+    distinct_groups,
+    enumerate_orthogonal_arbitrary,
+    enumerate_orthogonal_distinct,
+    max_slice_volume,
+)
+from repro.errors import PlanError
+from repro.gpusim.spec import KEPLER_K40C
+from repro.model.pretrained import oracle_predictor
+
+
+class TestDeriveGroup:
+    def test_single_dim_with_block(self):
+        """Paper line 10: blockA = ceil(limit / prefix volume)."""
+        g = derive_group((27, 27, 27), 32)
+        assert (g.prefix, g.block, g.size) == (1, 2, 54)
+
+    def test_prefix_already_large(self):
+        g = derive_group((64, 5), 32)
+        assert (g.prefix, g.block) == (0, 32)
+        assert g.size == 32
+
+    def test_combines_small_dims(self):
+        g = derive_group((4, 4, 4), 32)
+        assert (g.prefix, g.block, g.size) == (2, 2, 32)
+
+    def test_whole_tensor_too_small(self):
+        assert derive_group((2, 2), 32) is None
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            derive_group((4, 4), 0)
+
+
+class TestDistinctGroups:
+    def test_dedupes(self):
+        groups = distinct_groups((27, 27, 27), 32, 27**3)
+        keys = [(g.prefix, g.block) for g in groups]
+        assert len(keys) == len(set(keys))
+
+    def test_includes_subwarp_prefixes(self):
+        """The 27^5 story: the pure prefix of size 27 < 32 must appear."""
+        groups = distinct_groups((27, 27, 27), 32, 27**3)
+        assert any(g.size == 27 for g in groups)
+
+    def test_sizes_within_cap(self):
+        cap = 500
+        for g in distinct_groups((27, 27, 27), 32, cap):
+            assert g.size <= max(cap, 32 * 2)  # derive may overshoot a bit
+
+
+class TestMaxSliceVolume:
+    def test_overbooking_shrinks_cap(self):
+        layout = TensorLayout((64,) * 4)
+        lo = max_slice_volume(layout, KEPLER_K40C, 8448, overbooking=8)
+        hi = max_slice_volume(layout, KEPLER_K40C, 8448, overbooking=1)
+        assert lo < hi
+
+    def test_minimum_floor(self):
+        layout = TensorLayout((8, 8))
+        cap = max_slice_volume(layout, KEPLER_K40C, 8448)
+        assert cap >= 32 * 32
+
+
+class TestEnumerateOrthogonalDistinct:
+    def test_paper_27_5_variant_count(self):
+        """The Fig. 5 example enumerates a few dozen slice variants."""
+        layout = TensorLayout((27,) * 5)
+        perm = Permutation((4, 1, 2, 0, 3))
+        ks = enumerate_orthogonal_distinct(layout, perm, KEPLER_K40C)
+        assert 10 <= len(ks) <= 120
+
+    def test_contains_paper_best_choice(self):
+        """Input slice 189 (= 27 x 7), output slice 27 must be among
+        the candidates (the paper's model-chosen best)."""
+        layout = TensorLayout((27,) * 5)
+        perm = Permutation((4, 1, 2, 0, 3))
+        ks = enumerate_orthogonal_distinct(layout, perm, KEPLER_K40C)
+        assert any(k.A == 189 and k.B == 27 for k in ks)
+
+    def test_all_disjoint(self):
+        layout = TensorLayout((16,) * 4)
+        perm = Permutation((3, 2, 1, 0))
+        for k in enumerate_orthogonal_distinct(layout, perm, KEPLER_K40C):
+            in_dims = set(range(k.in_prefix))
+            if k.a_dim is not None:
+                in_dims.add(k.a_dim)
+            out_dims = set(k.out_full)
+            if k.b_dim is not None:
+                out_dims.add(k.b_dim)
+            assert not in_dims & out_dims
+
+    def test_respects_max_configs(self):
+        layout = TensorLayout((16,) * 6)
+        perm = Permutation((5, 4, 3, 2, 1, 0))
+        ks = enumerate_orthogonal_distinct(
+            layout, perm, KEPLER_K40C, max_configs=7
+        )
+        assert len(ks) <= 7
+
+
+class TestEnumerateOrthogonalArbitrary:
+    def test_all_fit_shared_memory(self):
+        layout = TensorLayout((16,) * 6)
+        perm = Permutation((4, 1, 2, 5, 3, 0))
+        for k in enumerate_orthogonal_arbitrary(layout, perm, KEPLER_K40C):
+            assert k.A * k.B * 8 <= KEPLER_K40C.shared_mem_per_sm
+
+    def test_fewer_configs_than_od(self):
+        """Sec. V: the OA search space is much smaller (smem bound)."""
+        layout = TensorLayout((16,) * 6)
+        perm = Permutation((5, 4, 3, 2, 1, 0))
+        oa = enumerate_orthogonal_arbitrary(layout, perm, KEPLER_K40C)
+        od = enumerate_orthogonal_distinct(layout, perm, KEPLER_K40C)
+        assert len(oa) < len(od)
+
+    def test_no_duplicates(self):
+        layout = TensorLayout((16,) * 5)
+        perm = Permutation((3, 1, 4, 2, 0))
+        ks = enumerate_orthogonal_arbitrary(layout, perm, KEPLER_K40C)
+        keys = {(k.in_prefix, k.blockA, k.out_prefix, k.blockB) for k in ks}
+        assert len(keys) == len(ks)
+
+
+class TestChooseBest:
+    def test_picks_minimum(self):
+        layout = TensorLayout((27,) * 5)
+        perm = Permutation((4, 1, 2, 0, 3))
+        ks = enumerate_orthogonal_distinct(layout, perm, KEPLER_K40C)
+        pred = oracle_predictor()
+        res = choose_best(ks, pred)
+        assert res.predicted_time == min(pred(k) for k in ks)
+        assert res.num_candidates == len(ks)
+
+    def test_empty_raises(self):
+        with pytest.raises(PlanError):
+            choose_best([], lambda k: 0.0)

@@ -1,0 +1,90 @@
+"""Unit tests for the schema taxonomy (Alg. 1)."""
+
+import pytest
+
+from repro.core.fusion import fuse_indices
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.core.taxonomy import Schema, combined_fvi_group, select_schema
+
+
+def decide(dims, perm):
+    fused = fuse_indices(TensorLayout(dims), Permutation(perm))
+    return select_schema(fused.layout, fused.perm)
+
+
+class TestCombinedGroup:
+    def test_single_dim_enough(self):
+        group, vol = combined_fvi_group((64, 3, 3), (0, 1, 2), 32)
+        assert group == (0,)
+        assert vol == 64
+
+    def test_combines_until_threshold(self):
+        group, vol = combined_fvi_group((4, 4, 4), (0, 1, 2), 32)
+        assert group == (0, 1, 2)
+        assert vol == 64
+
+    def test_whole_tensor_smaller_than_threshold(self):
+        group, vol = combined_fvi_group((2, 2), (0, 1), 32)
+        assert group == (0, 1)
+        assert vol == 4
+
+    def test_respects_order(self):
+        group, vol = combined_fvi_group((2, 64, 2), (2, 1, 0), 32)
+        assert group == (2, 1)
+
+
+class TestSchemaSelection:
+    def test_identity_is_large_copy(self):
+        d = decide((16, 16, 16), (0, 1, 2))
+        assert d.schema is Schema.FVI_MATCH_LARGE
+
+    def test_fvi_match_large(self):
+        d = decide((64, 8, 8), (0, 2, 1))
+        assert d.schema is Schema.FVI_MATCH_LARGE
+        assert d.alternatives == ()
+
+    def test_fvi_match_small(self):
+        """Paper: [a,b,c,d] => [a,d,c,b] with small a."""
+        d = decide((8, 16, 16, 16), (0, 3, 2, 1))
+        assert d.schema is Schema.FVI_MATCH_SMALL
+        assert Schema.ORTHOGONAL_ARBITRARY in d.alternatives
+
+    def test_fvi_match_tiny_products(self):
+        """FVI matches but neither side's two fastest reach the warp."""
+        d = decide((2, 3, 5, 7), (0, 2, 1, 3))
+        assert d.schema is Schema.ORTHOGONAL_ARBITRARY
+        assert Schema.FVI_MATCH_SMALL in d.alternatives
+
+    def test_orthogonal_distinct_paper_example(self):
+        """[a,b,c,d] => [d,c,b,a], 16,2,32,32 (Sec. III example)."""
+        d = decide((16, 2, 32, 32), (3, 2, 1, 0))
+        assert d.schema is Schema.ORTHOGONAL_DISTINCT
+        assert d.input_group == (0, 1)  # a,b combine to 32
+
+    def test_orthogonal_arbitrary_paper_example(self):
+        """[a,b,c,d] => [c,b,d,a], all 8,2,8,8: groups overlap."""
+        d = decide((8, 2, 8, 8), (2, 1, 3, 0))
+        assert d.schema is Schema.ORTHOGONAL_ARBITRARY
+        assert Schema.ORTHOGONAL_DISTINCT in d.alternatives
+
+    def test_groups_disjoint_reported(self):
+        d = decide((32, 4, 32), (2, 1, 0))
+        assert set(d.input_group).isdisjoint(d.output_group)
+
+    def test_overlapping_groups_reported(self):
+        d = decide((8, 8, 8), (1, 0, 2))
+        assert set(d.input_group) & set(d.output_group)
+
+    def test_all_candidates_starts_with_primary(self):
+        d = decide((8, 2, 8, 8), (2, 1, 3, 0))
+        assert d.all_candidates[0] is d.schema
+
+    def test_group_volumes(self):
+        d = decide((16, 2, 32, 32), (3, 2, 1, 0))
+        assert d.input_group_volume == 32
+        assert d.output_group_volume == 32
+
+    def test_matrix_transpose(self):
+        d = decide((128, 128), (1, 0))
+        assert d.schema is Schema.ORTHOGONAL_DISTINCT

@@ -1,0 +1,109 @@
+"""Unit tests for the coalescing model (repro.gpusim.transactions)."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.transactions import (
+    average_row_transactions,
+    contiguous_run_transactions,
+    run_transactions_over_strided_rows,
+    warp_transactions,
+)
+
+
+class TestWarpTransactions:
+    def test_fully_coalesced_floats(self):
+        """32 floats from an aligned base: one 128 B transaction."""
+        addrs = np.arange(32) * 4
+        assert warp_transactions(addrs, 4) == 1
+
+    def test_fully_coalesced_doubles(self):
+        """32 doubles = 256 B: two transactions."""
+        addrs = np.arange(32) * 8
+        assert warp_transactions(addrs, 8) == 2
+
+    def test_misaligned_run_adds_one(self):
+        addrs = 4 + np.arange(32) * 4  # crosses one extra boundary
+        assert warp_transactions(addrs, 4) == 2
+
+    def test_strided_worst_case(self):
+        """Stride >= 128 B: every lane its own transaction."""
+        addrs = np.arange(32) * 128
+        assert warp_transactions(addrs, 4) == 32
+
+    def test_same_address_broadcast(self):
+        addrs = np.zeros(32, dtype=np.int64)
+        assert warp_transactions(addrs, 4) == 1
+
+    def test_empty(self):
+        assert warp_transactions(np.array([]), 4) == 0
+
+    def test_element_straddles_boundary(self):
+        """A double at byte 124 touches two lines."""
+        assert warp_transactions(np.array([124]), 8) == 2
+
+
+class TestContiguousRun:
+    def test_aligned_exact(self):
+        assert contiguous_run_transactions(0, 32, 4) == 1
+        assert contiguous_run_transactions(0, 32, 8) == 2
+        assert contiguous_run_transactions(0, 16, 8) == 1
+
+    def test_partial_counts_whole(self):
+        assert contiguous_run_transactions(0, 1, 4) == 1
+
+    def test_unaligned_start(self):
+        assert contiguous_run_transactions(120, 4, 8) == 2
+
+    def test_zero_elements(self):
+        assert contiguous_run_transactions(0, 0, 8) == 0
+
+    def test_negative_start_raises(self):
+        with pytest.raises(ValueError):
+            contiguous_run_transactions(-8, 4, 8)
+
+    def test_matches_warp_transactions(self):
+        for start in (0, 8, 60, 120):
+            for n in (1, 5, 16, 32):
+                addrs = start + np.arange(n) * 8
+                assert contiguous_run_transactions(start, n, 8) == (
+                    warp_transactions(addrs, 8)
+                )
+
+
+class TestStridedRows:
+    def test_matches_bruteforce(self):
+        for stride in (16, 24, 48, 128):
+            got = run_transactions_over_strided_rows(
+                num_rows=50, row_elems=10, row_stride_elems=stride,
+                base_byte=0, elem_bytes=8,
+            )
+            want = sum(
+                contiguous_run_transactions(r * stride * 8, 10, 8)
+                for r in range(50)
+            )
+            assert got == want
+
+    def test_zero_rows(self):
+        assert run_transactions_over_strided_rows(0, 10, 16, 0, 8) == 0
+
+    def test_zero_stride_single_footprint(self):
+        got = run_transactions_over_strided_rows(100, 16, 0, 0, 8)
+        assert got == contiguous_run_transactions(0, 16, 8)
+
+
+class TestAverageRow:
+    def test_aligned_case_exact(self):
+        """16 doubles = 128 B: always exactly one line when the lattice
+        includes 128-byte alignment... the average over 8-byte phases is
+        higher because off-phase starts straddle."""
+        avg = average_row_transactions(16, 8)
+        assert 1.0 < avg < 2.0
+
+    def test_full_line_multiple(self):
+        # Expectation is exactly 1 + (phases-1)/phases extra boundary.
+        avg = average_row_transactions(32, 4)
+        assert avg == pytest.approx(1 + 31 / 32)
+
+    def test_zero(self):
+        assert average_row_transactions(0, 8) == 0.0

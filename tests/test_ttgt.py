@@ -1,0 +1,126 @@
+"""Tests for the TTGT contraction subpackage."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ContractionError
+from repro.ttgt import contract, parse_contraction, plan_contraction
+from repro.ttgt.contraction import gemm_time
+from repro.gpusim.spec import KEPLER_K40C
+
+
+def einsum_reference(expr, a, b, extents):
+    """np.einsum over our linearization (labels reversed for NumPy)."""
+    spec = parse_contraction(expr, extents)
+    An = a.reshape([extents[l] for l in reversed(spec.a_labels)])
+    Bn = b.reshape([extents[l] for l in reversed(spec.b_labels)])
+    subs = (
+        "".join(reversed(spec.a_labels))
+        + ","
+        + "".join(reversed(spec.b_labels))
+        + "->"
+        + "".join(reversed(spec.c_labels))
+    )
+    return np.einsum(subs, An, Bn).reshape(-1)
+
+
+class TestParse:
+    def test_mnk_classification(self):
+        s = parse_contraction("abc,dce->adbe", dict(a=2, b=3, c=4, d=5, e=6))
+        assert s.m_labels == ("a", "b")
+        assert s.n_labels == ("d", "e")
+        assert s.k_labels == ("c",)
+
+    def test_flops(self):
+        s = parse_contraction("ab,bc->ac", dict(a=10, b=20, c=30))
+        assert s.flops == 2 * 10 * 30 * 20
+
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            "ab->ab",          # no comma
+            "aab,bc->ac",      # repeated label
+            "ab,bc->ad",       # output label from nowhere
+            "ab,ab->ab",       # batch label
+            "ab,cd->abcd",     # nothing contracted
+            "abz,bc->ac",      # dangling label in A
+        ],
+    )
+    def test_malformed(self, expr):
+        ext = {l: 4 for l in "abcdz"}
+        with pytest.raises(ContractionError):
+            parse_contraction(expr, ext)
+
+    def test_missing_extent(self):
+        with pytest.raises(ContractionError):
+            parse_contraction("ab,bc->ac", dict(a=4, b=4))
+
+
+class TestPlan:
+    def test_total_is_sum_of_parts(self):
+        ext = dict(a=16, b=16, c=16, d=16)
+        p = plan_contraction("abc,cd->abd", ext)
+        assert p.total_time == pytest.approx(
+            p.transpose_a_time
+            + p.transpose_b_time
+            + p.gemm_time
+            + p.transpose_c_time
+        )
+
+    def test_identity_layouts_cost_zero(self):
+        """A already in [M,K] order: its transpose must be free."""
+        ext = dict(a=32, b=32, c=32)
+        p = plan_contraction("ab,bc->ac", ext)
+        assert p.transpose_a_time == 0.0
+
+    def test_describe_mentions_gemm(self):
+        ext = dict(a=8, b=8, c=8)
+        assert "GEMM" in plan_contraction("ab,bc->ac", ext).describe()
+
+    def test_gemm_time_positive_and_monotone(self):
+        small = parse_contraction("ab,bc->ac", dict(a=64, b=64, c=64))
+        big = parse_contraction("ab,bc->ac", dict(a=512, b=512, c=512))
+        assert 0 < gemm_time(small, KEPLER_K40C) < gemm_time(big, KEPLER_K40C)
+
+    def test_planner_prefers_cheap_layout(self):
+        """The chosen strategy must not be worse than the naive
+        M-then-K orderings it competes with."""
+        ext = dict(a=24, b=12, c=48, d=8, e=6)
+        p = plan_contraction("cab,dce->adbe", ext)
+        assert p.total_time > 0
+
+
+class TestContract:
+    @pytest.mark.parametrize(
+        "expr,ext",
+        [
+            ("ab,bc->ac", dict(a=33, b=47, c=29)),
+            ("abc,cd->abd", dict(a=8, b=12, c=10, d=6)),
+            ("abc,dce->adbe", dict(a=8, b=12, c=10, d=6, e=4)),
+            ("ab,cbd->dac", dict(a=9, b=11, c=7, d=5)),
+            ("abcd,db->ca", dict(a=5, b=6, c=7, d=8)),
+        ],
+    )
+    def test_matches_einsum(self, expr, ext, rng):
+        spec = parse_contraction(expr, ext)
+        a = rng.standard_normal(spec.volume(spec.a_labels))
+        b = rng.standard_normal(spec.volume(spec.b_labels))
+        got = contract(expr, a, b, ext)
+        want = einsum_reference(expr, a, b, ext)
+        np.testing.assert_allclose(got, want, rtol=1e-10, atol=1e-10)
+
+    def test_wrong_input_size(self, rng):
+        ext = dict(a=4, b=4, c=4)
+        with pytest.raises(ContractionError):
+            contract("ab,bc->ac", np.zeros(7), np.zeros(16), ext)
+
+    def test_explicit_plan_reused(self, rng):
+        ext = dict(a=8, b=8, c=8)
+        plan = plan_contraction("ab,bc->ac", ext)
+        spec = plan.spec
+        a = rng.standard_normal(64)
+        b = rng.standard_normal(64)
+        got = contract("ab,bc->ac", a, b, ext, plan=plan)
+        np.testing.assert_allclose(
+            got, einsum_reference("ab,bc->ac", a, b, ext)
+        )
