@@ -1,0 +1,125 @@
+"""Runtime throughput: N concurrent clients through the TransposeService.
+
+The production-shaped version of Fig. 12's repeated-use argument: a
+service process handles a stream of transpose requests; plans are built
+once, cached, and persisted.  A *restarted* process warm-starts from the
+persistent store, so the second session builds (almost) no plans and
+serves strictly faster.
+
+Reported: requests/sec for the cold and the warm session, plan builds vs
+restores, and the cache hit rate — written to
+``results/runtime_throughput.txt``.
+"""
+
+import queue
+import threading
+import time
+
+from conftest import write_result
+
+from repro.bench.suites import six_d_suite
+from repro.runtime import TransposeService
+
+N_PROBLEMS = 16
+N_CLIENTS = 8
+CALLS_PER_PROBLEM = 4
+EXTENT = 8
+
+
+def pick_problems():
+    cases = six_d_suite(EXTENT)
+    step = max(1, len(cases) // N_PROBLEMS)
+    return [(c.dims, c.perm) for c in cases[::step]][:N_PROBLEMS]
+
+
+def drive_clients(service, problems):
+    """All clients drain one shared queue of requests; returns wall time."""
+    jobs = queue.Queue()
+    for i in range(len(problems) * CALLS_PER_PROBLEM):
+        jobs.put(problems[i % len(problems)])
+    errors = []
+
+    def client():
+        while True:
+            try:
+                dims, perm = jobs.get_nowait()
+            except queue.Empty:
+                return
+            try:
+                service.execute(dims, perm)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+    threads = [threading.Thread(target=client) for _ in range(N_CLIENTS)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - start
+    assert not errors, errors[0]
+    return wall
+
+
+def run_session(store_path, problems):
+    service = TransposeService(
+        store_path=store_path, num_streams=4, store_autoflush=False
+    )
+    wall = drive_clients(service, problems)
+    stats = service.stats()
+    service.close()
+    return wall, stats
+
+
+def test_runtime_throughput_cold_vs_warm(benchmark, tmp_path):
+    problems = pick_problems()
+    n_requests = len(problems) * CALLS_PER_PROBLEM
+    store_path = tmp_path / "plans.json"
+
+    cold_wall, cold = run_session(store_path, problems)
+    warm_wall, warm = run_session(store_path, problems)
+
+    cold_counters = cold["metrics"]["counters"]
+    warm_counters = warm["metrics"]["counters"]
+    builds_cold = cold_counters["plans_built"]
+    builds_warm = warm_counters.get("plans_built", 0)
+    restored_warm = warm_counters.get("plans_restored", 0)
+
+    lines = [
+        "Runtime throughput — concurrent clients through TransposeService",
+        f"{len(problems)} distinct 6D problems (extent {EXTENT}), "
+        f"{n_requests} requests, {N_CLIENTS} clients, 4 streams",
+        "",
+        f"{'session':<8s} {'req/s':>10s} {'built':>7s} {'restored':>9s} "
+        f"{'hit rate':>9s} {'sim ms':>9s}",
+    ]
+    for name, wall, stats, built, restored in (
+        ("cold", cold_wall, cold, builds_cold, 0),
+        ("warm", warm_wall, warm, builds_warm, restored_warm),
+    ):
+        sim_ms = sum(stats["scheduler"]["sim_clock_s"]) * 1e3
+        lines.append(
+            f"{name:<8s} {n_requests / wall:>10.1f} {built:>7d} "
+            f"{restored:>9d} {stats['cache']['hit_rate'] * 100:>8.1f}% "
+            f"{sim_ms:>9.3f}"
+        )
+    lines.append("")
+    lines.append(
+        f"warm session eliminated "
+        f"{(1 - builds_warm / builds_cold) * 100:.1f}% of plan builds "
+        "across the process restart"
+    )
+    text = "\n".join(lines)
+    print(text)
+    write_result("runtime_throughput", text)
+
+    # Every distinct problem planned exactly once despite 8 clients.
+    assert builds_cold == len(problems)
+    # Acceptance: the warm store eliminates >= 95 % of plan builds.
+    assert builds_warm <= 0.05 * builds_cold
+    assert restored_warm == len(problems)
+
+    warm_service = TransposeService(store_path=store_path, num_streams=2)
+    dims, perm = problems[0]
+    benchmark(lambda: warm_service.execute(dims, perm))
+    warm_service.close()

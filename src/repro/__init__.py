@@ -37,7 +37,30 @@ from repro.gpusim.spec import KEPLER_K40C, PASCAL_P100, DeviceSpec
 
 __version__ = "1.0.0"
 
+#: Names resolved lazily from :mod:`repro.runtime` so importing the
+#: package stays light for callers who never start the serving layer.
+_RUNTIME_EXPORTS = (
+    "runtime",
+    "TransposeService",
+    "PlanStore",
+    "StreamScheduler",
+    "MetricsRegistry",
+    "get_default_service",
+    "set_default_service",
+    "install_default_service",
+)
+
+
+def __getattr__(name):
+    if name in _RUNTIME_EXPORTS:
+        import repro.runtime as _runtime
+
+        return _runtime if name == "runtime" else getattr(_runtime, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    *_RUNTIME_EXPORTS,
     "transpose",
     "transpose_many",
     "Transposer",

@@ -10,11 +10,18 @@ compare DIMS PERM [--device ...]
     Plan the same problem with TTLG, cuTT (both modes), and TTC and
     print a comparison table (repeated and single use).
 
-predict DIMS PERM
+predict DIMS PERM [--dtype f32|f64]
     The queryable model: estimated time/bandwidth without executing.
 
 device [k40c|p100]
     Print the simulated device configuration (Table III analogue).
+
+serve [--requests N] [--clients C] [--streams S] [--state-dir DIR]
+    Run a workload through the concurrent transpose-serving runtime
+    (persistent plan store + metrics); see docs/runtime.md.
+
+stats [--state-dir DIR] [--json]
+    Print the metrics snapshot written by the last ``serve`` session.
 
 ``DIMS`` and ``PERM`` are comma-separated, dim 0 fastest, permutation in
 the paper convention (``perm[i] = j``: output dim i is input dim j).
@@ -27,13 +34,24 @@ Example::
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+import time
+from pathlib import Path
 from typing import Tuple
 
 from repro.core.api import plan_transpose, predict_time
 from repro.gpusim.spec import KEPLER_K40C, PASCAL_P100
 
 DEVICES = {"k40c": KEPLER_K40C, "p100": PASCAL_P100}
+
+DTYPES = {"f32": 4, "f64": 8}
+
+#: Where ``serve``/``stats`` keep the plan store and metrics snapshot.
+DEFAULT_STATE_DIR = os.environ.get(
+    "REPRO_RUNTIME_DIR", os.path.join("~", ".cache", "repro-runtime")
+)
 
 
 def _ints(text: str) -> Tuple[int, ...]:
@@ -46,7 +64,28 @@ def _ints(text: str) -> Tuple[int, ...]:
 
 
 def _elem_bytes(dtype: str) -> int:
-    return {"f32": 4, "f64": 8}[dtype]
+    try:
+        return DTYPES[dtype]
+    except KeyError:
+        raise argparse.ArgumentTypeError(
+            f"unsupported dtype {dtype!r}; supported dtypes: "
+            + ", ".join(sorted(DTYPES))
+        ) from None
+
+
+def _dtype(text: str) -> str:
+    _elem_bytes(text)  # validate with the supported-dtype message
+    return text
+
+
+def _problem(text: str) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Parse ``DIMS:PERM`` (e.g. ``16,16,16:2,1,0``) for ``serve``."""
+    dims_text, sep, perm_text = text.partition(":")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            f"expected DIMS:PERM (e.g. 16,16,16:2,1,0), got {text!r}"
+        )
+    return _ints(dims_text), _ints(perm_text)
 
 
 def cmd_plan(args) -> int:
@@ -114,6 +153,153 @@ def cmd_device(args) -> int:
     return 0
 
 
+def _serve_problems(args):
+    if args.problem:
+        return list(args.problem)
+    from repro.bench.suites import six_d_suite
+
+    cases = six_d_suite(args.extent)
+    step = max(1, len(cases) // args.unique)
+    return [(c.dims, c.perm) for c in cases[::step]][: args.unique]
+
+
+def cmd_serve(args) -> int:
+    import queue
+    import threading
+
+    from repro.runtime import TransposeService
+
+    problems = _serve_problems(args)
+    elem_bytes = _elem_bytes(args.dtype)
+    state_dir = Path(args.state_dir).expanduser()
+    state_dir.mkdir(parents=True, exist_ok=True)
+
+    jobs: "queue.Queue" = queue.Queue()
+    for i in range(args.requests):
+        jobs.put(problems[i % len(problems)])
+
+    service = TransposeService(
+        spec=DEVICES[args.device],
+        store_path=state_dir / "plans.json",
+        num_streams=args.streams,
+        store_autoflush=False,
+    )
+    errors = []
+
+    def client() -> None:
+        while True:
+            try:
+                dims, perm = jobs.get_nowait()
+            except queue.Empty:
+                return
+            try:
+                service.execute(dims, perm, elem_bytes)
+            except Exception as exc:  # surface, don't hang the pool
+                errors.append(exc)
+
+    started = time.perf_counter()
+    clients = [
+        threading.Thread(target=client, name=f"client-{i}", daemon=True)
+        for i in range(args.clients)
+    ]
+    for t in clients:
+        t.start()
+    for t in clients:
+        t.join()
+    wall = time.perf_counter() - started
+
+    service.close()  # drains streams and flushes the plan store
+    if errors:
+        print(f"error: {errors[0]}", file=sys.stderr)
+        return 1
+
+    stats = service.stats()
+    (state_dir / "metrics.json").write_text(
+        json.dumps(stats, indent=2, sort_keys=True) + "\n"
+    )
+
+    counters = stats["metrics"]["counters"]
+    built = counters.get("plans_built", 0)
+    restored = counters.get("plans_restored", 0)
+    hits = counters.get("cache_hits", 0)
+    print(
+        f"served {args.requests} requests ({len(problems)} distinct problems) "
+        f"from {args.clients} clients over {args.streams} streams "
+        f"in {wall:.3f} s ({args.requests / wall:.1f} req/s)"
+    )
+    print(
+        f"plans: {built} built, {restored} restored from store, "
+        f"{hits} cache hits "
+        f"({stats['cache']['hit_rate'] * 100:.1f}% hit rate)"
+    )
+    sim = sum(stats["scheduler"]["sim_clock_s"])
+    print(f"simulated GPU time: {sim * 1e3:.3f} ms across streams")
+    print(
+        f"state: {state_dir} "
+        f"(plans.json: {stats['store']['entries']} entries, metrics.json)"
+    )
+    return 0
+
+
+def _print_histogram_lines(histograms: dict) -> None:
+    for name in sorted(histograms):
+        h = histograms[name]
+        print(
+            f"  {name:<28s} count {h['count']:>6d}  "
+            f"mean {h['mean_s'] * 1e3:9.4f} ms  "
+            f"max {h['max_s'] * 1e3:9.4f} ms"
+        )
+
+
+def cmd_stats(args) -> int:
+    state_dir = Path(args.state_dir).expanduser()
+    path = state_dir / "metrics.json"
+    if not path.exists():
+        print(
+            f"no metrics snapshot at {path}; "
+            "run `python -m repro serve` first",
+            file=sys.stderr,
+        )
+        return 1
+    payload = json.loads(path.read_text())
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"runtime stats — device: {payload.get('device', '?')}")
+    counters = payload["metrics"]["counters"]
+    print("counters:")
+    for name in sorted(counters):
+        print(f"  {name:<28s} {counters[name]}")
+    gauges = payload["metrics"]["gauges"]
+    if gauges:
+        print("gauges:")
+        for name in sorted(gauges):
+            print(f"  {name:<28s} {gauges[name]}")
+    print("latency histograms:")
+    _print_histogram_lines(payload["metrics"]["histograms"])
+    cache = payload["cache"]
+    print(
+        f"cache: {cache['resident_plans']}/{cache['capacity']} plans, "
+        f"{cache['hits']} hits / {cache['misses']} misses "
+        f"({cache['hit_rate'] * 100:.1f}%), "
+        f"{cache['store_hits']} store hits"
+    )
+    sched = payload["scheduler"]
+    clocks = " ".join(f"{c * 1e3:.3f}" for c in sched["sim_clock_s"])
+    print(
+        f"streams: {sched['num_streams']} on {', '.join(sched['devices'])}; "
+        f"sim clocks (ms): {clocks}; jobs {sched['jobs_done']}"
+    )
+    store = payload.get("store")
+    if store:
+        print(
+            f"store: {store['entries']} entries at {store['path']} "
+            f"(v{store['store_version']}, "
+            f"{store['corrupt_entries_dropped']} corrupt dropped)"
+        )
+    return 0
+
+
 def cmd_profile(args) -> int:
     from repro.gpusim.profile import profile_kernel
 
@@ -134,7 +320,12 @@ def build_parser() -> argparse.ArgumentParser:
     def add_problem(p):
         p.add_argument("dims", type=_ints, help="extents, dim 0 fastest")
         p.add_argument("perm", type=_ints, help="permutation, paper convention")
-        p.add_argument("--dtype", choices=("f32", "f64"), default="f64")
+        p.add_argument(
+            "--dtype",
+            type=_dtype,
+            default="f64",
+            metavar="{" + ",".join(sorted(DTYPES)) + "}",
+        )
         p.add_argument("--device", choices=tuple(DEVICES), default="k40c")
 
     p = sub.add_parser("plan", help="plan one transposition")
@@ -156,6 +347,45 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("device", help="print the simulated device spec")
     p.add_argument("device", nargs="?", choices=tuple(DEVICES), default="k40c")
     p.set_defaults(func=cmd_device)
+
+    p = sub.add_parser(
+        "serve", help="run a workload through the serving runtime"
+    )
+    p.add_argument(
+        "--problem",
+        type=_problem,
+        action="append",
+        metavar="DIMS:PERM",
+        help="explicit problem (repeatable); default: a 6D suite sample",
+    )
+    p.add_argument("--extent", type=int, default=8,
+                   help="extent of the default 6D problems (default 8)")
+    p.add_argument("--unique", type=int, default=8,
+                   help="number of distinct default problems (default 8)")
+    p.add_argument("--requests", type=int, default=64,
+                   help="total requests to serve (default 64)")
+    p.add_argument("--clients", type=int, default=4,
+                   help="concurrent client threads (default 4)")
+    p.add_argument("--streams", type=int, default=4,
+                   help="simulated execution streams (default 4)")
+    p.add_argument(
+        "--dtype",
+        type=_dtype,
+        default="f64",
+        metavar="{" + ",".join(sorted(DTYPES)) + "}",
+    )
+    p.add_argument("--device", choices=tuple(DEVICES), default="k40c")
+    p.add_argument("--state-dir", default=DEFAULT_STATE_DIR,
+                   help="plan store + metrics location (default %(default)s)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "stats", help="print the metrics snapshot of the last serve run"
+    )
+    p.add_argument("--state-dir", default=DEFAULT_STATE_DIR,
+                   help="state location written by serve (default %(default)s)")
+    p.add_argument("--json", action="store_true", help="raw JSON output")
+    p.set_defaults(func=cmd_stats)
     return parser
 
 

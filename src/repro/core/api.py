@@ -52,6 +52,30 @@ def _elem_bytes_of(dtype: np.dtype) -> int:
     return size
 
 
+def _plan_for(
+    dims: Sequence[int],
+    perm: Sequence[int],
+    elem_bytes: int,
+    spec: DeviceSpec,
+    predictor: Optional[Predictor],
+) -> TransposePlan:
+    """Plan directly, or through the installed runtime service.
+
+    When a process-wide :class:`repro.runtime.TransposeService` is
+    installed (see :func:`repro.runtime.set_default_service`), planning
+    routes through it — gaining request coalescing, the LRU cache, the
+    persistent plan store, and metrics — unless the caller pins a custom
+    ``predictor``, which a shared service cannot honour per-call.
+    """
+    if predictor is None:
+        from repro.runtime import get_default_service
+
+        service = get_default_service()
+        if service is not None:
+            return service.plan(dims, perm, elem_bytes, spec)
+    return make_plan(dims, perm, elem_bytes, spec, predictor)
+
+
 @dataclass(frozen=True)
 class TransposeEstimate:
     """Answer of the queryable performance-model interface."""
@@ -122,8 +146,11 @@ def plan_transpose(
     spec: DeviceSpec = KEPLER_K40C,
     predictor: Optional[Predictor] = None,
 ) -> TransposePlan:
-    """Plan a transposition in the paper convention (see module docs)."""
-    return make_plan(dims, perm, elem_bytes, spec, predictor)
+    """Plan a transposition in the paper convention (see module docs).
+
+    Routes through the installed runtime service, when there is one.
+    """
+    return _plan_for(dims, perm, elem_bytes, spec, predictor)
 
 
 def predict_time(
@@ -138,7 +165,7 @@ def predict_time(
     This is the interface a higher-level optimizer (e.g. a TTGT tensor
     contraction planner) queries to choose among layouts.
     """
-    plan = make_plan(dims, perm, elem_bytes, spec, predictor)
+    plan = _plan_for(dims, perm, elem_bytes, spec, predictor)
     cm = CostModel(spec)
     t = plan.simulated_time(cm)
     return TransposeEstimate(
@@ -171,7 +198,7 @@ def transpose_many(
         )
     dims = first.shape[::-1]
     perm = axes_to_perm(axes)
-    plan = make_plan(dims, perm, _elem_bytes_of(first.dtype), spec, predictor)
+    plan = _plan_for(dims, perm, _elem_bytes_of(first.dtype), spec, predictor)
     out_shape = tuple(first.shape[ax] for ax in axes)
     outs = []
     for a in arrays:
@@ -203,7 +230,7 @@ def transpose(
         )
     dims = a.shape[::-1]  # our dim 0 is the fastest (NumPy's last axis)
     perm = axes_to_perm(axes)
-    plan = make_plan(dims, perm, _elem_bytes_of(a.dtype), spec, predictor)
+    plan = _plan_for(dims, perm, _elem_bytes_of(a.dtype), spec, predictor)
     out_flat = plan.execute(a.reshape(-1))
     out_shape = tuple(a.shape[ax] for ax in axes)
     return out_flat.reshape(out_shape)

@@ -1,0 +1,70 @@
+"""Concurrent transpose-serving runtime.
+
+The production layer over the one-shot planning API: a
+:class:`TransposeService` accepts requests from many threads, coalesces
+identical in-flight plans, serves repeats from the LRU plan cache,
+persists plans across process restarts via :class:`PlanStore`, schedules
+executions over simulated streams (:class:`StreamScheduler`), and
+accounts everything in a :class:`MetricsRegistry`.
+
+See ``docs/runtime.md`` for the architecture, the metrics schema, and
+the persistence format.  CLI: ``python -m repro serve`` /
+``python -m repro stats``.
+"""
+
+from __future__ import annotations
+
+from threading import Lock
+from typing import Optional
+
+from repro.runtime.batching import SingleFlight
+from repro.runtime.metrics import LatencyHistogram, MetricsRegistry
+from repro.runtime.scheduler import ExecutionReport, StreamScheduler
+from repro.runtime.service import TransposeService
+from repro.runtime.store import PlanStore, rehydrate_plan, serialize_plan
+
+__all__ = [
+    "TransposeService",
+    "StreamScheduler",
+    "ExecutionReport",
+    "PlanStore",
+    "serialize_plan",
+    "rehydrate_plan",
+    "MetricsRegistry",
+    "LatencyHistogram",
+    "SingleFlight",
+    "get_default_service",
+    "set_default_service",
+    "install_default_service",
+]
+
+_default_lock = Lock()
+_default_service: Optional[TransposeService] = None
+
+
+def get_default_service() -> Optional[TransposeService]:
+    """The installed process-wide service, or None when none is active."""
+    return _default_service
+
+
+def set_default_service(
+    service: Optional[TransposeService],
+) -> Optional[TransposeService]:
+    """Install (or, with None, uninstall) the process-wide service.
+
+    While a default service is installed, the :mod:`repro.core.api`
+    entry points route their planning through it.  Returns the previous
+    default so callers can restore it.
+    """
+    global _default_service
+    with _default_lock:
+        previous = _default_service
+        _default_service = service
+    return previous
+
+
+def install_default_service(**kwargs) -> TransposeService:
+    """Create a :class:`TransposeService` and install it as the default."""
+    service = TransposeService(**kwargs)
+    set_default_service(service)
+    return service

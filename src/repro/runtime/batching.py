@@ -1,0 +1,62 @@
+"""Request coalescing: single-flight plan construction.
+
+When many clients ask for the same ``(dims, perm, elem_bytes, device)``
+at once — the thundering-herd shape of a warm-up burst — only one of
+them should pay the planning search.  :class:`SingleFlight` elects a
+leader per key; followers block on the leader's result.  Combined with
+the :class:`~repro.core.cache.PlanCache` (which serves *later* arrivals
+from memory) this gives exactly-once plan construction per key.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from threading import Lock
+from typing import Callable, Dict, Hashable, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class SingleFlight:
+    """Per-key duplicate-call suppression for concurrent callers."""
+
+    def __init__(self) -> None:
+        self._lock = Lock()
+        self._flights: Dict[Hashable, Future] = {}
+        #: Calls that were absorbed into another caller's in-flight work.
+        self.coalesced = 0
+
+    def do(self, key: Hashable, fn: Callable[[], T]) -> Tuple[T, bool]:
+        """Run ``fn`` once per key among concurrent callers.
+
+        Returns ``(value, leader)`` where ``leader`` is True for the one
+        caller that actually executed ``fn``.  If the leader raises, all
+        concurrent followers see the same exception; the flight is then
+        retired so a later call may retry.
+        """
+        with self._lock:
+            fut = self._flights.get(key)
+            if fut is None:
+                fut = Future()
+                self._flights[key] = fut
+                leader = True
+            else:
+                leader = False
+                self.coalesced += 1
+        if not leader:
+            return fut.result(), False
+        try:
+            value = fn()
+        except BaseException as exc:
+            fut.set_exception(exc)
+            raise
+        else:
+            fut.set_result(value)
+            return value, True
+        finally:
+            with self._lock:
+                self._flights.pop(key, None)
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._flights)

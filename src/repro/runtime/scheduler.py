@@ -1,0 +1,165 @@
+"""Worker-pool scheduler dispatching executions across simulated streams.
+
+Each worker thread owns one simulated *stream* — an execution lane with
+its own :class:`~repro.gpusim.cost.CostModel` and a monotonically
+advancing simulated clock (the sum of simulated kernel times it has
+retired).  Streams may be spread round-robin over several simulated
+devices.  Jobs are pulled from one shared FIFO, so dispatch is
+least-loaded by construction; the registry's ``queue_depth`` gauge and
+``queue_depth_peak`` high-water mark expose backlog.
+
+Per-schema simulated and wall (host) execution times are recorded into
+the metrics registry, giving the ``sim_s.<schema>`` / ``wall_s.<schema>``
+histograms documented in ``docs/runtime.md``.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from threading import Lock, Thread
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.plan import TransposePlan
+from repro.gpusim.cost import CostModel
+from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
+from repro.runtime.metrics import MetricsRegistry
+
+_SHUTDOWN = object()
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Outcome of one dispatched transposition."""
+
+    stream: int
+    device: str
+    schema: str
+    #: Simulated GPU time of the kernel launch, in seconds.
+    sim_time_s: float
+    #: Host (wall) time spent moving the data functionally, in seconds.
+    wall_time_s: float
+    #: Time the job spent queued before a stream picked it up.
+    queued_s: float
+    #: Transposed flat data, when the job carried a payload.
+    output: Optional[np.ndarray]
+
+
+class StreamScheduler:
+    """Dispatch plan executions over ``num_streams`` worker threads."""
+
+    def __init__(
+        self,
+        num_streams: int = 4,
+        devices: Optional[Sequence[DeviceSpec]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if num_streams <= 0:
+            raise ValueError(f"num_streams must be positive, got {num_streams}")
+        self.devices: List[DeviceSpec] = list(devices) if devices else [KEPLER_K40C]
+        self.num_streams = num_streams
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._stream_devices = [
+            self.devices[i % len(self.devices)] for i in range(num_streams)
+        ]
+        self._cost_models = [CostModel(d) for d in self._stream_devices]
+        self._queue: "queue.Queue" = queue.Queue()
+        self._lock = Lock()
+        self._sim_clocks = [0.0] * num_streams
+        self._jobs_done = [0] * num_streams
+        self._closed = False
+        self._workers = [
+            Thread(target=self._worker, args=(i,), daemon=True, name=f"stream-{i}")
+            for i in range(num_streams)
+        ]
+        for w in self._workers:
+            w.start()
+
+    # ------------------------------------------------------------------
+    def submit(
+        self, plan: TransposePlan, payload: Optional[np.ndarray] = None
+    ) -> "Future[ExecutionReport]":
+        """Enqueue one execution; resolves to an :class:`ExecutionReport`."""
+        if self._closed:
+            raise RuntimeError("scheduler is shut down")
+        fut: "Future[ExecutionReport]" = Future()
+        self._queue.put((plan, payload, fut, time.perf_counter()))
+        depth = self._queue.qsize()
+        self.metrics.set_gauge("queue_depth", depth)
+        self.metrics.max_gauge("queue_depth_peak", depth)
+        return fut
+
+    def _worker(self, stream: int) -> None:
+        cm = self._cost_models[stream]
+        device = self._stream_devices[stream]
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            plan, payload, fut, enqueued = item
+            if not fut.set_running_or_notify_cancel():
+                continue
+            started = time.perf_counter()
+            try:
+                output = plan.execute(payload) if payload is not None else None
+                # Use the stream's own cost model only when the plan was
+                # built for this stream's device; a foreign plan keeps
+                # its own device's timing.
+                if plan.kernel.spec is device:
+                    sim = plan.simulated_time(cm)
+                else:
+                    sim = plan.simulated_time()
+                wall = time.perf_counter() - started
+                with self._lock:
+                    self._sim_clocks[stream] += sim
+                    self._jobs_done[stream] += 1
+                schema = plan.schema.value
+                self.metrics.inc("executions_completed")
+                self.metrics.observe(f"sim_s.{schema}", sim)
+                self.metrics.observe(f"wall_s.{schema}", wall)
+                self.metrics.set_gauge("queue_depth", self._queue.qsize())
+                fut.set_result(
+                    ExecutionReport(
+                        stream=stream,
+                        device=device.name,
+                        schema=schema,
+                        sim_time_s=sim,
+                        wall_time_s=wall,
+                        queued_s=started - enqueued,
+                        output=output,
+                    )
+                )
+            except BaseException as exc:
+                self.metrics.inc("executions_failed")
+                fut.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "num_streams": self.num_streams,
+                "devices": [d.name for d in self.devices],
+                "sim_clock_s": list(self._sim_clocks),
+                "jobs_done": list(self._jobs_done),
+                "queue_depth": self._queue.qsize(),
+            }
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            self._queue.put(_SHUTDOWN)
+        if wait:
+            for w in self._workers:
+                w.join()
+
+    def __enter__(self) -> "StreamScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

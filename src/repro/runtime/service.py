@@ -1,0 +1,210 @@
+"""The concurrent transpose-serving front door.
+
+:class:`TransposeService` is what a long-running process embeds: many
+threads submit transpositions; the service coalesces identical in-flight
+planning requests (single-flight), serves repeats from the LRU cache,
+warm-starts the cache from a persistent :class:`PlanStore` across
+process restarts, dispatches executions over a pool of simulated
+streams, and accounts everything in a :class:`MetricsRegistry`.
+
+A process-wide default service can be installed so the classic
+:mod:`repro.core.api` entry points (``repro.transpose`` etc.) route
+through it transparently — see :func:`install_default_service`.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.cache import DEFAULT_CAPACITY, PlanCache
+from repro.core.plan import Predictor, TransposePlan
+from repro.errors import InvalidLayoutError
+from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
+from repro.runtime.batching import SingleFlight
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.scheduler import ExecutionReport, StreamScheduler
+from repro.runtime.store import PlanStore
+
+#: How cache events surface in the metrics registry.
+_EVENT_COUNTERS = {
+    "hit": "cache_hits",
+    "miss": "cache_misses",
+    "restore": "plans_restored",
+    "build": "plans_built",
+    "eviction": "cache_evictions",
+    "store_error": "store_errors",
+}
+
+
+class TransposeService:
+    """Thread-safe transpose server over the simulated GPU.
+
+    Parameters
+    ----------
+    spec:
+        Default simulated device plans are built for.
+    store:
+        An existing :class:`PlanStore` to warm-start from (mutually
+        exclusive with ``store_path``).
+    store_path:
+        Path of a JSON plan store to open (created when absent).
+    cache_capacity:
+        LRU capacity of the in-memory plan cache.
+    num_streams / devices:
+        Worker pool shape; streams round-robin over ``devices``
+        (default: ``[spec]``).
+    predictor:
+        Optional override of the performance model used when planning
+        for ``spec`` (tests use the oracle predictor for speed).
+    metrics:
+        Share a registry between services; a fresh one by default.
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec = KEPLER_K40C,
+        *,
+        store: Optional[PlanStore] = None,
+        store_path: Optional[Union[str, Path]] = None,
+        cache_capacity: int = DEFAULT_CAPACITY,
+        num_streams: int = 4,
+        devices: Optional[Sequence[DeviceSpec]] = None,
+        predictor: Optional[Predictor] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        store_autoflush: bool = True,
+    ):
+        if store is not None and store_path is not None:
+            raise ValueError("pass either store or store_path, not both")
+        self.spec = spec
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.store = store
+        if store_path is not None:
+            self.store = PlanStore(store_path, autoflush=store_autoflush)
+        self.cache = PlanCache(
+            cache_capacity, store=self.store, on_event=self._cache_event
+        )
+        self._predictor = predictor
+        self._flights = SingleFlight()
+        self.scheduler = StreamScheduler(
+            num_streams=num_streams,
+            devices=devices if devices else [spec],
+            metrics=self.metrics,
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _cache_event(self, event: str) -> None:
+        self.metrics.inc(_EVENT_COUNTERS.get(event, event))
+
+    def plan(
+        self,
+        dims: Sequence[int],
+        perm: Sequence[int],
+        elem_bytes: int = 8,
+        spec: Optional[DeviceSpec] = None,
+    ) -> TransposePlan:
+        """Cache-backed, store-backed, single-flight planning.
+
+        Concurrent requests for the same key share one planning search:
+        exactly one caller builds (or restores) the plan, the rest wait
+        on it.  Later arrivals hit the LRU.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        spec = spec if spec is not None else self.spec
+        predictor = self._predictor if spec is self.spec else None
+        self.metrics.inc("plan_requests")
+        key = PlanCache._key(dims, perm, elem_bytes, spec)
+        started = time.perf_counter()
+        plan, leader = self._flights.do(
+            key, lambda: self.cache.get(dims, perm, elem_bytes, spec, predictor)
+        )
+        if not leader:
+            self.metrics.inc("requests_coalesced")
+        self.metrics.observe("plan_s", time.perf_counter() - started)
+        return plan
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        dims: Sequence[int],
+        perm: Sequence[int],
+        elem_bytes: int = 8,
+        payload: Optional[np.ndarray] = None,
+        spec: Optional[DeviceSpec] = None,
+    ):
+        """Plan (coalesced/cached) and enqueue the execution.
+
+        Returns a ``concurrent.futures.Future`` resolving to an
+        :class:`~repro.runtime.scheduler.ExecutionReport`.  ``payload``
+        is the linearized input data; without it the stream still
+        retires the launch on its simulated clock (a timing-only call).
+        """
+        plan = self.plan(dims, perm, elem_bytes, spec)
+        self.metrics.inc("executions_submitted")
+        return self.scheduler.submit(plan, payload)
+
+    def execute(
+        self,
+        dims: Sequence[int],
+        perm: Sequence[int],
+        elem_bytes: int = 8,
+        payload: Optional[np.ndarray] = None,
+        spec: Optional[DeviceSpec] = None,
+    ) -> ExecutionReport:
+        """Blocking :meth:`submit`."""
+        return self.submit(dims, perm, elem_bytes, payload, spec).result()
+
+    def transpose(self, array: np.ndarray, axes: Sequence[int]) -> np.ndarray:
+        """NumPy-convention transposition routed through the service."""
+        from repro.core.api import _elem_bytes_of, axes_to_perm
+
+        a = np.ascontiguousarray(array)
+        if a.ndim != len(axes):
+            raise InvalidLayoutError(
+                f"axes of length {len(axes)} for a rank-{a.ndim} array"
+            )
+        dims = a.shape[::-1]
+        perm = axes_to_perm(axes)
+        report = self.execute(
+            dims, perm, _elem_bytes_of(a.dtype), payload=a.reshape(-1)
+        )
+        out_shape = tuple(a.shape[ax] for ax in axes)
+        return report.output.reshape(out_shape)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Full JSON-friendly status: metrics + cache + streams + store."""
+        return {
+            "device": self.spec.name,
+            "metrics": self.metrics.snapshot(),
+            "cache": {
+                "capacity": self.cache.capacity,
+                "resident_plans": len(self.cache),
+                **self.cache.snapshot_stats().as_dict(),
+            },
+            "scheduler": self.scheduler.snapshot(),
+            "store": self.store.describe() if self.store else None,
+        }
+
+    def flush(self) -> None:
+        if self.store is not None:
+            self.store.flush()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.scheduler.shutdown()
+        if self.store is not None:
+            self.store.close()
+
+    def __enter__(self) -> "TransposeService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
