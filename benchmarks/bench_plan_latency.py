@@ -1,0 +1,142 @@
+"""Wall-clock planning latency across the four schemas.
+
+Times ``make_plan`` itself — the host-side cost Alg. 3 charges against
+first-call bandwidth (Figs. 7/9/11) and the serving runtime's cold-start
+bottleneck — for one representative problem per schema, cold (process-
+wide geometry caches cleared) and warm (caches populated), under both
+the two-phase search and the eager reference path.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_plan_latency.py
+
+writes a JSON summary to ``results/plan_latency.json``.  CI runs
+``--smoke``: fewer repeats, no file output, and a hard failure when any
+warm two-phase plan exceeds a generous latency threshold — so a future
+change cannot silently re-eagerize the search.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.core.plan import clear_plan_caches, make_plan
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "results" / "plan_latency.json"
+
+#: One representative problem per schema (the 6D OA case is the issue's
+#: acceptance benchmark; the 27^5 OD case is the paper's Fig. 5 example).
+CASES = [
+    ("orthogonal-arbitrary-6d", [16, 8, 4, 8, 4, 16], [5, 4, 3, 2, 1, 0]),
+    ("orthogonal-distinct-27^5", [27, 27, 27, 27, 27], [4, 1, 2, 0, 3]),
+    ("fvi-match-large-4d", [64, 16, 16, 16], [0, 3, 2, 1]),
+    ("fvi-match-small-4d", [8, 16, 16, 16], [0, 3, 2, 1]),
+]
+
+#: Smoke thresholds (generous: ~10x the observed dev-machine latency, so
+#: slow CI runners pass but a re-eagerized search does not).
+SMOKE_WARM_MS = 100.0
+SMOKE_COLD_MS = 2000.0
+
+
+def _time_once(dims, perm, search):
+    t0 = time.perf_counter()
+    plan = make_plan(dims, perm, search=search)
+    return (time.perf_counter() - t0) * 1e3, plan
+
+
+def bench_case(dims, perm, search, repeats):
+    """Cold + warm latency (ms) of one planning problem."""
+    clear_plan_caches()
+    cold_ms, plan = _time_once(dims, perm, search)
+    warm = [_time_once(dims, perm, search)[0] for _ in range(repeats)]
+    warm_ms = min(warm)
+    return {
+        "schema": plan.schema.value,
+        "num_candidates": plan.num_candidates,
+        "cold_ms": round(cold_ms, 3),
+        "warm_ms": round(warm_ms, 3),
+        "warm_median_ms": round(statistics.median(warm), 3),
+        "plans_per_sec": round(1e3 / warm_ms, 1),
+    }
+
+
+def run(repeats):
+    # One throwaway plan per path first: pulls in imports and the shipped
+    # model coefficients so the first case's cold number measures
+    # planning, not process start.
+    for search in ("two_phase", "eager"):
+        make_plan([4, 4], [1, 0], search=search)
+    cases = {}
+    for name, dims, perm in CASES:
+        two = bench_case(dims, perm, "two_phase", repeats)
+        eager = bench_case(dims, perm, "eager", repeats)
+        assert two["schema"] == eager["schema"], name
+        cases[name] = {
+            "dims": dims,
+            "perm": perm,
+            "two_phase": two,
+            "eager": eager,
+            "speedup_warm": round(eager["warm_ms"] / two["warm_ms"], 2),
+            "speedup_cold": round(eager["cold_ms"] / two["cold_ms"], 2),
+        }
+    return cases
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI mode: fewer repeats, threshold check, no file output",
+    )
+    ap.add_argument("--repeats", type=int, default=None)
+    ap.add_argument("--out", type=Path, default=RESULTS_PATH)
+    args = ap.parse_args(argv)
+
+    repeats = args.repeats if args.repeats is not None else (3 if args.smoke else 9)
+    cases = run(repeats)
+
+    header = f"{'case':<26s} {'search':<10s} {'cold ms':>9s} {'warm ms':>9s} {'plans/s':>9s}"
+    print(header)
+    for name, row in cases.items():
+        for search in ("two_phase", "eager"):
+            r = row[search]
+            print(
+                f"{name:<26s} {search:<10s} {r['cold_ms']:>9.2f} "
+                f"{r['warm_ms']:>9.2f} {r['plans_per_sec']:>9.1f}"
+            )
+        print(f"{'':<26s} speedup: {row['speedup_warm']}x warm, {row['speedup_cold']}x cold")
+
+    if args.smoke:
+        failures = []
+        for name, row in cases.items():
+            two = row["two_phase"]
+            if two["warm_ms"] > SMOKE_WARM_MS:
+                failures.append(
+                    f"{name}: warm {two['warm_ms']:.1f} ms > {SMOKE_WARM_MS} ms"
+                )
+            if two["cold_ms"] > SMOKE_COLD_MS:
+                failures.append(
+                    f"{name}: cold {two['cold_ms']:.1f} ms > {SMOKE_COLD_MS} ms"
+                )
+        if failures:
+            print("PLAN LATENCY REGRESSION:", *failures, sep="\n  ")
+            return 1
+        print("smoke thresholds OK")
+        return 0
+
+    summary = {"repeats": repeats, "cases": cases}
+    args.out.parent.mkdir(exist_ok=True)
+    args.out.write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,3 +49,21 @@ def choose_coarsening(
         if MIN_COARSEN_EXTENT <= extent <= MAX_COARSEN_EXTENT:
             return d, extent
     return None
+
+
+def choose_coarsening_for_kernel(
+    kernel, elem_bytes: int = 8
+) -> Optional[Tuple[int, int]]:
+    """:func:`choose_coarsening` with slice dims read off a built kernel.
+
+    The slice dims are everything the kernel's coverage does not leave
+    to the grid; kernels without a coverage (NAIVE) expose none.
+    """
+    layout = kernel.layout
+    cov = getattr(kernel, "coverage", None)
+    slice_dims: set = set()
+    if cov is not None:
+        slice_dims = {
+            d for d in range(layout.rank) if d not in cov.outer_dims()
+        }
+    return choose_coarsening(layout, slice_dims, elem_bytes)

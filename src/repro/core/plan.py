@@ -15,14 +15,18 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.coarsening import choose_coarsening
+from repro.core.coarsening import choose_coarsening_for_kernel
 from repro.core.fusion import FusionResult, fuse_indices
 from repro.core.layout import TensorLayout
 from repro.core.permutation import Permutation
 from repro.core.slices import (
+    CandidateDesc,
     choose_best,
+    choose_best_two_phase,
     enumerate_orthogonal_arbitrary,
+    enumerate_orthogonal_arbitrary_descs,
     enumerate_orthogonal_distinct,
+    enumerate_orthogonal_distinct_descs,
 )
 from repro.core.taxonomy import Schema, TaxonomyDecision, select_schema
 from repro.errors import PlanError
@@ -133,20 +137,71 @@ def candidates_for(
     return out
 
 
+def candidate_descriptors(
+    layout: TensorLayout,
+    perm: Permutation,
+    decision: TaxonomyDecision,
+    spec: DeviceSpec,
+    elem_bytes: int,
+) -> List[CandidateDesc]:
+    """Phase-1 descriptors for every schema the taxonomy allows.
+
+    Mirrors :func:`candidates_for` one to one: the orthogonal schemas
+    enumerate without constructing kernels, while the FVI kernels —
+    O(1) to build — are constructed eagerly and wrapped.
+    """
+    out: List[CandidateDesc] = []
+    for schema in decision.all_candidates:
+        if schema is Schema.FVI_MATCH_LARGE:
+            out.append(
+                CandidateDesc(
+                    schema=schema,
+                    kernel=FviMatchLargeKernel(layout, perm, elem_bytes, spec),
+                )
+            )
+        elif schema is Schema.FVI_MATCH_SMALL:
+            out.extend(
+                CandidateDesc(schema=schema, b=k.b, kernel=k)
+                for k in fvi_small_candidates(layout, perm, spec, elem_bytes)
+            )
+        elif schema is Schema.ORTHOGONAL_DISTINCT:
+            out.extend(
+                enumerate_orthogonal_distinct_descs(
+                    layout, perm, spec, elem_bytes
+                )
+            )
+        elif schema is Schema.ORTHOGONAL_ARBITRARY:
+            out.extend(
+                enumerate_orthogonal_arbitrary_descs(
+                    layout, perm, spec, elem_bytes
+                )
+            )
+    return out
+
+
 def make_plan(
     dims: Sequence[int],
     perm: Sequence[int],
     elem_bytes: int = 8,
     spec: DeviceSpec = KEPLER_K40C,
     predictor: Optional[Predictor] = None,
+    search: str = "two_phase",
 ) -> TransposePlan:
     """Plan a transposition: fuse, classify, enumerate, select.
 
     ``predictor`` defaults to the shipped pretrained regression models
     (with the analytic cost model as fallback for unmodeled schemas).
+
+    ``search`` picks the selection strategy: ``"two_phase"`` (default)
+    enumerates lightweight descriptors, prunes on the analytic DRAM
+    lower bound, batch-scores the survivors, and materializes only the
+    winner; ``"eager"`` constructs and scores every candidate kernel
+    (the reference path — both select the identical kernel).
     """
     layout = TensorLayout(dims)
     permutation = Permutation(perm)
+    if search not in ("two_phase", "eager"):
+        raise PlanError(f"unknown search strategy {search!r}")
     if predictor is None:
         from repro.model.pretrained import pretrained_predictor
 
@@ -154,23 +209,40 @@ def make_plan(
 
     fused = fuse_indices(layout, permutation)
     decision = select_schema(fused.layout, fused.perm, warp_size=spec.warp_size)
-    cands = candidates_for(fused.layout, fused.perm, decision, spec, elem_bytes)
-    if not cands:
-        raise PlanError(
-            f"no candidate kernel for dims={tuple(dims)} perm={tuple(perm)}"
+    # Ties between schemas resolve toward the taxonomy's preference
+    # order, matching the historical first-enumerated-wins selection.
+    schema_rank = {s: i for i, s in enumerate(decision.all_candidates)}
+    if search == "two_phase":
+        descs = candidate_descriptors(
+            fused.layout, fused.perm, decision, spec, elem_bytes
         )
-    result = choose_best(cands, predictor)
+        if not descs:
+            raise PlanError(
+                f"no candidate kernel for dims={tuple(dims)} perm={tuple(perm)}"
+            )
+        result = choose_best_two_phase(
+            descs,
+            fused.layout,
+            fused.perm,
+            spec,
+            elem_bytes,
+            predictor,
+            schema_rank=schema_rank,
+        )
+    else:
+        cands = candidates_for(
+            fused.layout, fused.perm, decision, spec, elem_bytes
+        )
+        if not cands:
+            raise PlanError(
+                f"no candidate kernel for dims={tuple(dims)} perm={tuple(perm)}"
+            )
+        result = choose_best(cands, predictor, schema_rank=schema_rank)
     kernel = result.kernel
 
-    slice_dims: set = set()
-    cov = getattr(kernel, "coverage", None)
-    if cov is not None:
-        slice_dims = {
-            d for d in range(fused.layout.rank) if d not in cov.outer_dims()
-        }
     coarsening = None
     if kernel.schema is not Schema.ORTHOGONAL_DISTINCT:
-        coarsening = choose_coarsening(fused.layout, slice_dims, elem_bytes)
+        coarsening = choose_coarsening_for_kernel(kernel, elem_bytes)
     if coarsening is not None and isinstance(kernel, OrthogonalArbitraryKernel):
         # Rebuild the chosen kernel with the coarsened grid and keep it
         # only if the model agrees (a big factor can cost occupancy —
@@ -208,3 +280,23 @@ def make_plan(
         coarsening=coarsening,
         plan_time=cm.plan_time(result.num_candidates),
     )
+
+
+def clear_plan_caches() -> None:
+    """Drop the process-wide planning memoization.
+
+    Forgets the geometry-keyed pad-search and offset caches shared
+    across :class:`OrthogonalArbitraryKernel` instances and the memoized
+    DRAM-transaction totals, restoring cold-start conditions for
+    benchmarks; shipped model coefficients stay loaded (they are a
+    fixed artifact, not per-problem state).
+    """
+    from repro.core.slices import clear_lower_bound_cache
+    from repro.kernels.common import clear_dram_tx_cache
+    from repro.kernels.orthogonal_arbitrary import clear_geometry_caches
+    from repro.kernels.orthogonal_distinct import clear_feature_cache
+
+    clear_geometry_caches()
+    clear_dram_tx_cache()
+    clear_feature_cache()
+    clear_lower_bound_cache()

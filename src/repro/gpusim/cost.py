@@ -24,7 +24,9 @@ GPU overlaps them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Optional
+from typing import Hashable, Optional, Sequence
+
+import numpy as np
 
 from repro.gpusim.counters import KernelCounters, LaunchGeometry
 from repro.gpusim.noise import measurement_jitter
@@ -157,6 +159,99 @@ class CostModel:
     ) -> float:
         """Simulated wall time of one kernel launch, in seconds."""
         return self.breakdown(counters, geom, jitter_key).total_s
+
+    def kernel_time_batch(
+        self,
+        counters_list: Sequence[KernelCounters],
+        geoms: Sequence[LaunchGeometry],
+        jitter_keys: Optional[Sequence[Hashable]] = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`kernel_time` over many candidate launches.
+
+        Counter fields are stacked into arrays and every cost term is
+        evaluated once over the whole batch; occupancy (a handful of
+        integer divisions per geometry) stays scalar.  Term-for-term the
+        arithmetic mirrors :meth:`breakdown`, so results match the
+        scalar path bit for bit.
+        """
+        spec = self.spec
+        n = len(counters_list)
+        if len(geoms) != n:
+            raise ValueError(
+                f"{n} counter sets for {len(geoms)} launch geometries"
+            )
+        if jitter_keys is not None and len(jitter_keys) != n:
+            raise ValueError(
+                f"{n} counter sets for {len(jitter_keys)} jitter keys"
+            )
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        for c in counters_list:
+            c.validate()
+        occs = [occupancy_for(spec, g) for g in geoms]
+
+        def farr(values):
+            return np.asarray(list(values), dtype=np.float64)
+
+        num_blocks = farr(g.num_blocks for g in geoms)
+        total_warps = farr(
+            g.num_blocks * g.warps_per_block(spec.warp_size) for g in geoms
+        )
+        blocks_per_sm = farr(o.blocks_per_sm for o in occs)
+        resident_per_sm = farr(o.resident_warps_per_sm for o in occs)
+        wave_eff = farr(o.wave_efficiency for o in occs)
+        lane_eff = farr(c.lane_efficiency for c in counters_list)
+        dram_bytes = farr(
+            c.dram_bytes_moved + c.tex_miss_tx * 128 for c in counters_list
+        )
+        smem_accesses = farr(c.smem_accesses for c in counters_list)
+        smem_cycles = farr(
+            c.smem_accesses + c.smem_conflict_cycles for c in counters_list
+        )
+        global_accesses = farr(c.warp_global_accesses for c in counters_list)
+        tex_accesses = farr(c.tex_accesses for c in counters_list)
+        tex_miss_tx = farr(c.tex_miss_tx for c in counters_list)
+        special_ops = farr(c.special_ops for c in counters_list)
+
+        # _achievable_bandwidth, vectorized.
+        sms_used = np.minimum(num_blocks, spec.num_sms * blocks_per_sm)
+        sms_used = np.where(
+            blocks_per_sm > 0, np.minimum(sms_used, spec.num_sms), 0.0
+        )
+        resident = np.minimum(
+            resident_per_sm * np.maximum(sms_used, 1.0), total_warps
+        )
+        needed = spec.saturation_warps_per_sm * spec.num_sms
+        mlp = np.minimum(1.0, resident / needed) if needed > 0 else 1.0
+        bw = spec.effective_bandwidth * mlp
+        bw = bw * lane_eff**spec.lane_efficiency_gamma
+        bw = np.maximum(bw, 1.0)
+        dram_s = dram_bytes / bw
+
+        exec_sms = np.maximum(1.0, np.minimum(num_blocks, spec.num_sms))
+        smem_s = smem_cycles / (exec_sms * spec.clock_hz)
+        issue_cycles = (
+            global_accesses + tex_accesses + smem_accesses
+        ) / spec.lsu_issue_per_cycle
+        issue_s = issue_cycles / (exec_sms * spec.clock_hz)
+        special_s = special_ops / np.maximum(
+            exec_sms * spec.sfu_per_sm * spec.clock_hz, 1.0
+        )
+        tex_s = tex_miss_tx * 4 / spec.clock_hz
+
+        tail = np.where(wave_eff > 0, 1.0 / np.where(wave_eff > 0, wave_eff, 1.0), 1.0)
+        exec_s = (
+            np.max(np.stack([dram_s, smem_s, issue_s, special_s, tex_s]), axis=0)
+            * tail
+        )
+        total = spec.launch_overhead_s + np.maximum(
+            exec_s, spec.min_kernel_time_s
+        )
+        if jitter_keys is not None and self.jitter_scale > 0:
+            total = total * farr(
+                measurement_jitter(k, self.jitter_scale) for k in jitter_keys
+            )
+        return total
 
     # ------------------------------------------------------------------
     def plan_time(self, num_candidates: int) -> float:

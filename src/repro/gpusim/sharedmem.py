@@ -46,6 +46,36 @@ def conflict_degree(
     return int(counts.max())
 
 
+def conflict_degrees_rows(
+    word_addresses: np.ndarray, num_banks: int = 32
+) -> np.ndarray:
+    """Row-wise :func:`conflict_degree` over a batch of warp accesses.
+
+    ``word_addresses`` is a 2-D array where each row holds the word
+    indices touched by one warp access (all lanes active).  Returns an
+    ``int64`` array with one serialization factor per row, exactly equal
+    to calling :func:`conflict_degree` on each row — duplicates within a
+    row broadcast and count once — but in a handful of vectorized ops.
+    The planner's pad search batches (pad x sampled-warp) accesses
+    through this to avoid thousands of tiny ``np.unique`` calls.
+    """
+    words = np.asarray(word_addresses, dtype=np.int64)
+    if words.ndim != 2:
+        raise ValueError(f"word_addresses must be 2-D, got shape {words.shape}")
+    n_rows, n_lanes = words.shape
+    if n_rows == 0 or n_lanes == 0:
+        return np.zeros(n_rows, dtype=np.int64)
+    ordered = np.sort(words, axis=1)
+    dup = np.zeros_like(ordered, dtype=bool)
+    dup[:, 1:] = ordered[:, 1:] == ordered[:, :-1]
+    banks = ordered % num_banks
+    flat = np.arange(n_rows, dtype=np.int64)[:, None] * num_banks + banks
+    counts = np.bincount(
+        flat[~dup], minlength=n_rows * num_banks
+    ).reshape(n_rows, num_banks)
+    return counts.max(axis=1)
+
+
 def extra_conflict_cycles(word_addresses: np.ndarray, num_banks: int = 32) -> int:
     """Conflict cycles beyond the conflict-free single cycle."""
     degree = conflict_degree(word_addresses, num_banks)

@@ -21,8 +21,9 @@ capacity (why the paper's OA model trained on far fewer configurations).
 
 from __future__ import annotations
 
+import functools
 import math
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,17 +33,217 @@ from repro.core.taxonomy import Schema
 from repro.errors import SchemaError
 from repro.gpusim.counters import KernelCounters, LaunchGeometry
 from repro.gpusim.engine import WarpAccess
-from repro.gpusim.sharedmem import conflict_degree
+from repro.gpusim.sharedmem import conflict_degrees_rows
 from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
 from repro.kernels.base import TransposeKernel
 from repro.kernels.common import (
     Coverage,
-    DimCoverage,
     SliceCoverage,
     ceil_div,
-    effective_runs,
-    lattice_run_transactions,
+    dram_transaction_totals,
+    normalize_oa_geometry,
+    oa_coverages,
 )
+
+#: Row pitches Sec. IV's pad specialization searches over.
+PAD_CANDIDATES = (0, 1, 2, 3, 4)
+
+
+# ----------------------------------------------------------------------
+# Memoized, descriptor-keyed slice-geometry helpers.
+#
+# Alg. 3 enumerates dozens of OA candidates per plan and the two-phase
+# planner scores them without keeping kernel objects alive, so the
+# O(slice) work — building the copy-out gather pattern and sampling its
+# bank conflicts per pad — lives here, keyed by the *normalized* slice
+# parameters.  Candidates with identical geometry (including the
+# coarsened rebuild of the winning candidate, and repeated plans for the
+# same problem) share one computation.
+# ----------------------------------------------------------------------
+
+
+@functools.lru_cache(maxsize=256)
+def _full_slice_sm_offsets(
+    dims: Tuple[int, ...],
+    out_order: Tuple[int, ...],
+    in_prefix: int,
+    blockA: int,
+    out_prefix: int,
+    blockB: int,
+) -> np.ndarray:
+    """``sm_out_offset`` of the full slice (Alg. 4's buffer gather).
+
+    Mirrors the ``sm_off`` component of
+    :meth:`OrthogonalArbitraryKernel.offset_arrays` for the full-slice
+    variant (``sizes={}``); equality is pinned by a unit test.
+    """
+    geom = normalize_oa_geometry(
+        dims, out_order, in_prefix, blockA, out_prefix, blockB
+    )
+    oo_extents = [(d, dims[d]) for d in geom.only_out_full]
+    if geom.b_dim is not None:
+        oo_extents.append((geom.b_dim, geom.blockB))
+    slice_dims = set(geom.in_group) | set(geom.only_out)
+    covered: List[Tuple[int, int]] = []
+    for d in out_order:
+        if d not in slice_dims:
+            continue
+        if d == geom.a_dim:
+            covered.append((d, geom.blockA))
+        elif d == geom.b_dim:
+            covered.append((d, geom.blockB))
+        else:
+            covered.append((d, dims[d]))
+    col_stride: Dict[int, int] = {}
+    s = 1
+    for d in range(geom.in_prefix):
+        col_stride[d] = s
+        s *= dims[d]
+    if geom.a_dim is not None:
+        col_stride[geom.a_dim] = s
+    row_stride: Dict[int, int] = {}
+    s = 1
+    for d, e in oo_extents:
+        row_stride[d] = s
+        s *= e
+    n = geom.A * geom.B
+    sm_off = np.zeros(n, dtype=np.int64)
+    rem = np.arange(n, dtype=np.int64)
+    for d, e in covered:
+        digit = rem % e
+        rem = rem // e
+        if d in col_stride:
+            sm_off += digit * col_stride[d]
+        else:
+            sm_off += digit * row_stride[d] * geom.A
+    return sm_off
+
+
+def _sampled_warp_rows(
+    sm_off: np.ndarray, ws: int, samples: int
+) -> np.ndarray:
+    """The warp-sized gather rows the conflict estimate samples."""
+    nwarps = len(sm_off) // ws
+    if nwarps == 0:
+        return np.empty((0, ws), dtype=np.int64)
+    step = max(1, nwarps // max(samples, 1))
+    warp_ids = np.asarray(
+        list(range(0, nwarps, step))[:samples], dtype=np.int64
+    )
+    idx = warp_ids[:, None] * ws + np.arange(ws, dtype=np.int64)[None, :]
+    return sm_off[idx]
+
+
+def _pad_degrees(
+    rows: np.ndarray,
+    a_size: int,
+    pads: Sequence[int],
+    elem_bytes: int,
+    spec: DeviceSpec,
+) -> List[float]:
+    """Mean bank-conflict degree of the sampled gather rows per pad.
+
+    One vectorized pass over the (pad x warp) batch instead of a
+    ``np.unique`` pair per warp per pad.
+    """
+    if not pads:
+        return []
+    if rows.size == 0:
+        return [1.0] * len(pads)
+    pad_arr = np.asarray(pads, dtype=np.int64)[:, None, None]
+    off = rows[None, :, :]
+    padded = (off // a_size) * (a_size + pad_arr) + off % a_size
+    words = padded * elem_bytes // spec.bank_bytes
+    n_pads, n_warps, lanes = words.shape
+    deg = conflict_degrees_rows(
+        words.reshape(n_pads * n_warps, lanes), spec.shared_mem_banks
+    ).reshape(n_pads, n_warps)
+    return [float(np.mean(deg[i])) for i in range(n_pads)]
+
+
+@functools.lru_cache(maxsize=1024)
+def pad_conflict_degree(
+    dims: Tuple[int, ...],
+    out_order: Tuple[int, ...],
+    in_prefix: int,
+    blockA: int,
+    out_prefix: int,
+    blockB: int,
+    pad: int,
+    elem_bytes: int,
+    spec: DeviceSpec,
+    samples: int = 8,
+) -> float:
+    """Average copy-out conflict degree for one explicit row pitch."""
+    geom = normalize_oa_geometry(
+        dims, out_order, in_prefix, blockA, out_prefix, blockB
+    )
+    sm_off = _full_slice_sm_offsets(
+        dims, out_order, in_prefix, blockA, out_prefix, blockB
+    )
+    rows = _sampled_warp_rows(sm_off, spec.warp_size, samples)
+    return _pad_degrees(rows, geom.A, [pad], elem_bytes, spec)[0]
+
+
+@functools.lru_cache(maxsize=1024)
+def auto_pad_and_degree(
+    dims: Tuple[int, ...],
+    out_order: Tuple[int, ...],
+    in_prefix: int,
+    blockA: int,
+    out_prefix: int,
+    blockB: int,
+    elem_bytes: int,
+    spec: DeviceSpec,
+    samples: int = 8,
+) -> Tuple[int, float]:
+    """TTLG's ``pad="auto"`` specialization: least-conflicting pad in
+    :data:`PAD_CANDIDATES` plus its degree, memoized per geometry.
+
+    Selection semantics match the historical per-pad loop exactly:
+    first pad achieving the minimum wins, the search stops early at a
+    conflict-free pad, and pads whose padded buffer exceeds shared
+    memory are never considered.
+    """
+    geom = normalize_oa_geometry(
+        dims, out_order, in_prefix, blockA, out_prefix, blockB
+    )
+    sm_off = _full_slice_sm_offsets(
+        dims, out_order, in_prefix, blockA, out_prefix, blockB
+    )
+    rows = _sampled_warp_rows(sm_off, spec.warp_size, samples)
+    pads: List[int] = []
+    for p in PAD_CANDIDATES:
+        if (geom.A + p) * geom.B * elem_bytes > spec.shared_mem_per_sm:
+            break
+        pads.append(p)
+    if not pads:
+        # Even the unpadded buffer exceeds shared memory; the kernel
+        # constructor rejects such slices, but report pad 0 faithfully.
+        return 0, _pad_degrees(rows, geom.A, [0], elem_bytes, spec)[0]
+    degrees = _pad_degrees(rows, geom.A, pads, elem_bytes, spec)
+    best_pad, best_degree = 0, float("inf")
+    for p, degree in zip(pads, degrees):
+        if degree < best_degree:
+            best_degree, best_pad = degree, p
+        if degree <= 1.0:
+            break
+    return best_pad, best_degree
+
+
+#: Memoized model features per kernel variant — candidates with the same
+#: normalized geometry (and pad/coarsening) across plans share one
+#: feature computation, the dominant per-candidate scoring cost.
+_FEATURE_CACHE: Dict[tuple, Dict[str, float]] = {}
+_FEATURE_CACHE_MAX = 4096
+
+
+def clear_geometry_caches() -> None:
+    """Drop the memoized slice-geometry helpers (cold-start benchmarks)."""
+    _full_slice_sm_offsets.cache_clear()
+    pad_conflict_degree.cache_clear()
+    auto_pad_and_degree.cache_clear()
+    _FEATURE_CACHE.clear()
 
 
 class OrthogonalArbitraryKernel(TransposeKernel):
@@ -81,40 +282,18 @@ class OrthogonalArbitraryKernel(TransposeKernel):
         super().__init__(layout, perm, elem_bytes, spec)
         rank, dims = layout.rank, layout.dims
         out_order = perm.mapping
-        # Normalize full-extent blocks into the prefixes.
-        while in_prefix < rank and blockA == dims[in_prefix]:
-            in_prefix, blockA = in_prefix + 1, 1
-        while out_prefix < rank and blockB == dims[out_order[out_prefix]]:
-            out_prefix, blockB = out_prefix + 1, 1
-        if in_prefix == 0 and blockA == 1:
-            raise SchemaError("input group is empty")
-        self.in_prefix, self.blockA = in_prefix, blockA
-        self.out_prefix, self.blockB = out_prefix, blockB
-        self.a_dim = in_prefix if (in_prefix < rank and blockA > 1) else None
-        self.b_dim = (
-            out_order[out_prefix] if (out_prefix < rank and blockB > 1) else None
+        geom = normalize_oa_geometry(
+            dims, out_order, in_prefix, blockA, out_prefix, blockB
         )
-        self.in_group = set(range(in_prefix)) | (
-            {self.a_dim} if self.a_dim is not None else set()
-        )
-        if self.b_dim is not None and self.b_dim in self.in_group:
-            # The output-side block falls on a dim the input group already
-            # covers (fully, or partially via blockA); the output run gets
-            # its extension from that coverage for free, so the block adds
-            # nothing to the slice.
-            self.b_dim, self.blockB = None, 1
+        self.geometry = geom
+        self.in_prefix, self.blockA = geom.in_prefix, geom.blockA
+        self.out_prefix, self.blockB = geom.out_prefix, geom.blockB
+        self.a_dim, self.b_dim = geom.a_dim, geom.b_dim
+        self.in_group = set(geom.in_group)
         # Output-group dims not in the input group, fastest-output first.
-        self.only_out: List[int] = [
-            d for d in out_order[:out_prefix] if d not in self.in_group
-        ]
-        self.only_out_full = list(self.only_out)
-        if self.b_dim is not None:
-            self.only_out.append(self.b_dim)
-
-        self.A = layout.prefix_volume(in_prefix) * blockA
-        self.B = math.prod(dims[d] for d in self.only_out_full) * blockB
-        if self.B < 1:
-            self.B = 1
+        self.only_out: List[int] = list(geom.only_out)
+        self.only_out_full = list(geom.only_out_full)
+        self.A, self.B = geom.A, geom.B
         smem_bytes = self.A * self.B * elem_bytes
         if smem_bytes > spec.shared_mem_per_sm:
             raise SchemaError(
@@ -122,18 +301,12 @@ class OrthogonalArbitraryKernel(TransposeKernel):
                 f"shared memory; SM has {spec.shared_mem_per_sm} B"
             )
 
-        covs: List[DimCoverage] = []
-        for d in range(rank):
-            if d in set(range(in_prefix)) or d in self.only_out_full:
-                covs.append(DimCoverage(d, Coverage.FULL))
-            elif d == self.a_dim:
-                covs.append(DimCoverage(d, Coverage.BLOCK, blockA))
-            elif d == self.b_dim:
-                covs.append(DimCoverage(d, Coverage.BLOCK, blockB))
-            else:
-                covs.append(DimCoverage(d, Coverage.OUTER))
-        self.coverage = SliceCoverage(layout, perm, covs)
+        self.coverage = SliceCoverage(layout, perm, oa_coverages(geom, rank))
         self._out_pos = {d: q for q, d in enumerate(out_order)}
+        self._offset_cache: Dict[Tuple[Tuple[int, int], ...], Tuple[
+            np.ndarray, np.ndarray, np.ndarray
+        ]] = {}
+        self._dram_tx: Optional[Tuple[int, int]] = None
 
         if pad == "auto":
             self.pad = self._choose_pad()
@@ -160,8 +333,27 @@ class OrthogonalArbitraryKernel(TransposeKernel):
                 )
             self.coarsen = (c_dim, c_factor)
 
-    def _choose_pad(self, candidates=(0, 1, 2, 3, 4)) -> int:
+    def _geometry_key(self) -> Tuple[Tuple[int, ...], Tuple[int, ...], int, int, int, int]:
+        return (
+            self.layout.dims,
+            self.perm.mapping,
+            self.in_prefix,
+            self.blockA,
+            self.out_prefix,
+            self.blockB,
+        )
+
+    def _choose_pad(self, candidates=PAD_CANDIDATES) -> int:
         """Least-conflicting row pitch for the copy-out gather."""
+        if tuple(candidates) == PAD_CANDIDATES:
+            pad, degree = auto_pad_and_degree(
+                *self._geometry_key(), self.elem_bytes, self.spec
+            )
+            # The degree under the chosen pad doubles as the smem-conflict
+            # feature; seed the per-instance cache so scoring never
+            # re-samples the gather.
+            self._smem_degree = degree
+            return pad
         best_pad, best_degree = 0, float("inf")
         for p in candidates:
             if (self.A + p) * self.B * self.elem_bytes > self.spec.shared_mem_per_sm:
@@ -248,8 +440,17 @@ class OrthogonalArbitraryKernel(TransposeKernel):
         slices).  All offsets are element units relative to the block's
         base addresses; ``sm_out_offset`` indexes the row-major
         ``B x A`` buffer.
+
+        Results are cached per variant: every block of one variant shares
+        the same three arrays, so :meth:`execute` and :meth:`trace` hit
+        the cache after the first block of each variant.  Callers must
+        treat the returned arrays as read-only.
         """
         sizes = sizes or {}
+        cache_key = tuple(sorted(sizes.items()))
+        hit = self._offset_cache.get(cache_key)
+        if hit is not None:
+            return hit
         dims, in_strides = self.layout.dims, self.layout.strides
         out_strides = self.out_layout.strides
         a_cov = sizes.get(self.a_dim, self.blockA) if self.a_dim is not None else 1
@@ -298,6 +499,7 @@ class OrthogonalArbitraryKernel(TransposeKernel):
                 sm_off += digit * col_stride[d]
             else:
                 sm_off += digit * row_stride[d] * a_size
+        self._offset_cache[cache_key] = (in_off, out_off, sm_off)
         return in_off, out_off, sm_off
 
     def tex_array_bytes(self) -> int:
@@ -305,30 +507,14 @@ class OrthogonalArbitraryKernel(TransposeKernel):
 
     # ------------------------------------------------------------------
     def _sm_off_sample(self) -> np.ndarray:
-        cached = getattr(self, "_sm_off", None)
-        if cached is None:
-            _, _, cached = self.offset_arrays()
-            self._sm_off = cached
-        return cached
+        return _full_slice_sm_offsets(*self._geometry_key())
 
     def _conflict_degree_for_pad(self, pad: int, samples: int = 8) -> float:
         """Average bank-conflict degree of the copy-out buffer gather for
         a given row pitch, sampled from the real ``sm_out_offset``."""
-        sm_off = self._sm_off_sample()
-        ws = self.spec.warp_size
-        n = len(sm_off)
-        if n == 0:
-            return 1.0
-        step = max(1, (n // ws) // max(samples, 1))
-        degrees = []
-        for w in range(0, n // ws, step):
-            off = sm_off[w * ws : (w + 1) * ws]
-            padded = (off // self.A) * (self.A + pad) + off % self.A
-            words = padded * self.elem_bytes // self.spec.bank_bytes
-            degrees.append(conflict_degree(words, self.spec.shared_mem_banks))
-            if len(degrees) >= samples:
-                break
-        return float(np.mean(degrees)) if degrees else 1.0
+        return pad_conflict_degree(
+            *self._geometry_key(), int(pad), self.elem_bytes, self.spec, samples
+        )
 
     def smem_read_conflict_degree(self, samples: int = 8) -> float:
         """Average bank-conflict degree of the copy-out buffer gather
@@ -351,33 +537,20 @@ class OrthogonalArbitraryKernel(TransposeKernel):
 
     def dram_tx_totals(self) -> Tuple[int, int]:
         """Whole-launch DRAM (load, store) transaction counts via the
-        effective-run decomposition (see the OD kernel's counterpart)."""
-        eb = self.elem_bytes
-        vol = self.volume
-        resident = self.spec.block_slots
-        in_runs = effective_runs(
-            range(self.layout.rank),
-            self.coverage.by_dim,
-            self.layout.dims,
-            vol,
-            resident,
-        )
-        out_runs = effective_runs(
-            self.perm.mapping,
-            self.coverage.by_dim,
-            self.layout.dims,
-            vol,
-            resident,
-        )
+        effective-run decomposition (see the OD kernel's counterpart).
 
-        def total(runs):
-            t = 0.0
-            for count, r in runs:
-                lat = math.gcd(self.spec.transaction_bytes, r * eb)
-                t += count * lattice_run_transactions(r, eb, lat)
-            return int(round(t))
-
-        return total(in_runs), total(out_runs)
+        Memoized: selection evaluates this for both the cycles feature
+        and the counters of the same candidate.
+        """
+        if self._dram_tx is None:
+            self._dram_tx = dram_transaction_totals(
+                self.layout,
+                self.perm,
+                self.coverage.by_dim,
+                self.elem_bytes,
+                self.spec,
+            )
+        return self._dram_tx
 
     def _variant_counters_uncached(self, sizes: Dict[int, int]) -> KernelCounters:
         c = KernelCounters()
@@ -473,20 +646,31 @@ class OrthogonalArbitraryKernel(TransposeKernel):
         return total / max(mlp, 0.05)
 
     def features(self) -> Dict[str, float]:
-        base = super().features()
-        base.update(
-            total_slice=float(self.A * self.B),
-            input_stride=float(self.A),
-            output_stride=float(self.output_run_length()),
-            special_instr=float(
-                sum(
-                    v.count * self._variant_counters(v.sizes).special_ops
-                    for v in self.coverage.variants()
-                )
-            ),
-            cycles=float(self.cycles()),
+        key = self._geometry_key() + (
+            self.pad,
+            self.elem_bytes,
+            self.spec,
+            self.coarsen,
         )
-        return base
+        hit = _FEATURE_CACHE.get(key)
+        if hit is None:
+            hit = super().features()
+            hit.update(
+                total_slice=float(self.A * self.B),
+                input_stride=float(self.A),
+                output_stride=float(self.output_run_length()),
+                special_instr=float(
+                    sum(
+                        v.count * self._variant_counters(v.sizes).special_ops
+                        for v in self.coverage.variants()
+                    )
+                ),
+                cycles=float(self.cycles()),
+            )
+            if len(_FEATURE_CACHE) >= _FEATURE_CACHE_MAX:
+                _FEATURE_CACHE.clear()
+            _FEATURE_CACHE[key] = hit
+        return dict(hit)
 
     # ------------------------------------------------------------------
     def execute(self, src: np.ndarray) -> np.ndarray:

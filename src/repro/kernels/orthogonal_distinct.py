@@ -31,19 +31,17 @@ import numpy as np
 from repro.core.layout import TensorLayout
 from repro.core.permutation import Permutation
 from repro.core.taxonomy import Schema
-from repro.errors import SchemaError
 from repro.gpusim.counters import KernelCounters, LaunchGeometry
 from repro.gpusim.engine import WarpAccess
 from repro.gpusim.sharedmem import column_access_degree
 from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
 from repro.kernels.base import TransposeKernel
 from repro.kernels.common import (
-    Coverage,
-    DimCoverage,
     SliceCoverage,
     ceil_div,
-    effective_runs,
-    lattice_run_transactions,
+    dram_transaction_totals,
+    normalize_od_geometry,
+    od_coverages,
     reference_transpose,
     weighted_slice_cycles,
 )
@@ -51,6 +49,16 @@ from repro.kernels.common import (
 #: Fixed tile side (warp size) and pad of the shared buffer (32 x 33).
 TILE = 32
 PAD = 1
+
+#: Memoized model features per kernel variant (see the OA kernel's
+#: cache; cleared via ``repro.core.plan.clear_plan_caches``).
+_FEATURE_CACHE: Dict[tuple, Dict[str, float]] = {}
+_FEATURE_CACHE_MAX = 4096
+
+
+def clear_feature_cache() -> None:
+    """Drop memoized OD feature vectors (cold-start benchmarks)."""
+    _FEATURE_CACHE.clear()
 
 
 class OrthogonalDistinctKernel(TransposeKernel):
@@ -73,62 +81,21 @@ class OrthogonalDistinctKernel(TransposeKernel):
     ):
         super().__init__(layout, perm, elem_bytes, spec)
         rank = layout.rank
-        dims = layout.dims
-        if not 0 <= in_prefix <= rank or not 0 <= out_prefix <= rank:
-            raise SchemaError("group prefix out of range")
-        # Normalize: a block factor equal to the extent means the dim is
-        # fully in the group.
-        while in_prefix < rank and blockA == dims[in_prefix]:
-            in_prefix, blockA = in_prefix + 1, 1
-        out_dims_order = perm.mapping
-        while out_prefix < rank and blockB == dims[out_dims_order[out_prefix]]:
-            out_prefix, blockB = out_prefix + 1, 1
-        self.in_prefix = in_prefix
-        self.out_prefix = out_prefix
-        self.blockA = blockA
-        self.blockB = blockB
-        self.a_dim = in_prefix if (in_prefix < rank and blockA > 1) else None
-        self.b_dim = (
-            out_dims_order[out_prefix]
-            if (out_prefix < rank and blockB > 1)
-            else None
+        geom = normalize_od_geometry(
+            layout.dims, perm.mapping, in_prefix, blockA, out_prefix, blockB
         )
-        if blockA > 1 and in_prefix >= rank:
-            raise SchemaError("blockA given but no dimension left to block")
-        if blockB > 1 and out_prefix >= rank:
-            raise SchemaError("blockB given but no dimension left to block")
-        if self.a_dim is not None and not 1 <= blockA <= dims[self.a_dim]:
-            raise SchemaError(f"blockA={blockA} out of range")
-        if self.b_dim is not None and not 1 <= blockB <= dims[self.b_dim]:
-            raise SchemaError(f"blockB={blockB} out of range")
+        self.geometry = geom
+        self.in_prefix, self.blockA = geom.in_prefix, geom.blockA
+        self.out_prefix, self.blockB = geom.out_prefix, geom.blockB
+        self.a_dim, self.b_dim = geom.a_dim, geom.b_dim
+        self.in_full, self.out_full = set(geom.in_full), set(geom.out_full)
+        self.A, self.B = geom.A, geom.B
 
-        in_full = set(range(in_prefix))
-        out_full = {out_dims_order[q] for q in range(out_prefix)}
-        in_group = in_full | ({self.a_dim} if self.a_dim is not None else set())
-        out_group = out_full | ({self.b_dim} if self.b_dim is not None else set())
-        if in_group & out_group:
-            raise SchemaError(
-                "Orthogonal-Distinct requires disjoint FVI groups; "
-                f"overlap: {sorted(in_group & out_group)}"
-            )
-        self.in_full, self.out_full = in_full, out_full
-        self.A = layout.prefix_volume(in_prefix) * blockA
-        self.B = math.prod(dims[d] for d in out_full) * blockB
-        if self.A <= 0 or self.B <= 0:
-            raise SchemaError("empty slice")
-
-        covs: List[DimCoverage] = []
-        for d in range(rank):
-            if d in in_full or d in out_full:
-                covs.append(DimCoverage(d, Coverage.FULL))
-            elif d == self.a_dim:
-                covs.append(DimCoverage(d, Coverage.BLOCK, blockA))
-            elif d == self.b_dim:
-                covs.append(DimCoverage(d, Coverage.BLOCK, blockB))
-            else:
-                covs.append(DimCoverage(d, Coverage.OUTER))
-        self.coverage = SliceCoverage(layout, perm, covs)
+        self.coverage = SliceCoverage(layout, perm, od_coverages(geom, rank))
         self._out_pos = {d: q for q, d in enumerate(perm.mapping)}
+        self._in_off_cache: Dict[int, np.ndarray] = {}
+        self._out_off_cache: Dict[int, np.ndarray] = {}
+        self._dram_tx: Optional[Tuple[int, int]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -141,8 +108,15 @@ class OrthogonalDistinctKernel(TransposeKernel):
 
     # -- offset arrays (Alg. 4 restricted to the disjoint case) ---------
     def in_offset_array(self, b_size: Optional[int] = None) -> np.ndarray:
-        """Input offset of each output-group row ``y`` (element units)."""
+        """Input offset of each output-group row ``y`` (element units).
+
+        Cached per covered size: partial variants reuse the array across
+        :meth:`execute` calls and per-block :meth:`trace` visits.
+        """
         b_size = self.B if b_size is None else b_size
+        hit = self._in_off_cache.get(b_size)
+        if hit is not None:
+            return hit
         dims, strides = self.layout.dims, self.layout.strides
         # Output-group dims in OUTPUT order, fastest first.
         order = [self.perm.mapping[q] for q in range(self.out_prefix)]
@@ -160,11 +134,18 @@ class OrthogonalDistinctKernel(TransposeKernel):
         for d, e in zip(order, extents):
             off += (rem % e) * strides[d]
             rem //= e
+        self._in_off_cache[b_size] = off
         return off
 
     def out_offset_array(self, a_size: Optional[int] = None) -> np.ndarray:
-        """Output offset of each input-group column ``x`` (element units)."""
+        """Output offset of each input-group column ``x`` (element units).
+
+        Cached per covered size, like :meth:`in_offset_array`.
+        """
         a_size = self.A if a_size is None else a_size
+        hit = self._out_off_cache.get(a_size)
+        if hit is not None:
+            return hit
         dims = self.layout.dims
         out_strides = self.out_layout.strides
         order = list(range(self.in_prefix))
@@ -182,6 +163,7 @@ class OrthogonalDistinctKernel(TransposeKernel):
         for d, e in zip(order, extents):
             off += (rem % e) * out_strides[self._out_pos[d]]
             rem //= e
+        self._out_off_cache[a_size] = off
         return off
 
     def tex_array_bytes(self) -> int:
@@ -194,34 +176,17 @@ class OrthogonalDistinctKernel(TransposeKernel):
         Traffic on each side decomposes into effective contiguous runs
         (:func:`repro.kernels.common.effective_runs`): slice rows chained
         through fully covered dims and temporally adjacent blocks, each
-        costing its covering 128 B lines once.
+        costing its covering 128 B lines once.  Memoized per instance.
         """
-        eb = self.elem_bytes
-        vol = self.volume
-        resident = self.spec.block_slots
-        in_runs = effective_runs(
-            range(self.layout.rank),
-            self.coverage.by_dim,
-            self.layout.dims,
-            vol,
-            resident,
-        )
-        out_runs = effective_runs(
-            self.perm.mapping,
-            self.coverage.by_dim,
-            self.layout.dims,
-            vol,
-            resident,
-        )
-
-        def total(runs):
-            t = 0.0
-            for count, r in runs:
-                lat = math.gcd(self.spec.transaction_bytes, r * eb)
-                t += count * lattice_run_transactions(r, eb, lat)
-            return int(round(t))
-
-        return total(in_runs), total(out_runs)
+        if self._dram_tx is None:
+            self._dram_tx = dram_transaction_totals(
+                self.layout,
+                self.perm,
+                self.coverage.by_dim,
+                self.elem_bytes,
+                self.spec,
+            )
+        return self._dram_tx
 
     def _variant_counters(self, a: int, b: int) -> KernelCounters:
         """Analytic counters for one slice of shape ``a x b``.
@@ -282,13 +247,28 @@ class OrthogonalDistinctKernel(TransposeKernel):
         return total
 
     def features(self) -> Dict[str, float]:
-        base = super().features()
-        base.update(
-            input_slice=float(self.A),
-            output_slice=float(self.B),
-            cycles=float(self.cycles()),
+        key = (
+            self.layout.dims,
+            self.perm.mapping,
+            self.in_prefix,
+            self.blockA,
+            self.out_prefix,
+            self.blockB,
+            self.elem_bytes,
+            self.spec,
         )
-        return base
+        hit = _FEATURE_CACHE.get(key)
+        if hit is None:
+            hit = super().features()
+            hit.update(
+                input_slice=float(self.A),
+                output_slice=float(self.B),
+                cycles=float(self.cycles()),
+            )
+            if len(_FEATURE_CACHE) >= _FEATURE_CACHE_MAX:
+                _FEATURE_CACHE.clear()
+            _FEATURE_CACHE[key] = hit
+        return dict(hit)
 
     # ------------------------------------------------------------------
     def execute(self, src: np.ndarray) -> np.ndarray:

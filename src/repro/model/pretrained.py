@@ -14,14 +14,16 @@ from __future__ import annotations
 
 import functools
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.core.taxonomy import Schema
 from repro.errors import ModelError
 from repro.gpusim.cost import CostModel
 from repro.gpusim.spec import DeviceSpec
 from repro.kernels.base import TransposeKernel
-from repro.model.features import feature_vector
+from repro.model.features import feature_matrix, feature_vector
 from repro.model.regression import FittedModel
 from repro.model.store import load_models
 
@@ -44,12 +46,13 @@ ANALYTIC_SCHEMAS = frozenset(
 )
 
 
-def model_predictor(
-    models: Dict[Schema, FittedModel],
-    fallback: Optional[CostModel] = None,
-    min_time: float = 1.0e-6,
-) -> Callable[[TransposeKernel], float]:
-    """Wrap per-schema fitted models as an Alg. 3 predictor.
+class SchemaPredictor:
+    """Per-schema fitted models wrapped as an Alg. 3 predictor.
+
+    Callable on one kernel (``predictor(kernel)``) and batchable over
+    many (:meth:`predict_batch`) — the batched path groups kernels by
+    schema and scores each group with a single matrix–vector product
+    (or one vectorized cost-model pass for analytic schemas).
 
     Linear models can extrapolate below zero on extreme inputs; predicted
     times are clamped to ``min_time``.  Schemas absent from ``models``
@@ -57,21 +60,70 @@ def model_predictor(
     cost model) when given, else raise.
     """
 
-    def predict(kernel: TransposeKernel) -> float:
-        m = models.get(kernel.schema)
-        if kernel.schema in ANALYTIC_SCHEMAS and fallback is not None:
-            m = None
-        if m is None:
-            if fallback is not None:
-                return fallback.kernel_time(
-                    kernel.counters(), kernel.launch_geometry
-                )
-            raise ModelError(
-                f"no fitted model for schema {kernel.schema.value}"
-            )
-        return max(m.predict_one(feature_vector(kernel)), min_time)
+    def __init__(
+        self,
+        models: Dict[Schema, FittedModel],
+        fallback: Optional[CostModel] = None,
+        min_time: float = 1.0e-6,
+    ) -> None:
+        self.models = dict(models)
+        self.fallback = fallback
+        self.min_time = min_time
 
-    return predict
+    def _model_for(self, schema: Schema) -> Optional[FittedModel]:
+        if schema in ANALYTIC_SCHEMAS and self.fallback is not None:
+            return None
+        m = self.models.get(schema)
+        if m is None and self.fallback is None:
+            raise ModelError(f"no fitted model for schema {schema.value}")
+        return m
+
+    def __call__(self, kernel: TransposeKernel) -> float:
+        m = self._model_for(kernel.schema)
+        if m is None:
+            assert self.fallback is not None
+            return self.fallback.kernel_time(
+                kernel.counters(), kernel.launch_geometry
+            )
+        return max(m.predict_one(feature_vector(kernel)), self.min_time)
+
+    def predict_batch(
+        self, kernels: Sequence[TransposeKernel]
+    ) -> np.ndarray:
+        """Times for many kernels, one schema group at a time."""
+        out = np.empty(len(kernels), dtype=np.float64)
+        by_schema: Dict[Schema, List[int]] = {}
+        for i, k in enumerate(kernels):
+            by_schema.setdefault(k.schema, []).append(i)
+        for schema, idxs in by_schema.items():
+            group = [kernels[i] for i in idxs]
+            m = self._model_for(schema)
+            if m is None:
+                assert self.fallback is not None
+                times = self.fallback.kernel_time_batch(
+                    [k.counters() for k in group],
+                    [k.launch_geometry for k in group],
+                )
+            else:
+                times = np.maximum(
+                    m.predict_batch(feature_matrix(group)), self.min_time
+                )
+            out[idxs] = times
+        return out
+
+
+def model_predictor(
+    models: Dict[Schema, FittedModel],
+    fallback: Optional[CostModel] = None,
+    min_time: float = 1.0e-6,
+) -> SchemaPredictor:
+    """Wrap per-schema fitted models as an Alg. 3 predictor.
+
+    Kept as the construction entry point; the returned
+    :class:`SchemaPredictor` is a plain callable with an extra
+    ``predict_batch`` method the two-phase planner exploits.
+    """
+    return SchemaPredictor(models, fallback=fallback, min_time=min_time)
 
 
 #: Device the shipped coefficients were fitted on.  The regression is
@@ -82,7 +134,7 @@ PRETRAINED_DEVICE_NAME = "Tesla K40c (simulated)"
 
 def pretrained_predictor(
     spec: Optional[DeviceSpec] = None,
-) -> Callable[[TransposeKernel], float]:
+) -> SchemaPredictor:
     """Predictor over the shipped models with an oracle fallback.
 
     The shipped coefficients are only valid for the device they were
@@ -95,17 +147,33 @@ def pretrained_predictor(
     return model_predictor(load_pretrained(), fallback=fallback)
 
 
+class OraclePredictor:
+    """Predictor that queries the simulator's cost model directly."""
+
+    def __init__(self, cost_model: CostModel) -> None:
+        self.cost_model = cost_model
+
+    def __call__(self, kernel: TransposeKernel) -> float:
+        return self.cost_model.kernel_time(
+            kernel.counters(), kernel.launch_geometry
+        )
+
+    def predict_batch(
+        self, kernels: Sequence[TransposeKernel]
+    ) -> np.ndarray:
+        return self.cost_model.kernel_time_batch(
+            [k.counters() for k in kernels],
+            [k.launch_geometry for k in kernels],
+        )
+
+
 def oracle_predictor(
     spec: Optional[DeviceSpec] = None,
-) -> Callable[[TransposeKernel], float]:
+) -> OraclePredictor:
     """Predictor that queries the simulator's cost model directly.
 
     Used for ablations (model-driven vs oracle selection) and as the
     bootstrap predictor before any model has been trained.
     """
     cm = CostModel(spec) if spec is not None else CostModel()
-
-    def predict(kernel: TransposeKernel) -> float:
-        return cm.kernel_time(kernel.counters(), kernel.launch_geometry)
-
-    return predict
+    return OraclePredictor(cm)

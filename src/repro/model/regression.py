@@ -78,6 +78,19 @@ class FittedModel:
     def predict_one(self, x: Sequence[float]) -> float:
         return float(self.predict(np.asarray(x, dtype=np.float64)[None, :])[0])
 
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        """Score ``N`` feature rows in one matrix–vector product.
+
+        Equivalent to ``N`` :meth:`predict_one` calls (same BLAS GEMV up
+        to summation order; differences sit at the last ulp) but
+        amortizes the per-call overhead — the planner's phase-2 batch
+        path.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ModelError(f"X must be 2-D, got shape {X.shape}")
+        return self.predict(X)
+
     def precision_error_pct(self, X: np.ndarray, y: np.ndarray) -> float:
         """The paper's precision metric:
         ``mean(|actual - predicted| / actual) * 100``."""

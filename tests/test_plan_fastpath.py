@@ -1,0 +1,293 @@
+"""Two-phase planner fast path: parity with eager search, batched
+prediction equivalence, pruning safety, and the planning caches."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.fusion import fuse_indices
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.core.plan import (
+    candidate_descriptors,
+    candidates_for,
+    clear_plan_caches,
+    make_plan,
+)
+from repro.core.slices import (
+    PRUNE_SAFETY,
+    candidate_lower_bound,
+    candidate_sort_key,
+    choose_best,
+    enumerate_orthogonal_arbitrary,
+    enumerate_orthogonal_arbitrary_descs,
+    enumerate_orthogonal_distinct,
+    enumerate_orthogonal_distinct_descs,
+    materialize_candidate,
+)
+from repro.core.taxonomy import select_schema
+from repro.errors import PlanError
+from repro.gpusim.cost import CostModel
+from repro.gpusim.sharedmem import conflict_degree, conflict_degrees_rows
+from repro.gpusim.spec import KEPLER_K40C
+from repro.kernels.orthogonal_arbitrary import OrthogonalArbitraryKernel
+from repro.model.pretrained import oracle_predictor, pretrained_predictor
+from repro.model.regression import FittedModel
+
+SPEC = KEPLER_K40C
+
+#: dims x perm grid covering all four schemas, floor-time ties, fusion,
+#: awkward extents, and the issue's 6D acceptance case.
+GRID = [
+    ([16, 8, 4, 8, 4, 16], [5, 4, 3, 2, 1, 0]),
+    ([27, 27, 27, 27, 27], [4, 1, 2, 0, 3]),
+    ([64, 16, 16, 16], [0, 3, 2, 1]),
+    ([8, 16, 16, 16], [0, 3, 2, 1]),
+    ([32, 32, 32], [2, 1, 0]),
+    ([128, 128], [1, 0]),
+    ([5, 7, 11, 13], [3, 0, 2, 1]),
+    ([15, 17, 9, 10], [2, 3, 1, 0]),
+    ([16, 16, 16], [2, 1, 0]),
+    ([15, 17, 9], [1, 0, 2]),
+    ([128, 4, 128], [2, 1, 0]),
+    ([4, 4, 4, 4, 4, 4, 4], [6, 5, 4, 3, 2, 1, 0]),
+]
+
+KERNEL_PARAMS = ("in_prefix", "blockA", "out_prefix", "blockB", "b", "pad", "coarsen")
+
+
+def kernel_signature(kernel):
+    return (type(kernel).__name__,) + tuple(
+        getattr(kernel, p, None) for p in KERNEL_PARAMS
+    )
+
+
+class TestFastSlowParity:
+    @pytest.mark.parametrize("dims,perm", GRID)
+    @pytest.mark.parametrize("predictor_factory", [pretrained_predictor, oracle_predictor])
+    def test_same_plan(self, dims, perm, predictor_factory):
+        predictor = predictor_factory(SPEC)
+        eager = make_plan(dims, perm, 8, SPEC, predictor, search="eager")
+        fast = make_plan(dims, perm, 8, SPEC, predictor, search="two_phase")
+        assert kernel_signature(fast.kernel) == kernel_signature(eager.kernel)
+        assert fast.num_candidates == eager.num_candidates
+        assert fast.predicted_time == eager.predicted_time
+        assert fast.coarsening == eager.coarsening
+        assert fast.plan_time == eager.plan_time
+
+    def test_unknown_search_rejected(self):
+        with pytest.raises(PlanError):
+            make_plan([8, 8], [1, 0], search="lazy")
+
+
+class TestDescriptorEnumeration:
+    @pytest.mark.parametrize("dims,perm", GRID)
+    def test_descs_mirror_kernels(self, dims, perm):
+        """Descriptor enumeration matches the eager kernel lists 1:1."""
+        layout, p = TensorLayout(dims), Permutation(perm)
+        oa_kernels = enumerate_orthogonal_arbitrary(layout, p, SPEC)
+        oa_descs = enumerate_orthogonal_arbitrary_descs(layout, p, SPEC)
+        assert len(oa_kernels) == len(oa_descs)
+        for k, d in zip(oa_kernels, oa_descs):
+            assert (k.in_prefix, k.blockA, k.out_prefix, k.blockB) == (
+                d.in_prefix, d.blockA, d.out_prefix, d.blockB,
+            )
+            assert (k.A, k.B) == (d.A, d.B)
+        od_kernels = enumerate_orthogonal_distinct(layout, p, SPEC)
+        od_descs = enumerate_orthogonal_distinct_descs(layout, p, SPEC)
+        assert len(od_kernels) == len(od_descs)
+        for k, d in zip(od_kernels, od_descs):
+            assert (k.in_prefix, k.blockA, k.out_prefix, k.blockB) == (
+                d.in_prefix, d.blockA, d.out_prefix, d.blockB,
+            )
+
+    def test_materialize_reproduces_kernel(self):
+        layout, p = TensorLayout([16, 8, 4, 8, 4, 16]), Permutation([5, 4, 3, 2, 1, 0])
+        kernels = enumerate_orthogonal_arbitrary(layout, p, SPEC)
+        descs = enumerate_orthogonal_arbitrary_descs(layout, p, SPEC)
+        for k, d in zip(kernels[:8], descs[:8]):
+            m = materialize_candidate(d, layout, p, SPEC, 8)
+            assert kernel_signature(m) == kernel_signature(k)
+
+
+class TestBatchedPrediction:
+    def test_fitted_model_batch_equals_one(self):
+        rng = np.random.default_rng(7)
+        model = FittedModel(
+            feature_names=[f"f{i}" for i in range(5)],
+            coef=rng.normal(size=5),
+            intercept=0.3,
+        )
+        X = rng.normal(size=(40, 5))
+        batch = model.predict_batch(X)
+        ones = np.array([model.predict_one(x) for x in X])
+        assert batch.shape == (40,)
+        np.testing.assert_allclose(batch, ones, rtol=1e-12, atol=0)
+
+    def test_fitted_model_batch_rejects_1d(self):
+        model = FittedModel(feature_names=["a"], coef=np.ones(1), intercept=0.0)
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError):
+            model.predict_batch(np.ones(3))
+
+    @pytest.mark.parametrize("factory", [pretrained_predictor, oracle_predictor])
+    def test_predictor_batch_equals_scalar(self, factory):
+        layout, p = TensorLayout([16, 8, 4, 8, 4, 16]), Permutation([5, 4, 3, 2, 1, 0])
+        kernels = enumerate_orthogonal_arbitrary(layout, p, SPEC)
+        predictor = factory(SPEC)
+        batch = predictor.predict_batch(kernels)
+        scalar = np.array([predictor(k) for k in kernels])
+        np.testing.assert_allclose(batch, scalar, rtol=1e-9, atol=0)
+
+    def test_predictor_batch_mixed_schemas(self):
+        """Grouped scoring keeps each time at its kernel's position."""
+        fused = fuse_indices(TensorLayout([8, 16, 16, 16]), Permutation([0, 3, 2, 1]))
+        decision = select_schema(fused.layout, fused.perm)
+        kernels = candidates_for(fused.layout, fused.perm, decision, SPEC, 8)
+        assert len({k.schema for k in kernels}) > 1
+        predictor = pretrained_predictor(SPEC)
+        batch = predictor.predict_batch(kernels)
+        scalar = np.array([predictor(k) for k in kernels])
+        np.testing.assert_allclose(batch, scalar, rtol=1e-9, atol=0)
+
+    def test_cost_model_batch_bit_identical(self):
+        layout, p = TensorLayout([27] * 5), Permutation([4, 1, 2, 0, 3])
+        kernels = enumerate_orthogonal_distinct(layout, p, SPEC)[:20]
+        cm = CostModel(SPEC)
+        batch = cm.kernel_time_batch(
+            [k.counters() for k in kernels],
+            [k.launch_geometry for k in kernels],
+        )
+        for i, k in enumerate(kernels):
+            assert batch[i] == cm.kernel_time(k.counters(), k.launch_geometry)
+
+    def test_cost_model_batch_empty_and_mismatch(self):
+        cm = CostModel(SPEC)
+        assert cm.kernel_time_batch([], []).shape == (0,)
+        k = enumerate_orthogonal_arbitrary(
+            TensorLayout([32, 32]), Permutation([1, 0]), SPEC
+        )[0]
+        with pytest.raises(ValueError):
+            cm.kernel_time_batch([k.counters()], [])
+
+
+class TestPruningBound:
+    @pytest.mark.parametrize("dims,perm", GRID[:6])
+    def test_lower_bound_holds_for_oracle(self, dims, perm):
+        """The DRAM floor never exceeds the cost model's prediction."""
+        fused = fuse_indices(TensorLayout(dims), Permutation(perm))
+        decision = select_schema(fused.layout, fused.perm)
+        descs = candidate_descriptors(fused.layout, fused.perm, decision, SPEC, 8)
+        predictor = oracle_predictor(SPEC)
+        for d in descs:
+            lb = candidate_lower_bound(d, fused.layout, fused.perm, SPEC, 8)
+            kernel = materialize_candidate(d, fused.layout, fused.perm, SPEC, 8)
+            assert lb <= predictor(kernel) * (1 + 1e-12)
+
+    @pytest.mark.parametrize("dims,perm", GRID)
+    def test_winner_never_pruned(self, dims, perm):
+        """The eager winner's bound always clears the pruning threshold."""
+        predictor = pretrained_predictor(SPEC)
+        fused = fuse_indices(TensorLayout(dims), Permutation(perm))
+        decision = select_schema(fused.layout, fused.perm)
+        descs = candidate_descriptors(fused.layout, fused.perm, decision, SPEC, 8)
+        kernels = candidates_for(fused.layout, fused.perm, decision, SPEC, 8)
+        winner = choose_best(kernels, predictor)
+        bounds = {
+            d: candidate_lower_bound(d, fused.layout, fused.perm, SPEC, 8)
+            for d in descs
+        }
+        # Threshold as built by choose_best_two_phase: the smallest-bound
+        # candidate's predicted time times the safety margin.
+        first = min(descs, key=lambda d: bounds[d])
+        incumbent = materialize_candidate(first, fused.layout, fused.perm, SPEC, 8)
+        threshold = predictor(incumbent) * PRUNE_SAFETY
+        winner_desc = next(
+            d
+            for d in descs
+            if candidate_sort_key(winner.kernel)[1:] == (*d.param_key, 0)[:5]
+            and d.schema is winner.kernel.schema
+        )
+        assert bounds[winner_desc] <= threshold
+
+
+class TestTieBreak:
+    def test_choose_best_deterministic_under_shuffling(self):
+        layout, p = TensorLayout([16, 16, 16]), Permutation([2, 1, 0])
+        fused = fuse_indices(layout, p)
+        decision = select_schema(fused.layout, fused.perm)
+        kernels = candidates_for(fused.layout, fused.perm, decision, SPEC, 8)
+        predictor = oracle_predictor(SPEC)
+        rank = {s: i for i, s in enumerate(decision.all_candidates)}
+        baseline = choose_best(kernels, predictor, schema_rank=rank)
+        rng = random.Random(42)
+        for _ in range(5):
+            shuffled = list(kernels)
+            rng.shuffle(shuffled)
+            res = choose_best(shuffled, predictor, schema_rank=rank)
+            assert kernel_signature(res.kernel) == kernel_signature(baseline.kernel)
+            assert res.predicted_time == baseline.predicted_time
+
+    def test_constant_predictor_picks_smallest_key(self):
+        layout, p = TensorLayout([32, 32, 32]), Permutation([2, 1, 0])
+        kernels = enumerate_orthogonal_arbitrary(layout, p, SPEC)
+        res = choose_best(kernels, lambda k: 1.0)
+        assert candidate_sort_key(res.kernel) == min(
+            candidate_sort_key(k) for k in kernels
+        )
+
+    def test_picks_strictly_better_time_over_key(self):
+        layout, p = TensorLayout([32, 32, 32]), Permutation([2, 1, 0])
+        kernels = enumerate_orthogonal_arbitrary(layout, p, SPEC)
+        target = max(kernels, key=candidate_sort_key)
+        res = choose_best(kernels, lambda k: 0.5 if k is target else 1.0)
+        assert res.kernel is target
+
+
+class TestPlanningCaches:
+    def test_offset_arrays_cached_per_variant(self):
+        kernel = OrthogonalArbitraryKernel(
+            TensorLayout([16, 8, 4, 8, 4, 16]),
+            Permutation([5, 4, 3, 2, 1, 0]),
+            in_prefix=3,
+            blockA=4,
+            out_prefix=0,
+            blockB=1,
+            spec=SPEC,
+        )
+        first = kernel.offset_arrays()
+        second = kernel.offset_arrays()
+        assert all(a is b for a, b in zip(first, second))
+        partial = {kernel.a_dim: 1} if kernel.a_dim is not None else {}
+        if partial:
+            assert kernel.offset_arrays(partial)[0] is kernel.offset_arrays(partial)[0]
+
+    def test_full_slice_sm_offsets_match_offset_arrays(self):
+        kernel = OrthogonalArbitraryKernel(
+            TensorLayout([27, 27, 27]),
+            Permutation([2, 0, 1]),
+            in_prefix=1,
+            blockA=2,
+            out_prefix=1,
+            blockB=1,
+            spec=SPEC,
+        )
+        np.testing.assert_array_equal(
+            kernel._sm_off_sample(), kernel.offset_arrays()[2]
+        )
+
+    def test_conflict_degrees_rows_match_reference(self):
+        rng = np.random.default_rng(3)
+        rows = rng.integers(0, 500, size=(17, 32))
+        vectorized = conflict_degrees_rows(rows)
+        reference = np.array([conflict_degree(r) for r in rows])
+        np.testing.assert_array_equal(vectorized, reference)
+
+    def test_clear_plan_caches_preserves_selection(self):
+        before = make_plan([16, 8, 4, 8, 4, 16], [5, 4, 3, 2, 1, 0])
+        clear_plan_caches()
+        after = make_plan([16, 8, 4, 8, 4, 16], [5, 4, 3, 2, 1, 0])
+        assert kernel_signature(before.kernel) == kernel_signature(after.kernel)
+        assert before.predicted_time == after.predicted_time
