@@ -34,6 +34,7 @@ from repro.core.permutation import Permutation
 from repro.core.plan import TransposePlan, make_plan
 from repro.core.taxonomy import Schema
 from repro.gpusim.spec import KEPLER_K40C, PASCAL_P100, DeviceSpec
+from repro.kernels.executor import clear_exec_caches, exec_cache_stats
 
 __version__ = "1.0.0"
 
@@ -79,5 +80,7 @@ __all__ = [
     "PASCAL_P100",
     "axes_to_perm",
     "perm_to_axes",
+    "clear_exec_caches",
+    "exec_cache_stats",
     "__version__",
 ]

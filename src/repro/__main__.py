@@ -16,9 +16,11 @@ predict DIMS PERM [--dtype f32|f64]
 device [k40c|p100]
     Print the simulated device configuration (Table III analogue).
 
-serve [--requests N] [--clients C] [--streams S] [--state-dir DIR]
+serve [--requests N] [--clients C] [--streams S] [--payload]
+      [--state-dir DIR]
     Run a workload through the concurrent transpose-serving runtime
-    (persistent plan store + metrics); see docs/runtime.md.
+    (persistent plan store + metrics); ``--payload`` moves real data
+    through the compiled executors.  See docs/runtime.md.
 
 stats [--state-dir DIR] [--json]
     Print the metrics snapshot written by the last ``serve`` session.
@@ -186,6 +188,20 @@ def cmd_serve(args) -> int:
     )
     errors = []
 
+    payloads = {}
+    if args.payload:
+        import math
+
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        dtype = np.float32 if elem_bytes == 4 else np.float64
+        for dims, _ in problems:
+            if dims not in payloads:
+                payloads[dims] = rng.standard_normal(math.prod(dims)).astype(
+                    dtype
+                )
+
     def client() -> None:
         while True:
             try:
@@ -193,7 +209,7 @@ def cmd_serve(args) -> int:
             except queue.Empty:
                 return
             try:
-                service.execute(dims, perm, elem_bytes)
+                service.execute(dims, perm, elem_bytes, payloads.get(dims))
             except Exception as exc:  # surface, don't hang the pool
                 errors.append(exc)
 
@@ -234,6 +250,13 @@ def cmd_serve(args) -> int:
     )
     sim = sum(stats["scheduler"]["sim_clock_s"])
     print(f"simulated GPU time: {sim * 1e3:.3f} ms across streams")
+    if args.payload:
+        ex = stats["executor"]
+        print(
+            f"executor programs: {ex['entries']} compiled, "
+            f"{ex['hits']} hits / {ex['misses']} misses "
+            f"({ex['hit_rate'] * 100:.1f}% warm)"
+        )
     print(
         f"state: {state_dir} "
         f"(plans.json: {stats['store']['entries']} entries, metrics.json)"
@@ -284,6 +307,15 @@ def cmd_stats(args) -> int:
         f"({cache['hit_rate'] * 100:.1f}%), "
         f"{cache['store_hits']} store hits"
     )
+    executor = payload.get("executor")
+    if executor:
+        print(
+            f"executor: {executor['entries']}/{executor['maxsize']} programs "
+            f"({executor['bytes'] / 1024:.0f} KiB of index maps), "
+            f"{executor['hits']} hits / {executor['misses']} misses "
+            f"({executor['hit_rate'] * 100:.1f}%), "
+            f"{executor['evictions']} evicted"
+        )
     sched = payload["scheduler"]
     clocks = " ".join(f"{c * 1e3:.3f}" for c in sched["sim_clock_s"])
     print(
@@ -368,6 +400,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="concurrent client threads (default 4)")
     p.add_argument("--streams", type=int, default=4,
                    help="simulated execution streams (default 4)")
+    p.add_argument("--payload", action="store_true",
+                   help="move real data (exercises the compiled executors)")
     p.add_argument(
         "--dtype",
         type=_dtype,

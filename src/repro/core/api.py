@@ -118,10 +118,17 @@ class Transposer:
     def schema(self) -> Schema:
         return self.plan.schema
 
-    def __call__(self, src_flat: np.ndarray) -> np.ndarray:
-        """Execute on linearized data (paper convention)."""
+    def __call__(
+        self, src_flat: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Execute on linearized data (paper convention).
+
+        With ``out`` (C-contiguous, same size and dtype) the result is
+        written in place — the steady-state repeated-use call does no
+        allocation at all.
+        """
         self.calls += 1
-        return self.plan.execute(src_flat)
+        return self.plan.execute(src_flat, out=out)
 
     def simulated_time(self) -> float:
         return self.plan.simulated_time(self._cost_model)
@@ -217,11 +224,14 @@ def transpose(
     axes: Sequence[int],
     spec: DeviceSpec = KEPLER_K40C,
     predictor: Optional[Predictor] = None,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """``np.transpose(array, axes)`` through a TTLG plan.
 
     The array must be C-contiguous (or convertible); the result is a new
-    contiguous array, element-identical to NumPy's transposition.
+    contiguous array, element-identical to NumPy's transposition.  With
+    ``out`` (C-contiguous, the transposed shape, same dtype) the result
+    is written in place and ``out`` is returned.
     """
     a = np.ascontiguousarray(array)
     if a.ndim != len(axes):
@@ -231,6 +241,12 @@ def transpose(
     dims = a.shape[::-1]  # our dim 0 is the fastest (NumPy's last axis)
     perm = axes_to_perm(axes)
     plan = _plan_for(dims, perm, _elem_bytes_of(a.dtype), spec, predictor)
-    out_flat = plan.execute(a.reshape(-1))
     out_shape = tuple(a.shape[ax] for ax in axes)
-    return out_flat.reshape(out_shape)
+    if out is not None:
+        if out.shape != out_shape:
+            raise InvalidLayoutError(
+                f"out has shape {out.shape}, expected {out_shape}"
+            )
+        plan.execute(a.reshape(-1), out=out)
+        return out
+    return plan.execute(a.reshape(-1)).reshape(out_shape)

@@ -1,0 +1,125 @@
+"""A small thread-safe bounded LRU mapping.
+
+The planning and execution layers keep several process-wide memoization
+caches (geometry features, DRAM-transaction totals, candidate lower
+bounds, compiled executor programs).  Historically these were plain
+dicts that were wholesale ``clear()``-ed when full — correct, but a
+pathological workload cycling through slightly more keys than the cap
+would rebuild *everything* each lap.  :class:`BoundedLRU` replaces that
+with per-entry least-recently-used eviction, optionally bounded by an
+approximate byte budget as well (for caches whose values own large
+arrays, like executor index maps).
+
+The class is deliberately not a full ``MutableMapping``: the cache call
+sites only ever need ``get``/``put``/``clear``/``len``/containment, and
+keeping the surface small keeps the locking story obvious.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from threading import Lock
+from typing import Any, Callable, Hashable, Optional
+
+
+class BoundedLRU:
+    """LRU-evicting key/value cache with entry-count and byte budgets.
+
+    ``maxsize`` bounds the number of entries; ``max_bytes`` (optional)
+    additionally bounds ``sum(sizeof(value))`` using the ``sizeof``
+    callable (default: everything costs 0 bytes, i.e. no byte bound).
+    Reads and writes are O(1) and thread-safe; ``hits``/``misses``
+    counters make cache effectiveness observable (the runtime metrics
+    snapshot them).
+    """
+
+    def __init__(
+        self,
+        maxsize: int,
+        max_bytes: Optional[int] = None,
+        sizeof: Optional[Callable[[Any], int]] = None,
+    ):
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.maxsize = maxsize
+        self.max_bytes = max_bytes
+        self._sizeof = sizeof if sizeof is not None else (lambda _: 0)
+        self._lock = Lock()
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        size = self._sizeof(value)
+        with self._lock:
+            old = self._data.pop(key, None)
+            if old is not None:
+                self._bytes -= self._sizeof(old)
+            self._data[key] = value
+            self._bytes += size
+            while len(self._data) > self.maxsize or (
+                self.max_bytes is not None
+                and self._bytes > self.max_bytes
+                and len(self._data) > 1
+            ):
+                _, evicted = self._data.popitem(last=False)
+                self._bytes -= self._sizeof(evicted)
+                self.evictions += 1
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate bytes held, per the ``sizeof`` accounting."""
+        with self._lock:
+            return self._bytes
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; see :meth:`reset_stats`)."""
+        with self._lock:
+            self._data.clear()
+            self._bytes = 0
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    def stats(self) -> dict:
+        """JSON-friendly snapshot of occupancy and effectiveness."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._data),
+                "maxsize": self.maxsize,
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / total if total else 0.0,
+            }

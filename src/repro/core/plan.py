@@ -59,9 +59,22 @@ class TransposePlan:
     def schema(self) -> Schema:
         return self.kernel.schema
 
-    def execute(self, src_flat: np.ndarray) -> np.ndarray:
-        """Move linearized data (fused and unfused linearizations agree)."""
-        return self.kernel.execute(src_flat)
+    def execute(
+        self, src_flat: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Move linearized data (fused and unfused linearizations agree).
+
+        Runs through the kernel's compiled executor program (built once
+        per problem, cached process-wide — see ``docs/executor.md``).
+        With ``out`` the result is written in place, skipping the
+        per-call allocation.
+        """
+        return self.kernel.execute(src_flat, out=out)
+
+    def executor(self):
+        """The plan's compiled :class:`~repro.kernels.executor
+        .ExecutorProgram` (compiling and caching on first use)."""
+        return self.kernel.executor()
 
     def simulated_time(self, cost_model: Optional[CostModel] = None) -> float:
         """Simulated kernel execution time (repeated-use metric)."""

@@ -26,6 +26,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.layout import TensorLayout
+from repro.core.lru import BoundedLRU
 from repro.core.permutation import Permutation
 from repro.core.taxonomy import Schema
 from repro.errors import PlanError, SchemaError
@@ -496,8 +497,7 @@ def materialize_candidate(
 #: Memoized lower bounds: the slice parameters plus problem identity
 #: pin the normalized geometry, so repeat plans of the same problem skip
 #: the coverage and transaction analysis entirely.
-_LB_CACHE: dict = {}
-_LB_CACHE_MAX = 8192
+_LB_CACHE: BoundedLRU = BoundedLRU(maxsize=8192)
 
 
 def clear_lower_bound_cache() -> None:
@@ -547,9 +547,7 @@ def candidate_lower_bound(
         # FVI kernels read and write fully coalesced in the ideal case.
         bytes_moved = 2 * layout.volume * elem_bytes
     bound = bytes_moved / spec.effective_bandwidth
-    if len(_LB_CACHE) >= _LB_CACHE_MAX:
-        _LB_CACHE.clear()
-    _LB_CACHE[key] = bound
+    _LB_CACHE.put(key, bound)
     return bound
 
 

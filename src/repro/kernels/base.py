@@ -4,7 +4,11 @@ Every kernel binds a (fused) transposition problem to one data-movement
 schema with concrete parameters, and provides three views of itself:
 
 - :meth:`execute` — functional data movement with NumPy, element-exact
-  against the reference transposition (used by the public API and tests);
+  against the reference transposition (used by the public API and tests).
+  Execution runs through a compiled :class:`~repro.kernels.executor
+  .ExecutorProgram` built once per problem and cached process-wide, so
+  warm calls do zero per-call index construction (see
+  ``docs/executor.md``);
 - :meth:`counters` — fast analytic activity counts (Table I of the paper
   with partial-tile corrections), consumed by the cost model;
 - :meth:`trace` — optional per-warp access trace for the detailed engine
@@ -67,13 +71,72 @@ class TransposeKernel(abc.ABC):
     def counters(self) -> KernelCounters:
         """Analytic activity counters for the full launch."""
 
-    @abc.abstractmethod
-    def execute(self, src: np.ndarray) -> np.ndarray:
+    def execute(
+        self, src: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Move data: 1-D linearized input -> 1-D linearized output.
 
-        ``src`` must have ``self.volume`` elements; the result is a new
-        array in the output layout's linearization.
+        ``src`` must have ``self.volume`` elements; the result is an
+        array in the output layout's linearization.  With ``out`` (a
+        C-contiguous array of the same size and dtype) the result is
+        written in place and returned, skipping the per-call allocation.
+
+        Execution runs through the kernel's compiled
+        :class:`~repro.kernels.executor.ExecutorProgram` (built once,
+        cached process-wide), so warm calls perform no per-call index
+        construction.
         """
+        from repro.kernels.executor import executor_for
+
+        src = self.check_input(src)
+        program = executor_for(self)
+        if out is None:
+            return program.run(src)
+        return program.run(src, out=self.check_output(out, src.dtype))
+
+    def executor(self):
+        """The kernel's cached compiled executor program."""
+        from repro.kernels.executor import executor_for
+
+        return executor_for(self)
+
+    def execute_key(self) -> tuple:
+        """Content key identifying this kernel's data movement.
+
+        Two kernel instances with equal keys move data identically, so
+        they share one cached :class:`~repro.kernels.executor
+        .ExecutorProgram`.  Subclasses with slice parameters extend the
+        base tuple.
+        """
+        return (
+            type(self).__name__,
+            self.layout.dims,
+            self.perm.mapping,
+            self.elem_bytes,
+        )
+
+    def supports_view_lowering(self) -> bool:
+        """Whether the movement lowers to a pure reshape/transpose view
+        chain (no index arrays).
+
+        True by default — element-for-element, every transposition *is*
+        the view chain; kernels whose per-block movement should instead
+        be mirrored through explicit index maps (the orthogonal schemas
+        with partial-tile variants) override this.
+        """
+        return True
+
+    def lowering_regions(self):
+        """Rectangular output-space boxes covering the tensor, or ``None``.
+
+        When the movement does not lower to a single view chain, kernels
+        with a slice coverage expose the interior/tail box per uneven
+        blocked extent (see :meth:`~repro.kernels.common.SliceCoverage
+        .lowering_regions`); the executor then compiles one strided copy
+        per box instead of materializing index maps.
+        """
+        coverage = getattr(self, "coverage", None)
+        return None if coverage is None else coverage.lowering_regions()
 
     def trace(self, max_blocks: Optional[int] = None) -> Iterator[WarpAccess]:
         """Per-warp access trace (detailed engine input).
@@ -114,6 +177,25 @@ class TransposeKernel(abc.ABC):
                 f"input has {arr.size} elements, layout volume is {self.volume}"
             )
         return arr
+
+    def check_output(self, out: np.ndarray, dtype) -> np.ndarray:
+        """Validate and flatten a caller-provided output array.
+
+        The array must be C-contiguous (a reshape of a non-contiguous
+        array would silently copy, losing the in-place write), match the
+        layout volume, and match the input dtype.
+        """
+        if not isinstance(out, np.ndarray) or not out.flags["C_CONTIGUOUS"]:
+            raise SchemaError("out must be a C-contiguous ndarray")
+        if out.size != self.volume:
+            raise SchemaError(
+                f"out has {out.size} elements, layout volume is {self.volume}"
+            )
+        if out.dtype != dtype:
+            raise SchemaError(
+                f"out dtype {out.dtype} does not match input dtype {dtype}"
+            )
+        return out.reshape(-1)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,0 +1,522 @@
+"""Compiled executors: per-plan programs that make ``execute()`` fast.
+
+The kernels' functional NumPy execution historically rebuilt the full
+``(blocks x b x a)`` int64 gather/scatter index tensors on **every**
+call, so repeated-use throughput — the paper's Fig. 12 scenario, and
+what :mod:`repro.runtime` serves — was dominated by index arithmetic
+rather than data movement.  cuTT and HPTT both stress that tensor
+transposition is bandwidth-bound and per-call index computation must be
+hoisted; this module is that hoist for the NumPy layer.
+
+Each kernel lowers once into an :class:`ExecutorProgram`:
+
+- :class:`ViewProgram` — the movement is a pure
+  ``reshape``/``transpose``/``ascontiguousarray`` view chain with **no
+  index arrays at all**.  Always valid for the FVI-Match (and naive)
+  kernels, whose per-block movement is run-contiguous by construction;
+  chosen for the orthogonal kernels when the geometry has no
+  partial-tile variants (every blocked extent divides evenly), so the
+  per-block slices tile the tensor exactly.
+- :class:`RegionProgram` — partial-tile geometry splits each uneven
+  blocked extent into its full-block interior and its remainder tail,
+  so the ``2**u`` slice variants cover ``2**u`` **rectangular boxes**
+  of the tensor.  Each box transposes as one strided view assignment;
+  the program is that fixed region list.  Still zero index arrays, so
+  it is the default lowering when a view chain alone is not enough.
+- :class:`IndexedProgram` — the per-variant relative index maps (with,
+  for Orthogonal-Arbitrary, the ``sm_off`` buffer permutation folded
+  into the output scatter) are composed with the block bases into one
+  frozen volume-sized permutation map; a warm call is a single fused
+  gather or scatter (orientation picked by map size; see
+  :data:`SCATTER_MIN_BYTES`) with zero per-call index construction.
+- :class:`ChunkedProgram` — for huge tensors the volume-sized
+  ``src_of_dst`` map would exceed the index-memory budget; instead the
+  program freezes the (small) per-variant relative maps plus grouped
+  block bases and materializes absolute indices chunk-of-blocks at a
+  time, bounding transient index memory at the cost of some per-call
+  broadcast adds.
+
+All of them are bit-exact against :func:`repro.kernels.common
+.reference_transpose` — and against each other — by construction; the
+parity grid in ``tests/test_executor.py`` pins this.
+
+Programs are cached process-wide in a memory-bounded LRU
+(:data:`EXEC_CACHE_MAX_BYTES`); :func:`clear_exec_caches` restores
+cold-start conditions for benchmarks.  Programs also expose
+:meth:`~ExecutorProgram.partition` / :meth:`~ExecutorProgram.run_part`
+so the runtime's :class:`~repro.runtime.scheduler.StreamScheduler` can
+execute disjoint ranges of one program across its worker pool.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.lru import BoundedLRU
+from repro.kernels.common import block_gather_indices, ceil_div
+
+#: Byte budget of the process-wide compiled-program cache.  ``src_of_dst``
+#: maps cost 8 bytes per tensor element, so the default admits ~8M-element
+#: programs 32 at a time — far beyond the benchmark working sets while
+#: still bounding a long-lived server.
+EXEC_CACHE_MAX_BYTES = 256 * 1024 * 1024
+
+#: Entry-count bound of the program cache.
+EXEC_CACHE_MAX_PROGRAMS = 512
+
+#: Default transient/frozen index-map budget per program.  A kernel whose
+#: fused ``src_of_dst`` map would exceed this compiles to a
+#: :class:`ChunkedProgram` instead of an :class:`IndexedProgram`.
+DEFAULT_MAX_INDEX_BYTES = 64 * 1024 * 1024
+
+
+class ExecutorProgram(abc.ABC):
+    """A frozen, reusable data-movement program for one kernel.
+
+    Programs hold no reference to the kernel that compiled them — only
+    frozen arrays and shapes — so caching them outlives kernel objects.
+    """
+
+    #: ``"view"`` | ``"region"`` | ``"indexed"`` | ``"chunked"`` —
+    #: which lowering won.
+    kind: str
+
+    def __init__(self, volume: int):
+        self.volume = volume
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def run(self, src: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Move ``src`` (flat, ``volume`` elements) into the output
+        linearization.  With ``out`` (flat, same size and dtype) the
+        result is written in place and no allocation happens."""
+
+    @property
+    @abc.abstractmethod
+    def nbytes(self) -> int:
+        """Bytes of frozen index state (the cache's eviction weight)."""
+
+    # ------------------------------------------------------------------
+    def partition(self, parts: int) -> List[Tuple[int, ...]]:
+        """Split the program into up to ``parts`` disjoint tasks.
+
+        Each task is an opaque tuple accepted by :meth:`run_part`; tasks
+        jointly cover the output exactly once, so running them all (in
+        any order, concurrently on a shared ``out``) equals :meth:`run`.
+        """
+        return [(0, self.volume)]
+
+    def run_part(
+        self, src: np.ndarray, out: np.ndarray, task: Tuple[int, ...]
+    ) -> None:
+        """Execute one :meth:`partition` task into ``out``."""
+        if task != (0, self.volume):
+            raise ValueError(f"unknown task {task!r}")
+        self.run(src, out=out)
+
+
+class ViewProgram(ExecutorProgram):
+    """Pure ``reshape``/``transpose``/``ascontiguousarray`` chain.
+
+    ``in_shape`` is the NumPy shape of the input (fastest dim last) and
+    ``axes`` the NumPy transpose axes; the output linearization is the
+    contiguous copy of the transposed view.  Zero index arrays.
+    """
+
+    kind = "view"
+
+    def __init__(self, in_shape: Tuple[int, ...], axes: Tuple[int, ...]):
+        super().__init__(int(np.prod(in_shape, dtype=np.int64)))
+        self.in_shape = in_shape
+        self.axes = axes
+        self.out_shape = tuple(in_shape[a] for a in axes)
+
+    def _moved(self, src: np.ndarray) -> np.ndarray:
+        return np.transpose(src.reshape(self.in_shape), self.axes)
+
+    def run(self, src: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        moved = self._moved(src)
+        if out is None:
+            return np.ascontiguousarray(moved).reshape(-1)
+        out.reshape(self.out_shape)[...] = moved
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        return 0
+
+    # -- partitioning: ranges of the slowest output axis ----------------
+    def partition(self, parts: int) -> List[Tuple[int, ...]]:
+        rows = self.out_shape[0]
+        parts = max(1, min(parts, rows))
+        bounds = np.linspace(0, rows, parts + 1, dtype=np.int64)
+        return [
+            (int(lo), int(hi))
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+
+    def run_part(
+        self, src: np.ndarray, out: np.ndarray, task: Tuple[int, ...]
+    ) -> None:
+        lo, hi = task
+        out.reshape(self.out_shape)[lo:hi] = self._moved(src)[lo:hi]
+
+
+class RegionProgram(ViewProgram):
+    """A fixed list of rectangular strided region copies.
+
+    ``regions`` are ``((lo, hi), ...)`` bounds per **output** NumPy
+    axis; the boxes tile the output exactly (one box per populated
+    slice variant: each uneven blocked extent contributes an interior
+    and a tail range).  A warm run assigns each box of the transposed
+    input view into the same box of the output — strided NumPy copies
+    with no index arrays, like :class:`ViewProgram` but valid for
+    partial-tile geometry too.
+    """
+
+    kind = "region"
+
+    def __init__(
+        self,
+        in_shape: Tuple[int, ...],
+        axes: Tuple[int, ...],
+        regions: Sequence[Tuple[Tuple[int, int], ...]],
+    ):
+        super().__init__(in_shape, axes)
+        self.regions: Tuple[Tuple[Tuple[int, int], ...], ...] = tuple(
+            tuple((int(lo), int(hi)) for lo, hi in region)
+            for region in regions
+        )
+        for region in self.regions:
+            if len(region) != len(self.out_shape):
+                raise ValueError(
+                    "region rank does not match the output rank"
+                )
+
+    def run(self, src: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        dst = out if out is not None else np.empty(self.volume, dtype=src.dtype)
+        out_nd = dst.reshape(self.out_shape)
+        moved = self._moved(src)
+        for region in self.regions:
+            sel = tuple(slice(lo, hi) for lo, hi in region)
+            out_nd[sel] = moved[sel]
+        return dst
+
+    # -- partitioning: ranges of the slowest output axis, each task
+    # running every region clipped to its row range -----------------------
+    def run_part(
+        self, src: np.ndarray, out: np.ndarray, task: Tuple[int, ...]
+    ) -> None:
+        lo, hi = task
+        out_nd = out.reshape(self.out_shape)
+        moved = self._moved(src)
+        for region in self.regions:
+            (rlo, rhi) = region[0]
+            top, bot = max(rlo, lo), min(rhi, hi)
+            if top >= bot:
+                continue
+            sel = (slice(top, bot),) + tuple(
+                slice(a, b) for a, b in region[1:]
+            )
+            out_nd[sel] = moved[sel]
+
+
+#: Maps at least this large run the **scatter** orientation (sequential
+#: input reads, scattered output writes); below it, **gather**
+#: (scattered reads, sequential writes).  The map and one data side
+#: stream sequentially either way; once the working set falls out of
+#: cache, scattered reads stall the pipeline harder than scattered
+#: writes (which buffer), so big maps scatter and cache-resident maps
+#: keep the cheaper gather.
+SCATTER_MIN_BYTES = 1 << 20
+
+
+class IndexedProgram(ExecutorProgram):
+    """One frozen permutation map; a warm run is a single fused move.
+
+    The per-variant gather/scatter offsets, block bases, and (for OA)
+    the shared-memory ``sm_off`` permutation are all folded at compile
+    time into one volume-sized permutation, stored in one of two
+    orientations (chosen by :data:`SCATTER_MIN_BYTES`):
+
+    - ``gather``: ``index_map[j]`` is the source of output position
+      ``j`` — ``dst[j] = src[index_map[j]]``;
+    - ``scatter``: ``index_map[i]`` is the destination of input
+      position ``i`` — ``dst[index_map[i]] = src[i]``.
+    """
+
+    kind = "indexed"
+
+    def __init__(self, src_of_dst: np.ndarray, orientation: Optional[str] = None):
+        super().__init__(len(src_of_dst))
+        if orientation is None:
+            orientation = (
+                "scatter"
+                if src_of_dst.nbytes >= SCATTER_MIN_BYTES
+                else "gather"
+            )
+        if orientation not in ("gather", "scatter"):
+            raise ValueError(f"unknown orientation {orientation!r}")
+        self.orientation = orientation
+        if orientation == "scatter":
+            inv = np.empty_like(src_of_dst)
+            inv[src_of_dst] = np.arange(len(src_of_dst), dtype=np.int64)
+            self.index_map = inv
+        else:
+            self.index_map = src_of_dst
+        self.index_map.flags.writeable = False
+
+    def run(self, src: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        if self.orientation == "gather":
+            if out is None:
+                return src[self.index_map]
+            np.take(src, self.index_map, out=out)
+            return out
+        dst = out if out is not None else np.empty(self.volume, dtype=src.dtype)
+        np.put(dst, self.index_map, src)
+        return dst
+
+    @property
+    def nbytes(self) -> int:
+        return self.index_map.nbytes
+
+    # -- partitioning: contiguous element ranges (of the output in
+    # gather orientation, of the input in scatter orientation — either
+    # way the tasks cover the output exactly once) ----------------------
+    def partition(self, parts: int) -> List[Tuple[int, ...]]:
+        parts = max(1, min(parts, self.volume))
+        bounds = np.linspace(0, self.volume, parts + 1, dtype=np.int64)
+        return [
+            (int(lo), int(hi))
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+
+    def run_part(
+        self, src: np.ndarray, out: np.ndarray, task: Tuple[int, ...]
+    ) -> None:
+        lo, hi = task
+        if self.orientation == "gather":
+            np.take(src, self.index_map[lo:hi], out=out[lo:hi])
+        else:
+            out[self.index_map[lo:hi]] = src[lo:hi]
+
+
+class ChunkedProgram(ExecutorProgram):
+    """Per-variant relative maps + grouped block bases, applied in
+    bounded chunks of blocks.
+
+    The frozen state is tiny (one ``slice``-sized relative map pair per
+    variant plus the block bases); absolute indices are materialized
+    ``chunk_blocks`` thread blocks at a time, so transient index memory
+    never exceeds roughly ``2 * chunk_blocks * slice * 8`` bytes however
+    large the tensor is.
+    """
+
+    kind = "chunked"
+
+    def __init__(
+        self,
+        volume: int,
+        variants: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]],
+        max_index_bytes: int = DEFAULT_MAX_INDEX_BYTES,
+    ):
+        super().__init__(volume)
+        #: per variant: (in_bases, out_bases, src_rel, dst_rel)
+        self.variants = list(variants)
+        for ib, ob, src_rel, dst_rel in self.variants:
+            for arr in (ib, ob, src_rel, dst_rel):
+                arr.flags.writeable = False
+        self.max_index_bytes = max_index_bytes
+
+    def _chunk_blocks(self, slice_vol: int) -> int:
+        per_block = 2 * max(slice_vol, 1) * 8  # src + dst int64 maps
+        return max(1, self.max_index_bytes // per_block)
+
+    def run(self, src: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        dst = out if out is not None else np.empty(self.volume, dtype=src.dtype)
+        for vid in range(len(self.variants)):
+            for task in self._variant_tasks(vid):
+                self.run_part(src, dst, task)
+        return dst
+
+    @property
+    def nbytes(self) -> int:
+        return sum(
+            ib.nbytes + ob.nbytes + sr.nbytes + dr.nbytes
+            for ib, ob, sr, dr in self.variants
+        )
+
+    # -- partitioning: per-variant block ranges ---------------------------
+    def _variant_tasks(
+        self, vid: int, parts: int = 1
+    ) -> List[Tuple[int, int, int]]:
+        ib, _, src_rel, _ = self.variants[vid]
+        n = len(ib)
+        if n == 0:
+            return []
+        chunk = self._chunk_blocks(len(src_rel))
+        step = min(chunk, max(1, ceil_div(n, parts)))
+        return [(vid, lo, min(lo + step, n)) for lo in range(0, n, step)]
+
+    def partition(self, parts: int) -> List[Tuple[int, ...]]:
+        tasks: List[Tuple[int, ...]] = []
+        for vid in range(len(self.variants)):
+            tasks.extend(self._variant_tasks(vid, parts))
+        return tasks
+
+    def run_part(
+        self, src: np.ndarray, out: np.ndarray, task: Tuple[int, ...]
+    ) -> None:
+        vid, lo, hi = task
+        ib, ob, src_rel, dst_rel = self.variants[vid]
+        gather = block_gather_indices(ib[lo:hi], src_rel)
+        scatter = block_gather_indices(ob[lo:hi], dst_rel)
+        out[scatter] = src[gather]
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+
+
+def _variant_tables(kernel):
+    """``(in_bases, out_bases, src_rel, dst_rel)`` per populated variant.
+
+    Built from the kernel's :meth:`variant_rel_maps` (the Alg. 4 offset
+    arrays composed into flat relative maps) and the coverage's block
+    enumeration — the same machinery the per-call path uses, computed
+    once here.
+    """
+    in_base, out_base, variant = kernel.coverage.block_bases()
+    tables = []
+    for vid, sizes in enumerate(kernel.coverage.variants_order()):
+        sel = np.nonzero(variant == vid)[0]
+        if sel.size == 0:
+            continue
+        src_rel, dst_rel = kernel.variant_rel_maps(sizes)
+        tables.append(
+            (
+                np.ascontiguousarray(in_base[sel]),
+                np.ascontiguousarray(out_base[sel]),
+                np.ascontiguousarray(src_rel.reshape(-1)),
+                np.ascontiguousarray(dst_rel.reshape(-1)),
+            )
+        )
+    return tables
+
+
+def _fused_src_of_dst(volume: int, tables) -> np.ndarray:
+    """Fold every variant's block maps into one permutation map."""
+    src_of_dst = np.empty(volume, dtype=np.int64)
+    for ib, ob, src_rel, dst_rel in tables:
+        scatter = block_gather_indices(ob, dst_rel)
+        gather = block_gather_indices(ib, src_rel)
+        src_of_dst[scatter.reshape(-1)] = gather.reshape(-1)
+    return src_of_dst
+
+
+def compile_executor(
+    kernel,
+    *,
+    lowering: bool = True,
+    max_index_bytes: int = DEFAULT_MAX_INDEX_BYTES,
+) -> ExecutorProgram:
+    """Lower one kernel to its best executor program.
+
+    Selection, in order:
+
+    1. **View chain** — when ``lowering`` is allowed and the kernel
+       reports :meth:`~repro.kernels.base.TransposeKernel
+       .supports_view_lowering` (FVI-Match and naive kernels always;
+       orthogonal kernels when no partial-tile variants exist).
+    2. **Region list** — when ``lowering`` is allowed and the kernel
+       exposes its partial-tile box decomposition via
+       :meth:`~repro.kernels.base.TransposeKernel.lowering_regions`
+       (the orthogonal kernels always do): one strided copy per slice
+       variant, still zero index arrays.
+    3. **Fused index map** — when the kernel provides per-variant
+       relative maps and the volume-sized ``src_of_dst`` fits the
+       index-memory budget.  ``lowering=False`` forces this route (or
+       4.), which the tests use as the materialized oracle against the
+       view/region chains.
+    4. **Chunked** — same relative maps, bounded materialization.
+
+    Kernels with none of these cannot be compiled (none exist in-tree;
+    every schema provides at least one lowering).
+    """
+    can_view = kernel.supports_view_lowering()
+    has_maps = getattr(kernel, "variant_rel_maps", None) is not None
+    if can_view and (lowering or not has_maps):
+        return ViewProgram(
+            kernel.layout.as_numpy_shape(), kernel.perm.numpy_axes()
+        )
+    if lowering or not has_maps:
+        regions = kernel.lowering_regions()
+        if regions is not None:
+            return RegionProgram(
+                kernel.layout.as_numpy_shape(),
+                kernel.perm.numpy_axes(),
+                regions,
+            )
+    if not has_maps:
+        raise TypeError(
+            f"{type(kernel).__name__} provides neither a view lowering "
+            "nor per-variant index maps"
+        )
+    tables = _variant_tables(kernel)
+    if kernel.volume * 8 <= max_index_bytes:
+        return IndexedProgram(_fused_src_of_dst(kernel.volume, tables))
+    return ChunkedProgram(kernel.volume, tables, max_index_bytes)
+
+
+# ----------------------------------------------------------------------
+# Process-wide program cache
+# ----------------------------------------------------------------------
+
+_PROGRAM_CACHE = BoundedLRU(
+    maxsize=EXEC_CACHE_MAX_PROGRAMS,
+    max_bytes=EXEC_CACHE_MAX_BYTES,
+    sizeof=lambda program: program.nbytes,
+)
+
+
+def executor_with_status(
+    kernel, *, max_index_bytes: int = DEFAULT_MAX_INDEX_BYTES
+) -> Tuple[ExecutorProgram, bool]:
+    """The kernel's cached program plus whether this call was a hit.
+
+    The cache key is the kernel's :meth:`~repro.kernels.base
+    .TransposeKernel.execute_key` — problem content, not object
+    identity — so every kernel instance of one plan (and every rebuilt
+    plan of one problem) shares a single compiled program.
+    """
+    key = kernel.execute_key() + (max_index_bytes,)
+    program = _PROGRAM_CACHE.get(key)
+    if program is not None:
+        return program, True
+    program = compile_executor(kernel, max_index_bytes=max_index_bytes)
+    _PROGRAM_CACHE.put(key, program)
+    return program, False
+
+
+def executor_for(
+    kernel, *, max_index_bytes: int = DEFAULT_MAX_INDEX_BYTES
+) -> ExecutorProgram:
+    """The kernel's cached compiled program (compiling on first use)."""
+    return executor_with_status(kernel, max_index_bytes=max_index_bytes)[0]
+
+
+def exec_cache_stats() -> dict:
+    """Occupancy/effectiveness snapshot of the program cache."""
+    return _PROGRAM_CACHE.stats()
+
+
+def clear_exec_caches() -> None:
+    """Drop every compiled program (cold-start benchmark conditions)."""
+    _PROGRAM_CACHE.clear()
+    _PROGRAM_CACHE.reset_stats()

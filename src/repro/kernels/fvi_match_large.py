@@ -26,7 +26,7 @@ from repro.gpusim.counters import KernelCounters, LaunchGeometry
 from repro.gpusim.engine import WarpAccess
 from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
 from repro.kernels.base import TransposeKernel
-from repro.kernels.common import ceil_div, reference_transpose
+from repro.kernels.common import ceil_div
 
 
 class FviMatchLargeKernel(TransposeKernel):
@@ -127,12 +127,6 @@ class FviMatchLargeKernel(TransposeKernel):
                 continue
             off += coords[:, d - 1] * out_strides[q]
         return off
-
-    def execute(self, src: np.ndarray) -> np.ndarray:
-        src = self.check_input(src)
-        # The data movement is exactly "permute the outer dims, keep the
-        # contiguous FVI runs" — a reshape/transpose expresses it directly.
-        return reference_transpose(src, self.layout, self.perm)
 
     # ------------------------------------------------------------------
     def counters(self) -> KernelCounters:

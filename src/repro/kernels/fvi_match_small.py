@@ -39,7 +39,6 @@ from repro.kernels.common import (
     ceil_div,
     effective_runs,
     lattice_run_transactions,
-    reference_transpose,
 )
 
 
@@ -184,12 +183,6 @@ class FviMatchSmallKernel(TransposeKernel):
         return base
 
     # ------------------------------------------------------------------
-    def execute(self, src: np.ndarray) -> np.ndarray:
-        src = self.check_input(src)
-        # Run-contiguous staging through the buffer is value-equivalent to
-        # the reshape/transpose; per-warp fidelity is exercised by trace().
-        return reference_transpose(src, self.layout, self.perm)
-
     # ------------------------------------------------------------------
     def trace(self, max_blocks: Optional[int] = None) -> Iterator[WarpAccess]:
         eb, ws = self.elem_bytes, self.spec.warp_size

@@ -21,7 +21,7 @@ from repro.gpusim.counters import KernelCounters, LaunchGeometry
 from repro.gpusim.engine import WarpAccess
 from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
 from repro.kernels.base import TransposeKernel
-from repro.kernels.common import ceil_div, reference_transpose
+from repro.kernels.common import ceil_div
 
 
 class NaiveKernel(TransposeKernel):
@@ -94,10 +94,6 @@ class NaiveKernel(TransposeKernel):
         c.special_ops = 2 * self.layout.rank * vol // ws
         c.alu_ops = 2 * self.layout.rank * vol
         return c
-
-    def execute(self, src: np.ndarray) -> np.ndarray:
-        src = self.check_input(src)
-        return reference_transpose(src, self.layout, self.perm)
 
     def trace(self, max_blocks: Optional[int] = None) -> Iterator[WarpAccess]:
         eb, ws = self.elem_bytes, self.spec.warp_size

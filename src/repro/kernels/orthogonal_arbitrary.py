@@ -35,14 +35,17 @@ from repro.gpusim.counters import KernelCounters, LaunchGeometry
 from repro.gpusim.engine import WarpAccess
 from repro.gpusim.sharedmem import conflict_degrees_rows
 from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
+from repro.core.lru import BoundedLRU
 from repro.kernels.base import TransposeKernel
 from repro.kernels.common import (
     Coverage,
     SliceCoverage,
+    block_gather_indices,
     ceil_div,
     dram_transaction_totals,
     normalize_oa_geometry,
     oa_coverages,
+    slice_gather_rel,
 )
 
 #: Row pitches Sec. IV's pad specialization searches over.
@@ -234,8 +237,9 @@ def auto_pad_and_degree(
 #: Memoized model features per kernel variant — candidates with the same
 #: normalized geometry (and pad/coarsening) across plans share one
 #: feature computation, the dominant per-candidate scoring cost.
-_FEATURE_CACHE: Dict[tuple, Dict[str, float]] = {}
-_FEATURE_CACHE_MAX = 4096
+#: LRU-bounded: overflow evicts the coldest geometry instead of
+#: dropping the whole cache.
+_FEATURE_CACHE: BoundedLRU = BoundedLRU(maxsize=4096)
 
 
 def clear_geometry_caches() -> None:
@@ -667,18 +671,59 @@ class OrthogonalArbitraryKernel(TransposeKernel):
                 ),
                 cycles=float(self.cycles()),
             )
-            if len(_FEATURE_CACHE) >= _FEATURE_CACHE_MAX:
-                _FEATURE_CACHE.clear()
-            _FEATURE_CACHE[key] = hit
+            _FEATURE_CACHE.put(key, hit)
         return dict(hit)
 
     # ------------------------------------------------------------------
-    def execute(self, src: np.ndarray) -> np.ndarray:
+    def execute_key(self) -> tuple:
+        return super().execute_key() + (
+            self.in_prefix,
+            self.blockA,
+            self.out_prefix,
+            self.blockB,
+        )
+
+    def supports_view_lowering(self) -> bool:
+        """Lower to a view chain only when the slices tile exactly.
+
+        With no partial-tile variants every block's slice is full, so
+        the composed per-block movement is literally the global
+        reshape/transpose; the offset arrays are then affine in the
+        block coordinates and carry no information a view chain lacks.
+        Partial variants keep the cached-index program, which mirrors
+        the kernel's real variant-by-variant movement.
+        """
+        return len(self.coverage.variants_order()) == 1
+
+    def variant_rel_maps(self, sizes: Dict[int, int]) -> Tuple[np.ndarray, np.ndarray]:
+        """Relative (source, destination) flat index maps of one variant.
+
+        In output-linear order ``t``: the element written at
+        ``out_base + out_off[t]`` is read from
+        ``in_base + in_off[sm_off[t] // a] + sm_off[t] % a`` — the
+        buffer gather (Alg. 4's ``sm_out_offset``) folded into the
+        output scatter, so executors need no shared-memory indirection
+        at run time.
+        """
+        in_off, out_off, sm_off = self.offset_arrays(sizes)
+        a_cov = sizes.get(self.a_dim, self.blockA) if self.a_dim is not None else 1
+        a = self.layout.prefix_volume(self.in_prefix) * a_cov
+        src_rel = slice_gather_rel(in_off, a).reshape(-1)[sm_off]
+        return src_rel, out_off
+
+    def execute_per_call(self, src: np.ndarray) -> np.ndarray:
+        """The pre-compiled-executor path: rebuild the full gather and
+        scatter index tensors on every call.
+
+        Kept as the movement-construction reference (the compiled
+        executors must match it bit-for-bit; see ``tests/test_executor
+        .py``) and as the baseline ``benchmarks/bench_exec_throughput
+        .py`` measures the compiled path against.
+        """
         src = self.check_input(src)
         dst = np.empty(self.volume, dtype=src.dtype)
         in_base, out_base, variant = self.coverage.block_bases()
         vorder = self.coverage.variants_order()
-        dims = self.layout.dims
         for vid, sizes in enumerate(vorder):
             sel = np.nonzero(variant == vid)[0]
             if sel.size == 0:
@@ -686,13 +731,11 @@ class OrthogonalArbitraryKernel(TransposeKernel):
             in_off, out_off, sm_off = self.offset_arrays(sizes)
             a_cov = sizes.get(self.a_dim, self.blockA) if self.a_dim is not None else 1
             a = self.layout.prefix_volume(self.in_prefix) * a_cov
-            b = len(in_off)
-            ib, ob = in_base[sel], out_base[sel]
-            gather = ib[:, None, None] + in_off[None, :, None] + np.arange(
-                a, dtype=np.int64
-            )[None, None, :]
-            buf = src[gather].reshape(sel.size, a * b)  # row-major B x A
-            dst[ob[:, None] + out_off[None, :]] = buf[:, sm_off]
+            gather = block_gather_indices(
+                in_base[sel], slice_gather_rel(in_off, a)
+            )
+            buf = src[gather]  # row-major B x A slices, one row per block
+            dst[block_gather_indices(out_base[sel], out_off)] = buf[:, sm_off]
         return dst
 
     # ------------------------------------------------------------------

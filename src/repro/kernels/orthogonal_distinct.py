@@ -35,14 +35,16 @@ from repro.gpusim.counters import KernelCounters, LaunchGeometry
 from repro.gpusim.engine import WarpAccess
 from repro.gpusim.sharedmem import column_access_degree
 from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
+from repro.core.lru import BoundedLRU
 from repro.kernels.base import TransposeKernel
 from repro.kernels.common import (
     SliceCoverage,
+    block_gather_indices,
     ceil_div,
     dram_transaction_totals,
     normalize_od_geometry,
     od_coverages,
-    reference_transpose,
+    slice_gather_rel,
     weighted_slice_cycles,
 )
 
@@ -52,8 +54,7 @@ PAD = 1
 
 #: Memoized model features per kernel variant (see the OA kernel's
 #: cache; cleared via ``repro.core.plan.clear_plan_caches``).
-_FEATURE_CACHE: Dict[tuple, Dict[str, float]] = {}
-_FEATURE_CACHE_MAX = 4096
+_FEATURE_CACHE: BoundedLRU = BoundedLRU(maxsize=4096)
 
 
 def clear_feature_cache() -> None:
@@ -265,41 +266,72 @@ class OrthogonalDistinctKernel(TransposeKernel):
                 output_slice=float(self.B),
                 cycles=float(self.cycles()),
             )
-            if len(_FEATURE_CACHE) >= _FEATURE_CACHE_MAX:
-                _FEATURE_CACHE.clear()
-            _FEATURE_CACHE[key] = hit
+            _FEATURE_CACHE.put(key, hit)
         return dict(hit)
 
     # ------------------------------------------------------------------
-    def execute(self, src: np.ndarray) -> np.ndarray:
-        """Vectorized per-block movement through the offset arrays."""
+    def execute_key(self) -> tuple:
+        return super().execute_key() + (
+            self.in_prefix,
+            self.blockA,
+            self.out_prefix,
+            self.blockB,
+        )
+
+    def supports_view_lowering(self) -> bool:
+        """Lower to a view chain only when the slices tile exactly
+        (no partial-tile variants); see the OA kernel's rationale."""
+        return len(self.coverage.variants_order()) == 1
+
+    def _variant_slice_shape(self, sizes: Dict[int, int]) -> Tuple[int, int]:
+        """``(a, b)`` slice extents of one variant."""
+        base_in = self.layout.prefix_volume(self.in_prefix)
+        base_out = math.prod(self.layout.dims[d] for d in self.out_full)
+        a = base_in * (sizes.get(self.a_dim, 1) if self.a_dim is not None else 1)
+        b = base_out * (sizes.get(self.b_dim, 1) if self.b_dim is not None else 1)
+        return a, b
+
+    def variant_rel_maps(self, sizes: Dict[int, int]) -> Tuple[np.ndarray, np.ndarray]:
+        """Relative (source, destination) flat index maps of one variant.
+
+        In output-linear order ``t = x * b + y``: the element written at
+        ``out_base + out_off[x] + y`` is read from
+        ``in_base + in_off[y] + x`` — the two offset-array phases of
+        Alg. 2 composed through the tile buffer.
+        """
+        a, b = self._variant_slice_shape(sizes)
+        in_off = self.in_offset_array(b)
+        out_off = self.out_offset_array(a)
+        dst_rel = slice_gather_rel(out_off, b).reshape(-1)
+        src_rel = np.ascontiguousarray(slice_gather_rel(in_off, a).T).reshape(-1)
+        return src_rel, dst_rel
+
+    def execute_per_call(self, src: np.ndarray) -> np.ndarray:
+        """The pre-compiled-executor path: rebuild the gather and scatter
+        index tensors on every call (movement-construction reference and
+        benchmark baseline; see the OA kernel's ``execute_per_call``)."""
         src = self.check_input(src)
         dst = np.empty(self.volume, dtype=src.dtype)
         in_base, out_base, variant = self.coverage.block_bases()
         vorder = self.coverage.variants_order()
-        base_in = self.layout.prefix_volume(self.in_prefix)
-        base_out = math.prod(self.layout.dims[d] for d in self.out_full)
         for vid, sizes in enumerate(vorder):
             sel = np.nonzero(variant == vid)[0]
             if sel.size == 0:
                 continue
-            a = base_in * (sizes.get(self.a_dim, 1) if self.a_dim is not None else 1)
-            b = base_out * (sizes.get(self.b_dim, 1) if self.b_dim is not None else 1)
+            a, b = self._variant_slice_shape(sizes)
             in_off = self.in_offset_array(b)
             out_off = self.out_offset_array(a)
-            ib = in_base[sel]
-            ob = out_base[sel]
             # Gather the slice as [block, y(B), x(A)] -- the copy-in phase
             # (rows along the input-contiguous axis through the tile
             # buffer), then scatter columns -- the copy-out phase.
-            gather_idx = ib[:, None, None] + in_off[None, :, None] + np.arange(
-                a, dtype=np.int64
-            )[None, None, :]
-            buf = src[gather_idx]
-            scatter_idx = ob[:, None, None] + out_off[None, :, None] + np.arange(
-                b, dtype=np.int64
-            )[None, None, :]
-            dst[scatter_idx] = buf.transpose(0, 2, 1)
+            gather = block_gather_indices(
+                in_base[sel], slice_gather_rel(in_off, a)
+            )
+            buf = src[gather].reshape(sel.size, b, a)
+            scatter = block_gather_indices(
+                out_base[sel], slice_gather_rel(out_off, b)
+            )
+            dst[scatter.reshape(sel.size, a, b)] = buf.transpose(0, 2, 1)
         return dst
 
     # ------------------------------------------------------------------

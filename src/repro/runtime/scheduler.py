@@ -10,7 +10,13 @@ least-loaded by construction; the registry's ``queue_depth`` gauge and
 
 Per-schema simulated and wall (host) execution times are recorded into
 the metrics registry, giving the ``sim_s.<schema>`` / ``wall_s.<schema>``
-histograms documented in ``docs/runtime.md``.
+histograms documented in ``docs/runtime.md``.  Executions run through
+the compiled-executor layer (``docs/executor.md``): program-cache hits
+and misses are counted (``exec_cache_hits`` / ``exec_cache_misses``)
+and the wall time of warm vs cold calls is recorded separately
+(``exec_warm_s`` / ``exec_cold_s`` histograms).  One large execution
+can also be split across the whole pool with
+:meth:`StreamScheduler.submit_partitioned`.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ import numpy as np
 from repro.core.plan import TransposePlan
 from repro.gpusim.cost import CostModel
 from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
+from repro.kernels.executor import executor_with_status
 from repro.runtime.metrics import MetricsRegistry
 
 _SHUTDOWN = object()
@@ -47,6 +54,43 @@ class ExecutionReport:
     queued_s: float
     #: Transposed flat data, when the job carried a payload.
     output: Optional[np.ndarray]
+
+
+class _PartitionedJob:
+    """Shared state of one execution split into program tasks.
+
+    Workers run disjoint :meth:`~repro.kernels.executor.ExecutorProgram
+    .partition` tasks against one shared output buffer; the last task to
+    retire resolves the future.
+    """
+
+    def __init__(
+        self,
+        plan: TransposePlan,
+        program,
+        src: np.ndarray,
+        out: np.ndarray,
+        fut: "Future[ExecutionReport]",
+        enqueued: float,
+        total: int,
+    ):
+        self.plan = plan
+        self.program = program
+        self.src = src
+        self.out = out
+        self.fut = fut
+        self.enqueued = enqueued
+        self.lock = Lock()
+        self.remaining = total
+        self.started: Optional[float] = None
+        self.failed = False
+        self.cancelled = False
+
+
+@dataclass(frozen=True)
+class _PartTask:
+    job: _PartitionedJob
+    task: tuple
 
 
 class StreamScheduler:
@@ -93,6 +137,86 @@ class StreamScheduler:
         self.metrics.max_gauge("queue_depth_peak", depth)
         return fut
 
+    def submit_partitioned(
+        self,
+        plan: TransposePlan,
+        payload: np.ndarray,
+        parts: Optional[int] = None,
+    ) -> "Future[ExecutionReport]":
+        """Execute ONE transposition split across the worker pool.
+
+        The plan's compiled program is partitioned into up to ``parts``
+        (default: the stream count) disjoint output-covering tasks that
+        workers retire concurrently against a shared output buffer; the
+        future resolves when the last task lands, carrying the full
+        output.  Wall time spans first task start to last task end.
+        """
+        if self._closed:
+            raise RuntimeError("scheduler is shut down")
+        program, hit = executor_with_status(plan.kernel)
+        self.metrics.inc("exec_cache_hits" if hit else "exec_cache_misses")
+        src = plan.kernel.check_input(payload)
+        out = np.empty(plan.kernel.volume, dtype=src.dtype)
+        tasks = program.partition(parts if parts is not None else self.num_streams)
+        fut: "Future[ExecutionReport]" = Future()
+        job = _PartitionedJob(
+            plan, program, src, out, fut, time.perf_counter(), len(tasks)
+        )
+        for task in tasks:
+            self._queue.put(_PartTask(job, task))
+        depth = self._queue.qsize()
+        self.metrics.set_gauge("queue_depth", depth)
+        self.metrics.max_gauge("queue_depth_peak", depth)
+        return fut
+
+    def _run_part(self, stream: int, item: _PartTask) -> None:
+        job = item.job
+        now = time.perf_counter()
+        with job.lock:
+            if job.started is None:
+                job.started = now
+                if not job.fut.set_running_or_notify_cancel():
+                    job.cancelled = True
+            skip = job.cancelled or job.failed
+        if not skip:
+            try:
+                job.program.run_part(job.src, job.out, item.task)
+            except BaseException as exc:
+                with job.lock:
+                    already = job.failed
+                    job.failed = True
+                if not already:
+                    self.metrics.inc("executions_failed")
+                    job.fut.set_exception(exc)
+        with job.lock:
+            job.remaining -= 1
+            last = job.remaining == 0
+            finalize = last and not (job.cancelled or job.failed)
+        if not finalize:
+            return
+        plan = job.plan
+        sim = plan.simulated_time()
+        wall = time.perf_counter() - job.started
+        with self._lock:
+            self._sim_clocks[stream] += sim
+            self._jobs_done[stream] += 1
+        schema = plan.schema.value
+        self.metrics.inc("executions_completed")
+        self.metrics.observe(f"sim_s.{schema}", sim)
+        self.metrics.observe(f"wall_s.{schema}", wall)
+        self.metrics.set_gauge("queue_depth", self._queue.qsize())
+        job.fut.set_result(
+            ExecutionReport(
+                stream=stream,
+                device=self._stream_devices[stream].name,
+                schema=schema,
+                sim_time_s=sim,
+                wall_time_s=wall,
+                queued_s=job.started - job.enqueued,
+                output=job.out,
+            )
+        )
+
     def _worker(self, stream: int) -> None:
         cm = self._cost_models[stream]
         device = self._stream_devices[stream]
@@ -100,12 +224,21 @@ class StreamScheduler:
             item = self._queue.get()
             if item is _SHUTDOWN:
                 return
+            if isinstance(item, _PartTask):
+                self._run_part(stream, item)
+                continue
             plan, payload, fut, enqueued = item
             if not fut.set_running_or_notify_cancel():
                 continue
             started = time.perf_counter()
             try:
-                output = plan.execute(payload) if payload is not None else None
+                output = None
+                if payload is not None:
+                    program, hit = executor_with_status(plan.kernel)
+                    self.metrics.inc(
+                        "exec_cache_hits" if hit else "exec_cache_misses"
+                    )
+                    output = program.run(plan.kernel.check_input(payload))
                 # Use the stream's own cost model only when the plan was
                 # built for this stream's device; a foreign plan keeps
                 # its own device's timing.
@@ -121,6 +254,10 @@ class StreamScheduler:
                 self.metrics.inc("executions_completed")
                 self.metrics.observe(f"sim_s.{schema}", sim)
                 self.metrics.observe(f"wall_s.{schema}", wall)
+                if payload is not None:
+                    self.metrics.observe(
+                        "exec_warm_s" if hit else "exec_cold_s", wall
+                    )
                 self.metrics.set_gauge("queue_depth", self._queue.qsize())
                 fut.set_result(
                     ExecutionReport(

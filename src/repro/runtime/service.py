@@ -159,6 +159,46 @@ class TransposeService:
         """Blocking :meth:`submit`."""
         return self.submit(dims, perm, elem_bytes, payload, spec).result()
 
+    def submit_partitioned(
+        self,
+        dims: Sequence[int],
+        perm: Sequence[int],
+        elem_bytes: int = 8,
+        payload: Optional[np.ndarray] = None,
+        spec: Optional[DeviceSpec] = None,
+        parts: Optional[int] = None,
+    ):
+        """Plan, then execute ONE transposition across the whole pool.
+
+        The plan's compiled executor program is split into up to
+        ``parts`` (default: the stream count) disjoint tasks that the
+        worker streams retire concurrently into a shared output buffer —
+        the multi-stream analogue of splitting a launch's thread blocks
+        across streams.  Returns a future resolving to an
+        :class:`~repro.runtime.scheduler.ExecutionReport`.
+        """
+        if payload is None:
+            raise InvalidLayoutError(
+                "submit_partitioned requires a payload to move"
+            )
+        plan = self.plan(dims, perm, elem_bytes, spec)
+        self.metrics.inc("executions_submitted")
+        return self.scheduler.submit_partitioned(plan, payload, parts)
+
+    def execute_partitioned(
+        self,
+        dims: Sequence[int],
+        perm: Sequence[int],
+        elem_bytes: int = 8,
+        payload: Optional[np.ndarray] = None,
+        spec: Optional[DeviceSpec] = None,
+        parts: Optional[int] = None,
+    ) -> ExecutionReport:
+        """Blocking :meth:`submit_partitioned`."""
+        return self.submit_partitioned(
+            dims, perm, elem_bytes, payload, spec, parts
+        ).result()
+
     def transpose(self, array: np.ndarray, axes: Sequence[int]) -> np.ndarray:
         """NumPy-convention transposition routed through the service."""
         from repro.core.api import _elem_bytes_of, axes_to_perm
@@ -178,7 +218,10 @@ class TransposeService:
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """Full JSON-friendly status: metrics + cache + streams + store."""
+        """Full JSON-friendly status: metrics + cache + streams + store
+        + compiled-executor program cache."""
+        from repro.kernels.executor import exec_cache_stats
+
         return {
             "device": self.spec.name,
             "metrics": self.metrics.snapshot(),
@@ -187,6 +230,7 @@ class TransposeService:
                 "resident_plans": len(self.cache),
                 **self.cache.snapshot_stats().as_dict(),
             },
+            "executor": exec_cache_stats(),
             "scheduler": self.scheduler.snapshot(),
             "store": self.store.describe() if self.store else None,
         }

@@ -1,0 +1,421 @@
+"""Compiled-executor layer: parity grid, cache behavior, partitioning.
+
+Every program kind (view chain, region list, fused index map, chunked)
+must be
+bit-identical to :func:`repro.kernels.common.reference_transpose` — and
+to the kernels' per-call reference paths — across all four schemas,
+partial-tile geometries, both dtypes, cold and warm calls, and the
+``out=`` in-place form.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.layout import TensorLayout
+from repro.core.lru import BoundedLRU
+from repro.core.permutation import Permutation
+from repro.errors import SchemaError
+from repro.kernels.common import reference_transpose
+from repro.kernels.executor import (
+    ChunkedProgram,
+    IndexedProgram,
+    RegionProgram,
+    ViewProgram,
+    clear_exec_caches,
+    compile_executor,
+    exec_cache_stats,
+    executor_for,
+    executor_with_status,
+)
+from repro.kernels.fvi_match_large import FviMatchLargeKernel
+from repro.kernels.fvi_match_small import FviMatchSmallKernel
+from repro.kernels.naive import NaiveKernel
+from repro.kernels.orthogonal_arbitrary import OrthogonalArbitraryKernel
+from repro.kernels.orthogonal_distinct import OrthogonalDistinctKernel
+
+
+def _od_partial():
+    # 20 % 7 and 18 % 5 both nonzero: partial variants on each side.
+    return OrthogonalDistinctKernel(
+        TensorLayout((20, 6, 18)),
+        Permutation((2, 1, 0)),
+        in_prefix=0,
+        blockA=7,
+        out_prefix=0,
+        blockB=5,
+    )
+
+
+def _od_exact():
+    return OrthogonalDistinctKernel(
+        TensorLayout((16, 6, 18)),
+        Permutation((2, 1, 0)),
+        in_prefix=0,
+        blockA=8,
+        out_prefix=0,
+        blockB=6,
+    )
+
+
+def _oa_partial():
+    # 5 % 3 and 5 % 2 nonzero through the blocked dims.
+    return OrthogonalArbitraryKernel(
+        TensorLayout((6, 5, 7, 4)),
+        Permutation((2, 0, 3, 1)),
+        in_prefix=1,
+        blockA=3,
+        out_prefix=1,
+        blockB=2,
+    )
+
+
+def _oa_exact():
+    return OrthogonalArbitraryKernel(
+        TensorLayout((6, 5, 8, 4)),
+        Permutation((2, 0, 3, 1)),
+        in_prefix=1,
+        blockA=5,
+        out_prefix=1,
+        blockB=2,
+    )
+
+
+def _fvi_small():
+    return FviMatchSmallKernel(TensorLayout((8, 6, 5, 7)), Permutation((0, 3, 2, 1)), 4)
+
+
+def _fvi_large():
+    return FviMatchLargeKernel(TensorLayout((64, 4, 5, 3)), Permutation((0, 3, 2, 1)))
+
+
+def _naive():
+    return NaiveKernel(TensorLayout((5, 4, 3)), Permutation((1, 2, 0)))
+
+
+KERNEL_FACTORIES = {
+    "od-partial": _od_partial,
+    "od-exact": _od_exact,
+    "oa-partial": _oa_partial,
+    "oa-exact": _oa_exact,
+    "fvi-small": _fvi_small,
+    "fvi-large": _fvi_large,
+    "naive": _naive,
+}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_exec_cache():
+    clear_exec_caches()
+    yield
+    clear_exec_caches()
+
+
+# ----------------------------------------------------------------------
+# Parity grid
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(KERNEL_FACTORIES))
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_execute_parity_cold_warm_out(name, dtype, rng):
+    k = KERNEL_FACTORIES[name]()
+    src = rng.standard_normal(k.volume).astype(dtype)
+    ref = reference_transpose(src, k.layout, k.perm)
+
+    cold = k.execute(src)  # compiles
+    warm = k.execute(src)  # cached program
+    out = np.empty(k.volume, dtype=dtype)
+    res = k.execute(src, out=out)
+
+    np.testing.assert_array_equal(cold, ref)
+    np.testing.assert_array_equal(warm, ref)
+    np.testing.assert_array_equal(out, ref)
+    assert res.base is out or res is out
+
+
+@pytest.mark.parametrize("name", ["od-partial", "od-exact", "oa-partial", "oa-exact"])
+def test_per_call_path_matches_reference(name, rng):
+    k = KERNEL_FACTORIES[name]()
+    src = rng.standard_normal(k.volume)
+    ref = reference_transpose(src, k.layout, k.perm)
+    np.testing.assert_array_equal(k.execute_per_call(src), ref)
+
+
+@pytest.mark.parametrize("name", sorted(KERNEL_FACTORIES))
+def test_program_kind_selection(name):
+    k = KERNEL_FACTORIES[name]()
+    program = executor_for(k)
+    if name.endswith("partial"):
+        assert isinstance(program, RegionProgram)
+        assert program.kind == "region"
+    else:
+        assert isinstance(program, ViewProgram)
+        assert not isinstance(program, RegionProgram)
+
+
+@pytest.mark.parametrize("name", ["od-partial", "od-exact", "oa-partial", "oa-exact"])
+def test_indexed_matches_lowered_and_reference(name, rng):
+    """Lowered (view/region) and indexed programs agree bit-for-bit."""
+    k = KERNEL_FACTORIES[name]()
+    src = rng.standard_normal(k.volume)
+    ref = reference_transpose(src, k.layout, k.perm)
+    indexed = compile_executor(k, lowering=False)
+    assert isinstance(indexed, (IndexedProgram, ChunkedProgram))
+    np.testing.assert_array_equal(indexed.run(src), ref)
+    lowered = compile_executor(k)
+    if k.supports_view_lowering():
+        assert isinstance(lowered, ViewProgram)
+        assert not isinstance(lowered, RegionProgram)
+    else:
+        assert isinstance(lowered, RegionProgram)
+    np.testing.assert_array_equal(lowered.run(src), ref)
+
+
+@pytest.mark.parametrize("name", ["od-partial", "oa-partial"])
+def test_region_program_boxes_tile_output(name):
+    """Region boxes are disjoint and cover every output element once."""
+    k = KERNEL_FACTORIES[name]()
+    program = compile_executor(k)
+    assert isinstance(program, RegionProgram)
+    hits = np.zeros(program.out_shape, dtype=np.int64)
+    for region in program.regions:
+        hits[tuple(slice(lo, hi) for lo, hi in region)] += 1
+    assert np.array_equal(hits, np.ones_like(hits))
+    # One box per populated slice variant.
+    assert len(program.regions) == len(k.coverage.variants_order())
+
+
+@pytest.mark.parametrize("name", ["od-partial", "oa-partial", "od-exact"])
+def test_chunked_program_parity(name, rng):
+    """A tiny index budget forces chunked materialization; still exact."""
+    k = KERNEL_FACTORIES[name]()
+    src = rng.standard_normal(k.volume)
+    ref = reference_transpose(src, k.layout, k.perm)
+    chunked = compile_executor(k, lowering=False, max_index_bytes=1024)
+    assert isinstance(chunked, ChunkedProgram)
+    np.testing.assert_array_equal(chunked.run(src), ref)
+    out = np.empty(k.volume, dtype=src.dtype)
+    chunked.run(src, out=out)
+    np.testing.assert_array_equal(out, ref)
+
+
+@pytest.mark.parametrize("name", sorted(KERNEL_FACTORIES))
+@pytest.mark.parametrize("parts", [1, 3, 7])
+def test_partitioned_execution_covers_output(name, parts, rng):
+    k = KERNEL_FACTORIES[name]()
+    src = rng.standard_normal(k.volume)
+    ref = reference_transpose(src, k.layout, k.perm)
+    for program in (
+        executor_for(k),
+        compile_executor(k, lowering=False)
+        if getattr(k, "variant_rel_maps", None) is not None
+        else None,
+        compile_executor(k, lowering=False, max_index_bytes=2048)
+        if getattr(k, "variant_rel_maps", None) is not None
+        else None,
+    ):
+        if program is None:
+            continue
+        out = np.empty(k.volume, dtype=src.dtype)
+        tasks = program.partition(parts)
+        assert tasks, "partition must yield at least one task"
+        for task in tasks:
+            program.run_part(src, out, task)
+        np.testing.assert_array_equal(out, ref)
+
+
+def test_plan_and_transposer_out_threading(rng):
+    import repro
+
+    plan = repro.make_plan((20, 6, 18), (2, 1, 0))
+    src = rng.standard_normal(plan.layout.volume)
+    ref = reference_transpose(src, plan.layout, plan.perm)
+    out = np.empty_like(src)
+    plan.execute(src, out=out)
+    np.testing.assert_array_equal(out, ref)
+    assert plan.executor() is plan.executor()  # cached
+
+    tr = repro.Transposer((20, 6, 18), (2, 1, 0))
+    out2 = np.empty_like(src)
+    tr(src, out=out2)
+    np.testing.assert_array_equal(out2, ref)
+
+
+def test_transpose_api_out(rng):
+    import repro
+
+    a = rng.standard_normal((5, 6, 7))
+    expected = np.ascontiguousarray(np.transpose(a, (2, 0, 1)))
+    out = np.empty_like(expected)
+    got = repro.transpose(a, (2, 0, 1), out=out)
+    assert got is out
+    np.testing.assert_array_equal(out, expected)
+
+
+def test_check_output_rejects_bad_out(rng):
+    k = _od_partial()
+    src = rng.standard_normal(k.volume)
+    with pytest.raises(SchemaError):
+        k.execute(src, out=np.empty(k.volume - 1))
+    with pytest.raises(SchemaError):
+        k.execute(src, out=np.empty(k.volume, dtype=np.float32))
+    noncontig = np.empty((k.volume, 2))[:, 0]
+    with pytest.raises(SchemaError):
+        k.execute(src, out=noncontig)
+
+
+# ----------------------------------------------------------------------
+# Program cache
+# ----------------------------------------------------------------------
+
+
+def test_program_cache_shared_across_instances():
+    k1, k2 = _od_partial(), _od_partial()
+    p1, hit1 = executor_with_status(k1)
+    p2, hit2 = executor_with_status(k2)
+    assert not hit1 and hit2
+    assert p1 is p2  # content key, not object identity
+    stats = exec_cache_stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["entries"] == 1
+    assert stats["bytes"] == p1.nbytes
+
+
+def test_clear_exec_caches_resets():
+    executor_for(_od_partial())
+    assert exec_cache_stats()["entries"] == 1
+    clear_exec_caches()
+    stats = exec_cache_stats()
+    assert stats["entries"] == 0 and stats["misses"] == 0
+
+
+def test_frozen_programs_are_immutable():
+    program = compile_executor(_od_partial(), lowering=False)
+    with pytest.raises(ValueError):
+        program.index_map[0] = 1
+
+
+@pytest.mark.parametrize("orientation", ["gather", "scatter"])
+def test_indexed_orientations_bit_equal(orientation, rng):
+    """Both permutation-map orientations produce identical output."""
+    k = _od_partial()
+    src = rng.standard_normal(k.volume)
+    ref = reference_transpose(src, k.layout, k.perm)
+    base = compile_executor(k, lowering=False)
+    assert base.orientation == "gather"  # small map stays gather
+    fwd = (
+        np.array(base.index_map)
+        if base.orientation == "gather"
+        else np.argsort(base.index_map)
+    )
+    prog = IndexedProgram(fwd, orientation=orientation)
+    np.testing.assert_array_equal(prog.run(src), ref)
+    out = np.empty_like(src)
+    prog.run(src, out=out)
+    np.testing.assert_array_equal(out, ref)
+    out2 = np.empty_like(src)
+    for task in prog.partition(4):
+        prog.run_part(src, out2, task)
+    np.testing.assert_array_equal(out2, ref)
+
+
+def test_indexed_orientation_threshold():
+    from repro.kernels.executor import SCATTER_MIN_BYTES
+
+    small = IndexedProgram(np.arange(16, dtype=np.int64))
+    assert small.orientation == "gather"
+    big = IndexedProgram(np.arange(SCATTER_MIN_BYTES // 8, dtype=np.int64))
+    assert big.orientation == "scatter"
+    with pytest.raises(ValueError):
+        IndexedProgram(np.arange(4, dtype=np.int64), orientation="sideways")
+
+
+# ----------------------------------------------------------------------
+# BoundedLRU
+# ----------------------------------------------------------------------
+
+
+def test_bounded_lru_evicts_lru_not_everything():
+    lru = BoundedLRU(maxsize=3)
+    for i in range(3):
+        lru.put(i, i * 10)
+    assert lru.get(0) == 0  # 0 now most-recent
+    lru.put(3, 30)  # evicts 1 (LRU), NOT the whole cache
+    assert 1 not in lru
+    assert lru.get(0) == 0 and lru.get(2) == 20 and lru.get(3) == 30
+    assert lru.evictions == 1
+
+
+def test_bounded_lru_byte_budget():
+    lru = BoundedLRU(maxsize=100, max_bytes=100, sizeof=len)
+    lru.put("a", b"x" * 60)
+    lru.put("b", b"y" * 60)  # over budget: evicts "a"
+    assert "a" not in lru and "b" in lru
+    assert lru.nbytes == 60
+    # A single oversized entry stays resident (never evict to empty).
+    lru.put("huge", b"z" * 500)
+    assert "huge" in lru
+
+
+def test_bounded_lru_stats_and_validation():
+    lru = BoundedLRU(maxsize=2)
+    lru.put("k", 1)
+    lru.get("k")
+    lru.get("absent")
+    s = lru.stats()
+    assert s["hits"] == 1 and s["misses"] == 1 and s["hit_rate"] == 0.5
+    lru.reset_stats()
+    assert lru.stats()["hits"] == 0
+    with pytest.raises(ValueError):
+        BoundedLRU(maxsize=0)
+    with pytest.raises(ValueError):
+        BoundedLRU(maxsize=1, max_bytes=0)
+
+# ----------------------------------------------------------------------
+# Runtime integration: metrics + pool-partitioned execution
+# ----------------------------------------------------------------------
+
+
+def test_scheduler_records_executor_metrics(rng):
+    from repro.runtime import TransposeService
+
+    dims, perm = (20, 6, 18), (2, 1, 0)
+    src = rng.standard_normal(int(np.prod(dims)))
+    with TransposeService(num_streams=2) as service:
+        r1 = service.execute(dims, perm, payload=src)
+        r2 = service.execute(dims, perm, payload=src)
+        layout, p = TensorLayout(dims), Permutation(perm)
+        ref = reference_transpose(src, layout, p)
+        np.testing.assert_array_equal(r1.output, ref)
+        np.testing.assert_array_equal(r2.output, ref)
+        stats = service.stats()
+    counters = stats["metrics"]["counters"]
+    assert counters["exec_cache_misses"] == 1
+    assert counters["exec_cache_hits"] == 1
+    hists = stats["metrics"]["histograms"]
+    assert hists["exec_cold_s"]["count"] == 1
+    assert hists["exec_warm_s"]["count"] == 1
+    assert stats["executor"]["entries"] >= 1
+
+
+def test_service_execute_partitioned(rng):
+    from repro.runtime import TransposeService
+
+    dims, perm = (20, 6, 18), (2, 1, 0)
+    src = rng.standard_normal(int(np.prod(dims)))
+    ref = reference_transpose(src, TensorLayout(dims), Permutation(perm))
+    with TransposeService(num_streams=3) as service:
+        report = service.execute_partitioned(dims, perm, payload=src, parts=5)
+        np.testing.assert_array_equal(report.output, ref)
+        assert report.schema
+        counters = service.stats()["metrics"]["counters"]
+    assert counters["executions_completed"] == 1
+
+
+def test_service_partitioned_requires_payload():
+    from repro.errors import InvalidLayoutError
+    from repro.runtime import TransposeService
+
+    with TransposeService(num_streams=1) as service:
+        with pytest.raises(InvalidLayoutError):
+            service.submit_partitioned((4, 4), (1, 0), payload=None)
