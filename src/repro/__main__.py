@@ -17,13 +17,17 @@ device [k40c|p100]
     Print the simulated device configuration (Table III analogue).
 
 serve [--requests N] [--clients C] [--streams S] [--payload]
-      [--state-dir DIR]
+      [--batch-window S] [--state-dir DIR]
     Run a workload through the concurrent transpose-serving runtime
     (persistent plan store + metrics); ``--payload`` moves real data
-    through the compiled executors.  See docs/runtime.md.
+    through the compiled executors.  With ``--batch-window`` (seconds,
+    requires ``--payload``) concurrent same-problem requests coalesce
+    into fused batched runs.  See docs/runtime.md.
 
 stats [--state-dir DIR] [--json]
-    Print the metrics snapshot written by the last ``serve`` session.
+    Print the metrics snapshot written by the last ``serve`` session,
+    including batch-coalescing counters and the auto-tuner's calibrated
+    throughput table.
 
 ``DIMS`` and ``PERM`` are comma-separated, dim 0 fastest, permutation in
 the paper convention (``perm[i] = j``: output dim i is input dim j).
@@ -171,6 +175,13 @@ def cmd_serve(args) -> int:
 
     from repro.runtime import TransposeService
 
+    if args.batch_window > 0 and not args.payload:
+        print(
+            "error: --batch-window coalesces executions and requires "
+            "--payload",
+            file=sys.stderr,
+        )
+        return 2
     problems = _serve_problems(args)
     elem_bytes = _elem_bytes(args.dtype)
     state_dir = Path(args.state_dir).expanduser()
@@ -185,6 +196,7 @@ def cmd_serve(args) -> int:
         store_path=state_dir / "plans.json",
         num_streams=args.streams,
         store_autoflush=False,
+        batch_window_s=args.batch_window,
     )
     errors = []
 
@@ -209,7 +221,12 @@ def cmd_serve(args) -> int:
             except queue.Empty:
                 return
             try:
-                service.execute(dims, perm, elem_bytes, payloads.get(dims))
+                if args.batch_window > 0:
+                    service.execute_batched(
+                        dims, perm, elem_bytes, payloads[dims]
+                    )
+                else:
+                    service.execute(dims, perm, elem_bytes, payloads.get(dims))
             except Exception as exc:  # surface, don't hang the pool
                 errors.append(exc)
 
@@ -256,6 +273,14 @@ def cmd_serve(args) -> int:
             f"executor programs: {ex['entries']} compiled, "
             f"{ex['hits']} hits / {ex['misses']} misses "
             f"({ex['hit_rate'] * 100:.1f}% warm)"
+        )
+    if args.batch_window > 0:
+        b = stats["batching"]
+        print(
+            f"batching: {b['requests']} requests -> {b['flushes']} fused "
+            f"runs, {b['coalesced']} coalesced "
+            f"(window {b['window_s'] * 1e3:.1f} ms, "
+            f"max batch {b['max_batch']})"
         )
     print(
         f"state: {state_dir} "
@@ -322,6 +347,41 @@ def cmd_stats(args) -> int:
         f"streams: {sched['num_streams']} on {', '.join(sched['devices'])}; "
         f"sim clocks (ms): {clocks}; jobs {sched['jobs_done']}"
     )
+    batching = payload.get("batching")
+    if batching:
+        print(
+            f"batching: {batching['requests']} requests -> "
+            f"{batching['flushes']} fused runs, "
+            f"{batching['coalesced']} coalesced "
+            f"(window {batching['window_s'] * 1e3:.1f} ms, "
+            f"max batch {batching['max_batch']})"
+        )
+        per_key = batching.get("per_key") or {}
+        for key in sorted(per_key):
+            pk = per_key[key]
+            print(
+                f"  {key:<40s} {pk['requests']:>5d} req  "
+                f"{pk['flushes']:>4d} runs  "
+                f"coalesced {pk['coalesced']:>4d}  "
+                f"largest {pk['max_batch']}"
+            )
+    autotune = payload.get("autotune")
+    if autotune and autotune.get("cells"):
+        print(
+            f"autotune: pool {autotune['pool_size']}, "
+            f"candidates {autotune['candidates']} "
+            f"(min {autotune['min_samples']} samples each)"
+        )
+        for key in sorted(autotune["cells"]):
+            cell = autotune["cells"][key]
+            row = "  ".join(
+                f"p={p}: {s['mean_ms']:.3f} ms / {s['gbps']:.2f} GB/s "
+                f"(n={s['count']})"
+                for p, s in cell["parts"].items()
+            )
+            best = cell["best_parts"]
+            marker = f"best parts={best}" if best else "exploring"
+            print(f"  {key:<16s} {marker:<16s} {row}")
     store = payload.get("store")
     if store:
         print(
@@ -402,6 +462,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulated execution streams (default 4)")
     p.add_argument("--payload", action="store_true",
                    help="move real data (exercises the compiled executors)")
+    p.add_argument(
+        "--batch-window", type=float, default=0.0, metavar="S",
+        help="micro-batching window in seconds: coalesce concurrent "
+             "same-problem requests into fused batched runs "
+             "(requires --payload; default 0 = off)",
+    )
     p.add_argument(
         "--dtype",
         type=_dtype,

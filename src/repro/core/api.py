@@ -193,8 +193,11 @@ def transpose_many(
     """Transpose a batch of same-shape arrays through ONE plan.
 
     The repeated-use pattern (Fig. 12) as an API: the plan is built once
-    and reused, so the per-call cost is kernel execution only.  All
-    arrays must share the first array's shape and dtype.
+    and reused, and the whole batch moves as **one** fused
+    :meth:`~repro.kernels.executor.ExecutorProgram.run_batch` over a
+    stacked leading axis, so the per-call cost is a single kernel
+    execution for the entire batch.  All arrays must share the first
+    array's shape and dtype.
     """
     if not arrays:
         return []
@@ -207,7 +210,7 @@ def transpose_many(
     perm = axes_to_perm(axes)
     plan = _plan_for(dims, perm, _elem_bytes_of(first.dtype), spec, predictor)
     out_shape = tuple(first.shape[ax] for ax in axes)
-    outs = []
+    flats = []
     for a in arrays:
         a = np.ascontiguousarray(a)
         if a.shape != first.shape or a.dtype != first.dtype:
@@ -215,8 +218,9 @@ def transpose_many(
                 "transpose_many requires a homogeneous batch: got "
                 f"{a.shape}/{a.dtype} vs {first.shape}/{first.dtype}"
             )
-        outs.append(plan.execute(a.reshape(-1)).reshape(out_shape))
-    return outs
+        flats.append(plan.kernel.check_input(a.reshape(-1)))
+    moved = plan.executor().run_batch(flats)
+    return [row.reshape(out_shape) for row in moved]
 
 
 def transpose(

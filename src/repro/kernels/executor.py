@@ -46,6 +46,14 @@ cold-start conditions for benchmarks.  Programs also expose
 :meth:`~ExecutorProgram.partition` / :meth:`~ExecutorProgram.run_part`
 so the runtime's :class:`~repro.runtime.scheduler.StreamScheduler` can
 execute disjoint ranges of one program across its worker pool.
+
+Every program kind is also batch-aware: :meth:`~ExecutorProgram
+.run_batch` executes ``B`` same-geometry operands, stacked along a
+leading batch axis, as **one fused move** instead of ``B`` interpreted
+calls — the contraction-chain regime (TTGT in CCSD(T)) where many
+small tensors share one permutation and per-call dispatch would
+otherwise dominate.  ``run_batch`` over ``B`` operands is bit-exact
+against ``B`` independent :meth:`~ExecutorProgram.run` calls.
 """
 
 from __future__ import annotations
@@ -56,6 +64,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.lru import BoundedLRU
+from repro.errors import SchemaError
 from repro.kernels.common import block_gather_indices, ceil_div
 
 #: Byte budget of the process-wide compiled-program cache.  ``src_of_dst``
@@ -100,6 +109,55 @@ class ExecutorProgram(abc.ABC):
         """Bytes of frozen index state (the cache's eviction weight)."""
 
     # ------------------------------------------------------------------
+    def batch_view(self, srcs) -> np.ndarray:
+        """Validate a batch of same-geometry operands as one ``(B,
+        volume)`` C-contiguous array.
+
+        ``srcs`` is either an already-stacked 2-D array (rows are flat
+        operands) or a sequence of flat arrays, which is stacked here.
+        All operands must have ``volume`` elements and share one dtype.
+        """
+        if isinstance(srcs, np.ndarray) and srcs.ndim == 2:
+            if srcs.shape[1] != self.volume:
+                raise SchemaError(
+                    f"batch rows have {srcs.shape[1]} elements, "
+                    f"program volume is {self.volume}"
+                )
+            return np.ascontiguousarray(srcs)
+        arrs = [np.ascontiguousarray(s).reshape(-1) for s in srcs]
+        for a in arrs:
+            if a.size != self.volume:
+                raise SchemaError(
+                    f"batch operand has {a.size} elements, "
+                    f"program volume is {self.volume}"
+                )
+            if a.dtype != arrs[0].dtype:
+                raise SchemaError(
+                    "batch operands must share one dtype, got "
+                    f"{a.dtype} vs {arrs[0].dtype}"
+                )
+        if not arrs:
+            return np.empty((0, self.volume))
+        return np.stack(arrs)
+
+    def run_batch(self, srcs, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Move ``B`` same-geometry operands in one batched execution.
+
+        ``srcs`` is a ``(B, volume)`` stacked array or a sequence of
+        flat operands (see :meth:`batch_view`); the result is the
+        ``(B, volume)`` stack of per-operand outputs, written into
+        ``out`` when given.  Subclasses fuse the whole batch into a
+        single move over a stacked leading axis; this fallback runs the
+        rows one by one and is only used by program kinds without a
+        fused form (none in-tree).
+        """
+        srcs = self.batch_view(srcs)
+        dst = out if out is not None else np.empty_like(srcs)
+        for i in range(srcs.shape[0]):
+            self.run(srcs[i], out=dst[i])
+        return dst
+
+    # ------------------------------------------------------------------
     def partition(self, parts: int) -> List[Tuple[int, ...]]:
         """Split the program into up to ``parts`` disjoint tasks.
 
@@ -137,6 +195,12 @@ class ViewProgram(ExecutorProgram):
     def _moved(self, src: np.ndarray) -> np.ndarray:
         return np.transpose(src.reshape(self.in_shape), self.axes)
 
+    def _moved_batch(self, srcs: np.ndarray) -> np.ndarray:
+        """The transposed view of a ``(B, volume)`` stack: the batch
+        axis leads and every movement axis shifts up by one."""
+        axes = (0,) + tuple(a + 1 for a in self.axes)
+        return np.transpose(srcs.reshape((srcs.shape[0],) + self.in_shape), axes)
+
     def run(self, src: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
         moved = self._moved(src)
         if out is None:
@@ -144,17 +208,42 @@ class ViewProgram(ExecutorProgram):
         out.reshape(self.out_shape)[...] = moved
         return out
 
+    def run_batch(self, srcs, out: Optional[np.ndarray] = None) -> np.ndarray:
+        srcs = self.batch_view(srcs)
+        moved = self._moved_batch(srcs)
+        if out is None:
+            return np.ascontiguousarray(moved).reshape(srcs.shape)
+        out.reshape((srcs.shape[0],) + self.out_shape)[...] = moved
+        return out
+
     @property
     def nbytes(self) -> int:
         return 0
 
-    # -- partitioning: ranges of the slowest output axis ----------------
+    # -- partitioning: ranges of a flattened block of leading output
+    # axes.  Splitting only out_shape[0] collapses to 1-2 tasks when the
+    # leading extent is tiny, idling the rest of the pool; instead the
+    # smallest prefix of axes whose joint extent reaches ``parts`` is
+    # flattened and ranges of those rows are the tasks. --------------------
+    def _leading_split(self, parts: int) -> Tuple[int, int]:
+        """``(k, rows)``: flatten the first ``k`` output axes into
+        ``rows`` splittable rows (smallest prefix reaching ``parts``)."""
+        rows, k = 1, 0
+        for extent in self.out_shape:
+            if rows >= parts:
+                break
+            rows *= extent
+            k += 1
+        k = max(k, 1)
+        rows = int(np.prod(self.out_shape[:k], dtype=np.int64))
+        return k, rows
+
     def partition(self, parts: int) -> List[Tuple[int, ...]]:
-        rows = self.out_shape[0]
+        k, rows = self._leading_split(max(1, parts))
         parts = max(1, min(parts, rows))
         bounds = np.linspace(0, rows, parts + 1, dtype=np.int64)
         return [
-            (int(lo), int(hi))
+            (k, int(lo), int(hi))
             for lo, hi in zip(bounds[:-1], bounds[1:])
             if hi > lo
         ]
@@ -162,8 +251,16 @@ class ViewProgram(ExecutorProgram):
     def run_part(
         self, src: np.ndarray, out: np.ndarray, task: Tuple[int, ...]
     ) -> None:
-        lo, hi = task
-        out.reshape(self.out_shape)[lo:hi] = self._moved(src)[lo:hi]
+        k, lo, hi = task
+        out_nd = out.reshape(self.out_shape)
+        moved = self._moved(src)
+        if k == 1:
+            out_nd[lo:hi] = moved[lo:hi]
+            return
+        lead = self.out_shape[:k]
+        for flat in range(lo, hi):
+            idx = np.unravel_index(flat, lead)
+            out_nd[idx] = moved[idx]
 
 
 class RegionProgram(ViewProgram):
@@ -206,8 +303,29 @@ class RegionProgram(ViewProgram):
             out_nd[sel] = moved[sel]
         return dst
 
+    def run_batch(self, srcs, out: Optional[np.ndarray] = None) -> np.ndarray:
+        srcs = self.batch_view(srcs)
+        dst = out if out is not None else np.empty_like(srcs)
+        out_nd = dst.reshape((srcs.shape[0],) + self.out_shape)
+        moved = self._moved_batch(srcs)
+        for region in self.regions:
+            sel = (slice(None),) + tuple(slice(lo, hi) for lo, hi in region)
+            out_nd[sel] = moved[sel]
+        return dst
+
     # -- partitioning: ranges of the slowest output axis, each task
-    # running every region clipped to its row range -----------------------
+    # running every region clipped to its row range (regions are bounds
+    # per output axis, so the split axis must stay the first one) ---------
+    def partition(self, parts: int) -> List[Tuple[int, ...]]:
+        rows = self.out_shape[0]
+        parts = max(1, min(parts, rows))
+        bounds = np.linspace(0, rows, parts + 1, dtype=np.int64)
+        return [
+            (int(lo), int(hi))
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+
     def run_part(
         self, src: np.ndarray, out: np.ndarray, task: Tuple[int, ...]
     ) -> None:
@@ -280,6 +398,21 @@ class IndexedProgram(ExecutorProgram):
         np.put(dst, self.index_map, src)
         return dst
 
+    def run_batch(self, srcs, out: Optional[np.ndarray] = None) -> np.ndarray:
+        # Row-at-a-time application of the shared frozen map: NumPy's
+        # axis-0 take/put on a contiguous row beats one axis-1 fancy
+        # operation over the whole stack (measured), and the map lookup
+        # setup amortizes across rows either way.
+        srcs = self.batch_view(srcs)
+        dst = out if out is not None else np.empty_like(srcs)
+        if self.orientation == "gather":
+            for b in range(srcs.shape[0]):
+                np.take(srcs[b], self.index_map, out=dst[b])
+        else:
+            for b in range(srcs.shape[0]):
+                dst[b][self.index_map] = srcs[b]
+        return dst
+
     @property
     def nbytes(self) -> int:
         return self.index_map.nbytes
@@ -342,6 +475,23 @@ class ChunkedProgram(ExecutorProgram):
         for vid in range(len(self.variants)):
             for task in self._variant_tasks(vid):
                 self.run_part(src, dst, task)
+        return dst
+
+    def run_batch(self, srcs, out: Optional[np.ndarray] = None) -> np.ndarray:
+        # Absolute indices are materialized once per chunk and applied
+        # row by row, amortizing the per-call broadcast adds B-fold
+        # (the chunked kind's only per-call index work).  Row-wise
+        # axis-0 moves beat one axis-1 fancy operation (measured).
+        srcs = self.batch_view(srcs)
+        dst = out if out is not None else np.empty_like(srcs)
+        rows = srcs.shape[0]
+        for vid in range(len(self.variants)):
+            for _, lo, hi in self._variant_tasks(vid):
+                ib, ob, src_rel, dst_rel = self.variants[vid]
+                gather = block_gather_indices(ib[lo:hi], src_rel).reshape(-1)
+                scatter = block_gather_indices(ob[lo:hi], dst_rel).reshape(-1)
+                for b in range(rows):
+                    dst[b][scatter] = srcs[b][gather]
         return dst
 
     @property

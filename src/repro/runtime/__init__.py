@@ -17,7 +17,8 @@ from __future__ import annotations
 from threading import Lock
 from typing import Optional
 
-from repro.runtime.batching import SingleFlight
+from repro.runtime.autotune import ThroughputCalibrator
+from repro.runtime.batching import MicroBatcher, SingleFlight
 from repro.runtime.metrics import LatencyHistogram, MetricsRegistry
 from repro.runtime.scheduler import ExecutionReport, StreamScheduler
 from repro.runtime.service import TransposeService
@@ -33,6 +34,8 @@ __all__ = [
     "MetricsRegistry",
     "LatencyHistogram",
     "SingleFlight",
+    "MicroBatcher",
+    "ThroughputCalibrator",
     "get_default_service",
     "set_default_service",
     "install_default_service",

@@ -16,7 +16,13 @@ and misses are counted (``exec_cache_hits`` / ``exec_cache_misses``)
 and the wall time of warm vs cold calls is recorded separately
 (``exec_warm_s`` / ``exec_cold_s`` histograms).  One large execution
 can also be split across the whole pool with
-:meth:`StreamScheduler.submit_partitioned`.
+:meth:`StreamScheduler.submit_partitioned`, and ``B`` same-geometry
+operands run as one fused batched program via
+:meth:`StreamScheduler.submit_batch` (split along the batch axis).
+For both, the part count defaults to what the attached
+:class:`~repro.runtime.autotune.ThroughputCalibrator` has measured to
+be fastest for the program kind and payload size — finished runs feed
+their wall time back into the calibrator.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ import time
 from concurrent.futures import Future
 from dataclasses import dataclass
 from threading import Lock, Thread
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -34,6 +40,7 @@ from repro.core.plan import TransposePlan
 from repro.gpusim.cost import CostModel
 from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
 from repro.kernels.executor import executor_with_status
+from repro.runtime.autotune import ThroughputCalibrator
 from repro.runtime.metrics import MetricsRegistry
 
 _SHUTDOWN = object()
@@ -41,7 +48,7 @@ _SHUTDOWN = object()
 
 @dataclass(frozen=True)
 class ExecutionReport:
-    """Outcome of one dispatched transposition."""
+    """Outcome of one dispatched transposition (or batch of them)."""
 
     stream: int
     device: str
@@ -52,36 +59,47 @@ class ExecutionReport:
     wall_time_s: float
     #: Time the job spent queued before a stream picked it up.
     queued_s: float
-    #: Transposed flat data, when the job carried a payload.
+    #: Transposed flat data, when the job carried a payload.  Batched
+    #: jobs carry the ``(B, volume)`` stack of per-operand outputs.
     output: Optional[np.ndarray]
+    #: Disjoint tasks the execution was split into (1 = unsplit).
+    parts: int = 1
+    #: Operands moved by the job (``> 1`` only for batched jobs).
+    batch: int = 1
 
 
 class _PartitionedJob:
-    """Shared state of one execution split into program tasks.
+    """Shared state of one execution split into disjoint tasks.
 
-    Workers run disjoint :meth:`~repro.kernels.executor.ExecutorProgram
-    .partition` tasks against one shared output buffer; the last task to
-    retire resolves the future.
+    Workers invoke ``runner(task)`` against one shared output buffer —
+    for partitioned jobs the tasks are :meth:`~repro.kernels.executor
+    .ExecutorProgram.partition` tasks, for batched jobs they are ranges
+    of the batch axis.  The last task to retire resolves the future.
     """
 
     def __init__(
         self,
         plan: TransposePlan,
         program,
+        runner: Callable[[tuple], None],
         src: np.ndarray,
         out: np.ndarray,
         fut: "Future[ExecutionReport]",
         enqueued: float,
         total: int,
+        batch: int = 1,
     ):
         self.plan = plan
         self.program = program
+        self.runner = runner
         self.src = src
         self.out = out
         self.fut = fut
         self.enqueued = enqueued
         self.lock = Lock()
+        self.parts = total
         self.remaining = total
+        self.batch = batch
         self.started: Optional[float] = None
         self.failed = False
         self.cancelled = False
@@ -101,12 +119,16 @@ class StreamScheduler:
         num_streams: int = 4,
         devices: Optional[Sequence[DeviceSpec]] = None,
         metrics: Optional[MetricsRegistry] = None,
+        tuner: Optional[ThroughputCalibrator] = None,
     ):
         if num_streams <= 0:
             raise ValueError(f"num_streams must be positive, got {num_streams}")
         self.devices: List[DeviceSpec] = list(devices) if devices else [KEPLER_K40C]
         self.num_streams = num_streams
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Online parts auto-tuner consulted when ``parts`` is omitted;
+        #: finished split jobs feed their wall time back into it.
+        self.tuner = tuner
         self._stream_devices = [
             self.devices[i % len(self.devices)] for i in range(num_streams)
         ]
@@ -137,6 +159,20 @@ class StreamScheduler:
         self.metrics.max_gauge("queue_depth_peak", depth)
         return fut
 
+    def _pick_parts(self, kind: str, total_bytes: int) -> int:
+        """The part count for a split job: the calibrated winner when a
+        tuner is attached, the stream count otherwise."""
+        if self.tuner is not None:
+            return self.tuner.choose(kind, total_bytes)
+        return self.num_streams
+
+    def _enqueue_split(self, job: "_PartitionedJob", tasks) -> None:
+        for task in tasks:
+            self._queue.put(_PartTask(job, task))
+        depth = self._queue.qsize()
+        self.metrics.set_gauge("queue_depth", depth)
+        self.metrics.max_gauge("queue_depth_peak", depth)
+
     def submit_partitioned(
         self,
         plan: TransposePlan,
@@ -146,10 +182,12 @@ class StreamScheduler:
         """Execute ONE transposition split across the worker pool.
 
         The plan's compiled program is partitioned into up to ``parts``
-        (default: the stream count) disjoint output-covering tasks that
-        workers retire concurrently against a shared output buffer; the
-        future resolves when the last task lands, carrying the full
-        output.  Wall time spans first task start to last task end.
+        disjoint output-covering tasks that workers retire concurrently
+        against a shared output buffer; the future resolves when the
+        last task lands, carrying the full output.  Wall time spans
+        first task start to last task end.  Without ``parts`` the count
+        comes from the attached auto-tuner's online calibration (the
+        stream count when no tuner is attached).
         """
         if self._closed:
             raise RuntimeError("scheduler is shut down")
@@ -157,16 +195,75 @@ class StreamScheduler:
         self.metrics.inc("exec_cache_hits" if hit else "exec_cache_misses")
         src = plan.kernel.check_input(payload)
         out = np.empty(plan.kernel.volume, dtype=src.dtype)
-        tasks = program.partition(parts if parts is not None else self.num_streams)
+        if parts is None:
+            parts = self._pick_parts(program.kind, src.nbytes)
+        tasks = program.partition(parts)
         fut: "Future[ExecutionReport]" = Future()
         job = _PartitionedJob(
-            plan, program, src, out, fut, time.perf_counter(), len(tasks)
+            plan,
+            program,
+            lambda task: program.run_part(src, out, task),
+            src,
+            out,
+            fut,
+            time.perf_counter(),
+            len(tasks),
         )
-        for task in tasks:
-            self._queue.put(_PartTask(job, task))
-        depth = self._queue.qsize()
-        self.metrics.set_gauge("queue_depth", depth)
-        self.metrics.max_gauge("queue_depth_peak", depth)
+        self._enqueue_split(job, tasks)
+        return fut
+
+    def submit_batch(
+        self,
+        plan: TransposePlan,
+        payloads: Sequence[np.ndarray],
+        parts: Optional[int] = None,
+    ) -> "Future[ExecutionReport]":
+        """Execute ``B`` same-geometry operands as one batched program.
+
+        The payloads are stacked into a ``(B, volume)`` block and moved
+        by the compiled program's fused :meth:`~repro.kernels.executor
+        .ExecutorProgram.run_batch` — split along the batch axis into up
+        to ``parts`` row ranges that workers retire concurrently.  The
+        future resolves to an :class:`ExecutionReport` whose ``output``
+        is the ``(B, volume)`` stack of per-operand results.  Without
+        ``parts`` the split comes from the auto-tuner, as in
+        :meth:`submit_partitioned`.
+        """
+        if self._closed:
+            raise RuntimeError("scheduler is shut down")
+        if not len(payloads):
+            raise ValueError("submit_batch requires at least one payload")
+        program, hit = executor_with_status(plan.kernel)
+        self.metrics.inc("exec_cache_hits" if hit else "exec_cache_misses")
+        srcs = program.batch_view(
+            [plan.kernel.check_input(p) for p in payloads]
+        )
+        outs = np.empty_like(srcs)
+        rows = srcs.shape[0]
+        if parts is None:
+            parts = self._pick_parts(program.kind, srcs.nbytes)
+        nparts = max(1, min(parts, rows))
+        bounds = np.linspace(0, rows, nparts + 1, dtype=np.int64)
+        tasks = [
+            (int(lo), int(hi))
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+        fut: "Future[ExecutionReport]" = Future()
+        job = _PartitionedJob(
+            plan,
+            program,
+            lambda task: program.run_batch(
+                srcs[task[0] : task[1]], out=outs[task[0] : task[1]]
+            ),
+            srcs,
+            outs,
+            fut,
+            time.perf_counter(),
+            len(tasks),
+            batch=rows,
+        )
+        self._enqueue_split(job, tasks)
         return fut
 
     def _run_part(self, stream: int, item: _PartTask) -> None:
@@ -180,7 +277,7 @@ class StreamScheduler:
             skip = job.cancelled or job.failed
         if not skip:
             try:
-                job.program.run_part(job.src, job.out, item.task)
+                job.runner(item.task)
             except BaseException as exc:
                 with job.lock:
                     already = job.failed
@@ -195,16 +292,23 @@ class StreamScheduler:
         if not finalize:
             return
         plan = job.plan
-        sim = plan.simulated_time()
+        # A batched job retires the simulated work of B launches.
+        sim = plan.simulated_time() * max(1, job.batch)
         wall = time.perf_counter() - job.started
         with self._lock:
             self._sim_clocks[stream] += sim
             self._jobs_done[stream] += 1
         schema = plan.schema.value
         self.metrics.inc("executions_completed")
+        if job.batch > 1:
+            self.metrics.inc("batch_rows", job.batch)
         self.metrics.observe(f"sim_s.{schema}", sim)
         self.metrics.observe(f"wall_s.{schema}", wall)
         self.metrics.set_gauge("queue_depth", self._queue.qsize())
+        if self.tuner is not None:
+            self.tuner.record(
+                job.program.kind, job.src.nbytes, job.parts, wall
+            )
         job.fut.set_result(
             ExecutionReport(
                 stream=stream,
@@ -214,6 +318,8 @@ class StreamScheduler:
                 wall_time_s=wall,
                 queued_s=job.started - job.enqueued,
                 output=job.out,
+                parts=job.parts,
+                batch=job.batch,
             )
         )
 

@@ -7,6 +7,14 @@ warm-starts the cache from a persistent :class:`PlanStore` across
 process restarts, dispatches executions over a pool of simulated
 streams, and accounts everything in a :class:`MetricsRegistry`.
 
+Beyond per-request dispatch, the service micro-batches: concurrent
+:meth:`~TransposeService.submit_batched` requests for the same plan key
+within a bounded window coalesce into **one fused batched program run**
+(see :class:`~repro.runtime.batching.MicroBatcher` and
+``docs/runtime.md``), and partitioned/batched executions pick their
+``parts`` split from an online :class:`~repro.runtime.autotune
+.ThroughputCalibrator` persisted next to the plan store.
+
 A process-wide default service can be installed so the classic
 :mod:`repro.core.api` entry points (``repro.transpose`` etc.) route
 through it transparently — see :func:`install_default_service`.
@@ -14,7 +22,9 @@ through it transparently — see :func:`install_default_service`.
 
 from __future__ import annotations
 
+import math
 import time
+from dataclasses import replace
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
@@ -24,7 +34,8 @@ from repro.core.cache import DEFAULT_CAPACITY, PlanCache
 from repro.core.plan import Predictor, TransposePlan
 from repro.errors import InvalidLayoutError
 from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
-from repro.runtime.batching import SingleFlight
+from repro.runtime.autotune import ThroughputCalibrator
+from repro.runtime.batching import MicroBatcher, SingleFlight
 from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.scheduler import ExecutionReport, StreamScheduler
 from repro.runtime.store import PlanStore
@@ -62,6 +73,14 @@ class TransposeService:
         for ``spec`` (tests use the oracle predictor for speed).
     metrics:
         Share a registry between services; a fresh one by default.
+    batch_window_s / batch_max:
+        Micro-batching knobs for :meth:`submit_batched`: how long the
+        first request of a key waits for same-key company, and the
+        batch size that flushes immediately.
+    autotune_path:
+        Where the parts auto-tuner persists its calibration.  Defaults
+        to ``autotune.json`` next to the plan store (in-memory only
+        when the service has no store).
     """
 
     def __init__(
@@ -76,6 +95,9 @@ class TransposeService:
         predictor: Optional[Predictor] = None,
         metrics: Optional[MetricsRegistry] = None,
         store_autoflush: bool = True,
+        batch_window_s: float = 0.002,
+        batch_max: int = 64,
+        autotune_path: Optional[Union[str, Path]] = None,
     ):
         if store is not None and store_path is not None:
             raise ValueError("pass either store or store_path, not both")
@@ -89,10 +111,19 @@ class TransposeService:
         )
         self._predictor = predictor
         self._flights = SingleFlight()
+        if autotune_path is None and self.store is not None:
+            autotune_path = Path(self.store.path).with_name("autotune.json")
+        self.autotuner = ThroughputCalibrator(
+            pool_size=num_streams, path=autotune_path
+        )
         self.scheduler = StreamScheduler(
             num_streams=num_streams,
             devices=devices if devices else [spec],
             metrics=self.metrics,
+            tuner=self.autotuner,
+        )
+        self._batcher = MicroBatcher(
+            self._flush_batch, window_s=batch_window_s, max_batch=batch_max
         )
         self._closed = False
 
@@ -129,6 +160,38 @@ class TransposeService:
         return plan
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _check_payload(
+        dims: Sequence[int],
+        elem_bytes: int,
+        payload: Optional[np.ndarray],
+        required: bool = False,
+    ) -> Optional[np.ndarray]:
+        """Validate a payload against the request at the service door.
+
+        A mismatched payload used to surface as an opaque reshape
+        failure deep inside ``kernel.check_input`` on a worker thread;
+        here it raises a clear :class:`InvalidLayoutError` before
+        anything is planned or enqueued.
+        """
+        if payload is None:
+            if required:
+                raise InvalidLayoutError("this call requires a payload to move")
+            return None
+        arr = np.asarray(payload)
+        volume = math.prod(int(d) for d in dims)
+        if arr.size != volume:
+            raise InvalidLayoutError(
+                f"payload has {arr.size} elements, but dims "
+                f"{tuple(dims)} require {volume}"
+            )
+        if arr.dtype.itemsize != elem_bytes:
+            raise InvalidLayoutError(
+                f"payload dtype {arr.dtype} is {arr.dtype.itemsize} bytes "
+                f"per element, but the request says elem_bytes={elem_bytes}"
+            )
+        return arr
+
     def submit(
         self,
         dims: Sequence[int],
@@ -144,6 +207,7 @@ class TransposeService:
         is the linearized input data; without it the stream still
         retires the launch on its simulated clock (a timing-only call).
         """
+        payload = self._check_payload(dims, elem_bytes, payload)
         plan = self.plan(dims, perm, elem_bytes, spec)
         self.metrics.inc("executions_submitted")
         return self.scheduler.submit(plan, payload)
@@ -171,16 +235,20 @@ class TransposeService:
         """Plan, then execute ONE transposition across the whole pool.
 
         The plan's compiled executor program is split into up to
-        ``parts`` (default: the stream count) disjoint tasks that the
-        worker streams retire concurrently into a shared output buffer —
-        the multi-stream analogue of splitting a launch's thread blocks
-        across streams.  Returns a future resolving to an
+        ``parts`` disjoint tasks that the worker streams retire
+        concurrently into a shared output buffer — the multi-stream
+        analogue of splitting a launch's thread blocks across streams.
+        Without ``parts`` the split is chosen by the online
+        auto-partitioner (see :attr:`autotuner`), which calibrates
+        per-program-kind throughput on the first runs and then picks
+        the measured argmax.  Returns a future resolving to an
         :class:`~repro.runtime.scheduler.ExecutionReport`.
         """
         if payload is None:
             raise InvalidLayoutError(
                 "submit_partitioned requires a payload to move"
             )
+        payload = self._check_payload(dims, elem_bytes, payload)
         plan = self.plan(dims, perm, elem_bytes, spec)
         self.metrics.inc("executions_submitted")
         return self.scheduler.submit_partitioned(plan, payload, parts)
@@ -198,6 +266,82 @@ class TransposeService:
         return self.submit_partitioned(
             dims, perm, elem_bytes, payload, spec, parts
         ).result()
+
+    # ------------------------------------------------------------------
+    def submit_batched(
+        self,
+        dims: Sequence[int],
+        perm: Sequence[int],
+        elem_bytes: int = 8,
+        payload: Optional[np.ndarray] = None,
+        spec: Optional[DeviceSpec] = None,
+    ):
+        """Queue one request into the micro-batching window.
+
+        Concurrent requests for the same ``(dims, perm, elem_bytes,
+        device)`` key arriving within ``batch_window_s`` (or until
+        ``batch_max`` of them are waiting) coalesce into **one** fused
+        batched program run over the worker pool — the shape of a
+        contraction chain transposing many small same-permutation
+        tensors back-to-back.  Returns a future resolving to an
+        :class:`~repro.runtime.scheduler.ExecutionReport` whose
+        ``output`` is this caller's own transposed payload; ``batch``
+        on the report says how many requests shared the run.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        payload = self._check_payload(dims, elem_bytes, payload, required=True)
+        spec = spec if spec is not None else self.spec
+        dims = tuple(int(d) for d in dims)
+        perm = tuple(int(p) for p in perm)
+        key = PlanCache._key(dims, perm, elem_bytes, spec)
+        self.metrics.inc("batch_requests")
+        return self._batcher.submit(
+            key, payload, context=(dims, perm, elem_bytes, spec)
+        )
+
+    def execute_batched(
+        self,
+        dims: Sequence[int],
+        perm: Sequence[int],
+        elem_bytes: int = 8,
+        payload: Optional[np.ndarray] = None,
+        spec: Optional[DeviceSpec] = None,
+    ) -> ExecutionReport:
+        """Blocking :meth:`submit_batched` (waits out the window)."""
+        return self.submit_batched(dims, perm, elem_bytes, payload, spec).result()
+
+    def _flush_batch(self, key, context, payloads, futures) -> None:
+        """Run one coalesced bucket as a single batched execution."""
+        dims, perm, elem_bytes, spec = context
+        rows = len(payloads)
+        self.metrics.inc("batch_flushes")
+        if rows > 1:
+            self.metrics.inc("batch_coalesced", rows - 1)
+            self.metrics.inc(
+                "batch_coalesced."
+                + "x".join(str(d) for d in dims)
+                + "|"
+                + ",".join(str(p) for p in perm),
+                rows - 1,
+            )
+        plan = self.plan(dims, perm, elem_bytes, spec)
+        self.metrics.inc("executions_submitted")
+        batch_fut = self.scheduler.submit_batch(plan, payloads)
+
+        def _resolve(done) -> None:
+            exc = done.exception()
+            if exc is not None:
+                for f in futures:
+                    if not f.done():
+                        f.set_exception(exc)
+                return
+            report = done.result()
+            for i, f in enumerate(futures):
+                if not f.done():
+                    f.set_result(replace(report, output=report.output[i]))
+
+        batch_fut.add_done_callback(_resolve)
 
     def transpose(self, array: np.ndarray, axes: Sequence[int]) -> np.ndarray:
         """NumPy-convention transposition routed through the service."""
@@ -219,7 +363,7 @@ class TransposeService:
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Full JSON-friendly status: metrics + cache + streams + store
-        + compiled-executor program cache."""
+        + compiled-executor program cache + batching + autotune."""
         from repro.kernels.executor import exec_cache_stats
 
         return {
@@ -232,18 +376,25 @@ class TransposeService:
             },
             "executor": exec_cache_stats(),
             "scheduler": self.scheduler.snapshot(),
+            "batching": self._batcher.stats(),
+            "autotune": self.autotuner.table(),
             "store": self.store.describe() if self.store else None,
         }
 
     def flush(self) -> None:
         if self.store is not None:
             self.store.flush()
+        self.autotuner.flush()
 
     def close(self) -> None:
         if self._closed:
             return
+        # Drain open micro-batch windows while the service still plans
+        # and schedules; only then refuse new requests.
+        self._batcher.close()
         self._closed = True
         self.scheduler.shutdown()
+        self.autotuner.close()
         if self.store is not None:
             self.store.close()
 

@@ -9,7 +9,12 @@ exactly what :func:`repro.core.api.predict_time` exposes.
 """
 
 from repro.ttgt.spec import ContractionSpec, parse_contraction
-from repro.ttgt.contraction import TTGTPlan, contract, plan_contraction
+from repro.ttgt.contraction import (
+    TTGTPlan,
+    contract,
+    contract_many,
+    plan_contraction,
+)
 
 __all__ = [
     "ContractionSpec",
@@ -17,4 +22,5 @@ __all__ = [
     "TTGTPlan",
     "plan_contraction",
     "contract",
+    "contract_many",
 ]

@@ -187,6 +187,26 @@ def _apply_transpose(
     return plan.execute(flat)
 
 
+def _apply_transpose_batch(
+    flats: Sequence[np.ndarray],
+    labels: Sequence[str],
+    target: Sequence[str],
+    extents: Dict[str, int],
+    device: DeviceSpec,
+) -> np.ndarray:
+    """Batched :func:`_apply_transpose`: one plan, one fused
+    ``run_batch`` over the stacked operands.  Returns ``(B, volume)``."""
+    perm = _perm_to(labels, target)
+    if perm == tuple(range(len(perm))):
+        return np.stack([np.asarray(f).reshape(-1) for f in flats])
+    plan = make_plan(
+        tuple(extents[l] for l in labels), perm, elem_bytes=8, spec=device
+    )
+    return plan.executor().run_batch(
+        [plan.kernel.check_input(f) for f in flats]
+    )
+
+
 def contract(
     expr: str,
     a: np.ndarray,
@@ -231,3 +251,63 @@ def contract(
     c2d = b2d @ a2d  # (N, M) == C as [M, N] with M fastest
     c_mid = np.ascontiguousarray(c2d).reshape(-1)
     return _apply_transpose(c_mid, plan.c_intermediate, spec.c_labels, ext, device)
+
+
+def contract_many(
+    expr: str,
+    a_batch: Sequence[np.ndarray],
+    b_batch: Sequence[np.ndarray],
+    extents: Dict[str, int],
+    device: DeviceSpec = KEPLER_K40C,
+    plan: Optional[TTGTPlan] = None,
+) -> List[np.ndarray]:
+    """Execute the same contraction over ``B`` operand pairs, batched.
+
+    The chain is planned **once** and every stage is fused across the
+    batch: each required transposition moves all operands as one
+    :meth:`~repro.kernels.executor.ExecutorProgram.run_batch` call, and
+    the GEMM runs as a single batched ``np.matmul`` over a stacked
+    leading axis.  Element-exact against per-pair :func:`contract`
+    (tested).  Returns one linearized C per operand pair.
+    """
+    if len(a_batch) != len(b_batch):
+        raise ContractionError(
+            f"operand batches disagree: {len(a_batch)} A vs {len(b_batch)} B"
+        )
+    if not len(a_batch):
+        return []
+    if plan is None:
+        plan = plan_contraction(expr, extents, device)
+    spec = plan.spec
+    av, bv = spec.volume(spec.a_labels), spec.volume(spec.b_labels)
+    for i, (a, b) in enumerate(zip(a_batch, b_batch)):
+        if a.size != av:
+            raise ContractionError(
+                f"A[{i}] has {a.size} elements, spec says {av}"
+            )
+        if b.size != bv:
+            raise ContractionError(
+                f"B[{i}] has {b.size} elements, spec says {bv}"
+            )
+    ext = spec.extents
+    rows = len(a_batch)
+    a_tb = _apply_transpose_batch(a_batch, spec.a_labels, plan.a_target, ext, device)
+    b_tb = _apply_transpose_batch(b_batch, spec.b_labels, plan.b_target, ext, device)
+    mv = spec.volume(spec.m_labels)
+    nv = spec.volume(spec.n_labels)
+    kv = spec.volume(spec.k_labels)
+    # Same matrix views as contract(), lifted over the leading batch axis.
+    if plan.a_transposed_first:  # A is [K, M] -> numpy (B, M, K)
+        a3 = a_tb.reshape(rows, mv, kv).transpose(0, 2, 1)  # (B, K, M)
+    else:  # A is [M, K] -> numpy (B, K, M)
+        a3 = a_tb.reshape(rows, kv, mv)
+    if plan.b_transposed_first:  # B is [N, K] -> numpy (B, K, N)
+        b3 = b_tb.reshape(rows, kv, nv).transpose(0, 2, 1)  # (B, N, K)
+    else:  # B is [K, N] -> numpy (B, N, K)
+        b3 = b_tb.reshape(rows, nv, kv)
+    c3 = b3 @ a3  # (B, N, M) == each C as [M, N] with M fastest
+    c_mid = np.ascontiguousarray(c3).reshape(rows, -1)
+    c_out = _apply_transpose_batch(
+        c_mid, plan.c_intermediate, spec.c_labels, ext, device
+    )
+    return [c_out[i] for i in range(rows)]

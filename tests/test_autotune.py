@@ -1,0 +1,154 @@
+"""ThroughputCalibrator: explore/exploit schedule and persistence.
+
+The calibrator replaces caller-guessed ``parts=``: it must round-robin
+the candidate grid until each candidate has ``min_samples``
+measurements, then lock onto the measured-throughput argmax, and its
+table must survive a process restart (with corrupt or foreign state
+discarded rather than trusted).
+"""
+
+import json
+
+import pytest
+
+from repro.runtime.autotune import (
+    DEFAULT_MIN_SAMPLES,
+    ThroughputCalibrator,
+    parts_candidates,
+)
+
+
+def test_parts_candidates_grid():
+    assert parts_candidates(1) == [1]
+    assert parts_candidates(2) == [1, 2]
+    assert parts_candidates(4) == [1, 2, 4]
+    assert parts_candidates(6) == [1, 2, 4, 6]
+    assert parts_candidates(8) == [1, 2, 4, 8]
+
+
+def test_size_class_buckets():
+    sc = ThroughputCalibrator.size_class
+    assert sc(0) == 0 and sc(1) == 0
+    assert sc(2) == 1
+    assert sc(1024) == 10
+    assert sc(1025) == 11
+
+
+def test_explores_candidates_in_order_then_exploits():
+    cal = ThroughputCalibrator(pool_size=4, min_samples=2)
+    nbytes = 1 << 20
+    choices = []
+    for _ in range(6):
+        p = cal.choose("view", nbytes)
+        choices.append(p)
+        # parts=2 is made to look twice as fast as the others.
+        cal.record("view", nbytes, p, 0.5 if p == 2 else 1.0)
+    assert choices == [1, 1, 2, 2, 4, 4]  # ascending, min_samples each
+    assert cal.calibrated("view", nbytes)
+    assert cal.choose("view", nbytes) == 2  # measured argmax wins
+
+
+def test_cells_keyed_by_kind_and_size_class():
+    cal = ThroughputCalibrator(pool_size=2, min_samples=1)
+    small, large = 1 << 10, 1 << 24
+    for p in (1, 2):
+        cal.record("view", small, p, 1.0)
+        # For large payloads the measured winner is the other candidate.
+        cal.record("view", large, p, 1.0 if p == 2 else 4.0)
+        cal.record("indexed", small, p, 1.0 if p == 1 else 4.0)
+    assert cal.choose("view", large) == 2
+    assert cal.choose("indexed", small) == 1
+    # Same kind, same size class as an earlier record: independent cell
+    # untouched by the other kinds/classes.
+    assert not cal.calibrated("region", small)
+
+
+def test_record_ignores_degenerate_samples():
+    cal = ThroughputCalibrator(pool_size=2)
+    cal.record("view", 1024, 1, 0.0)
+    cal.record("view", 1024, 0, 1.0)
+    assert cal.table()["cells"] == {}
+
+
+def test_table_snapshot_shape():
+    cal = ThroughputCalibrator(pool_size=2, min_samples=1)
+    cal.record("view", 1 << 20, 1, 0.001)
+    t = cal.table()
+    assert t["pool_size"] == 2 and t["candidates"] == [1, 2]
+    cell = t["cells"]["view|2^20"]
+    assert cell["parts"]["1"]["count"] == 1
+    assert cell["parts"]["1"]["gbps"] > 0
+    assert cell["best_parts"] == 1  # only sampled candidate so far
+
+
+def test_persistence_roundtrip(tmp_path):
+    path = tmp_path / "autotune.json"
+    cal = ThroughputCalibrator(pool_size=4, path=path, min_samples=1)
+    for p in (1, 2, 4):
+        cal.record("view", 1 << 20, p, 0.5 if p == 4 else 1.0)
+    cal.close()  # flushes dirty state
+    assert path.exists()
+
+    reborn = ThroughputCalibrator(pool_size=4, path=path, min_samples=1)
+    assert reborn.calibrated("view", 1 << 20)
+    assert reborn.choose("view", 1 << 20) == 4  # starts exploited
+
+
+def test_persistence_rejects_foreign_pool_size(tmp_path):
+    path = tmp_path / "autotune.json"
+    cal = ThroughputCalibrator(pool_size=4, path=path, min_samples=1)
+    cal.record("view", 1 << 20, 1, 1.0)
+    cal.flush()
+    other = ThroughputCalibrator(pool_size=8, path=path, min_samples=1)
+    assert other.table()["cells"] == {}  # foreign table discarded
+
+
+def test_persistence_tolerates_corruption(tmp_path):
+    path = tmp_path / "autotune.json"
+    path.write_text("{ not json")
+    cal = ThroughputCalibrator(pool_size=2, path=path)
+    assert cal.table()["cells"] == {}
+    path.write_text(json.dumps({"autotune_version": 999, "pool_size": 2}))
+    cal = ThroughputCalibrator(pool_size=2, path=path)
+    assert cal.table()["cells"] == {}
+    path.write_text(
+        json.dumps(
+            {
+                "autotune_version": 1,
+                "pool_size": 2,
+                "cells": {
+                    "view|2^20": {
+                        "1": {"count": 1, "total_s": 1.0, "total_bytes": 1e6},
+                        "bogus": {"count": "x"},
+                    }
+                },
+            }
+        )
+    )
+    cal = ThroughputCalibrator(pool_size=2, path=path, min_samples=1)
+    # The valid entry survives, the corrupt one is dropped.
+    assert cal.table()["cells"]["view|2^20"]["parts"] == {
+        "1": {"count": 1, "mean_ms": 1000.0, "gbps": 0.001}
+    }
+
+
+def test_validates_pool_size():
+    with pytest.raises(ValueError):
+        ThroughputCalibrator(pool_size=0)
+
+
+def test_default_min_samples_positive():
+    assert DEFAULT_MIN_SAMPLES >= 1
+    cal = ThroughputCalibrator(pool_size=2, min_samples=0)
+    assert cal.min_samples == 1  # clamped
+
+
+def test_reset_clears_table(tmp_path):
+    path = tmp_path / "autotune.json"
+    cal = ThroughputCalibrator(pool_size=2, path=path, min_samples=1)
+    cal.record("view", 1024, 1, 1.0)
+    cal.reset()
+    assert cal.table()["cells"] == {}
+    cal.close()
+    reborn = ThroughputCalibrator(pool_size=2, path=path)
+    assert reborn.table()["cells"] == {}
