@@ -38,16 +38,14 @@ shared CI runners).
 
 from __future__ import annotations
 
-import argparse
 import json
 import math
-import statistics
 import sys
-import time
 from pathlib import Path
 
 import numpy as np
 
+from conftest import bench_parser, gate, interleaved_ms, pick_repeats
 from repro.core.plan import make_plan
 from repro.kernels.executor import clear_exec_caches
 
@@ -88,18 +86,7 @@ SMOKE_MIN_SPEEDUP = 2.0
 MIN_AUTO_RATIO = 0.9
 
 
-def _interleaved_ms(fns, repeats):
-    """Best/median ms per labelled path, measured round-robin so host
-    drift hits every path equally."""
-    times = {name: [] for name in fns}
-    for _ in range(repeats):
-        for name, fn in fns.items():
-            t0 = time.perf_counter()
-            fn()
-            times[name].append((time.perf_counter() - t0) * 1e3)
-    return {
-        name: (min(ts), statistics.median(ts)) for name, ts in times.items()
-    }
+_interleaved_ms = interleaved_ms
 
 
 # ----------------------------------------------------------------------
@@ -219,18 +206,12 @@ def run(repeats, batch):
 
 
 def main(argv=None):
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument(
-        "--smoke",
-        action="store_true",
-        help="fast CI mode: fewer repeats, threshold check, no file output",
-    )
-    ap.add_argument("--repeats", type=int, default=None)
+    ap = bench_parser(__doc__.splitlines()[0])
     ap.add_argument("--batch", type=int, default=None)
     ap.add_argument("--out", type=Path, default=RESULTS_PATH)
     args = ap.parse_args(argv)
 
-    repeats = args.repeats if args.repeats is not None else (3 if args.smoke else 11)
+    repeats = pick_repeats(args, full=11)
     batch = args.batch if args.batch is not None else (32 if args.smoke else 64)
     batched, autotune = run(repeats, batch)
 
@@ -265,11 +246,7 @@ def main(argv=None):
             if r["acceptance_gated"]
             and r["speedup_vs_per_request"] < SMOKE_MIN_SPEEDUP
         ]
-        if failures:
-            print("BATCHED THROUGHPUT REGRESSION:", *failures, sep="\n  ")
-            return 1
-        print("smoke thresholds OK")
-        return 0
+        return gate("BATCHED THROUGHPUT REGRESSION", failures, smoke=True)
 
     gated = [
         r["speedup_vs_per_request"]
@@ -297,10 +274,7 @@ def main(argv=None):
     args.out.parent.mkdir(exist_ok=True)
     args.out.write_text(json.dumps(summary, indent=2) + "\n")
     print(f"wrote {args.out}")
-    if failures:
-        print("ACCEPTANCE THRESHOLDS NOT MET:", *failures, sep="\n  ")
-        return 1
-    return 0
+    return gate("ACCEPTANCE THRESHOLDS NOT MET", failures)
 
 
 if __name__ == "__main__":

@@ -29,16 +29,15 @@ per-call index construction.
 
 from __future__ import annotations
 
-import argparse
 import json
 import math
-import statistics
 import sys
 import time
 from pathlib import Path
 
 import numpy as np
 
+from conftest import bench_parser, gate, interleaved_ms, pick_repeats
 from repro.core.layout import TensorLayout
 from repro.core.permutation import Permutation
 from repro.core.plan import make_plan
@@ -85,22 +84,7 @@ CASES = {
 SMOKE_MIN_SPEEDUP = 2.0
 
 
-def _interleaved_ms(fns, repeats):
-    """Best/median ms per labelled path, measured round-robin.
-
-    One repetition of every path per round, so slow drift of the host
-    (turbo, contention) hits all paths equally instead of whichever was
-    measured last.
-    """
-    times = {name: [] for name in fns}
-    for _ in range(repeats):
-        for name, fn in fns.items():
-            t0 = time.perf_counter()
-            fn()
-            times[name].append((time.perf_counter() - t0) * 1e3)
-    return {
-        name: (min(ts), statistics.median(ts)) for name, ts in times.items()
-    }
+_interleaved_ms = interleaved_ms
 
 
 def bench_case(kernel, repeats):
@@ -170,17 +154,11 @@ def run(repeats):
 
 
 def main(argv=None):
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument(
-        "--smoke",
-        action="store_true",
-        help="fast CI mode: fewer repeats, threshold check, no file output",
-    )
-    ap.add_argument("--repeats", type=int, default=None)
+    ap = bench_parser(__doc__.splitlines()[0])
     ap.add_argument("--out", type=Path, default=RESULTS_PATH)
     args = ap.parse_args(argv)
 
-    repeats = args.repeats if args.repeats is not None else (3 if args.smoke else 11)
+    repeats = pick_repeats(args, full=11)
     results = run(repeats)
 
     print(
@@ -203,11 +181,7 @@ def main(argv=None):
             if r["acceptance_gated"]
             and r["speedup_vs_per_call"] < SMOKE_MIN_SPEEDUP
         ]
-        if failures:
-            print("EXEC THROUGHPUT REGRESSION:", *failures, sep="\n  ")
-            return 1
-        print("smoke thresholds OK")
-        return 0
+        return gate("EXEC THROUGHPUT REGRESSION", failures, smoke=True)
 
     gated = [r["speedup_vs_per_call"] for r in results.values() if r["acceptance_gated"]]
     summary = {

@@ -18,13 +18,13 @@ change cannot silently re-eagerize the search.
 
 from __future__ import annotations
 
-import argparse
 import json
 import statistics
 import sys
 import time
 from pathlib import Path
 
+from conftest import bench_parser, gate, pick_repeats
 from repro.core.plan import clear_plan_caches, make_plan
 
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "results" / "plan_latency.json"
@@ -89,17 +89,11 @@ def run(repeats):
 
 
 def main(argv=None):
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument(
-        "--smoke",
-        action="store_true",
-        help="fast CI mode: fewer repeats, threshold check, no file output",
-    )
-    ap.add_argument("--repeats", type=int, default=None)
+    ap = bench_parser(__doc__.splitlines()[0])
     ap.add_argument("--out", type=Path, default=RESULTS_PATH)
     args = ap.parse_args(argv)
 
-    repeats = args.repeats if args.repeats is not None else (3 if args.smoke else 9)
+    repeats = pick_repeats(args, full=9)
     cases = run(repeats)
 
     header = f"{'case':<26s} {'search':<10s} {'cold ms':>9s} {'warm ms':>9s} {'plans/s':>9s}"
@@ -125,11 +119,7 @@ def main(argv=None):
                 failures.append(
                     f"{name}: cold {two['cold_ms']:.1f} ms > {SMOKE_COLD_MS} ms"
                 )
-        if failures:
-            print("PLAN LATENCY REGRESSION:", *failures, sep="\n  ")
-            return 1
-        print("smoke thresholds OK")
-        return 0
+        return gate("PLAN LATENCY REGRESSION", failures, smoke=True)
 
     summary = {"repeats": repeats, "cases": cases}
     args.out.parent.mkdir(exist_ok=True)

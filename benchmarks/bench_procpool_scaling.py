@@ -1,0 +1,252 @@
+"""Process-pool scaling: the out-of-GIL tier vs the thread pool.
+
+Large indexed/chunked programs (forced with ``lowering=False``) move
+every element through NumPy fancy gather/scatter, which holds the GIL —
+on the thread pool their partition tasks serialize no matter how many
+streams exist.  The shared-memory process pool exists for exactly this
+regime: workers map the operand/output segments by name and scatter
+concurrently, with only control metadata crossing the pipes.
+
+Three sections per case:
+
+**backends** — the same transposition through the thread pool and the
+process pool (both via the partitioned path, bit-exactness asserted
+before timing).  The ``>= MIN_PROC_SPEEDUP`` acceptance gate applies
+only on hosts with at least ``MIN_GATE_CPUS`` cores — one worker per
+core is the whole mechanism, so a 1-2 core runner measures nothing but
+dispatch overhead; ``cpus`` is recorded so committed results are
+interpretable.
+
+**arena** — after warm-up, a burst of further runs must allocate ZERO
+new arena blocks (the ``allocations`` counter is asserted frozen): the
+warm serving path leases every output from the free lists.
+
+**auto** — the calibrated router (``backend="auto"``) is timed against
+both fixed backends after feeding the calibrator; auto must never be
+slower than ``MAX_AUTO_RATIO`` x the better fixed backend (it is
+allowed to *be* the better backend, not to lose to it).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_procpool_scaling.py
+
+writes ``results/procpool_scaling.json``.  CI runs ``--smoke``: smaller
+operands (still above the process-routing floor), fewer repeats, gates
+only on what a shared 1-2 core runner can measure deterministically
+(parity, arena reuse, routing sanity).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from conftest import bench_parser, gate, interleaved_ms, pick_repeats
+from repro.core.plan import make_plan
+from repro.kernels.common import reference_transpose
+from repro.runtime.autotune import ThroughputCalibrator
+from repro.runtime.scheduler import PROC_MIN_BYTES, StreamScheduler
+
+RESULTS_PATH = (
+    Path(__file__).resolve().parent.parent / "results" / "procpool_scaling.json"
+)
+
+#: name -> (full dims, smoke dims, perm).  All f64; the full cases are
+#: >= 64 MiB, the smoke cases ~8 MiB (still > PROC_MIN_BYTES so the
+#: router actually sends them to the pool).
+CASES = {
+    "od-reverse-64MiB": (
+        (128, 64, 32, 32),
+        (64, 32, 16, 16),
+        (3, 2, 1, 0),
+    ),
+    "oa-partial-64MiB": (
+        (32, 64, 64, 64),
+        (16, 32, 32, 32),
+        (1, 0, 3, 2),
+    ),
+}
+
+#: Process-over-thread acceptance (full mode, >= MIN_GATE_CPUS cores).
+MIN_PROC_SPEEDUP = 2.0
+MIN_GATE_CPUS = 4
+
+#: Auto routing may not lose to the better fixed backend by more than
+#: this factor.
+MAX_AUTO_RATIO = 1.1
+
+#: Warm-path burst length for the zero-allocation assertion.
+ARENA_BURST = 4
+
+
+def bench_case(name, dims, perm, repeats, workers, streams=4):
+    tuner = ThroughputCalibrator(
+        pool_size=streams, backends=("thread", "process")
+    )
+    sched = StreamScheduler(
+        num_streams=streams,
+        tuner=tuner,
+        backend="auto",
+        proc_workers=workers,
+    )
+    try:
+        plan = make_plan(dims, perm)
+        volume = plan.layout.volume
+        src = np.random.default_rng(3).standard_normal(volume)
+        nbytes = src.nbytes
+        assert nbytes >= PROC_MIN_BYTES, (
+            f"{name}: {nbytes} B payload is below the process-routing "
+            f"floor; the case would silently measure threads twice"
+        )
+
+        def run(backend=None, parts=None):
+            report = sched.submit_partitioned(
+                plan, src, parts=parts, backend=backend, lowering=False
+            ).result()
+            report.release()
+            return report
+
+        # Parity first: both backends must produce the reference bits.
+        ref = reference_transpose(src, plan.layout, plan.perm)
+        for backend in ("thread", "process"):
+            report = sched.submit_partitioned(
+                plan, src, backend=backend, lowering=False
+            ).result()
+            assert report.backend == backend, (
+                f"{name}: requested {backend}, routed to {report.backend}"
+            )
+            assert np.array_equal(report.output, ref), (
+                f"{name}: {backend} backend output mismatch"
+            )
+            report.release()
+        from repro.kernels.executor import executor_for
+
+        program_kind = executor_for(plan.kernel, lowering=False).kind
+        assert program_kind in ("indexed", "chunked"), program_kind
+
+        # Calibrate every (backend, parts) cell so the auto phase
+        # exploits measurements instead of exploring.
+        for backend in ("thread", "process"):
+            for p in tuner.candidates:
+                for _ in range(tuner.min_samples):
+                    run(backend=backend, parts=p)
+
+        # Zero-allocation warm path: the burst must reuse pooled blocks.
+        before = sched.arena.stats()["allocations"]
+        for backend in ("thread", "process"):
+            for _ in range(ARENA_BURST):
+                run(backend=backend)
+        arena_after = sched.arena.stats()
+        new_allocations = arena_after["allocations"] - before
+
+        timed = interleaved_ms(
+            {
+                "thread": lambda: run(backend="thread"),
+                "process": lambda: run(backend="process"),
+                "auto": lambda: run(),
+            },
+            repeats,
+        )
+        thread_ms, _ = timed["thread"]
+        proc_ms, _ = timed["process"]
+        auto_ms, _ = timed["auto"]
+        best_fixed_ms = min(thread_ms, proc_ms)
+        pool_stats = sched.procpool.stats() if sched.procpool else {}
+        return {
+            "dims": list(dims),
+            "perm": list(perm),
+            "schema": plan.schema.value,
+            "program": program_kind,
+            "payload_mib": round(nbytes / (1 << 20), 1),
+            "workers": workers,
+            "thread_ms": round(thread_ms, 3),
+            "process_ms": round(proc_ms, 3),
+            "auto_ms": round(auto_ms, 3),
+            "process_speedup": round(thread_ms / proc_ms, 3),
+            "auto_vs_best_ratio": round(auto_ms / best_fixed_ms, 3),
+            "arena_new_allocations_warm": new_allocations,
+            "arena_reuses": arena_after["reuses"],
+            "procpool_program_hits": pool_stats.get("program_hits", 0),
+            "procpool_pipe_rehydrations": pool_stats.get(
+                "pipe_rehydrations", 0
+            ),
+        }
+    finally:
+        sched.close()
+
+
+def main(argv=None):
+    ap = bench_parser(__doc__.splitlines()[0])
+    ap.add_argument("--workers", type=int, default=None)
+    ap.add_argument("--out", type=Path, default=RESULTS_PATH)
+    args = ap.parse_args(argv)
+
+    cpus = os.cpu_count() or 1
+    repeats = pick_repeats(args, full=7, smoke=2)
+    workers = args.workers if args.workers is not None else min(cpus, 8)
+
+    results = {}
+    for name, (full_dims, smoke_dims, perm) in CASES.items():
+        dims = smoke_dims if args.smoke else full_dims
+        results[name] = bench_case(name, dims, perm, repeats, workers)
+
+    print(
+        f"{'case':<20s} {'prog':<8s} {'MiB':>6s} {'thread':>9s} "
+        f"{'process':>9s} {'auto':>9s} {'speedup':>8s} {'auto/best':>9s}"
+    )
+    for name, r in results.items():
+        print(
+            f"{name:<20s} {r['program']:<8s} {r['payload_mib']:>6.1f} "
+            f"{r['thread_ms']:>7.2f}ms {r['process_ms']:>7.2f}ms "
+            f"{r['auto_ms']:>7.2f}ms {r['process_speedup']:>7.2f}x "
+            f"{r['auto_vs_best_ratio']:>9.3f}"
+        )
+
+    failures = [
+        f"{name}: warm burst allocated {r['arena_new_allocations_warm']} "
+        "new arena blocks (expected 0)"
+        for name, r in results.items()
+        if r["arena_new_allocations_warm"] != 0
+    ]
+
+    if args.smoke:
+        # Speedup and the auto ratio need real cores and quiet hosts;
+        # smoke gates only the deterministic invariants above (parity
+        # and routing already asserted inside bench_case).
+        return gate("PROCPOOL SCALING REGRESSION", failures, smoke=True)
+
+    speedup_gated = cpus >= MIN_GATE_CPUS
+    if speedup_gated:
+        failures += [
+            f"{name}: process speedup {r['process_speedup']}x < "
+            f"{MIN_PROC_SPEEDUP}x over the thread pool"
+            for name, r in results.items()
+            if r["process_speedup"] < MIN_PROC_SPEEDUP
+        ]
+    failures += [
+        f"{name}: auto {r['auto_vs_best_ratio']}x of the better fixed "
+        f"backend (max {MAX_AUTO_RATIO})"
+        for name, r in results.items()
+        if r["auto_vs_best_ratio"] > MAX_AUTO_RATIO
+    ]
+    summary = {
+        "cpus": cpus,
+        "workers": workers,
+        "repeats": repeats,
+        "speedup_gated": speedup_gated,
+        "min_proc_speedup": MIN_PROC_SPEEDUP,
+        "max_auto_ratio": MAX_AUTO_RATIO,
+        "cases": results,
+    }
+    args.out.parent.mkdir(exist_ok=True)
+    args.out.write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return gate("ACCEPTANCE THRESHOLDS NOT MET", failures)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,10 @@ Set ``REPRO_BENCH_QUICK=1`` to subsample the 720-permutation sweeps
 
 from __future__ import annotations
 
+import argparse
 import os
+import statistics
+import time
 from pathlib import Path
 from typing import Dict, List
 
@@ -25,6 +28,62 @@ from repro.bench.suites import BenchCase, six_d_suite
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+
+
+# ----------------------------------------------------------------------
+# Shared harness of the standalone `python benchmarks/bench_*.py` scripts
+# ----------------------------------------------------------------------
+
+
+def bench_parser(description: str) -> argparse.ArgumentParser:
+    """The uniform CLI every standalone bench shares.
+
+    ``--smoke`` is the CI mode: fewer repeats, gate checks only, no file
+    output.  Scripts add their own extra arguments on top.
+    """
+    ap = argparse.ArgumentParser(description=description)
+    ap.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI mode: fewer repeats, threshold check, no file output",
+    )
+    ap.add_argument("--repeats", type=int, default=None)
+    return ap
+
+
+def pick_repeats(args, full: int, smoke: int = 3) -> int:
+    """Repeat count: explicit ``--repeats`` wins, else the mode default."""
+    if args.repeats is not None:
+        return args.repeats
+    return smoke if args.smoke else full
+
+
+def gate(label: str, failures: List[str], smoke: bool = False) -> int:
+    """Uniform verdict printing; the exit code for ``main()``.
+
+    Every bench reports threshold violations the same way, so CI logs
+    grep identically across benches.
+    """
+    if failures:
+        print(f"{label}:", *failures, sep="\n  ")
+        return 1
+    if smoke:
+        print("smoke thresholds OK")
+    return 0
+
+
+def interleaved_ms(fns: Dict[str, object], repeats: int) -> Dict[str, tuple]:
+    """Best/median ms per labelled path, measured round-robin so host
+    drift hits every path equally."""
+    times: Dict[str, List[float]] = {name: [] for name in fns}
+    for _ in range(repeats):
+        for name, fn in fns.items():
+            t0 = time.perf_counter()
+            fn()
+            times[name].append((time.perf_counter() - t0) * 1e3)
+    return {
+        name: (min(ts), statistics.median(ts)) for name, ts in times.items()
+    }
 
 
 def write_result(name: str, text: str) -> Path:

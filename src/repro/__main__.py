@@ -17,12 +17,16 @@ device [k40c|p100]
     Print the simulated device configuration (Table III analogue).
 
 serve [--requests N] [--clients C] [--streams S] [--payload]
-      [--batch-window S] [--state-dir DIR]
+      [--batch-window S] [--backend thread|process|auto]
+      [--proc-workers N] [--state-dir DIR]
     Run a workload through the concurrent transpose-serving runtime
     (persistent plan store + metrics); ``--payload`` moves real data
     through the compiled executors.  With ``--batch-window`` (seconds,
     requires ``--payload``) concurrent same-problem requests coalesce
-    into fused batched runs.  See docs/runtime.md.
+    into fused batched runs.  ``--backend`` selects the execution tier
+    for eligible jobs (see docs/execution-tiers.md): the thread pool,
+    the out-of-GIL shared-memory process pool, or calibrated auto
+    routing.  See docs/runtime.md.
 
 stats [--state-dir DIR] [--json]
     Print the metrics snapshot written by the last ``serve`` session,
@@ -197,6 +201,8 @@ def cmd_serve(args) -> int:
         num_streams=args.streams,
         store_autoflush=False,
         batch_window_s=args.batch_window,
+        backend=args.backend,
+        proc_workers=args.proc_workers,
     )
     errors = []
 
@@ -222,31 +228,48 @@ def cmd_serve(args) -> int:
                 return
             try:
                 if args.batch_window > 0:
-                    service.execute_batched(
+                    report = service.execute_batched(
                         dims, perm, elem_bytes, payloads[dims]
                     )
+                elif args.payload and args.backend != "thread":
+                    # The partitioned path is the one the backend router
+                    # sees; forced index-map compilation makes the job
+                    # process-pool-eligible when it is large enough.
+                    report = service.execute_partitioned(
+                        dims, perm, elem_bytes, payloads[dims],
+                        lowering=False,
+                    )
                 else:
-                    service.execute(dims, perm, elem_bytes, payloads.get(dims))
+                    report = service.execute(
+                        dims, perm, elem_bytes, payloads.get(dims)
+                    )
+                # The workload discards outputs: hand the buffer back so
+                # the arena's free lists actually warm up.
+                report.release()
             except Exception as exc:  # surface, don't hang the pool
                 errors.append(exc)
 
-    started = time.perf_counter()
-    clients = [
-        threading.Thread(target=client, name=f"client-{i}", daemon=True)
-        for i in range(args.clients)
-    ]
-    for t in clients:
-        t.start()
-    for t in clients:
-        t.join()
-    wall = time.perf_counter() - started
+    # The context manager guarantees the orderly teardown even when a
+    # client raises: micro-batch windows drain, streams retire their
+    # queues, process-pool workers join, and the plan store flushes.
+    with service:
+        started = time.perf_counter()
+        clients = [
+            threading.Thread(target=client, name=f"client-{i}", daemon=True)
+            for i in range(args.clients)
+        ]
+        for t in clients:
+            t.start()
+        for t in clients:
+            t.join()
+        wall = time.perf_counter() - started
+        # Snapshot while the pool workers are still alive so their
+        # warm-up counters make it into the metrics file.
+        stats = service.stats()
 
-    service.close()  # drains streams and flushes the plan store
     if errors:
         print(f"error: {errors[0]}", file=sys.stderr)
         return 1
-
-    stats = service.stats()
     (state_dir / "metrics.json").write_text(
         json.dumps(stats, indent=2, sort_keys=True) + "\n"
     )
@@ -281,6 +304,24 @@ def cmd_serve(args) -> int:
             f"runs, {b['coalesced']} coalesced "
             f"(window {b['window_s'] * 1e3:.1f} ms, "
             f"max batch {b['max_batch']})"
+        )
+    sched = stats["scheduler"]
+    arena = sched.get("arena")
+    if args.payload and arena:
+        print(
+            f"arena: {arena['reuses']} buffer reuses / "
+            f"{arena['allocations']} allocations, "
+            f"{arena['free_bytes'] / (1 << 20):.1f} MiB pooled"
+        )
+    pool = sched.get("procpool")
+    if pool:
+        print(
+            f"procpool ({sched['backend']}): {pool['num_workers']} workers "
+            f"({pool['start_method']}), {pool['jobs_dispatched']} jobs, "
+            f"{pool['programs_built']} programs built / "
+            f"{pool['program_hits']} hits, "
+            f"{pool['pipe_rehydrations']} pipe + "
+            f"{pool['store_rehydrations']} store rehydrations"
         )
     print(
         f"state: {state_dir} "
@@ -347,6 +388,29 @@ def cmd_stats(args) -> int:
         f"streams: {sched['num_streams']} on {', '.join(sched['devices'])}; "
         f"sim clocks (ms): {clocks}; jobs {sched['jobs_done']}"
     )
+    arena = sched.get("arena")
+    if arena:
+        print(
+            f"arena: {arena['reuses']} reuses / {arena['allocations']} "
+            f"allocations ({arena['trimmed']} trimmed, "
+            f"{arena['leaked']} leaked, "
+            f"{arena['auto_reclaimed']} auto-reclaimed), "
+            f"{arena['free_blocks']} free blocks / "
+            f"{arena['free_bytes'] / (1 << 20):.1f} MiB pooled"
+        )
+    pool = sched.get("procpool")
+    if pool:
+        print(
+            f"procpool: backend={sched.get('backend', '?')}, "
+            f"{pool['num_workers']} workers ({pool['start_method']}), "
+            f"{pool['jobs_dispatched']} jobs "
+            f"({pool['jobs_failed']} failed), "
+            f"{pool['tasks']} tasks, "
+            f"{pool['programs_built']} programs built / "
+            f"{pool['program_hits']} hits, "
+            f"rehydrated {pool['pipe_rehydrations']} via pipe / "
+            f"{pool['store_rehydrations']} via store"
+        )
     batching = payload.get("batching")
     if batching:
         print(
@@ -467,6 +531,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="micro-batching window in seconds: coalesce concurrent "
              "same-problem requests into fused batched runs "
              "(requires --payload; default 0 = off)",
+    )
+    p.add_argument(
+        "--backend", choices=("thread", "process", "auto"), default="thread",
+        help="execution tier for eligible jobs: the in-process thread "
+             "pool, the out-of-GIL shared-memory process pool, or "
+             "calibrated auto routing (default %(default)s)",
+    )
+    p.add_argument(
+        "--proc-workers", type=int, default=None, metavar="N",
+        help="process-pool worker count (default: os.cpu_count(); "
+             "only used with --backend process/auto)",
     )
     p.add_argument(
         "--dtype",

@@ -52,6 +52,46 @@ def _elem_bytes_of(dtype: np.dtype) -> int:
     return size
 
 
+def _check_out(
+    out: np.ndarray,
+    dtype: np.dtype,
+    shape: Optional[Tuple[int, ...]] = None,
+    size: Optional[int] = None,
+) -> np.ndarray:
+    """Validate a caller-provided output buffer up front.
+
+    The kernels' own ``check_output`` runs deep inside execution and
+    raises ``SchemaError``; historically a non-contiguous or
+    wrong-dtype ``out`` was accepted by some paths (silently copied) and
+    rejected by others.  Every public ``out=`` now fails fast here with
+    a consistent :class:`InvalidLayoutError`.
+    """
+    if not isinstance(out, np.ndarray):
+        raise InvalidLayoutError(
+            f"out must be a numpy array, got {type(out).__name__}"
+        )
+    if shape is not None and out.shape != tuple(shape):
+        raise InvalidLayoutError(
+            f"out has shape {out.shape}, expected {tuple(shape)}"
+        )
+    if size is not None and out.size != size:
+        raise InvalidLayoutError(
+            f"out has {out.size} elements, expected {size}"
+        )
+    if out.dtype != np.dtype(dtype):
+        raise InvalidLayoutError(
+            f"out has dtype {out.dtype}, expected {np.dtype(dtype)}"
+        )
+    if not out.flags.c_contiguous:
+        raise InvalidLayoutError(
+            "out must be C-contiguous (the kernels write the output "
+            "linearization in place)"
+        )
+    if not out.flags.writeable:
+        raise InvalidLayoutError("out is read-only")
+    return out
+
+
 def _plan_for(
     dims: Sequence[int],
     perm: Sequence[int],
@@ -125,9 +165,17 @@ class Transposer:
 
         With ``out`` (C-contiguous, same size and dtype) the result is
         written in place — the steady-state repeated-use call does no
-        allocation at all.
+        allocation at all.  An ``out`` of the wrong dtype, size, or
+        memory layout raises :class:`InvalidLayoutError` before
+        anything executes.
         """
         self.calls += 1
+        if out is not None:
+            _check_out(
+                out,
+                np.asarray(src_flat).dtype,
+                size=self.plan.layout.volume,
+            )
         return self.plan.execute(src_flat, out=out)
 
     def simulated_time(self) -> float:
@@ -235,7 +283,9 @@ def transpose(
     The array must be C-contiguous (or convertible); the result is a new
     contiguous array, element-identical to NumPy's transposition.  With
     ``out`` (C-contiguous, the transposed shape, same dtype) the result
-    is written in place and ``out`` is returned.
+    is written in place and ``out`` is returned; a non-contiguous,
+    wrong-shape, or wrong-dtype ``out`` raises
+    :class:`InvalidLayoutError` before anything is planned or executed.
     """
     a = np.ascontiguousarray(array)
     if a.ndim != len(axes):
@@ -244,13 +294,11 @@ def transpose(
         )
     dims = a.shape[::-1]  # our dim 0 is the fastest (NumPy's last axis)
     perm = axes_to_perm(axes)
-    plan = _plan_for(dims, perm, _elem_bytes_of(a.dtype), spec, predictor)
     out_shape = tuple(a.shape[ax] for ax in axes)
     if out is not None:
-        if out.shape != out_shape:
-            raise InvalidLayoutError(
-                f"out has shape {out.shape}, expected {out_shape}"
-            )
+        _check_out(out, a.dtype, shape=out_shape)
+    plan = _plan_for(dims, perm, _elem_bytes_of(a.dtype), spec, predictor)
+    if out is not None:
         plan.execute(a.reshape(-1), out=out)
         return out
     return plan.execute(a.reshape(-1)).reshape(out_shape)

@@ -97,6 +97,11 @@ class BoundedLRU:
         with self._lock:
             return self._bytes
 
+    def values(self) -> list:
+        """Snapshot of the cached values, oldest first."""
+        with self._lock:
+            return list(self._data.values())
+
     def clear(self) -> None:
         """Drop every entry (counters are kept; see :meth:`reset_stats`)."""
         with self._lock:

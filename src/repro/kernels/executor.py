@@ -59,7 +59,7 @@ against ``B`` independent :meth:`~ExecutorProgram.run` calls.
 from __future__ import annotations
 
 import abc
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -635,30 +635,59 @@ _PROGRAM_CACHE = BoundedLRU(
 )
 
 
+def cached_program(
+    key: Hashable, build: Callable[[], ExecutorProgram]
+) -> Tuple[ExecutorProgram, bool]:
+    """Get-or-build on the process-wide program cache.
+
+    The generic rehydration hook: callers that can rebuild a program
+    from stable content (a kernel, or a persisted plan-store entry in a
+    process-pool worker) pass that content's key and a builder; the
+    program is compiled at most once per process per key.  Returns
+    ``(program, hit)``.
+    """
+    program = _PROGRAM_CACHE.get(key)
+    if program is not None:
+        return program, True
+    program = build()
+    _PROGRAM_CACHE.put(key, program)
+    return program, False
+
+
 def executor_with_status(
-    kernel, *, max_index_bytes: int = DEFAULT_MAX_INDEX_BYTES
+    kernel,
+    *,
+    lowering: bool = True,
+    max_index_bytes: int = DEFAULT_MAX_INDEX_BYTES,
 ) -> Tuple[ExecutorProgram, bool]:
     """The kernel's cached program plus whether this call was a hit.
 
     The cache key is the kernel's :meth:`~repro.kernels.base
     .TransposeKernel.execute_key` — problem content, not object
     identity — so every kernel instance of one plan (and every rebuilt
-    plan of one problem) shares a single compiled program.
+    plan of one problem) shares a single compiled program.  The compile
+    options are part of the key: forcing ``lowering=False`` (the
+    index-map oracle, and the regime the process-pool backend exists
+    for) caches separately from the default lowering.
     """
-    key = kernel.execute_key() + (max_index_bytes,)
-    program = _PROGRAM_CACHE.get(key)
-    if program is not None:
-        return program, True
-    program = compile_executor(kernel, max_index_bytes=max_index_bytes)
-    _PROGRAM_CACHE.put(key, program)
-    return program, False
+    return cached_program(
+        kernel.execute_key() + (lowering, max_index_bytes),
+        lambda: compile_executor(
+            kernel, lowering=lowering, max_index_bytes=max_index_bytes
+        ),
+    )
 
 
 def executor_for(
-    kernel, *, max_index_bytes: int = DEFAULT_MAX_INDEX_BYTES
+    kernel,
+    *,
+    lowering: bool = True,
+    max_index_bytes: int = DEFAULT_MAX_INDEX_BYTES,
 ) -> ExecutorProgram:
     """The kernel's cached compiled program (compiling on first use)."""
-    return executor_with_status(kernel, max_index_bytes=max_index_bytes)[0]
+    return executor_with_status(
+        kernel, lowering=lowering, max_index_bytes=max_index_bytes
+    )[0]
 
 
 def exec_cache_stats() -> dict:

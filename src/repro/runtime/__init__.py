@@ -17,18 +17,29 @@ from __future__ import annotations
 from threading import Lock
 from typing import Optional
 
+from repro.runtime.arena import ArenaBlock, BufferArena
 from repro.runtime.autotune import ThroughputCalibrator
 from repro.runtime.batching import MicroBatcher, SingleFlight
 from repro.runtime.metrics import LatencyHistogram, MetricsRegistry
+from repro.runtime.procpool import ProcessPool
 from repro.runtime.scheduler import ExecutionReport, StreamScheduler
 from repro.runtime.service import TransposeService
-from repro.runtime.store import PlanStore, rehydrate_plan, serialize_plan
+from repro.runtime.store import (
+    PlanStore,
+    plan_key,
+    rehydrate_plan,
+    serialize_plan,
+)
 
 __all__ = [
     "TransposeService",
     "StreamScheduler",
     "ExecutionReport",
+    "BufferArena",
+    "ArenaBlock",
+    "ProcessPool",
     "PlanStore",
+    "plan_key",
     "serialize_plan",
     "rehydrate_plan",
     "MetricsRegistry",

@@ -16,6 +16,14 @@ The calibration table persists as JSON next to the plan store
 (``autotune.json``), so a restarted process starts exploited, not
 exploring — the same across-restart amortization the plan store gives
 planning.
+
+With the process-pool execution tier the table gained a **backend
+axis**: cells are keyed ``backend:kind|2^cls`` and
+:meth:`ThroughputCalibrator.choose_backend` picks between the thread
+pool and the process pool for the cells where the router has a real
+choice (large indexed/chunked programs — see
+:mod:`repro.runtime.procpool`), by the same explore-then-exploit rule
+``choose`` uses for ``parts``.
 """
 
 from __future__ import annotations
@@ -24,9 +32,16 @@ import json
 import os
 from pathlib import Path
 from threading import Lock
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
-AUTOTUNE_VERSION = 1
+#: Version 2 added the backend axis to the cell keys; v1 files (no
+#: backend prefix) would alias thread and process measurements, so they
+#: are discarded on load.
+AUTOTUNE_VERSION = 2
+
+#: The cell-key backend prefix used when the caller does not say —
+#: the in-process thread pool, the only backend before the process tier.
+DEFAULT_BACKEND = "thread"
 
 #: Measurements per (cell, candidate) before the calibrator stops
 #: exploring that candidate.
@@ -47,13 +62,15 @@ def parts_candidates(pool_size: int) -> List[int]:
 class ThroughputCalibrator:
     """Measured-throughput table choosing ``parts`` per program kind.
 
-    Cells are keyed by ``(program kind, log2 size class of the moved
-    payload bytes)``.  :meth:`choose` returns the first under-sampled
-    candidate (exploration, in ascending order) until every candidate
-    of the cell has ``min_samples`` measurements, then the candidate
-    with the highest measured bytes/second (exploitation).
-    :meth:`record` feeds a finished run back in.  Thread-safe; state
-    optionally persists to ``path`` (atomic JSON, corruption-tolerant).
+    Cells are keyed by ``(backend, program kind, log2 size class of the
+    moved payload bytes)``.  :meth:`choose` returns the first
+    under-sampled candidate (exploration, in ascending order) until
+    every candidate of the cell has ``min_samples`` measurements, then
+    the candidate with the highest measured bytes/second
+    (exploitation); :meth:`choose_backend` applies the same rule across
+    the ``backends`` the scheduler runs.  :meth:`record` feeds a
+    finished run back in.  Thread-safe; state optionally persists to
+    ``path`` (atomic JSON, corruption-tolerant).
     """
 
     def __init__(
@@ -62,11 +79,15 @@ class ThroughputCalibrator:
         path: Optional[Union[str, Path]] = None,
         min_samples: int = DEFAULT_MIN_SAMPLES,
         autoflush: bool = False,
+        backends: Sequence[str] = (DEFAULT_BACKEND,),
     ):
         if pool_size <= 0:
             raise ValueError(f"pool_size must be positive, got {pool_size}")
+        if not backends:
+            raise ValueError("at least one backend is required")
         self.pool_size = pool_size
         self.candidates = parts_candidates(pool_size)
+        self.backends = tuple(backends)
         self.min_samples = max(1, min_samples)
         self.path = Path(path) if path is not None else None
         self.autoflush = autoflush
@@ -84,14 +105,18 @@ class ThroughputCalibrator:
         """Log2 bucket of the payload size (0 for <= 1 byte)."""
         return max(0, int(total_bytes) - 1).bit_length()
 
-    def _key(self, kind: str, total_bytes: int) -> str:
-        return f"{kind}|2^{self.size_class(total_bytes)}"
+    def _key(
+        self, kind: str, total_bytes: int, backend: str = DEFAULT_BACKEND
+    ) -> str:
+        return f"{backend}:{kind}|2^{self.size_class(total_bytes)}"
 
     # ---- choose / record --------------------------------------------
-    def choose(self, kind: str, total_bytes: int) -> int:
+    def choose(
+        self, kind: str, total_bytes: int, backend: str = DEFAULT_BACKEND
+    ) -> int:
         """The ``parts`` to run with: explore until calibrated, then
         the measured-throughput argmax."""
-        key = self._key(kind, total_bytes)
+        key = self._key(kind, total_bytes, backend)
         with self._lock:
             cell = self._cells.get(key, {})
             for p in self.candidates:
@@ -104,13 +129,49 @@ class ThroughputCalibrator:
                 / max(cell[str(p)]["total_s"], 1e-12),
             )
 
+    def _best_bps(self, cell: Dict[str, dict]) -> float:
+        """Highest calibrated throughput in a cell (lock held)."""
+        best = -1.0
+        for s in cell.values():
+            if s["count"] >= self.min_samples:
+                best = max(best, s["total_bytes"] / max(s["total_s"], 1e-12))
+        return best
+
+    def choose_backend(self, kind: str, total_bytes: int) -> str:
+        """The execution backend to run with, among ``self.backends``.
+
+        Same explore-then-exploit shape as :meth:`choose`, one level
+        up: while any backend's cell is still exploring ``parts``, that
+        backend runs next (so both sides of the crossover get measured);
+        once every backend is calibrated, the one whose best candidate
+        measured the highest bytes/second wins.
+        """
+        if len(self.backends) == 1:
+            return self.backends[0]
+        with self._lock:
+            scored = []
+            for backend in self.backends:
+                key = self._key(kind, total_bytes, backend)
+                cell = self._cells.get(key, {})
+                for p in self.candidates:
+                    stats = cell.get(str(p))
+                    if stats is None or stats["count"] < self.min_samples:
+                        return backend
+                scored.append((self._best_bps(cell), backend))
+            return max(scored)[1]
+
     def record(
-        self, kind: str, total_bytes: int, parts: int, seconds: float
+        self,
+        kind: str,
+        total_bytes: int,
+        parts: int,
+        seconds: float,
+        backend: str = DEFAULT_BACKEND,
     ) -> None:
         """Feed one finished run's wall time back into the table."""
         if seconds <= 0 or parts <= 0:
             return
-        key = self._key(kind, total_bytes)
+        key = self._key(kind, total_bytes, backend)
         with self._lock:
             cell = self._cells.setdefault(key, {})
             stats = cell.setdefault(
@@ -123,9 +184,11 @@ class ThroughputCalibrator:
         if self.autoflush:
             self.flush()
 
-    def calibrated(self, kind: str, total_bytes: int) -> bool:
+    def calibrated(
+        self, kind: str, total_bytes: int, backend: str = DEFAULT_BACKEND
+    ) -> bool:
         """Whether :meth:`choose` has left exploration for this cell."""
-        key = self._key(kind, total_bytes)
+        key = self._key(kind, total_bytes, backend)
         with self._lock:
             cell = self._cells.get(key, {})
             return all(
@@ -155,6 +218,7 @@ class ThroughputCalibrator:
             return {
                 "pool_size": self.pool_size,
                 "candidates": self.candidates,
+                "backends": list(self.backends),
                 "min_samples": self.min_samples,
                 "path": str(self.path) if self.path else None,
                 "cells": cells,

@@ -1,0 +1,578 @@
+"""Out-of-GIL execution tier: a shared-memory process pool.
+
+NumPy's strided copies (the view/region programs) drop the GIL, so the
+thread-pool scheduler already scales them across cores.  Fancy
+gather/scatter — everything :class:`~repro.kernels.executor
+.IndexedProgram` and :class:`~repro.kernels.executor.ChunkedProgram`
+do — holds the GIL for the whole move, so on the thread pool a large
+indexed transposition serializes no matter how many streams exist.
+This module is the tier below: worker *processes* that execute disjoint
+partition tasks of one program concurrently, with **zero serialization
+of tensor data**.
+
+The data plane is ``multiprocessing.shared_memory`` via the
+:class:`~repro.runtime.arena.BufferArena`: the parent leases one block
+for the source and one for the destination, and only control metadata
+crosses the pipe — the plan content key, segment names, offsets, shape,
+dtype, compile options, and the task ranges.  Workers map the segments
+by name and gather/scatter straight into the destination pages.
+
+Workers rebuild frozen :class:`~repro.kernels.executor.ExecutorProgram`
+state on first use from the plan content key: first from their own
+handle on the persistent :class:`~repro.runtime.store.PlanStore`
+(reloading it when the key is missing — the parent may have flushed
+since), else from the serialized plan entry the parent attaches to a
+key's first dispatch.  Rebuilt programs live in a per-worker
+:class:`~repro.core.lru.BoundedLRU`; the warm-up counters
+(``programs_built`` / ``program_hits`` / ``store_rehydrations`` /
+``pipe_rehydrations``) are exported through :meth:`ProcessPool.stats`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import threading
+import time
+import traceback
+from multiprocessing import connection, get_context
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.lru import BoundedLRU
+from repro.runtime.arena import _quiet_close, attach_block_view
+
+#: Per-worker program-cache bounds (mirrors the in-process executor
+#: cache, scaled down: each worker only sees its shard of the key space).
+WORKER_MAX_PROGRAMS = 128
+WORKER_MAX_PROGRAM_BYTES = 256 * 1024 * 1024
+
+#: How long :meth:`ProcessPool.close` waits for a worker to exit before
+#: terminating it.
+_JOIN_TIMEOUT_S = 5.0
+
+
+def default_start_method() -> str:
+    """``spawn`` unless overridden: forking a process that already runs
+    scheduler threads is a deadlock lottery (and warns on 3.12+)."""
+    return os.environ.get("REPRO_PROCPOOL_START", "spawn")
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+class _Worker:
+    """State and message loop of one pool worker (runs in the child)."""
+
+    def __init__(self, conn, config: dict):
+        self.conn = conn
+        self.store = None
+        self.store_path = config.get("store_path")
+        self.programs = BoundedLRU(
+            maxsize=config.get("max_programs", WORKER_MAX_PROGRAMS),
+            max_bytes=config.get(
+                "max_program_bytes", WORKER_MAX_PROGRAM_BYTES
+            ),
+            sizeof=lambda program: program.nbytes,
+        )
+        self.segments = BoundedLRU(maxsize=config.get("max_segments", 64))
+        self.counters = {
+            "jobs": 0,
+            "tasks": 0,
+            "programs_built": 0,
+            "program_hits": 0,
+            "store_rehydrations": 0,
+            "pipe_rehydrations": 0,
+            "errors": 0,
+        }
+
+    # ---- program rehydration ----------------------------------------
+    def _store_entry(self, key: str) -> Optional[dict]:
+        if self.store_path is None:
+            return None
+        from repro.runtime.store import PlanStore
+
+        if self.store is None:
+            if not os.path.exists(self.store_path):
+                return None
+            self.store = PlanStore(self.store_path, autoflush=False)
+        entry = self.store.entry(key)
+        if entry is None:
+            # The parent may have flushed new plans since we loaded.
+            self.store.reload()
+            entry = self.store.entry(key)
+        return entry
+
+    def _program(self, key: str, entry: Optional[dict], spec, compile_opts):
+        """The compiled program for one plan content key, or ``None``
+        when the worker has no way to rebuild it (-> ``need_plan``)."""
+        cache_key = (key, compile_opts)
+        program = self.programs.get(cache_key)
+        if program is not None:
+            self.counters["program_hits"] += 1
+            return program
+        source = None
+        if entry is None:
+            entry = self._store_entry(key)
+            if entry is not None:
+                source = "store_rehydrations"
+        else:
+            source = "pipe_rehydrations"
+        if entry is None:
+            return None
+        from repro.kernels.executor import compile_executor
+        from repro.runtime.store import rehydrate_plan
+
+        lowering, max_index_bytes = compile_opts
+        plan = rehydrate_plan(entry, spec)
+        program = compile_executor(
+            plan.kernel, lowering=lowering, max_index_bytes=max_index_bytes
+        )
+        self.programs.put(cache_key, program)
+        self.counters[source] += 1
+        self.counters["programs_built"] += 1
+        return program
+
+    # ---- shared-memory views ----------------------------------------
+    def _view(self, seg_name: str, offset: int, shape, dtype) -> np.ndarray:
+        seg = self.segments.get(seg_name)
+        if seg is None:
+            seg, _ = attach_block_view(seg_name, (0,), np.uint8)
+            self.segments.put(seg_name, seg)
+        dtype = np.dtype(dtype)
+        count = int(np.prod(shape, dtype=np.int64))
+        return np.frombuffer(
+            seg.buf, dtype=dtype, count=count, offset=offset
+        ).reshape(shape)
+
+    # ---- message loop ------------------------------------------------
+    def _exec(self, job_id: int, msg: dict) -> None:
+        program = self._program(
+            msg["key"], msg.get("entry"), msg["spec"], msg["compile"]
+        )
+        if program is None:
+            self.conn.send(("need_plan", job_id))
+            return
+        src = self._view(*msg["src"])
+        out = self._view(*msg["out"])
+        tasks = msg["tasks"]
+        if msg["mode"] == "batch":
+            for lo, hi in tasks:
+                program.run_batch(src[lo:hi], out=out[lo:hi])
+        else:
+            for task in tasks:
+                program.run_part(src, out, tuple(task))
+        self.counters["jobs"] += 1
+        self.counters["tasks"] += len(tasks)
+        self.conn.send(("done", job_id, len(tasks)))
+
+    def stats(self) -> dict:
+        return {
+            "pid": os.getpid(),
+            **self.counters,
+            "programs": self.programs.stats(),
+        }
+
+    def _teardown(self) -> None:
+        """Unmap cached segment attachments before the process exits
+        (interpreter-shutdown GC order would otherwise trip
+        ``SharedMemory.__del__`` over any still-live view)."""
+        for seg in self.segments.values():
+            _quiet_close(seg)
+        self.segments.clear()
+
+    def loop(self) -> None:
+        try:
+            self._loop()
+        finally:
+            self._teardown()
+
+    def _loop(self) -> None:
+        while True:
+            try:
+                msg = self.conn.recv()
+            except (EOFError, OSError):
+                return
+            op = msg[0]
+            if op == "close":
+                return
+            if op == "stats":
+                self.conn.send(("stats", msg[1], self.stats()))
+                continue
+            if op != "exec":  # pragma: no cover - protocol guard
+                continue
+            job_id = msg[1]
+            try:
+                self._exec(job_id, msg[2])
+            except BaseException as exc:
+                self.counters["errors"] += 1
+                detail = traceback.format_exc()
+                try:
+                    pickle.dumps(exc)
+                except Exception:
+                    exc = RuntimeError(f"{type(exc).__name__}: {exc}")
+                try:
+                    self.conn.send(("error", job_id, exc, detail))
+                except (BrokenPipeError, OSError):
+                    return
+
+
+def _worker_main(conn, config: dict) -> None:  # pragma: no cover - child
+    try:
+        _Worker(conn, config).loop()
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+class _WorkerHandle:
+    def __init__(self, proc, conn):
+        self.proc = proc
+        self.conn = conn
+        self.send_lock = threading.Lock()
+        #: Plan content keys whose serialized entry this worker has seen.
+        self.keys_sent: set = set()
+
+    def send(self, msg) -> None:
+        with self.send_lock:
+            self.conn.send(msg)
+
+
+class _Job:
+    """Parent-side record of one execution fanned over the workers."""
+
+    def __init__(self, done_cb: Callable, shards: int):
+        self.done_cb = done_cb
+        self.remaining = shards
+        self.started = time.perf_counter()
+        self.failed = False
+        #: worker index -> the exec message sent (for need_plan resend).
+        self.messages: Dict[int, tuple] = {}
+
+
+class ProcessPool:
+    """A pool of worker processes executing program tasks over shared
+    memory.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker process count (default: ``os.cpu_count()``).
+    store_path:
+        The persistent plan store workers rehydrate programs from
+        (optional; without it every first use ships the serialized plan
+        entry over the pipe instead).
+    start_method:
+        ``multiprocessing`` context: ``spawn`` (default, safe with
+        threads) or ``fork`` (faster start, Linux only).
+    """
+
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        *,
+        store_path=None,
+        start_method: Optional[str] = None,
+        max_programs: int = WORKER_MAX_PROGRAMS,
+        max_program_bytes: int = WORKER_MAX_PROGRAM_BYTES,
+    ):
+        self.num_workers = int(num_workers or os.cpu_count() or 1)
+        if self.num_workers <= 0:
+            raise ValueError(
+                f"num_workers must be positive, got {num_workers}"
+            )
+        self.start_method = start_method or default_start_method()
+        config = {
+            "store_path": str(store_path) if store_path else None,
+            "max_programs": max_programs,
+            "max_program_bytes": max_program_bytes,
+        }
+        ctx = get_context(self.start_method)
+        self._workers: List[_WorkerHandle] = []
+        for i in range(self.num_workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, config),
+                name=f"repro-procpool-{i}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._workers.append(_WorkerHandle(proc, parent_conn))
+        self._lock = threading.Lock()
+        self._jobs: Dict[int, _Job] = {}
+        self._job_ids = itertools.count()
+        self._stats_replies: Dict[int, dict] = {}
+        self._stats_events: Dict[int, threading.Event] = {}
+        self._closed = False
+        self.jobs_dispatched = 0
+        self.jobs_failed = 0
+        self._collector = threading.Thread(
+            target=self._collect, name="procpool-collector", daemon=True
+        )
+        self._collector.start()
+
+    # ---- dispatch ----------------------------------------------------
+    def submit_tasks(
+        self,
+        *,
+        key: str,
+        entry: Optional[dict],
+        spec,
+        compile_opts: Tuple[bool, int],
+        mode: str,
+        src: Tuple[str, int, tuple, str],
+        out: Tuple[str, int, tuple, str],
+        tasks: Sequence[tuple],
+        done_cb: Callable[[Optional[BaseException], float], None],
+    ) -> None:
+        """Fan one program execution's tasks across the workers.
+
+        ``src``/``out`` are ``(segment name, byte offset, shape, dtype
+        str)`` descriptors of arena blocks; ``tasks`` are
+        :meth:`~repro.kernels.executor.ExecutorProgram.partition` tasks
+        (``mode="part"``) or batch row ranges (``mode="batch"``).
+        ``done_cb(error, wall_s)`` fires exactly once when the last
+        shard lands (``error`` is ``None`` on success).
+        """
+        if self._closed:
+            raise RuntimeError("process pool is closed")
+        if mode not in ("part", "batch"):
+            raise ValueError(f"unknown mode {mode!r}")
+        tasks = [tuple(t) for t in tasks]
+        if not tasks:
+            raise ValueError("submit_tasks requires at least one task")
+        nshards = min(len(tasks), self.num_workers)
+        bounds = np.linspace(0, len(tasks), nshards + 1, dtype=np.int64)
+        shards = [
+            tasks[int(lo) : int(hi)]
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+        job_id = next(self._job_ids)
+        job = _Job(done_cb, len(shards))
+        base = {
+            "key": key,
+            "spec": spec,
+            "compile": tuple(compile_opts),
+            "mode": mode,
+            "src": src,
+            "out": out,
+        }
+        with self._lock:
+            self._jobs[job_id] = job
+            self.jobs_dispatched += 1
+            for widx, shard in enumerate(shards):
+                handle = self._workers[widx]
+                msg = dict(base, tasks=shard)
+                if key not in handle.keys_sent:
+                    msg["entry"] = entry
+                    handle.keys_sent.add(key)
+                job.messages[widx] = ("exec", job_id, msg)
+        for widx in list(job.messages):
+            try:
+                self._workers[widx].send(job.messages[widx])
+            except (BrokenPipeError, OSError) as exc:
+                self._fail_job(job_id, RuntimeError(f"worker died: {exc}"))
+                return
+
+    def _fail_job(self, job_id: int, exc: BaseException) -> None:
+        with self._lock:
+            job = self._jobs.pop(job_id, None)
+            if job is None or job.failed:
+                return
+            job.failed = True
+            self.jobs_failed += 1
+        job.done_cb(exc, time.perf_counter() - job.started)
+
+    # ---- result collection ------------------------------------------
+    def _handle(self, widx: int, msg) -> None:
+        op = msg[0]
+        if op == "stats":
+            _, rid, payload = msg
+            with self._lock:
+                self._stats_replies.setdefault(rid, {})[widx] = payload
+                event = self._stats_events.get(rid)
+            if event is not None:
+                event.set()
+            return
+        job_id = msg[1]
+        if op == "need_plan":
+            # The worker's program cache evicted the key and it cannot
+            # rehydrate locally: resend this shard with the entry.
+            with self._lock:
+                job = self._jobs.get(job_id)
+                sent = job.messages.get(widx) if job else None
+                if sent is not None:
+                    exec_msg = dict(sent[2])
+                    exec_msg["entry"] = exec_msg.get("entry") or self._entry_of(
+                        job_id
+                    )
+            if sent is None:
+                return
+            if exec_msg.get("entry") is None:
+                self._fail_job(
+                    job_id,
+                    RuntimeError(
+                        "worker cannot rehydrate the program and no plan "
+                        "entry is available"
+                    ),
+                )
+                return
+            self._workers[widx].send(("exec", job_id, exec_msg))
+            return
+        if op == "error":
+            self._fail_job(job_id, msg[2])
+            return
+        if op == "done":
+            done = None
+            with self._lock:
+                job = self._jobs.get(job_id)
+                if job is None:
+                    return
+                job.remaining -= 1
+                if job.remaining == 0:
+                    done = self._jobs.pop(job_id)
+            if done is not None and not done.failed:
+                done.done_cb(None, time.perf_counter() - done.started)
+
+    def _entry_of(self, job_id: int) -> Optional[dict]:
+        # Any shard of the job that carried the entry (lock held).
+        job = self._jobs.get(job_id)
+        if job is None:
+            return None
+        for sent in job.messages.values():
+            entry = sent[2].get("entry")
+            if entry is not None:
+                return entry
+        return None
+
+    def _collect(self) -> None:
+        conns = {w.conn: i for i, w in enumerate(self._workers)}
+        while conns and not self._closed:
+            ready = connection.wait(list(conns), timeout=0.2)
+            for conn in ready:
+                widx = conns[conn]
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    del conns[conn]
+                    if not self._closed:
+                        self._fail_worker_jobs(widx)
+                    continue
+                try:
+                    self._handle(widx, msg)
+                except Exception:  # pragma: no cover - keep collecting
+                    traceback.print_exc()
+
+    def _fail_worker_jobs(self, widx: int) -> None:
+        with self._lock:
+            affected = [
+                job_id
+                for job_id, job in self._jobs.items()
+                if widx in job.messages
+            ]
+        for job_id in affected:
+            self._fail_job(
+                job_id,
+                RuntimeError(f"process-pool worker {widx} exited unexpectedly"),
+            )
+
+    # ---- introspection ----------------------------------------------
+    def stats(self, timeout: float = 2.0) -> dict:
+        """Pool shape plus each live worker's warm-up counters."""
+        rid = next(self._job_ids)
+        event = threading.Event()
+        with self._lock:
+            self._stats_events[rid] = event
+            self._stats_replies[rid] = {}
+            alive = [
+                (i, w) for i, w in enumerate(self._workers) if w.proc.is_alive()
+            ]
+        if not self._closed:
+            for _, w in alive:
+                try:
+                    w.send(("stats", rid))
+                except (BrokenPipeError, OSError):
+                    pass
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                with self._lock:
+                    if len(self._stats_replies[rid]) >= len(alive):
+                        break
+                event.wait(0.05)
+                event.clear()
+        with self._lock:
+            replies = self._stats_replies.pop(rid, {})
+            self._stats_events.pop(rid, None)
+            pending = len(self._jobs)
+        workers = [replies.get(i) for i in range(self.num_workers)]
+        agg = {
+            name: sum(w[name] for w in workers if w)
+            for name in (
+                "jobs",
+                "tasks",
+                "programs_built",
+                "program_hits",
+                "store_rehydrations",
+                "pipe_rehydrations",
+                "errors",
+            )
+        }
+        return {
+            "num_workers": self.num_workers,
+            "start_method": self.start_method,
+            "jobs_dispatched": self.jobs_dispatched,
+            "jobs_failed": self.jobs_failed,
+            "jobs_pending": pending,
+            **agg,
+            "workers": workers,
+        }
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ---- lifecycle ---------------------------------------------------
+    def close(self) -> None:
+        """Stop the workers and fail anything still in flight."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            pending = list(self._jobs)
+        for job_id in pending:
+            self._fail_job(job_id, RuntimeError("process pool closed"))
+        for w in self._workers:
+            try:
+                w.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for w in self._workers:
+            w.proc.join(timeout=_JOIN_TIMEOUT_S)
+            if w.proc.is_alive():  # pragma: no cover - stuck worker
+                w.proc.terminate()
+                w.proc.join(timeout=_JOIN_TIMEOUT_S)
+            try:
+                w.conn.close()
+            except OSError:
+                pass
+        self._collector.join(timeout=_JOIN_TIMEOUT_S)
+
+    def __enter__(self) -> "ProcessPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -23,6 +23,20 @@ For both, the part count defaults to what the attached
 :class:`~repro.runtime.autotune.ThroughputCalibrator` has measured to
 be fastest for the program kind and payload size — finished runs feed
 their wall time back into the calibrator.
+
+The scheduler also routes between two execution **backends**: its own
+thread pool, and the shared-memory :class:`~repro.runtime.procpool
+.ProcessPool` (created lazily).  View/region programs are pure strided
+NumPy copies that release the GIL, so they stay on threads; large
+indexed/chunked programs hold the GIL for their whole fused
+gather/scatter, so with ``backend="process"`` (or ``"auto"``, where the
+calibrator's backend axis decides) their partition tasks run in worker
+processes that scatter directly into the shared-memory output block.
+Output buffers for split/batched jobs are leased from a
+:class:`~repro.runtime.arena.BufferArena` instead of ``np.empty`` — the
+report carries the lease (:attr:`ExecutionReport.block`) and callers
+that are done with the output call :meth:`ExecutionReport.release` to
+recycle it.
 """
 
 from __future__ import annotations
@@ -30,7 +44,7 @@ from __future__ import annotations
 import queue
 import time
 from concurrent.futures import Future
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from threading import Lock, Thread
 from typing import Callable, List, Optional, Sequence
 
@@ -39,11 +53,23 @@ import numpy as np
 from repro.core.plan import TransposePlan
 from repro.gpusim.cost import CostModel
 from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
-from repro.kernels.executor import executor_with_status
+from repro.kernels.executor import DEFAULT_MAX_INDEX_BYTES, executor_with_status
+from repro.runtime.arena import ArenaBlock, BufferArena
 from repro.runtime.autotune import ThroughputCalibrator
 from repro.runtime.metrics import MetricsRegistry
 
 _SHUTDOWN = object()
+
+#: The backends a scheduler can be asked to run.
+BACKENDS = ("thread", "process", "auto")
+
+#: Below this many payload bytes a job never routes to the process
+#: pool: pipe dispatch plus segment attach costs more than the whole
+#: move, GIL or not.
+PROC_MIN_BYTES = 4 << 20
+
+#: Pseudo stream id process-pool jobs report (they run on no stream).
+PROC_STREAM = -1
 
 
 @dataclass(frozen=True)
@@ -66,6 +92,23 @@ class ExecutionReport:
     parts: int = 1
     #: Operands moved by the job (``> 1`` only for batched jobs).
     batch: int = 1
+    #: Which execution backend ran the job.
+    backend: str = "thread"
+    #: The arena lease backing ``output`` (``None`` when the output is
+    #: a plain array or there is no output).  The report holds one
+    #: reference; callers done with the output call :meth:`release`.
+    block: Optional[ArenaBlock] = field(default=None, compare=False)
+
+    def release(self) -> None:
+        """Return the output's arena block to its free list.
+
+        Call exactly once, and only when nothing reads ``output``
+        anymore (the buffer is recycled for later executions).  A
+        report without an arena-backed output is a no-op.  Unreleased
+        blocks are reclaimed at garbage collection of the report.
+        """
+        if self.block is not None:
+            self.block.release()
 
 
 class _PartitionedJob:
@@ -88,6 +131,7 @@ class _PartitionedJob:
         enqueued: float,
         total: int,
         batch: int = 1,
+        block: Optional[ArenaBlock] = None,
     ):
         self.plan = plan
         self.program = program
@@ -100,6 +144,7 @@ class _PartitionedJob:
         self.parts = total
         self.remaining = total
         self.batch = batch
+        self.block = block
         self.started: Optional[float] = None
         self.failed = False
         self.cancelled = False
@@ -120,15 +165,34 @@ class StreamScheduler:
         devices: Optional[Sequence[DeviceSpec]] = None,
         metrics: Optional[MetricsRegistry] = None,
         tuner: Optional[ThroughputCalibrator] = None,
+        backend: str = "thread",
+        proc_workers: Optional[int] = None,
+        arena: Optional[BufferArena] = None,
+        store_path=None,
+        proc_start_method: Optional[str] = None,
     ):
         if num_streams <= 0:
             raise ValueError(f"num_streams must be positive, got {num_streams}")
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
         self.devices: List[DeviceSpec] = list(devices) if devices else [KEPLER_K40C]
         self.num_streams = num_streams
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: Online parts auto-tuner consulted when ``parts`` is omitted;
         #: finished split jobs feed their wall time back into it.
         self.tuner = tuner
+        #: ``thread`` | ``process`` | ``auto`` — where eligible split
+        #: jobs run (view/region and small jobs always stay on threads).
+        self.backend = backend
+        self.arena = arena if arena is not None else BufferArena()
+        self._own_arena = arena is None
+        self._proc_workers = proc_workers
+        self._proc_start_method = proc_start_method
+        self._store_path = store_path
+        self._procpool = None
+        self._procpool_lock = Lock()
         self._stream_devices = [
             self.devices[i % len(self.devices)] for i in range(num_streams)
         ]
@@ -159,12 +223,150 @@ class StreamScheduler:
         self.metrics.max_gauge("queue_depth_peak", depth)
         return fut
 
-    def _pick_parts(self, kind: str, total_bytes: int) -> int:
+    def _pick_parts(
+        self, kind: str, total_bytes: int, backend: str = "thread"
+    ) -> int:
         """The part count for a split job: the calibrated winner when a
         tuner is attached, the stream count otherwise."""
         if self.tuner is not None:
-            return self.tuner.choose(kind, total_bytes)
+            return self.tuner.choose(kind, total_bytes, backend=backend)
         return self.num_streams
+
+    # ---- backend routing ---------------------------------------------
+    def _route(
+        self, program, total_bytes: int, backend: Optional[str]
+    ) -> str:
+        """Which backend one split job runs on.
+
+        Static rules first: view/region programs are strided NumPy
+        copies that already release the GIL — threads always win.  Small
+        payloads never amortize process dispatch.  What remains (large
+        indexed/chunked, the GIL-bound fancy-indexing regime) honors a
+        fixed ``process`` choice, and under ``auto`` asks the
+        calibrator's backend axis, measuring both sides first.
+        """
+        choice = backend if backend is not None else self.backend
+        if choice not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {choice!r}"
+            )
+        if choice == "thread" or self._closed:
+            return "thread"
+        if program.kind in ("view", "region"):
+            return "thread"
+        if total_bytes < PROC_MIN_BYTES:
+            return "thread"
+        if not self.arena.use_shared_memory:
+            return "thread"
+        if choice == "process":
+            return "process"
+        if self.tuner is not None and "process" in getattr(
+            self.tuner, "backends", ()
+        ):
+            return self.tuner.choose_backend(program.kind, total_bytes)
+        return "process"
+
+    def _ensure_procpool(self):
+        with self._procpool_lock:
+            if self._procpool is None:
+                from repro.runtime.procpool import ProcessPool
+
+                self._procpool = ProcessPool(
+                    self._proc_workers,
+                    store_path=self._store_path,
+                    start_method=self._proc_start_method,
+                )
+            return self._procpool
+
+    @property
+    def procpool(self):
+        """The lazily-created process pool (``None`` until first use)."""
+        with self._procpool_lock:
+            return self._procpool
+
+    def _submit_process(
+        self,
+        plan: TransposePlan,
+        program,
+        src: np.ndarray,
+        tasks,
+        mode: str,
+        enqueued: float,
+        compile_opts,
+        batch: int = 1,
+    ) -> "Future[ExecutionReport]":
+        """Dispatch one split job's tasks to the process pool.
+
+        The source is copied once into a shared-memory block (the only
+        data copy the process tier pays); the output block is scattered
+        into directly by the workers, and only plan key + segment
+        descriptors + task ranges cross the pipes.
+        """
+        from repro.runtime.store import plan_key, serialize_plan
+
+        pool = self._ensure_procpool()
+        src_block, src_view = self.arena.empty(src.shape, src.dtype)
+        np.copyto(src_view, src)
+        out_shape = src.shape if mode == "batch" else (plan.kernel.volume,)
+        out_block, out_view = self.arena.empty(out_shape, src.dtype)
+        fut: "Future[ExecutionReport]" = Future()
+        fut.set_running_or_notify_cancel()
+        started = time.perf_counter()
+        schema = plan.schema.value
+        nbytes = src.nbytes
+        kind = program.kind
+
+        def done(err, wall) -> None:
+            src_block.release()
+            if err is not None:
+                self.metrics.inc("executions_failed")
+                out_block.release()
+                fut.set_exception(err)
+                return
+            sim = plan.simulated_time() * max(1, batch)
+            self.metrics.inc("executions_completed")
+            self.metrics.inc("procpool_jobs")
+            if batch > 1:
+                self.metrics.inc("batch_rows", batch)
+            self.metrics.observe(f"sim_s.{schema}", sim)
+            self.metrics.observe(f"wall_s.{schema}", wall)
+            if self.tuner is not None:
+                self.tuner.record(
+                    kind, nbytes, len(tasks), wall, backend="process"
+                )
+            fut.set_result(
+                ExecutionReport(
+                    stream=PROC_STREAM,
+                    device=self.devices[0].name,
+                    schema=schema,
+                    sim_time_s=sim,
+                    wall_time_s=wall,
+                    queued_s=started - enqueued,
+                    output=out_view,
+                    parts=len(tasks),
+                    batch=batch,
+                    backend="process",
+                    block=out_block,
+                )
+            )
+
+        try:
+            pool.submit_tasks(
+                key=plan_key(plan),
+                entry=serialize_plan(plan),
+                spec=plan.kernel.spec,
+                compile_opts=compile_opts,
+                mode=mode,
+                src=(src_block.name, 0, tuple(src.shape), src.dtype.str),
+                out=(out_block.name, 0, tuple(out_shape), src.dtype.str),
+                tasks=tasks,
+                done_cb=done,
+            )
+        except BaseException:
+            src_block.release()
+            out_block.release()
+            raise
+        return fut
 
     def _enqueue_split(self, job: "_PartitionedJob", tasks) -> None:
         for task in tasks:
@@ -178,6 +380,8 @@ class StreamScheduler:
         plan: TransposePlan,
         payload: np.ndarray,
         parts: Optional[int] = None,
+        backend: Optional[str] = None,
+        lowering: bool = True,
     ) -> "Future[ExecutionReport]":
         """Execute ONE transposition split across the worker pool.
 
@@ -188,16 +392,28 @@ class StreamScheduler:
         first task start to last task end.  Without ``parts`` the count
         comes from the attached auto-tuner's online calibration (the
         stream count when no tuner is attached).
+
+        ``backend`` overrides the scheduler's configured backend for
+        this call; routing (:meth:`_route`) may still keep the job on
+        threads.  ``lowering=False`` forces the index-map compilation
+        (the GIL-bound regime the process pool exists for).
         """
         if self._closed:
             raise RuntimeError("scheduler is shut down")
-        program, hit = executor_with_status(plan.kernel)
+        compile_opts = (lowering, DEFAULT_MAX_INDEX_BYTES)
+        program, hit = executor_with_status(plan.kernel, lowering=lowering)
         self.metrics.inc("exec_cache_hits" if hit else "exec_cache_misses")
         src = plan.kernel.check_input(payload)
-        out = np.empty(plan.kernel.volume, dtype=src.dtype)
+        chosen = self._route(program, src.nbytes, backend)
         if parts is None:
-            parts = self._pick_parts(program.kind, src.nbytes)
+            parts = self._pick_parts(program.kind, src.nbytes, chosen)
         tasks = program.partition(parts)
+        enqueued = time.perf_counter()
+        if chosen == "process":
+            return self._submit_process(
+                plan, program, src, tasks, "part", enqueued, compile_opts
+            )
+        out_block, out = self.arena.empty((plan.kernel.volume,), src.dtype)
         fut: "Future[ExecutionReport]" = Future()
         job = _PartitionedJob(
             plan,
@@ -206,8 +422,9 @@ class StreamScheduler:
             src,
             out,
             fut,
-            time.perf_counter(),
+            enqueued,
             len(tasks),
+            block=out_block,
         )
         self._enqueue_split(job, tasks)
         return fut
@@ -217,6 +434,8 @@ class StreamScheduler:
         plan: TransposePlan,
         payloads: Sequence[np.ndarray],
         parts: Optional[int] = None,
+        backend: Optional[str] = None,
+        lowering: bool = True,
     ) -> "Future[ExecutionReport]":
         """Execute ``B`` same-geometry operands as one batched program.
 
@@ -227,21 +446,23 @@ class StreamScheduler:
         future resolves to an :class:`ExecutionReport` whose ``output``
         is the ``(B, volume)`` stack of per-operand results.  Without
         ``parts`` the split comes from the auto-tuner, as in
-        :meth:`submit_partitioned`.
+        :meth:`submit_partitioned`; ``backend``/``lowering`` also behave
+        as there (batch rows are the tasks the process workers share).
         """
         if self._closed:
             raise RuntimeError("scheduler is shut down")
         if not len(payloads):
             raise ValueError("submit_batch requires at least one payload")
-        program, hit = executor_with_status(plan.kernel)
+        compile_opts = (lowering, DEFAULT_MAX_INDEX_BYTES)
+        program, hit = executor_with_status(plan.kernel, lowering=lowering)
         self.metrics.inc("exec_cache_hits" if hit else "exec_cache_misses")
         srcs = program.batch_view(
             [plan.kernel.check_input(p) for p in payloads]
         )
-        outs = np.empty_like(srcs)
         rows = srcs.shape[0]
+        chosen = self._route(program, srcs.nbytes, backend)
         if parts is None:
-            parts = self._pick_parts(program.kind, srcs.nbytes)
+            parts = self._pick_parts(program.kind, srcs.nbytes, chosen)
         nparts = max(1, min(parts, rows))
         bounds = np.linspace(0, rows, nparts + 1, dtype=np.int64)
         tasks = [
@@ -249,6 +470,19 @@ class StreamScheduler:
             for lo, hi in zip(bounds[:-1], bounds[1:])
             if hi > lo
         ]
+        enqueued = time.perf_counter()
+        if chosen == "process":
+            return self._submit_process(
+                plan,
+                program,
+                srcs,
+                tasks,
+                "batch",
+                enqueued,
+                compile_opts,
+                batch=rows,
+            )
+        outs_block, outs = self.arena.empty(srcs.shape, srcs.dtype)
         fut: "Future[ExecutionReport]" = Future()
         job = _PartitionedJob(
             plan,
@@ -259,9 +493,10 @@ class StreamScheduler:
             srcs,
             outs,
             fut,
-            time.perf_counter(),
+            enqueued,
             len(tasks),
             batch=rows,
+            block=outs_block,
         )
         self._enqueue_split(job, tasks)
         return fut
@@ -290,6 +525,9 @@ class StreamScheduler:
             last = job.remaining == 0
             finalize = last and not (job.cancelled or job.failed)
         if not finalize:
+            if last and job.block is not None:
+                # Failed/cancelled jobs never hand their output out.
+                job.block.release()
             return
         plan = job.plan
         # A batched job retires the simulated work of B launches.
@@ -307,7 +545,11 @@ class StreamScheduler:
         self.metrics.set_gauge("queue_depth", self._queue.qsize())
         if self.tuner is not None:
             self.tuner.record(
-                job.program.kind, job.src.nbytes, job.parts, wall
+                job.program.kind,
+                job.src.nbytes,
+                job.parts,
+                wall,
+                backend="thread",
             )
         job.fut.set_result(
             ExecutionReport(
@@ -320,6 +562,8 @@ class StreamScheduler:
                 output=job.out,
                 parts=job.parts,
                 batch=job.batch,
+                backend="thread",
+                block=job.block,
             )
         )
 
@@ -339,12 +583,17 @@ class StreamScheduler:
             started = time.perf_counter()
             try:
                 output = None
+                block = None
                 if payload is not None:
                     program, hit = executor_with_status(plan.kernel)
                     self.metrics.inc(
                         "exec_cache_hits" if hit else "exec_cache_misses"
                     )
-                    output = program.run(plan.kernel.check_input(payload))
+                    src = plan.kernel.check_input(payload)
+                    block, output = self.arena.empty(
+                        (plan.kernel.volume,), src.dtype
+                    )
+                    program.run(src, out=output)
                 # Use the stream's own cost model only when the plan was
                 # built for this stream's device; a foreign plan keeps
                 # its own device's timing.
@@ -374,6 +623,7 @@ class StreamScheduler:
                         wall_time_s=wall,
                         queued_s=started - enqueued,
                         output=output,
+                        block=block,
                     )
                 )
             except BaseException as exc:
@@ -383,26 +633,64 @@ class StreamScheduler:
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
         with self._lock:
-            return {
+            snap = {
                 "num_streams": self.num_streams,
                 "devices": [d.name for d in self.devices],
+                "backend": self.backend,
                 "sim_clock_s": list(self._sim_clocks),
                 "jobs_done": list(self._jobs_done),
                 "queue_depth": self._queue.qsize(),
             }
+        snap["arena"] = self.arena.stats()
+        pool = self.procpool
+        snap["procpool"] = pool.stats() if pool is not None else None
+        return snap
 
-    def shutdown(self, wait: bool = True) -> None:
+    def close(self, wait: bool = True) -> None:
+        """Orderly shutdown: refuse new work, drain the queue (already
+        enqueued jobs still run), join the workers, stop the process
+        pool, and close the arena (when the scheduler owns it)."""
         if self._closed:
             return
         self._closed = True
+        # One sentinel per worker *behind* the queued work: FIFO order
+        # means everything already submitted drains before any exit.
         for _ in self._workers:
             self._queue.put(_SHUTDOWN)
         if wait:
             for w in self._workers:
                 w.join()
+        with self._procpool_lock:
+            pool = self._procpool
+        if pool is not None:
+            # Fold the workers' warm-up counters into the registry while
+            # they can still answer, then stop them.
+            final = pool.stats()
+            self.metrics.inc_many(
+                {
+                    name: final[name]
+                    for name in (
+                        "jobs",
+                        "tasks",
+                        "programs_built",
+                        "program_hits",
+                        "store_rehydrations",
+                        "pipe_rehydrations",
+                        "errors",
+                    )
+                },
+                prefix="procpool.",
+            )
+            pool.close()
+        if self._own_arena:
+            self.arena.close()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Alias of :meth:`close` (the historical name)."""
+        self.close(wait=wait)
 
     def __enter__(self) -> "StreamScheduler":
         return self
 
     def __exit__(self, *exc) -> None:
-        self.shutdown()
+        self.close()

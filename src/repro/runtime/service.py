@@ -81,6 +81,16 @@ class TransposeService:
         Where the parts auto-tuner persists its calibration.  Defaults
         to ``autotune.json`` next to the plan store (in-memory only
         when the service has no store).
+    backend / proc_workers / proc_start_method:
+        Execution-backend routing (see ``docs/execution-tiers.md``):
+        ``thread`` keeps everything on the stream workers, ``process``
+        sends eligible large indexed/chunked jobs to the shared-memory
+        :class:`~repro.runtime.procpool.ProcessPool` (``proc_workers``
+        processes, created lazily), ``auto`` lets the calibrator's
+        backend axis pick per (kind, size) cell.
+    arena:
+        Share a :class:`~repro.runtime.arena.BufferArena` between
+        services; by default the scheduler owns a fresh one.
     """
 
     def __init__(
@@ -98,6 +108,10 @@ class TransposeService:
         batch_window_s: float = 0.002,
         batch_max: int = 64,
         autotune_path: Optional[Union[str, Path]] = None,
+        backend: str = "thread",
+        proc_workers: Optional[int] = None,
+        proc_start_method: Optional[str] = None,
+        arena=None,
     ):
         if store is not None and store_path is not None:
             raise ValueError("pass either store or store_path, not both")
@@ -113,14 +127,20 @@ class TransposeService:
         self._flights = SingleFlight()
         if autotune_path is None and self.store is not None:
             autotune_path = Path(self.store.path).with_name("autotune.json")
+        backends = ("thread",) if backend == "thread" else ("thread", "process")
         self.autotuner = ThroughputCalibrator(
-            pool_size=num_streams, path=autotune_path
+            pool_size=num_streams, path=autotune_path, backends=backends
         )
         self.scheduler = StreamScheduler(
             num_streams=num_streams,
             devices=devices if devices else [spec],
             metrics=self.metrics,
             tuner=self.autotuner,
+            backend=backend,
+            proc_workers=proc_workers,
+            proc_start_method=proc_start_method,
+            arena=arena,
+            store_path=self.store.path if self.store is not None else None,
         )
         self._batcher = MicroBatcher(
             self._flush_batch, window_s=batch_window_s, max_batch=batch_max
@@ -231,6 +251,8 @@ class TransposeService:
         payload: Optional[np.ndarray] = None,
         spec: Optional[DeviceSpec] = None,
         parts: Optional[int] = None,
+        backend: Optional[str] = None,
+        lowering: bool = True,
     ):
         """Plan, then execute ONE transposition across the whole pool.
 
@@ -243,6 +265,10 @@ class TransposeService:
         per-program-kind throughput on the first runs and then picks
         the measured argmax.  Returns a future resolving to an
         :class:`~repro.runtime.scheduler.ExecutionReport`.
+
+        ``backend`` overrides the service's configured execution
+        backend for this call; ``lowering=False`` forces index-map
+        compilation (see ``docs/execution-tiers.md``).
         """
         if payload is None:
             raise InvalidLayoutError(
@@ -251,7 +277,9 @@ class TransposeService:
         payload = self._check_payload(dims, elem_bytes, payload)
         plan = self.plan(dims, perm, elem_bytes, spec)
         self.metrics.inc("executions_submitted")
-        return self.scheduler.submit_partitioned(plan, payload, parts)
+        return self.scheduler.submit_partitioned(
+            plan, payload, parts, backend=backend, lowering=lowering
+        )
 
     def execute_partitioned(
         self,
@@ -261,10 +289,13 @@ class TransposeService:
         payload: Optional[np.ndarray] = None,
         spec: Optional[DeviceSpec] = None,
         parts: Optional[int] = None,
+        backend: Optional[str] = None,
+        lowering: bool = True,
     ) -> ExecutionReport:
         """Blocking :meth:`submit_partitioned`."""
         return self.submit_partitioned(
-            dims, perm, elem_bytes, payload, spec, parts
+            dims, perm, elem_bytes, payload, spec, parts,
+            backend=backend, lowering=lowering,
         ).result()
 
     # ------------------------------------------------------------------
@@ -337,9 +368,16 @@ class TransposeService:
                         f.set_exception(exc)
                 return
             report = done.result()
+            # Every caller's report shares the one batch output block:
+            # give each its own reference so per-caller release() works,
+            # then drop the batch-level one.
             for i, f in enumerate(futures):
                 if not f.done():
+                    if report.block is not None:
+                        report.block.retain()
                     f.set_result(replace(report, output=report.output[i]))
+            if report.block is not None:
+                report.block.release()
 
         batch_fut.add_done_callback(_resolve)
 

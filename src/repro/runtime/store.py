@@ -55,6 +55,14 @@ def _key_str(
     )
 
 
+def plan_key(plan: TransposePlan) -> str:
+    """The store content key of a plan (what the process-pool protocol
+    ships instead of the program itself)."""
+    return _key_str(
+        plan.layout.dims, plan.perm.mapping, plan.elem_bytes, plan.kernel.spec
+    )
+
+
 def _kernel_params(kernel: TransposeKernel) -> dict:
     """The schema-specific constructor parameters worth persisting."""
     schema = kernel.schema
@@ -279,6 +287,36 @@ class PlanStore:
             self._dirty = True
         if self.autoflush:
             self.flush()
+
+    # ---- raw-entry interface (process-pool workers) ------------------
+    def entry(self, key: str) -> Optional[dict]:
+        """The raw serialized entry for a content key (no rehydration).
+
+        Process-pool workers look plans up by the key string the parent
+        shipped and rehydrate with their own ``DeviceSpec``.
+        """
+        with self._lock:
+            return self._entries.get(key)
+
+    def reload(self) -> None:
+        """Re-read the backing file, merging fresh entries in.
+
+        Workers call this when a key misses: the parent may have
+        flushed new plans since the worker opened its handle.  In-memory
+        entries win over the file's on conflict (they may be newer
+        unflushed puts).
+        """
+        fresh = PlanStore.__new__(PlanStore)
+        fresh.path = self.path
+        fresh._entries = {}
+        fresh.corrupt_entries = 0
+        fresh.recovered_from_corruption = False
+        fresh._load()
+        with self._lock:
+            merged = dict(fresh._entries)
+            merged.update(self._entries)
+            self._entries = merged
+            self.corrupt_entries += fresh.corrupt_entries
 
     # ---- introspection ----------------------------------------------
     def __len__(self) -> int:

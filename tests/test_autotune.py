@@ -12,6 +12,7 @@ import json
 import pytest
 
 from repro.runtime.autotune import (
+    AUTOTUNE_VERSION,
     DEFAULT_MIN_SAMPLES,
     ThroughputCalibrator,
     parts_candidates,
@@ -75,7 +76,7 @@ def test_table_snapshot_shape():
     cal.record("view", 1 << 20, 1, 0.001)
     t = cal.table()
     assert t["pool_size"] == 2 and t["candidates"] == [1, 2]
-    cell = t["cells"]["view|2^20"]
+    cell = t["cells"]["thread:view|2^20"]
     assert cell["parts"]["1"]["count"] == 1
     assert cell["parts"]["1"]["gbps"] > 0
     assert cell["best_parts"] == 1  # only sampled candidate so far
@@ -111,6 +112,8 @@ def test_persistence_tolerates_corruption(tmp_path):
     path.write_text(json.dumps({"autotune_version": 999, "pool_size": 2}))
     cal = ThroughputCalibrator(pool_size=2, path=path)
     assert cal.table()["cells"] == {}
+    # v1 tables (no backend prefix on the keys) would alias thread and
+    # process measurements: discarded wholesale.
     path.write_text(
         json.dumps(
             {
@@ -118,6 +121,21 @@ def test_persistence_tolerates_corruption(tmp_path):
                 "pool_size": 2,
                 "cells": {
                     "view|2^20": {
+                        "1": {"count": 1, "total_s": 1.0, "total_bytes": 1e6}
+                    }
+                },
+            }
+        )
+    )
+    cal = ThroughputCalibrator(pool_size=2, path=path)
+    assert cal.table()["cells"] == {}
+    path.write_text(
+        json.dumps(
+            {
+                "autotune_version": AUTOTUNE_VERSION,
+                "pool_size": 2,
+                "cells": {
+                    "thread:view|2^20": {
                         "1": {"count": 1, "total_s": 1.0, "total_bytes": 1e6},
                         "bogus": {"count": "x"},
                     }
@@ -127,7 +145,7 @@ def test_persistence_tolerates_corruption(tmp_path):
     )
     cal = ThroughputCalibrator(pool_size=2, path=path, min_samples=1)
     # The valid entry survives, the corrupt one is dropped.
-    assert cal.table()["cells"]["view|2^20"]["parts"] == {
+    assert cal.table()["cells"]["thread:view|2^20"]["parts"] == {
         "1": {"count": 1, "mean_ms": 1000.0, "gbps": 0.001}
     }
 
@@ -152,3 +170,50 @@ def test_reset_clears_table(tmp_path):
     cal.close()
     reborn = ThroughputCalibrator(pool_size=2, path=path)
     assert reborn.table()["cells"] == {}
+
+
+class TestBackendAxis:
+    """The v2 cells carry a backend prefix; choose_backend applies the
+    same explore-then-exploit rule across the scheduler's backends."""
+
+    def test_backends_are_independent_cells(self):
+        cal = ThroughputCalibrator(
+            pool_size=2, min_samples=1, backends=("thread", "process")
+        )
+        nbytes = 1 << 22
+        for p in (1, 2):
+            cal.record("indexed", nbytes, p, 1.0, backend="thread")
+        assert cal.calibrated("indexed", nbytes, backend="thread")
+        assert not cal.calibrated("indexed", nbytes, backend="process")
+
+    def test_single_backend_short_circuits(self):
+        cal = ThroughputCalibrator(pool_size=2, min_samples=1)
+        assert cal.choose_backend("indexed", 1 << 22) == "thread"
+
+    def test_explore_then_exploit_across_backends(self):
+        cal = ThroughputCalibrator(
+            pool_size=2, min_samples=1, backends=("thread", "process")
+        )
+        nbytes = 1 << 22
+        # Undersampled cells force exploration, thread first.
+        assert cal.choose_backend("indexed", nbytes) == "thread"
+        for p in (1, 2):
+            cal.record("indexed", nbytes, p, 1.0, backend="thread")
+        assert cal.choose_backend("indexed", nbytes) == "process"
+        # Make the process side measure 4x the thread throughput.
+        for p in (1, 2):
+            cal.record("indexed", nbytes, p, 0.25, backend="process")
+        assert cal.choose_backend("indexed", nbytes) == "process"
+
+    def test_faster_thread_side_wins(self):
+        cal = ThroughputCalibrator(
+            pool_size=1, min_samples=1, backends=("thread", "process")
+        )
+        nbytes = 1 << 22
+        cal.record("chunked", nbytes, 1, 0.5, backend="thread")
+        cal.record("chunked", nbytes, 1, 1.0, backend="process")
+        assert cal.choose_backend("chunked", nbytes) == "thread"
+
+    def test_requires_a_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            ThroughputCalibrator(pool_size=2, backends=())

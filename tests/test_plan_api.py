@@ -222,3 +222,61 @@ class TestTransposeMany:
 
         with pytest.raises(InvalidLayoutError):
             repro.transpose_many([rng.standard_normal((3, 4))], (1, 0, 2))
+
+
+class TestOutValidation:
+    """Every public ``out=`` fails fast with InvalidLayoutError —
+    before any planning or execution — on a buffer that could not
+    receive the result in place."""
+
+    def test_transpose_out_happy_path(self, rng):
+        a = rng.standard_normal((6, 7, 8))
+        out = np.empty((7, 8, 6))
+        result = repro.transpose(a, (1, 2, 0), out=out)
+        assert result is out
+        np.testing.assert_array_equal(out, np.transpose(a, (1, 2, 0)))
+
+    def test_transpose_out_not_an_array(self, rng):
+        a = rng.standard_normal((4, 4))
+        with pytest.raises(InvalidLayoutError, match="numpy array"):
+            repro.transpose(a, (1, 0), out=[0.0] * 16)
+
+    def test_transpose_out_wrong_shape(self, rng):
+        a = rng.standard_normal((4, 6))
+        with pytest.raises(InvalidLayoutError, match="shape"):
+            repro.transpose(a, (1, 0), out=np.empty((4, 6)))
+
+    def test_transpose_out_wrong_dtype(self, rng):
+        a = rng.standard_normal((4, 6))
+        with pytest.raises(InvalidLayoutError, match="dtype"):
+            repro.transpose(a, (1, 0), out=np.empty((6, 4), dtype=np.float32))
+
+    def test_transpose_out_not_contiguous(self, rng):
+        a = rng.standard_normal((8, 8))
+        with pytest.raises(InvalidLayoutError, match="contiguous"):
+            repro.transpose(a, (1, 0), out=np.empty((8, 16))[:, ::2])
+
+    def test_transpose_out_read_only(self, rng):
+        a = rng.standard_normal((4, 4))
+        out = np.empty((4, 4))
+        out.flags.writeable = False
+        with pytest.raises(InvalidLayoutError, match="read-only"):
+            repro.transpose(a, (1, 0), out=out)
+
+    def test_transposer_out_happy_path(self, rng):
+        t = repro.Transposer((8, 9, 10), (2, 1, 0))
+        src = rng.standard_normal(720)
+        out = np.empty(720)
+        result = t(src, out=out)
+        assert np.shares_memory(result, out)
+        np.testing.assert_array_equal(out, t(src))
+
+    def test_transposer_out_wrong_size(self, rng):
+        t = repro.Transposer((8, 9, 10), (2, 1, 0))
+        with pytest.raises(InvalidLayoutError, match="elements"):
+            t(rng.standard_normal(720), out=np.empty(719))
+
+    def test_transposer_out_wrong_dtype(self, rng):
+        t = repro.Transposer((8, 9, 10), (2, 1, 0))
+        with pytest.raises(InvalidLayoutError, match="dtype"):
+            t(rng.standard_normal(720), out=np.empty(720, dtype=np.float32))

@@ -1,0 +1,419 @@
+"""End-to-end tests of the out-of-GIL execution tier.
+
+Covers the scheduler's backend routing, bit-exact thread/process parity
+across all four schemas and the supported dtypes, the raw
+:class:`~repro.runtime.procpool.ProcessPool` protocol (store and pipe
+rehydration, need-plan recovery, error propagation), and the orderly
+close semantics (worker counters folded into the metrics registry).
+
+Worker processes are spawned once per module (the fixture) — individual
+tests share the warm pool, mirroring how the serving layer uses it.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.plan import make_plan
+from repro.kernels.common import reference_transpose
+from repro.kernels.executor import DEFAULT_MAX_INDEX_BYTES, executor_for
+from repro.runtime.arena import BufferArena
+from repro.runtime.autotune import ThroughputCalibrator
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.procpool import ProcessPool
+from repro.runtime.scheduler import (
+    PROC_MIN_BYTES,
+    PROC_STREAM,
+    StreamScheduler,
+)
+from repro.runtime.store import PlanStore, plan_key, serialize_plan
+
+#: schema -> (dims, perm, backend a forced-"process" request lands on).
+#: The FVI kernels publish no index maps, so they always compile to
+#: strided view programs — which the router correctly refuses to ship
+#: to the pool (threads already run them GIL-free).
+SCHEMA_CASES = {
+    "orthogonal-arbitrary": ((64, 64, 32, 16), (3, 2, 1, 0), "process"),
+    "orthogonal-distinct": ((81, 81, 81), (2, 0, 1), "process"),
+    "fvi-match-large": ((128, 64, 64, 4), (0, 3, 2, 1), "thread"),
+    "fvi-match-small": ((3, 24, 24, 24), (0, 2, 3, 1), "thread"),
+}
+
+DTYPES = [np.float32, np.float64, np.int32, np.int64]
+
+
+@pytest.fixture(scope="module")
+def sched():
+    scheduler = StreamScheduler(
+        num_streams=2, backend="process", proc_workers=2
+    )
+    yield scheduler
+    scheduler.close()
+
+
+def _operand(volume, dtype):
+    rng = np.random.default_rng(99)
+    if np.issubdtype(dtype, np.integer):
+        return rng.integers(-1000, 1000, size=volume).astype(dtype)
+    return rng.standard_normal(volume).astype(dtype)
+
+
+def _run(sched, plan, src, **kw):
+    report = sched.submit_partitioned(plan, src, lowering=False, **kw).result()
+    out = np.array(report.output, copy=True)
+    report.release()
+    return out, report
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("schema", list(SCHEMA_CASES))
+    def test_schemas_bit_exact(self, sched, schema):
+        dims, perm, expected_backend = SCHEMA_CASES[schema]
+        plan = make_plan(dims, perm)
+        assert plan.schema.value == schema
+        src = _operand(plan.layout.volume, np.float64)
+        ref = reference_transpose(src, plan.layout, plan.perm)
+
+        threaded, t_report = _run(sched, plan, src, backend="thread")
+        assert t_report.backend == "thread"
+        assert np.array_equal(threaded, ref)
+
+        processed, p_report = _run(sched, plan, src, backend="process")
+        assert p_report.backend == expected_backend
+        assert np.array_equal(processed, ref)
+        if expected_backend == "process":
+            assert p_report.stream == PROC_STREAM
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_dtypes_bit_exact(self, sched, dtype):
+        dims, perm, _ = SCHEMA_CASES["orthogonal-arbitrary"]
+        plan = make_plan(dims, perm)
+        src = _operand(plan.layout.volume, dtype)
+        assert src.nbytes >= PROC_MIN_BYTES
+        ref = reference_transpose(src, plan.layout, plan.perm)
+        out, report = _run(sched, plan, src, backend="process")
+        assert report.backend == "process"
+        assert out.dtype == dtype
+        assert np.array_equal(out, ref)
+
+    def test_batch_mode_bit_exact(self, sched):
+        """submit_batch ships batch row-ranges to the workers."""
+        plan = make_plan((16, 16, 16, 16), (0, 3, 2, 1))
+        rows = 8
+        srcs = [
+            _operand(plan.layout.volume, np.float64) + i for i in range(rows)
+        ]
+        assert rows * srcs[0].nbytes >= PROC_MIN_BYTES
+        report = sched.submit_batch(
+            plan, srcs, backend="process", lowering=False
+        ).result()
+        assert report.backend == "process"
+        assert report.batch == rows
+        for i, src in enumerate(srcs):
+            ref = reference_transpose(src, plan.layout, plan.perm)
+            assert np.array_equal(report.output[i], ref)
+        report.release()
+
+
+class TestRouting:
+    def test_small_payload_stays_on_threads(self, sched):
+        plan = make_plan((16, 16, 16), (2, 1, 0))  # 32 KiB
+        src = _operand(plan.layout.volume, np.float64)
+        _, report = _run(sched, plan, src, backend="process")
+        assert report.backend == "thread"
+
+    def test_thread_override_never_routes(self, sched):
+        dims, perm, _ = SCHEMA_CASES["orthogonal-arbitrary"]
+        plan = make_plan(dims, perm)
+        src = _operand(plan.layout.volume, np.float64)
+        _, report = _run(sched, plan, src, backend="thread")
+        assert report.backend == "thread"
+
+    def test_unknown_backend_rejected(self, sched):
+        plan = make_plan((16, 16, 16), (2, 1, 0))
+        src = _operand(plan.layout.volume, np.float64)
+        with pytest.raises(ValueError, match="backend"):
+            sched.submit_partitioned(plan, src, backend="gpu")
+
+    def test_thread_scheduler_never_spawns_pool(self):
+        with StreamScheduler(num_streams=1, backend="thread") as s:
+            dims, perm, _ = SCHEMA_CASES["orthogonal-arbitrary"]
+            plan = make_plan(dims, perm)
+            src = _operand(plan.layout.volume, np.float64)
+            _run(s, plan, src)
+            assert s.procpool is None
+
+    def test_auto_explores_both_backends(self):
+        tuner = ThroughputCalibrator(
+            pool_size=2, backends=("thread", "process")
+        )
+        with StreamScheduler(
+            num_streams=2, tuner=tuner, backend="auto", proc_workers=1
+        ) as s:
+            dims, perm, _ = SCHEMA_CASES["orthogonal-distinct"]
+            plan = make_plan(dims, perm)
+            src = _operand(plan.layout.volume, np.float64)
+            ref = reference_transpose(src, plan.layout, plan.perm)
+            seen = set()
+            for _ in range(2 * tuner.min_samples * len(tuner.candidates)):
+                out, report = _run(s, plan, src)
+                assert np.array_equal(out, ref)
+                seen.add(report.backend)
+            assert seen == {"thread", "process"}
+
+
+# ----------------------------------------------------------------------
+# Raw pool protocol
+# ----------------------------------------------------------------------
+
+
+def _wait_cb():
+    done = threading.Event()
+    box = {}
+
+    def cb(err, wall):
+        box["err"] = err
+        box["wall"] = wall
+        done.set()
+
+    return cb, done, box
+
+
+def _descriptors(arena, src):
+    src_block, src_view = arena.empty(src.shape, src.dtype)
+    np.copyto(src_view, src)
+    out_block, out_view = arena.empty(src.shape, src.dtype)
+    desc = lambda b: (b.name, 0, tuple(src.shape), src.dtype.str)  # noqa: E731
+    return src_block, out_block, out_view, desc(src_block), desc(out_block)
+
+
+class TestProcessPoolProtocol:
+    @pytest.fixture(scope="class")
+    def pool_env(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("pool") / "plans.json"
+        arena = BufferArena(max_free_bytes=1 << 28)
+        pool = ProcessPool(1, store_path=path)
+        yield pool, arena, path
+        pool.close()
+        arena.close()
+
+    def _plan(self):
+        plan = make_plan((32, 32, 32, 32), (3, 0, 1, 2))
+        src = _operand(plan.layout.volume, np.float64)
+        ref = reference_transpose(src, plan.layout, plan.perm)
+        return plan, src, ref
+
+    def _submit(self, pool, arena, plan, src, *, entry, compile_opts):
+        program = executor_for(
+            plan.kernel,
+            lowering=compile_opts[0],
+            max_index_bytes=compile_opts[1],
+        )
+        blocks = _descriptors(arena, src)
+        src_block, out_block, out_view, src_desc, out_desc = blocks
+        cb, done, box = _wait_cb()
+        pool.submit_tasks(
+            key=plan_key(plan),
+            entry=entry,
+            spec=plan.kernel.spec,
+            compile_opts=compile_opts,
+            mode="part",
+            src=src_desc,
+            out=out_desc,
+            tasks=program.partition(3),
+            done_cb=cb,
+        )
+        assert done.wait(60)
+        result = np.array(out_view, copy=True)
+        src_block.release()
+        out_block.release()
+        return box["err"], result
+
+    def test_store_rehydration(self, pool_env):
+        """entry=None + a persisted plan: the worker rebuilds from its
+        own store handle (flushed *after* the pool spawned)."""
+        pool, arena, path = pool_env
+        plan, src, ref = self._plan()
+        store = PlanStore(path)
+        store.put(plan)
+        store.flush()
+        err, out = self._submit(
+            pool,
+            arena,
+            plan,
+            src,
+            entry=None,
+            compile_opts=(False, DEFAULT_MAX_INDEX_BYTES),
+        )
+        assert err is None
+        assert np.array_equal(out, ref)
+        stats = pool.stats()
+        assert stats["store_rehydrations"] == 1
+        assert stats["programs_built"] == 1
+
+    def test_chunked_program_in_worker(self, pool_env):
+        """A small index budget forces the worker to compile (and run)
+        a ChunkedProgram; the entry rides the pipe this time."""
+        pool, arena, path = pool_env
+        plan, src, ref = self._plan()
+        opts = (False, 1 << 16)
+        assert executor_for(
+            plan.kernel, lowering=False, max_index_bytes=1 << 16
+        ).kind == "chunked"
+        err, out = self._submit(
+            pool, arena, plan, src, entry=serialize_plan(plan), compile_opts=opts
+        )
+        assert err is None
+        assert np.array_equal(out, ref)
+        # Same key, different compile options: a distinct worker build.
+        stats = pool.stats()
+        assert stats["programs_built"] == 2
+
+    def test_warm_repeat_hits_worker_cache(self, pool_env):
+        pool, arena, path = pool_env
+        plan, src, ref = self._plan()
+        before = pool.stats()["program_hits"]
+        err, out = self._submit(
+            pool,
+            arena,
+            plan,
+            src,
+            entry=None,
+            compile_opts=(False, DEFAULT_MAX_INDEX_BYTES),
+        )
+        assert err is None
+        assert np.array_equal(out, ref)
+        assert pool.stats()["program_hits"] == before + 1
+
+    def test_error_propagates(self, pool_env):
+        """A bogus segment name fails inside the worker; the exception
+        crosses back to the submitting side."""
+        pool, arena, path = pool_env
+        plan, src, ref = self._plan()
+        program = executor_for(plan.kernel, lowering=False)
+        src_block, out_block, out_view, src_desc, out_desc = _descriptors(
+            arena, src
+        )
+        cb, done, box = _wait_cb()
+        pool.submit_tasks(
+            key=plan_key(plan),
+            entry=serialize_plan(plan),
+            spec=plan.kernel.spec,
+            compile_opts=(False, DEFAULT_MAX_INDEX_BYTES),
+            mode="part",
+            src=("no_such_segment", 0, tuple(src.shape), src.dtype.str),
+            out=out_desc,
+            tasks=program.partition(2),
+            done_cb=cb,
+        )
+        assert done.wait(60)
+        assert isinstance(box["err"], Exception)
+        assert pool.stats()["errors"] >= 1
+        src_block.release()
+        out_block.release()
+
+    def test_unrehydratable_plan_fails_cleanly(self, tmp_path):
+        """No store, no entry: the worker replies need_plan and the
+        parent fails the job with a diagnostic instead of hanging."""
+        plan, src, ref = self._plan()
+        program = executor_for(plan.kernel, lowering=False)
+        with BufferArena() as arena, ProcessPool(1) as pool:
+            src_block, out_block, _, src_desc, out_desc = _descriptors(
+                arena, src
+            )
+            cb, done, box = _wait_cb()
+            pool.submit_tasks(
+                key=plan_key(plan),
+                entry=None,
+                spec=plan.kernel.spec,
+                compile_opts=(False, DEFAULT_MAX_INDEX_BYTES),
+                mode="part",
+                src=src_desc,
+                out=out_desc,
+                tasks=program.partition(2),
+                done_cb=cb,
+            )
+            assert done.wait(60)
+            assert isinstance(box["err"], RuntimeError)
+            assert "rehydrate" in str(box["err"])
+            src_block.release()
+            out_block.release()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            ProcessPool(-1)
+        with ProcessPool(1) as pool:
+            with pytest.raises(ValueError, match="mode"):
+                pool.submit_tasks(
+                    key="k",
+                    entry=None,
+                    spec=None,
+                    compile_opts=(True, 0),
+                    mode="nope",
+                    src=("s", 0, (1,), "<f8"),
+                    out=("o", 0, (1,), "<f8"),
+                    tasks=[(0,)],
+                    done_cb=lambda e, w: None,
+                )
+            with pytest.raises(ValueError, match="at least one task"):
+                pool.submit_tasks(
+                    key="k",
+                    entry=None,
+                    spec=None,
+                    compile_opts=(True, 0),
+                    mode="part",
+                    src=("s", 0, (1,), "<f8"),
+                    out=("o", 0, (1,), "<f8"),
+                    tasks=[],
+                    done_cb=lambda e, w: None,
+                )
+
+
+# ----------------------------------------------------------------------
+# Close semantics
+# ----------------------------------------------------------------------
+
+
+class TestCloseSemantics:
+    def test_close_folds_counters_and_refuses_work(self):
+        metrics = MetricsRegistry()
+        dims, perm, _ = SCHEMA_CASES["orthogonal-distinct"]
+        plan = make_plan(dims, perm)
+        src = _operand(plan.layout.volume, np.float64)
+        with StreamScheduler(
+            num_streams=1,
+            metrics=metrics,
+            backend="process",
+            proc_workers=1,
+        ) as s:
+            out, report = _run(s, plan, src, backend="process")
+            assert report.backend == "process"
+            snap = s.snapshot()
+            assert snap["backend"] == "process"
+            assert snap["procpool"]["jobs_dispatched"] == 1
+            assert snap["arena"]["allocations"] >= 2  # src + out blocks
+        # The workers' counters survive the pool: folded at close.
+        assert metrics.counter("procpool.jobs") == 1
+        assert metrics.counter("procpool.tasks") >= 1
+        assert metrics.counter("procpool.programs_built") == 1
+        with pytest.raises(RuntimeError, match="shut down"):
+            s.submit_partitioned(plan, src)
+        s.close()  # idempotent
+
+    def test_pool_close_refuses_submissions(self):
+        pool = ProcessPool(1)
+        pool.close()
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.submit_tasks(
+                key="k",
+                entry=None,
+                spec=None,
+                compile_opts=(True, 0),
+                mode="part",
+                src=("s", 0, (1,), "<f8"),
+                out=("o", 0, (1,), "<f8"),
+                tasks=[(0,)],
+                done_cb=lambda e, w: None,
+            )
