@@ -1,0 +1,527 @@
+"""Million-request load generator for the serving subsystem.
+
+Replays zipf-weighted request streams against an in-process
+:class:`~repro.serving.server.ServingServer` over real TCP sockets —
+the full path: codec frames, consistent-hash routing, admission
+control, per-replica schedulers, typed error replies, client
+retry-with-backoff.  Plan keys are the 57 fig14 TTC-suite cases with
+extents scaled down to ~4 K elements each, so a million requests
+exercise serving mechanics rather than raw element throughput.
+
+Four phases, each on a fresh server:
+
+**routing** — the same zipf stream through ``hash`` and ``random``
+routers with per-replica compiled-program caches sized *below* the
+distinct-key count.  The acceptance gate of ISSUE 6: consistent
+hashing must beat random routing on aggregate program-cache hit rate,
+because each replica sees a stable ~1/N slice of the key space instead
+of the whole thing.
+
+**latency** — closed-loop replay at fixed concurrency; reports
+p50/p99/p999 request latency and saturation throughput.
+
+**overload** — twice the saturation concurrency against a server whose
+inflight permit pool equals the saturation concurrency: the server
+must shed with typed ``OVERLOADED`` replies (never queue unboundedly)
+and retrying clients must absorb every shed — zero failed requests,
+degraded latency.
+
+**drain** — graceful shutdown with admitted requests in flight: every
+one must complete (zero dropped), and post-drain requests must be
+refused with ``DRAINING``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_serving_load.py
+
+writes ``results/serving_load.json`` (>= 1 M requests across 8
+tenants).  CI runs ``--smoke``: a few hundred requests, gates only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import bench_parser, gate
+from repro.bench.suites import ttc_benchmark_suite
+from repro.errors import DrainingError
+from repro.model.pretrained import oracle_predictor
+from repro.serving import ServingClient, ServingServer
+
+RESULTS_PATH = (
+    Path(__file__).resolve().parent.parent / "results" / "serving_load.json"
+)
+
+#: Zipf exponent of the key popularity distribution.
+ZIPF_S = 1.1
+
+#: The >= 8 tenants the ISSUE requires.
+TENANTS = [f"tenant{i}" for i in range(8)]
+
+#: Full-mode routing gate: hash-routed aggregate program-cache hit
+#: rate must beat random routing by at least this margin.
+MIN_HIT_RATE_GAP = 0.10
+
+ORACLE = oracle_predictor()
+
+
+# ----------------------------------------------------------------------
+# workload
+# ----------------------------------------------------------------------
+
+
+def scaled_ttc_keys(target_volume: int = 4096):
+    """The fig14 TTC suite with extents shrunk to ~``target_volume``.
+
+    Every case keeps its permutation (the TTC suite's whole point) and
+    its rank; the variant index nudges the first extent so all 57
+    cases stay distinct content keys after scaling.
+    """
+    keys = []
+    seen = set()
+    for case in ttc_benchmark_suite():
+        rank = len(case.dims)
+        extent = max(2, round(target_volume ** (1.0 / rank)))
+        variant = int(case.label.split("v")[1].split(" ")[0])
+        dims = (extent + variant,) + (extent,) * (rank - 1)
+        key = (dims, case.perm)
+        assert key not in seen, f"duplicate scaled case {key}"
+        seen.add(key)
+        keys.append(key)
+    return keys
+
+
+def zipf_schedule(n_keys: int, n_requests: int, seed: int) -> np.ndarray:
+    """Key index per request, zipf-weighted over a shuffled key order."""
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n_keys)
+    weights = 1.0 / (np.arange(1, n_keys + 1) ** ZIPF_S)
+    weights /= weights.sum()
+    ranks = rng.choice(n_keys, size=n_requests, p=weights)
+    return order[ranks]
+
+
+# ----------------------------------------------------------------------
+# replay harness
+# ----------------------------------------------------------------------
+
+
+async def replay(
+    server,
+    keys,
+    schedule,
+    *,
+    workers: int,
+    max_retries: int = 8,
+    record_latency: bool = False,
+):
+    """Closed-loop replay: ``workers`` concurrent request loops sharing
+    one pooled pipelined client.  Returns (wall_s, latencies, client)."""
+    client = ServingClient(
+        server.host,
+        server.port,
+        pool_size=min(workers, 16),
+        max_retries=max_retries,
+        rng=random.Random(1234),
+    )
+    await client.connect()
+    latencies = [] if record_latency else None
+    loop = asyncio.get_running_loop()
+
+    async def worker(indices):
+        for i in indices:
+            dims, perm = keys[schedule[i]]
+            tenant = TENANTS[i % len(TENANTS)]
+            t0 = loop.time()
+            await client.execute(dims, perm, 8, synth=True, tenant=tenant)
+            if latencies is not None:
+                latencies.append(loop.time() - t0)
+
+    t0 = time.perf_counter()
+    await asyncio.gather(
+        *(
+            worker(range(w, len(schedule), workers))
+            for w in range(workers)
+        )
+    )
+    wall = time.perf_counter() - t0
+    await client.close()
+    return wall, latencies, client
+
+
+def aggregate_hit_rate(snapshot: dict) -> float:
+    hits = misses = 0
+    for rep in snapshot["per_replica"]:
+        stats = rep["executor"] or {}
+        hits += stats.get("hits", 0)
+        misses += stats.get("misses", 0)
+    return hits / max(1, hits + misses)
+
+
+def per_replica_summary(snapshot: dict):
+    return [
+        {
+            "replica": rep["replica"],
+            "routed": rep["routed"],
+            "program_cache_hit_rate": (rep["executor"] or {}).get(
+                "hit_rate", 0.0
+            ),
+            "programs_resident": (rep["executor"] or {}).get("entries", 0),
+            "evictions": (rep["executor"] or {}).get("evictions", 0),
+        }
+        for rep in snapshot["per_replica"]
+    ]
+
+
+# ----------------------------------------------------------------------
+# phases
+# ----------------------------------------------------------------------
+
+
+def phase_routing(args, keys, router: str) -> dict:
+    """One zipf replay through ``router``; returns cache effectiveness."""
+
+    async def main():
+        server = ServingServer(
+            replicas=args.replicas,
+            num_streams=args.streams,
+            predictor=ORACLE,
+            program_cache_size=args.program_cache,
+            router=router,
+            router_seed=7,
+        )
+        await server.start()
+        schedule = zipf_schedule(len(keys), args.requests_routing, seed=42)
+        wall, _, _ = await replay(
+            server, keys, schedule, workers=args.workers
+        )
+        snap = server.serving_snapshot()
+        await server.close()
+        return {
+            "router": router,
+            "requests": len(schedule),
+            "wall_s": round(wall, 3),
+            "throughput_rps": round(len(schedule) / wall, 1),
+            "program_cache_hit_rate": round(aggregate_hit_rate(snap), 4),
+            "per_replica": per_replica_summary(snap),
+        }
+
+    return asyncio.run(main())
+
+
+def phase_latency(args, keys) -> dict:
+    """Closed-loop latency percentiles and saturation throughput."""
+
+    async def main():
+        server = ServingServer(
+            replicas=args.replicas,
+            num_streams=args.streams,
+            predictor=ORACLE,
+            program_cache_size=args.program_cache,
+        )
+        await server.start()
+        # Warm every key once so compulsory planning/compilation misses
+        # don't smear the tail percentiles.
+        warm = np.arange(len(keys), dtype=np.int64)
+        await replay(server, keys, warm, workers=args.workers)
+        schedule = zipf_schedule(len(keys), args.requests_latency, seed=43)
+        wall, lat, _ = await replay(
+            server,
+            keys,
+            schedule,
+            workers=args.workers,
+            record_latency=True,
+        )
+        snap = server.serving_snapshot()
+        await server.close()
+        lat_ms = np.asarray(lat) * 1e3
+        return {
+            "requests": len(schedule),
+            "workers": args.workers,
+            "wall_s": round(wall, 3),
+            "saturation_rps": round(len(schedule) / wall, 1),
+            "latency_ms": {
+                "p50": round(float(np.percentile(lat_ms, 50)), 3),
+                "p99": round(float(np.percentile(lat_ms, 99)), 3),
+                "p999": round(float(np.percentile(lat_ms, 99.9)), 3),
+                "max": round(float(lat_ms.max()), 3),
+            },
+            "program_cache_hit_rate": round(aggregate_hit_rate(snap), 4),
+        }
+
+    return asyncio.run(main())
+
+
+def phase_overload(args, keys, saturation_rps: float) -> dict:
+    """2x saturation concurrency vs a permit pool sized for 1x."""
+
+    async def main():
+        server = ServingServer(
+            replicas=args.replicas,
+            num_streams=args.streams,
+            predictor=ORACLE,
+            program_cache_size=args.program_cache,
+            max_inflight=max(2, args.workers),
+            max_queue_depth=4 * args.workers,
+        )
+        await server.start()
+        schedule = zipf_schedule(len(keys), args.requests_overload, seed=44)
+        wall, lat, client = await replay(
+            server,
+            keys,
+            schedule,
+            workers=2 * args.workers,
+            max_retries=100,
+            record_latency=True,
+        )
+        snap = server.serving_snapshot()
+        depths = [rep["queue_depth"] for rep in snap["per_replica"]]
+        await server.close()
+        admission = snap["admission"]
+        offered = admission["admitted"] + admission["shed_overloaded"]
+        lat_ms = np.asarray(lat) * 1e3
+        return {
+            "requests": len(schedule),
+            "workers": 2 * args.workers,
+            "max_inflight": max(2, args.workers),
+            "wall_s": round(wall, 3),
+            "goodput_rps": round(len(schedule) / wall, 1),
+            "saturation_rps": round(saturation_rps, 1),
+            "shed_overloaded": admission["shed_overloaded"],
+            "shed_rate": round(
+                admission["shed_overloaded"] / max(1, offered), 4
+            ),
+            "client_retries": client.retries,
+            "failed_requests": 0,  # replay raises on any non-retried error
+            "max_queue_depth_seen": max(depths) if depths else 0,
+            "latency_ms": {
+                "p50": round(float(np.percentile(lat_ms, 50)), 3),
+                "p99": round(float(np.percentile(lat_ms, 99)), 3),
+                "p999": round(float(np.percentile(lat_ms, 99.9)), 3),
+            },
+        }
+
+    return asyncio.run(main())
+
+
+def phase_drain(args, keys) -> dict:
+    """Drain with admitted requests in flight: zero may be dropped."""
+
+    async def main():
+        server = ServingServer(
+            replicas=args.replicas,
+            num_streams=args.streams,
+            predictor=ORACLE,
+            program_cache_size=args.program_cache,
+            max_inflight=1024,
+        )
+        await server.start()
+        inflight = min(128, args.requests_drain)
+        client = ServingClient(
+            server.host, server.port, pool_size=8, max_retries=0
+        )
+        await client.connect()
+        schedule = zipf_schedule(len(keys), inflight, seed=45)
+        tasks = [
+            asyncio.create_task(
+                client.execute(
+                    *keys[schedule[i]],
+                    8,
+                    synth=True,
+                    tenant=TENANTS[i % len(TENANTS)],
+                )
+            )
+            for i in range(inflight)
+        ]
+        # Every request must be *admitted* before the drain begins —
+        # the gate is about inflight work, not racing the doorman.
+        while server.admission.admitted < inflight:
+            await asyncio.sleep(0.001)
+        t0 = time.perf_counter()
+        drained = await server.drain(timeout=60.0)
+        drain_s = time.perf_counter() - t0
+        results = await asyncio.gather(*tasks, return_exceptions=True)
+        dropped = [r for r in results if isinstance(r, BaseException)]
+        refused_with_draining = False
+        try:
+            await client.execute(*keys[0], 8, synth=True)
+        except DrainingError:
+            refused_with_draining = True
+        except ConnectionError:
+            refused_with_draining = True  # listener already closed
+        await client.close()
+        await server.close()
+        return {
+            "inflight_at_drain": inflight,
+            "drained_clean": bool(drained),
+            "drain_s": round(drain_s, 3),
+            "dropped": len(dropped),
+            "post_drain_refused": refused_with_draining,
+        }
+
+    return asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# main
+# ----------------------------------------------------------------------
+
+
+def main() -> int:
+    ap = bench_parser("serving load generator (ISSUE 6 acceptance bench)")
+    ap.add_argument("--replicas", type=int, default=None)
+    ap.add_argument("--streams", type=int, default=2)
+    ap.add_argument("--workers", type=int, default=None,
+                    help="closed-loop concurrency (default: mode-based)")
+    ap.add_argument("--program-cache", type=int, default=None,
+                    help="per-replica compiled-program cache entries")
+    ap.add_argument("--requests-routing", type=int, default=None,
+                    help="requests per router in the routing phase")
+    ap.add_argument("--requests-latency", type=int, default=None)
+    ap.add_argument("--requests-overload", type=int, default=None)
+    ap.add_argument("--requests-drain", type=int, default=None)
+    args = ap.parse_args()
+
+    smoke = args.smoke
+    args.replicas = args.replicas or (2 if smoke else 4)
+    args.workers = args.workers or (8 if smoke else 32)
+    # Sized below the distinct-key count (57) so locality is measurable:
+    # a hash-routed replica's slice (~57/replicas keys) nearly fits; the
+    # full key set that random routing sprays at it does not.
+    args.program_cache = args.program_cache or (4 if smoke else 16)
+    args.requests_routing = args.requests_routing or (
+        300 if smoke else 250_000
+    )
+    args.requests_latency = args.requests_latency or (
+        400 if smoke else 300_000
+    )
+    args.requests_overload = args.requests_overload or (
+        300 if smoke else 200_000
+    )
+    args.requests_drain = args.requests_drain or (100 if smoke else 2_000)
+
+    keys = scaled_ttc_keys()
+    print(
+        f"{len(keys)} scaled TTC-suite keys, {len(TENANTS)} tenants, "
+        f"{args.replicas} replicas x {args.streams} streams, "
+        f"program cache {args.program_cache}/replica"
+    )
+
+    t_start = time.perf_counter()
+    routing = {}
+    for router in ("hash", "random"):
+        routing[router] = phase_routing(args, keys, router)
+        print(
+            f"routing[{router}]: {routing[router]['requests']} requests, "
+            f"{routing[router]['throughput_rps']:.0f} req/s, "
+            f"program-cache hit rate "
+            f"{routing[router]['program_cache_hit_rate']:.3f}"
+        )
+
+    latency = phase_latency(args, keys)
+    print(
+        f"latency: {latency['requests']} requests at "
+        f"{latency['saturation_rps']:.0f} req/s — "
+        f"p50 {latency['latency_ms']['p50']:.2f} ms, "
+        f"p99 {latency['latency_ms']['p99']:.2f} ms, "
+        f"p999 {latency['latency_ms']['p999']:.2f} ms"
+    )
+
+    overload = phase_overload(args, keys, latency["saturation_rps"])
+    print(
+        f"overload: {overload['requests']} requests at 2x concurrency — "
+        f"shed {overload['shed_overloaded']} "
+        f"({100 * overload['shed_rate']:.1f}%), "
+        f"{overload['client_retries']} client retries, "
+        f"0 failed, p99 {overload['latency_ms']['p99']:.2f} ms"
+    )
+
+    drain = phase_drain(args, keys)
+    print(
+        f"drain: {drain['inflight_at_drain']} inflight, "
+        f"dropped {drain['dropped']}, "
+        f"{'clean' if drain['drained_clean'] else 'TIMED OUT'} in "
+        f"{drain['drain_s']:.2f} s, "
+        f"post-drain refused: {drain['post_drain_refused']}"
+    )
+
+    total_requests = (
+        2 * args.requests_routing
+        + args.requests_latency
+        + len(keys)  # latency warmup
+        + args.requests_overload
+        + drain["inflight_at_drain"]
+        + 1
+    )
+    total_wall = time.perf_counter() - t_start
+    print(f"total: {total_requests} requests in {total_wall:.1f} s")
+
+    failures = []
+    gap = (
+        routing["hash"]["program_cache_hit_rate"]
+        - routing["random"]["program_cache_hit_rate"]
+    )
+    min_gap = 0.0 if smoke else MIN_HIT_RATE_GAP
+    if gap <= min_gap:
+        failures.append(
+            f"hash routing must beat random on program-cache hit rate by "
+            f"> {min_gap:.2f} (gap {gap:+.3f})"
+        )
+    if overload["shed_overloaded"] == 0:
+        failures.append("overload phase shed nothing at 2x saturation")
+    if overload["client_retries"] == 0:
+        failures.append("overload phase never engaged client backoff")
+    if overload["max_queue_depth_seen"] > 4 * args.workers:
+        failures.append(
+            f"queue depth {overload['max_queue_depth_seen']} exceeded the "
+            f"{4 * args.workers} bound"
+        )
+    if drain["dropped"] != 0:
+        failures.append(f"drain dropped {drain['dropped']} inflight requests")
+    if not drain["drained_clean"]:
+        failures.append("drain timed out")
+    if not drain["post_drain_refused"]:
+        failures.append("post-drain request was not refused")
+    if not smoke and total_requests < 1_000_000:
+        failures.append(
+            f"full mode must replay >= 1M requests, got {total_requests}"
+        )
+
+    if not smoke:
+        payload = {
+            "bench": "serving_load",
+            "total_requests": total_requests,
+            "total_wall_s": round(total_wall, 1),
+            "tenants": len(TENANTS),
+            "distinct_keys": len(keys),
+            "zipf_s": ZIPF_S,
+            "config": {
+                "replicas": args.replicas,
+                "streams": args.streams,
+                "workers": args.workers,
+                "program_cache_per_replica": args.program_cache,
+            },
+            "routing": routing,
+            "routing_hit_rate_gap": round(gap, 4),
+            "latency": latency,
+            "overload": overload,
+            "drain": drain,
+            "env": {"cpus": os.cpu_count()},
+        }
+        RESULTS_PATH.parent.mkdir(exist_ok=True)
+        RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {RESULTS_PATH}")
+
+    return gate("serving load gates", failures, smoke=smoke)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,10 +28,23 @@ serve [--requests N] [--clients C] [--streams S] [--payload]
     the out-of-GIL shared-memory process pool, or calibrated auto
     routing.  See docs/runtime.md.
 
-stats [--state-dir DIR] [--json]
+serve --listen HOST:PORT [--replicas R] [--streams S]
+      [--router hash|random|round_robin] [--max-inflight N]
+      [--tenant-rate R/S] [--max-queue-depth N] [--program-cache N]
+      [--max-requests N] [--state-dir DIR]
+    Run the network serving front end (docs/serving.md): R sharded
+    TransposeService replicas behind the length-prefixed wire protocol,
+    routed by plan content key over a consistent-hash ring, with
+    admission control and graceful drain on Ctrl-C (or after
+    ``--max-requests`` requests).  The serving snapshot is written to
+    ``<state-dir>/metrics.json`` on exit.
+
+stats [--state-dir DIR] [--json] [--connect HOST:PORT]
     Print the metrics snapshot written by the last ``serve`` session,
-    including batch-coalescing counters and the auto-tuner's calibrated
-    throughput table.
+    including batch-coalescing counters, the auto-tuner's calibrated
+    throughput table, and the ``serving.*`` block when the snapshot
+    came from a network front end.  ``--connect`` queries a live
+    server over the wire instead of reading the file.
 
 ``DIMS`` and ``PERM`` are comma-separated, dim 0 fastest, permutation in
 the paper convention (``perm[i] = j``: output dim i is input dim j).
@@ -96,6 +109,21 @@ def _problem(text: str) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
             f"expected DIMS:PERM (e.g. 16,16,16:2,1,0), got {text!r}"
         )
     return _ints(dims_text), _ints(perm_text)
+
+
+def _addr(text: str) -> Tuple[str, int]:
+    """Parse ``HOST:PORT`` for ``serve --listen`` / ``stats --connect``."""
+    host, sep, port_text = text.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        sep = ""
+        port = -1
+    if not sep or not host or not (0 <= port < 65536):
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT (e.g. 127.0.0.1:8731), got {text!r}"
+        )
+    return host, port
 
 
 def cmd_plan(args) -> int:
@@ -173,12 +201,86 @@ def _serve_problems(args):
     return [(c.dims, c.perm) for c in cases[::step]][: args.unique]
 
 
+def _cmd_serve_listen(args) -> int:
+    """The network front end: bind, serve, drain, snapshot."""
+    import asyncio
+
+    from repro.serving import ServingServer
+
+    host, port = args.listen
+    state_dir = Path(args.state_dir).expanduser()
+    state_dir.mkdir(parents=True, exist_ok=True)
+
+    async def run() -> dict:
+        server = ServingServer(
+            replicas=args.replicas,
+            host=host,
+            port=port,
+            spec=DEVICES[args.device],
+            store_path=state_dir / "plans.json",
+            num_streams=args.streams,
+            program_cache_size=args.program_cache,
+            max_inflight=args.max_inflight,
+            tenant_rate=args.tenant_rate,
+            max_queue_depth=args.max_queue_depth,
+            router=args.router,
+        )
+        await server.start()
+        print(
+            f"serving on {server.address}: {args.replicas} replicas x "
+            f"{args.streams} streams, router={args.router}, "
+            f"max_inflight={args.max_inflight}"
+            + (
+                f", stopping after {args.max_requests} requests"
+                if args.max_requests
+                else " (Ctrl-C to drain)"
+            ),
+            flush=True,
+        )
+        try:
+            while True:
+                await asyncio.sleep(0.05)
+                if (
+                    args.max_requests
+                    and server.serving_snapshot()["counters"].get(
+                        "serving.requests", 0
+                    )
+                    >= args.max_requests
+                ):
+                    break
+        except asyncio.CancelledError:
+            pass
+        finally:
+            drained = await server.drain()
+            snapshot = server.serving_snapshot()
+            await server.close()
+            print(
+                f"drained: {'clean' if drained else 'TIMED OUT'}, "
+                f"{snapshot['counters'].get('serving.requests', 0)} requests "
+                f"served"
+            )
+        return snapshot
+
+    try:
+        snapshot = asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted before drain finished", file=sys.stderr)
+        return 130
+    (state_dir / "metrics.json").write_text(
+        json.dumps({"serving": snapshot}, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"state: {state_dir} (plans.json, metrics.json)")
+    return 0
+
+
 def cmd_serve(args) -> int:
     import queue
     import threading
 
     from repro.runtime import TransposeService
 
+    if args.listen is not None:
+        return _cmd_serve_listen(args)
     if args.batch_window > 0 and not args.payload:
         print(
             "error: --batch-window coalesces executions and requires "
@@ -340,7 +442,99 @@ def _print_histogram_lines(histograms: dict) -> None:
         )
 
 
+def _print_serving_block(serving: dict) -> None:
+    """Pretty-print one ``serving_snapshot()`` payload."""
+    print(
+        f"serving: protocol v{serving.get('protocol_version', '?')}, "
+        f"{serving.get('replicas', '?')} replicas, "
+        f"router={serving.get('router', '?')}"
+        + (" (draining)" if serving.get("draining") else "")
+    )
+    counters = serving.get("counters") or {}
+    if counters:
+        for name in sorted(counters):
+            print(f"  {name:<36s} {counters[name]}")
+    else:
+        print("  counters: n/a")
+    admission = serving.get("admission")
+    if admission:
+        quota = (
+            f"{admission['tenant_rate']:g}/s "
+            f"(burst {admission['tenant_burst']:g})"
+            if admission.get("tenant_rate") is not None
+            else "off"
+        )
+        print(
+            f"admission: {admission.get('inflight', 0)}/"
+            f"{admission.get('max_inflight', '?')} inflight, "
+            f"{admission.get('admitted', 0)} admitted, "
+            f"shed {admission.get('shed_overloaded', 0)} overloaded / "
+            f"{admission.get('shed_quota', 0)} quota, "
+            f"tenants {admission.get('tenants', 0)}, quota {quota}"
+        )
+    else:
+        print("admission: n/a")
+    for rep in serving.get("per_replica") or []:
+        executor = rep.get("executor") or {}
+        plan_cache = rep.get("plan_cache") or {}
+        hit_rate = executor.get("hit_rate")
+        programs = (
+            f"programs {executor.get('entries', 0)}/"
+            f"{executor.get('maxsize', '?')} "
+            f"({hit_rate * 100:.1f}% hits, "
+            f"{executor.get('evictions', 0)} evicted)"
+            if hit_rate is not None
+            else "programs n/a"
+        )
+        print(
+            f"  replica {rep.get('replica', '?')}: "
+            f"routed {rep.get('routed', 0)}, "
+            f"queue {rep.get('queue_depth', 0)}, "
+            f"inflight {rep.get('inflight', 0)}, {programs}, "
+            f"plans {plan_cache.get('resident', 0)} "
+            f"({plan_cache.get('hit_rate', 0.0) * 100:.1f}% hits)"
+        )
+    store = serving.get("store")
+    if store:
+        print(
+            f"store: {store['entries']} entries at {store['path']} "
+            f"(v{store['store_version']})"
+        )
+
+
+def _stats_connect(args) -> int:
+    """Live ``stats`` query against a running serving front end."""
+    import asyncio
+
+    from repro.serving import ServingClient
+
+    host, port = args.connect
+
+    async def fetch() -> dict:
+        async with ServingClient(host, port, pool_size=1) as client:
+            return await client.stats()
+
+    try:
+        serving = asyncio.run(fetch())
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot reach {host}:{port}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps({"serving": serving}, indent=2, sort_keys=True))
+        return 0
+    print(f"serving stats — live from {host}:{port}")
+    _print_serving_block(serving)
+    runtime = serving.get("runtime_counters") or {}
+    if runtime:
+        print("runtime counters (all replicas):")
+        for name in sorted(runtime):
+            print(f"  {name:<28s} {runtime[name]}")
+    return 0
+
+
 def cmd_stats(args) -> int:
+    if args.connect is not None:
+        return _stats_connect(args)
     state_dir = Path(args.state_dir).expanduser()
     path = state_dir / "metrics.json"
     if not path.exists():
@@ -354,25 +548,32 @@ def cmd_stats(args) -> int:
     if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
-    print(f"runtime stats — device: {payload.get('device', '?')}")
-    counters = payload["metrics"]["counters"]
-    print("counters:")
-    for name in sorted(counters):
-        print(f"  {name:<28s} {counters[name]}")
-    gauges = payload["metrics"]["gauges"]
-    if gauges:
-        print("gauges:")
-        for name in sorted(gauges):
-            print(f"  {name:<28s} {gauges[name]}")
-    print("latency histograms:")
-    _print_histogram_lines(payload["metrics"]["histograms"])
-    cache = payload["cache"]
-    print(
-        f"cache: {cache['resident_plans']}/{cache['capacity']} plans, "
-        f"{cache['hits']} hits / {cache['misses']} misses "
-        f"({cache['hit_rate'] * 100:.1f}%), "
-        f"{cache['store_hits']} store hits"
-    )
+    print(f"runtime stats — device: {payload.get('device', 'n/a')}")
+    metrics = payload.get("metrics")
+    if metrics:
+        counters = metrics.get("counters") or {}
+        print("counters:")
+        for name in sorted(counters):
+            print(f"  {name:<28s} {counters[name]}")
+        gauges = metrics.get("gauges") or {}
+        if gauges:
+            print("gauges:")
+            for name in sorted(gauges):
+                print(f"  {name:<28s} {gauges[name]}")
+        print("latency histograms:")
+        _print_histogram_lines(metrics.get("histograms") or {})
+    else:
+        print("metrics: n/a")
+    cache = payload.get("cache")
+    if cache:
+        print(
+            f"cache: {cache['resident_plans']}/{cache['capacity']} plans, "
+            f"{cache['hits']} hits / {cache['misses']} misses "
+            f"({cache['hit_rate'] * 100:.1f}%), "
+            f"{cache['store_hits']} store hits"
+        )
+    else:
+        print("cache: n/a")
     executor = payload.get("executor")
     if executor:
         print(
@@ -382,12 +583,17 @@ def cmd_stats(args) -> int:
             f"({executor['hit_rate'] * 100:.1f}%), "
             f"{executor['evictions']} evicted"
         )
-    sched = payload["scheduler"]
-    clocks = " ".join(f"{c * 1e3:.3f}" for c in sched["sim_clock_s"])
-    print(
-        f"streams: {sched['num_streams']} on {', '.join(sched['devices'])}; "
-        f"sim clocks (ms): {clocks}; jobs {sched['jobs_done']}"
-    )
+    sched = payload.get("scheduler")
+    if sched:
+        clocks = " ".join(f"{c * 1e3:.3f}" for c in sched["sim_clock_s"])
+        print(
+            f"streams: {sched['num_streams']} on "
+            f"{', '.join(sched['devices'])}; "
+            f"sim clocks (ms): {clocks}; jobs {sched['jobs_done']}"
+        )
+    else:
+        sched = {}
+        print("scheduler: n/a")
     arena = sched.get("arena")
     if arena:
         print(
@@ -453,6 +659,9 @@ def cmd_stats(args) -> int:
             f"(v{store['store_version']}, "
             f"{store['corrupt_entries_dropped']} corrupt dropped)"
         )
+    serving = payload.get("serving")
+    if serving:
+        _print_serving_block(serving)
     return 0
 
 
@@ -552,6 +761,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--device", choices=tuple(DEVICES), default="k40c")
     p.add_argument("--state-dir", default=DEFAULT_STATE_DIR,
                    help="plan store + metrics location (default %(default)s)")
+    net = p.add_argument_group(
+        "network mode", "serve over TCP instead of the in-process workload"
+    )
+    net.add_argument(
+        "--listen", type=_addr, default=None, metavar="HOST:PORT",
+        help="bind the asyncio serving front end here (port 0 = ephemeral); "
+             "when set the workload options above are ignored",
+    )
+    net.add_argument("--replicas", type=int, default=2,
+                     help="TransposeService shards (default %(default)s)")
+    net.add_argument(
+        "--router", choices=("hash", "random", "round_robin"), default="hash",
+        help="plan-key routing policy (default %(default)s)",
+    )
+    net.add_argument("--max-inflight", type=int, default=256,
+                     help="admitted-request cap before OVERLOADED "
+                          "(default %(default)s)")
+    net.add_argument(
+        "--tenant-rate", type=float, default=None, metavar="R",
+        help="per-tenant quota in requests/s (default: no quotas)",
+    )
+    net.add_argument(
+        "--max-queue-depth", type=int, default=None, metavar="N",
+        help="shed when the routed replica's backlog exceeds N",
+    )
+    net.add_argument(
+        "--program-cache", type=int, default=None, metavar="N",
+        help="per-replica compiled-program cache entries",
+    )
+    net.add_argument(
+        "--max-requests", type=int, default=None, metavar="N",
+        help="drain and exit after N requests (default: run until Ctrl-C)",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -560,6 +802,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--state-dir", default=DEFAULT_STATE_DIR,
                    help="state location written by serve (default %(default)s)")
     p.add_argument("--json", action="store_true", help="raw JSON output")
+    p.add_argument(
+        "--connect", type=_addr, default=None, metavar="HOST:PORT",
+        help="query a live serving front end instead of reading the "
+             "metrics.json snapshot",
+    )
     p.set_defaults(func=cmd_stats)
     return parser
 

@@ -38,3 +38,35 @@ class ModelError(ReproError, RuntimeError):
 
 class ContractionError(ReproError, ValueError):
     """A TTGT contraction specification is malformed or inconsistent."""
+
+
+class ServingError(ReproError):
+    """Base class for network-serving failures (see ``docs/serving.md``).
+
+    Each concrete subclass maps 1:1 onto a wire error code, so a client
+    receiving a typed error reply re-raises the same exception the
+    server-side handler saw.
+    """
+
+
+class ProtocolError(ServingError, ValueError):
+    """A wire frame or message violates the serving protocol (truncated
+    frame, oversized frame, unknown tag/verb, malformed request)."""
+
+
+class OverloadedError(ServingError, RuntimeError):
+    """The server shed this request under admission control; back off
+    and retry (the pooled client does this automatically)."""
+
+
+class QuotaExceededError(OverloadedError):
+    """The request's tenant exhausted its token-bucket quota."""
+
+
+class DeadlineExceededError(ServingError, TimeoutError):
+    """The request's deadline expired before (or while) it executed."""
+
+
+class DrainingError(ServingError, RuntimeError):
+    """The service/server is draining: intake is closed, inflight work
+    is being flushed, and no new requests are accepted."""

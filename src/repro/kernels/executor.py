@@ -628,29 +628,46 @@ def compile_executor(
 # Process-wide program cache
 # ----------------------------------------------------------------------
 
-_PROGRAM_CACHE = BoundedLRU(
-    maxsize=EXEC_CACHE_MAX_PROGRAMS,
-    max_bytes=EXEC_CACHE_MAX_BYTES,
-    sizeof=lambda program: program.nbytes,
-)
+def new_program_cache(
+    maxsize: int = EXEC_CACHE_MAX_PROGRAMS,
+    max_bytes: int = EXEC_CACHE_MAX_BYTES,
+) -> BoundedLRU:
+    """A fresh, private compiled-program cache.
+
+    Sharded deployments give each service replica its own cache (sized
+    to its key shard) so routing locality shows up as per-replica hit
+    rate — see ``docs/serving.md``.  The default process-wide cache is
+    one of these.
+    """
+    return BoundedLRU(
+        maxsize=maxsize,
+        max_bytes=max_bytes,
+        sizeof=lambda program: program.nbytes,
+    )
+
+
+_PROGRAM_CACHE = new_program_cache()
 
 
 def cached_program(
-    key: Hashable, build: Callable[[], ExecutorProgram]
+    key: Hashable,
+    build: Callable[[], ExecutorProgram],
+    cache: Optional[BoundedLRU] = None,
 ) -> Tuple[ExecutorProgram, bool]:
-    """Get-or-build on the process-wide program cache.
+    """Get-or-build on a program cache (the process-wide one by default).
 
     The generic rehydration hook: callers that can rebuild a program
     from stable content (a kernel, or a persisted plan-store entry in a
     process-pool worker) pass that content's key and a builder; the
-    program is compiled at most once per process per key.  Returns
+    program is compiled at most once per cache per key.  Returns
     ``(program, hit)``.
     """
-    program = _PROGRAM_CACHE.get(key)
+    target = cache if cache is not None else _PROGRAM_CACHE
+    program = target.get(key)
     if program is not None:
         return program, True
     program = build()
-    _PROGRAM_CACHE.put(key, program)
+    target.put(key, program)
     return program, False
 
 
@@ -659,6 +676,7 @@ def executor_with_status(
     *,
     lowering: bool = True,
     max_index_bytes: int = DEFAULT_MAX_INDEX_BYTES,
+    cache: Optional[BoundedLRU] = None,
 ) -> Tuple[ExecutorProgram, bool]:
     """The kernel's cached program plus whether this call was a hit.
 
@@ -668,13 +686,15 @@ def executor_with_status(
     plan of one problem) shares a single compiled program.  The compile
     options are part of the key: forcing ``lowering=False`` (the
     index-map oracle, and the regime the process-pool backend exists
-    for) caches separately from the default lowering.
+    for) caches separately from the default lowering.  ``cache`` swaps
+    the process-wide cache for a private one (per-replica serving).
     """
     return cached_program(
         kernel.execute_key() + (lowering, max_index_bytes),
         lambda: compile_executor(
             kernel, lowering=lowering, max_index_bytes=max_index_bytes
         ),
+        cache,
     )
 
 

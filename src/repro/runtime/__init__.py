@@ -26,6 +26,7 @@ from repro.runtime.scheduler import ExecutionReport, StreamScheduler
 from repro.runtime.service import TransposeService
 from repro.runtime.store import (
     PlanStore,
+    content_key,
     plan_key,
     rehydrate_plan,
     serialize_plan,
@@ -39,6 +40,7 @@ __all__ = [
     "ArenaBlock",
     "ProcessPool",
     "PlanStore",
+    "content_key",
     "plan_key",
     "serialize_plan",
     "rehydrate_plan",

@@ -170,6 +170,7 @@ class StreamScheduler:
         arena: Optional[BufferArena] = None,
         store_path=None,
         proc_start_method: Optional[str] = None,
+        program_cache=None,
     ):
         if num_streams <= 0:
             raise ValueError(f"num_streams must be positive, got {num_streams}")
@@ -188,6 +189,10 @@ class StreamScheduler:
         self.backend = backend
         self.arena = arena if arena is not None else BufferArena()
         self._own_arena = arena is None
+        #: Private compiled-program cache (``None`` = the process-wide
+        #: one).  Sharded serving gives each replica its own so routing
+        #: locality is observable as per-replica hit rate.
+        self.program_cache = program_cache
         self._proc_workers = proc_workers
         self._proc_start_method = proc_start_method
         self._store_path = store_path
@@ -401,7 +406,9 @@ class StreamScheduler:
         if self._closed:
             raise RuntimeError("scheduler is shut down")
         compile_opts = (lowering, DEFAULT_MAX_INDEX_BYTES)
-        program, hit = executor_with_status(plan.kernel, lowering=lowering)
+        program, hit = executor_with_status(
+            plan.kernel, lowering=lowering, cache=self.program_cache
+        )
         self.metrics.inc("exec_cache_hits" if hit else "exec_cache_misses")
         src = plan.kernel.check_input(payload)
         chosen = self._route(program, src.nbytes, backend)
@@ -454,7 +461,9 @@ class StreamScheduler:
         if not len(payloads):
             raise ValueError("submit_batch requires at least one payload")
         compile_opts = (lowering, DEFAULT_MAX_INDEX_BYTES)
-        program, hit = executor_with_status(plan.kernel, lowering=lowering)
+        program, hit = executor_with_status(
+            plan.kernel, lowering=lowering, cache=self.program_cache
+        )
         self.metrics.inc("exec_cache_hits" if hit else "exec_cache_misses")
         srcs = program.batch_view(
             [plan.kernel.check_input(p) for p in payloads]
@@ -585,7 +594,9 @@ class StreamScheduler:
                 output = None
                 block = None
                 if payload is not None:
-                    program, hit = executor_with_status(plan.kernel)
+                    program, hit = executor_with_status(
+                        plan.kernel, cache=self.program_cache
+                    )
                     self.metrics.inc(
                         "exec_cache_hits" if hit else "exec_cache_misses"
                     )
@@ -631,6 +642,12 @@ class StreamScheduler:
                 fut.set_exception(exc)
 
     # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Jobs (and split tasks) currently waiting for a stream — the
+        cheap accessor serving-layer backpressure polls per request."""
+        return self._queue.qsize()
+
     def snapshot(self) -> dict:
         with self._lock:
             snap = {

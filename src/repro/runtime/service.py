@@ -26,13 +26,14 @@ import math
 import time
 from dataclasses import replace
 from pathlib import Path
+from threading import Event, Lock
 from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.cache import DEFAULT_CAPACITY, PlanCache
 from repro.core.plan import Predictor, TransposePlan
-from repro.errors import InvalidLayoutError
+from repro.errors import DrainingError, InvalidLayoutError
 from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
 from repro.runtime.autotune import ThroughputCalibrator
 from repro.runtime.batching import MicroBatcher, SingleFlight
@@ -91,6 +92,12 @@ class TransposeService:
     arena:
         Share a :class:`~repro.runtime.arena.BufferArena` between
         services; by default the scheduler owns a fresh one.
+    program_cache_size / program_cache_bytes:
+        When either is set, the service compiles executor programs into
+        a **private** bounded LRU instead of the process-wide cache.
+        Sharded serving uses this so each replica's cache only holds its
+        routed key subset and per-replica hit rate is meaningful (see
+        ``docs/serving.md``).
     """
 
     def __init__(
@@ -112,6 +119,8 @@ class TransposeService:
         proc_workers: Optional[int] = None,
         proc_start_method: Optional[str] = None,
         arena=None,
+        program_cache_size: Optional[int] = None,
+        program_cache_bytes: Optional[int] = None,
     ):
         if store is not None and store_path is not None:
             raise ValueError("pass either store or store_path, not both")
@@ -131,6 +140,18 @@ class TransposeService:
         self.autotuner = ThroughputCalibrator(
             pool_size=num_streams, path=autotune_path, backends=backends
         )
+        self.program_cache = None
+        if program_cache_size is not None or program_cache_bytes is not None:
+            from repro.kernels.executor import (
+                EXEC_CACHE_MAX_BYTES,
+                EXEC_CACHE_MAX_PROGRAMS,
+                new_program_cache,
+            )
+
+            self.program_cache = new_program_cache(
+                maxsize=program_cache_size or EXEC_CACHE_MAX_PROGRAMS,
+                max_bytes=program_cache_bytes or EXEC_CACHE_MAX_BYTES,
+            )
         self.scheduler = StreamScheduler(
             num_streams=num_streams,
             devices=devices if devices else [spec],
@@ -141,15 +162,52 @@ class TransposeService:
             proc_start_method=proc_start_method,
             arena=arena,
             store_path=self.store.path if self.store is not None else None,
+            program_cache=self.program_cache,
         )
         self._batcher = MicroBatcher(
             self._flush_batch, window_s=batch_window_s, max_batch=batch_max
         )
         self._closed = False
+        self._draining = False
+        self._inflight = 0
+        self._inflight_lock = Lock()
+        self._idle = Event()
+        self._idle.set()
 
     # ------------------------------------------------------------------
     def _cache_event(self, event: str) -> None:
         self.metrics.inc(_EVENT_COUNTERS.get(event, event))
+
+    def _check_intake(self) -> None:
+        """Refuse new executions once draining started or after close.
+
+        Planning stays available while draining (micro-batch flushes
+        still need it); only the execution entry points are gated.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        if self._draining:
+            raise DrainingError("service is draining; intake is closed")
+
+    def _track(self, fut):
+        """Count a dispatched execution until its future resolves."""
+        with self._inflight_lock:
+            self._inflight += 1
+            self._idle.clear()
+        fut.add_done_callback(self._untrack)
+        return fut
+
+    def _untrack(self, _fut) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
+
+    @property
+    def inflight(self) -> int:
+        """Executions dispatched but not yet resolved."""
+        with self._inflight_lock:
+            return self._inflight
 
     def plan(
         self,
@@ -227,10 +285,11 @@ class TransposeService:
         is the linearized input data; without it the stream still
         retires the launch on its simulated clock (a timing-only call).
         """
+        self._check_intake()
         payload = self._check_payload(dims, elem_bytes, payload)
         plan = self.plan(dims, perm, elem_bytes, spec)
         self.metrics.inc("executions_submitted")
-        return self.scheduler.submit(plan, payload)
+        return self._track(self.scheduler.submit(plan, payload))
 
     def execute(
         self,
@@ -270,6 +329,7 @@ class TransposeService:
         backend for this call; ``lowering=False`` forces index-map
         compilation (see ``docs/execution-tiers.md``).
         """
+        self._check_intake()
         if payload is None:
             raise InvalidLayoutError(
                 "submit_partitioned requires a payload to move"
@@ -277,8 +337,10 @@ class TransposeService:
         payload = self._check_payload(dims, elem_bytes, payload)
         plan = self.plan(dims, perm, elem_bytes, spec)
         self.metrics.inc("executions_submitted")
-        return self.scheduler.submit_partitioned(
-            plan, payload, parts, backend=backend, lowering=lowering
+        return self._track(
+            self.scheduler.submit_partitioned(
+                plan, payload, parts, backend=backend, lowering=lowering
+            )
         )
 
     def execute_partitioned(
@@ -319,16 +381,17 @@ class TransposeService:
         ``output`` is this caller's own transposed payload; ``batch``
         on the report says how many requests shared the run.
         """
-        if self._closed:
-            raise RuntimeError("service is closed")
+        self._check_intake()
         payload = self._check_payload(dims, elem_bytes, payload, required=True)
         spec = spec if spec is not None else self.spec
         dims = tuple(int(d) for d in dims)
         perm = tuple(int(p) for p in perm)
         key = PlanCache._key(dims, perm, elem_bytes, spec)
         self.metrics.inc("batch_requests")
-        return self._batcher.submit(
-            key, payload, context=(dims, perm, elem_bytes, spec)
+        return self._track(
+            self._batcher.submit(
+                key, payload, context=(dims, perm, elem_bytes, spec)
+            )
         )
 
     def execute_batched(
@@ -404,6 +467,11 @@ class TransposeService:
         + compiled-executor program cache + batching + autotune."""
         from repro.kernels.executor import exec_cache_stats
 
+        executor = (
+            self.program_cache.stats()
+            if self.program_cache is not None
+            else exec_cache_stats()
+        )
         return {
             "device": self.spec.name,
             "metrics": self.metrics.snapshot(),
@@ -412,7 +480,7 @@ class TransposeService:
                 "resident_plans": len(self.cache),
                 **self.cache.snapshot_stats().as_dict(),
             },
-            "executor": exec_cache_stats(),
+            "executor": executor,
             "scheduler": self.scheduler.snapshot(),
             "batching": self._batcher.stats(),
             "autotune": self.autotuner.table(),
@@ -424,14 +492,34 @@ class TransposeService:
             self.store.flush()
         self.autotuner.flush()
 
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Orderly intake shutdown: stop accepting executions, flush
+        open micro-batch windows, wait for inflight work to resolve,
+        then close the scheduler.
+
+        Returns True when every inflight execution resolved within
+        ``timeout`` seconds (None = wait indefinitely).  On False the
+        scheduler is still shut down — queued jobs drain on their
+        streams — but some futures may resolve after this returns.
+        After a drain the service refuses new executions with
+        :class:`~repro.errors.DrainingError` (planning via :meth:`plan`
+        keeps working until :meth:`close`); draining twice is a no-op.
+        """
+        if self._closed:
+            return True
+        self._draining = True
+        # Flush open micro-batch windows while the service still plans
+        # and schedules; their futures join the inflight count.
+        self._batcher.close()
+        drained = self._idle.wait(timeout)
+        self.scheduler.shutdown()
+        return drained
+
     def close(self) -> None:
         if self._closed:
             return
-        # Drain open micro-batch windows while the service still plans
-        # and schedules; only then refuse new requests.
-        self._batcher.close()
+        self.drain()
         self._closed = True
-        self.scheduler.shutdown()
         self.autotuner.close()
         if self.store is not None:
             self.store.close()

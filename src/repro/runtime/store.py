@@ -55,6 +55,22 @@ def _key_str(
     )
 
 
+def content_key(
+    dims: Sequence[int],
+    perm: Sequence[int],
+    elem_bytes: int,
+    spec: DeviceSpec,
+) -> str:
+    """The stable string content key of a problem.
+
+    The same key the store and the process-pool protocol use — and the
+    routing key of the sharded serving front end (``docs/serving.md``):
+    deterministic across processes, so every front end instance maps a
+    given problem to the same replica.
+    """
+    return _key_str(dims, perm, elem_bytes, spec)
+
+
 def plan_key(plan: TransposePlan) -> str:
     """The store content key of a plan (what the process-pool protocol
     ships instead of the program itself)."""

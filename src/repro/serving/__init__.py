@@ -1,0 +1,48 @@
+"""Network serving subsystem: the sharded asyncio front end.
+
+The in-process :class:`~repro.runtime.service.TransposeService` behind
+a real protocol: a compact length-prefixed codec over raw TCP
+(:mod:`~repro.serving.codec`), plan-content-key routing through a
+consistent-hash ring (:mod:`~repro.serving.ring`) so each replica's
+bounded caches stay hot, admission control with per-tenant quotas and
+typed load shedding (:mod:`~repro.serving.admission`), graceful drain,
+and a pooled retrying client (:mod:`~repro.serving.client`).
+
+See ``docs/serving.md`` for the wire protocol and semantics;
+``benchmarks/bench_serving_load.py`` is the million-request load
+generator that produces ``results/serving_load.json``.
+"""
+
+from __future__ import annotations
+
+from repro.serving.admission import AdmissionController, TokenBucket
+from repro.serving.client import ServingClient, exception_for
+from repro.serving.codec import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameTooLargeError,
+    decode,
+    decode_frame,
+    encode,
+    pack_frame,
+    read_frame,
+)
+from repro.serving.ring import HashRing
+from repro.serving.server import PROTOCOL_VERSION, ServingServer, error_code_of
+
+__all__ = [
+    "ServingServer",
+    "ServingClient",
+    "HashRing",
+    "AdmissionController",
+    "TokenBucket",
+    "PROTOCOL_VERSION",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FrameTooLargeError",
+    "encode",
+    "decode",
+    "pack_frame",
+    "decode_frame",
+    "read_frame",
+    "error_code_of",
+    "exception_for",
+]

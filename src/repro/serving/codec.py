@@ -1,0 +1,316 @@
+"""Compact length-prefixed wire codec for the serving protocol.
+
+msgpack-style framing over raw sockets, dependency-free: every message
+is one **frame** — a 4-byte big-endian unsigned body length followed by
+the body — and the body is a tag-prefixed binary encoding of one
+JSON-like value (None, bools, 64-bit ints, doubles, UTF-8 strings,
+bytes, lists, string-keyed dicts) extended with a native ``numpy``
+array tag so tensor payloads cross the wire as raw dtype bytes instead
+of per-element boxing.
+
+The decoder is strict: every length is bounds-checked against the
+remaining buffer, unknown tags and trailing garbage raise
+:class:`~repro.errors.ProtocolError`, and nesting depth is capped.  A
+declared frame longer than ``max_frame_bytes`` raises
+:class:`FrameTooLargeError` *before* the body is read, so a hostile or
+buggy peer cannot make the server buffer an arbitrary amount.
+
+Frame layout (see ``docs/serving.md`` for the verb schemas)::
+
+    +----------------+----------------------------------+
+    | u32 big-endian |  body: one encoded value         |
+    | body length    |  (tagged, recursively encoded)   |
+    +----------------+----------------------------------+
+
+Tags (one byte each, lengths big-endian)::
+
+    0xc0 None    0xc2 False   0xc3 True
+    0xd3 int     (i64)        0xcb float (f64)
+    0xdb str     (u32 len + UTF-8)
+    0xc6 bytes   (u32 len + raw)
+    0xdd list    (u32 count + items)
+    0xdf dict    (u32 count + str-key/value pairs)
+    0xc7 ndarray (u8 dtype-str len + dtype + u8 ndim +
+                  ndim * u32 extents + raw C-order data)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Any, List, Tuple
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+#: Default cap on one frame's body, bytes.  Large enough for a ~200 MB
+#: TTC-suite operand is deliberately NOT the default — servers that
+#: want to accept tensor payloads that big opt in explicitly.
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Nesting depth cap of the decoder (requests are depth <= 3).
+MAX_DEPTH = 32
+
+_LEN = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+
+_T_NONE = 0xC0
+_T_FALSE = 0xC2
+_T_TRUE = 0xC3
+_T_INT = 0xD3
+_T_FLOAT = 0xCB
+_T_STR = 0xDB
+_T_BYTES = 0xC6
+_T_LIST = 0xDD
+_T_DICT = 0xDF
+_T_NDARRAY = 0xC7
+
+
+class FrameTooLargeError(ProtocolError):
+    """A frame declared a body longer than the negotiated maximum."""
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+
+
+def _encode_into(obj: Any, out: List[bytes], depth: int) -> None:
+    if depth > MAX_DEPTH:
+        raise ProtocolError(f"encode nesting deeper than {MAX_DEPTH}")
+    if obj is None:
+        out.append(bytes((_T_NONE,)))
+    elif obj is True:
+        out.append(bytes((_T_TRUE,)))
+    elif obj is False:
+        out.append(bytes((_T_FALSE,)))
+    elif isinstance(obj, (int, np.integer)):
+        out.append(bytes((_T_INT,)) + _I64.pack(int(obj)))
+    elif isinstance(obj, (float, np.floating)):
+        out.append(bytes((_T_FLOAT,)) + _F64.pack(float(obj)))
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        out.append(bytes((_T_STR,)) + _LEN.pack(len(raw)))
+        out.append(raw)
+    elif isinstance(obj, (bytes, bytearray, memoryview)):
+        raw = bytes(obj)
+        out.append(bytes((_T_BYTES,)) + _LEN.pack(len(raw)))
+        out.append(raw)
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        dt = arr.dtype.str.encode("ascii")
+        if len(dt) > 255 or arr.ndim > 255:
+            raise ProtocolError("unencodable ndarray (dtype/ndim too wide)")
+        head = bytes((_T_NDARRAY, len(dt))) + dt + bytes((arr.ndim,))
+        head += b"".join(_LEN.pack(int(d)) for d in arr.shape)
+        out.append(head)
+        out.append(arr.tobytes())
+    elif isinstance(obj, (list, tuple)):
+        out.append(bytes((_T_LIST,)) + _LEN.pack(len(obj)))
+        for item in obj:
+            _encode_into(item, out, depth + 1)
+    elif isinstance(obj, dict):
+        out.append(bytes((_T_DICT,)) + _LEN.pack(len(obj)))
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise ProtocolError(
+                    f"dict keys must be str, got {type(key).__name__}"
+                )
+            raw = key.encode("utf-8")
+            out.append(_LEN.pack(len(raw)))
+            out.append(raw)
+            _encode_into(value, out, depth + 1)
+    else:
+        raise ProtocolError(f"unencodable type {type(obj).__name__}")
+
+
+def encode(obj: Any) -> bytes:
+    """Encode one value to its body bytes (no length prefix)."""
+    out: List[bytes] = []
+    _encode_into(obj, out, 0)
+    return b"".join(out)
+
+
+def pack_frame(obj: Any, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> bytes:
+    """One full wire frame: length prefix + encoded body."""
+    body = encode(obj)
+    if len(body) > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"frame body of {len(body)} bytes exceeds the "
+            f"{max_frame_bytes}-byte cap"
+        )
+    return _LEN.pack(len(body)) + body
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+
+
+def _need(buf: bytes, pos: int, n: int) -> None:
+    if pos + n > len(buf):
+        raise ProtocolError(
+            f"truncated body: need {n} bytes at offset {pos}, "
+            f"have {len(buf) - pos}"
+        )
+
+
+def _decode_at(buf: bytes, pos: int, depth: int) -> Tuple[Any, int]:
+    if depth > MAX_DEPTH:
+        raise ProtocolError(f"decode nesting deeper than {MAX_DEPTH}")
+    _need(buf, pos, 1)
+    tag = buf[pos]
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_INT:
+        _need(buf, pos, 8)
+        return _I64.unpack_from(buf, pos)[0], pos + 8
+    if tag == _T_FLOAT:
+        _need(buf, pos, 8)
+        return _F64.unpack_from(buf, pos)[0], pos + 8
+    if tag == _T_STR:
+        _need(buf, pos, 4)
+        n = _LEN.unpack_from(buf, pos)[0]
+        pos += 4
+        _need(buf, pos, n)
+        try:
+            return buf[pos : pos + n].decode("utf-8"), pos + n
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"invalid UTF-8 in string: {exc}") from None
+    if tag == _T_BYTES:
+        _need(buf, pos, 4)
+        n = _LEN.unpack_from(buf, pos)[0]
+        pos += 4
+        _need(buf, pos, n)
+        return buf[pos : pos + n], pos + n
+    if tag == _T_NDARRAY:
+        _need(buf, pos, 1)
+        dt_len = buf[pos]
+        pos += 1
+        _need(buf, pos, dt_len)
+        try:
+            dtype = np.dtype(buf[pos : pos + dt_len].decode("ascii"))
+        except (UnicodeDecodeError, TypeError) as exc:
+            raise ProtocolError(f"invalid ndarray dtype: {exc}") from None
+        pos += dt_len
+        _need(buf, pos, 1)
+        ndim = buf[pos]
+        pos += 1
+        shape = []
+        for _ in range(ndim):
+            _need(buf, pos, 4)
+            shape.append(_LEN.unpack_from(buf, pos)[0])
+            pos += 4
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        _need(buf, pos, nbytes)
+        arr = np.frombuffer(
+            buf, dtype=dtype, count=nbytes // dtype.itemsize, offset=pos
+        ).reshape(shape)
+        # The frame buffer is short-lived; give callers a writable copy.
+        return arr.copy(), pos + nbytes
+    if tag == _T_LIST:
+        _need(buf, pos, 4)
+        n = _LEN.unpack_from(buf, pos)[0]
+        pos += 4
+        # Every item needs >= 1 byte: reject absurd declared counts
+        # before looping (a 4-byte count can claim 4 G items).
+        _need(buf, pos, n)
+        items = []
+        for _ in range(n):
+            item, pos = _decode_at(buf, pos, depth + 1)
+            items.append(item)
+        return items, pos
+    if tag == _T_DICT:
+        _need(buf, pos, 4)
+        n = _LEN.unpack_from(buf, pos)[0]
+        pos += 4
+        _need(buf, pos, n)  # >= 1 byte per entry, same guard as lists
+        obj = {}
+        for _ in range(n):
+            _need(buf, pos, 4)
+            key_len = _LEN.unpack_from(buf, pos)[0]
+            pos += 4
+            _need(buf, pos, key_len)
+            try:
+                key = buf[pos : pos + key_len].decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise ProtocolError(f"invalid UTF-8 in key: {exc}") from None
+            pos += key_len
+            obj[key], pos = _decode_at(buf, pos, depth + 1)
+        return obj, pos
+    raise ProtocolError(f"unknown wire tag 0x{tag:02x}")
+
+
+def decode(body: bytes) -> Any:
+    """Decode one body; raises :class:`ProtocolError` on any violation."""
+    value, pos = _decode_at(bytes(body), 0, 0)
+    if pos != len(body):
+        raise ProtocolError(
+            f"{len(body) - pos} trailing bytes after the encoded value"
+        )
+    return value
+
+
+def decode_frame(
+    frame: bytes, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> Any:
+    """Decode one full frame (prefix + body) from a byte string."""
+    if len(frame) < 4:
+        raise ProtocolError(f"truncated frame header ({len(frame)} bytes)")
+    n = _LEN.unpack_from(frame, 0)[0]
+    if n > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"frame declares a {n}-byte body (cap {max_frame_bytes})"
+        )
+    if len(frame) != 4 + n:
+        raise ProtocolError(
+            f"frame declares {n} body bytes but carries {len(frame) - 4}"
+        )
+    return decode(frame[4:])
+
+
+# ----------------------------------------------------------------------
+# asyncio stream helpers
+# ----------------------------------------------------------------------
+
+
+async def read_frame(
+    reader: "asyncio.StreamReader",
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+):
+    """Read and decode one frame from a stream.
+
+    Returns the decoded value.  Raises :class:`EOFError` on a clean
+    connection close (EOF exactly between frames), :class:`ProtocolError`
+    on a mid-frame truncation, and :class:`FrameTooLargeError` as soon
+    as an oversized length prefix arrives — without reading the body.
+    """
+    try:
+        head = await reader.readexactly(4)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise EOFError("connection closed between frames") from None
+        raise ProtocolError(
+            f"connection closed inside a frame header "
+            f"({len(exc.partial)}/4 bytes)"
+        ) from None
+    n = _LEN.unpack(head)[0]
+    if n > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"frame declares a {n}-byte body (cap {max_frame_bytes})"
+        )
+    try:
+        body = await reader.readexactly(n)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed inside a frame body "
+            f"({len(exc.partial)}/{n} bytes)"
+        ) from None
+    return decode(body)

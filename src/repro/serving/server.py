@@ -1,0 +1,677 @@
+"""Sharded asyncio serving front end over :class:`TransposeService`.
+
+One :class:`ServingServer` owns ``replicas`` independent
+:class:`~repro.runtime.service.TransposeService` instances — each with
+its own scheduler, stream pool, plan cache, and (bounded, private)
+compiled-program cache — all warm-starting from **one** shared
+:class:`~repro.runtime.store.PlanStore`.  Requests arrive as
+length-prefixed codec frames (:mod:`repro.serving.codec`) over raw TCP
+and are routed by **plan content key** through a consistent-hash ring
+(:mod:`repro.serving.ring`), so each replica sees a stable subset of
+the key space and its bounded caches stay hot — the warm-reuse insight
+behind cuTT's per-permutation plan cache and this repo's frozen
+executor programs, lifted to shard level.
+
+Admission control runs before anything is planned or scheduled
+(:mod:`repro.serving.admission`): per-tenant token buckets, a bounded
+inflight permit pool, and replica queue-depth backpressure shed load
+with typed ``OVERLOADED`` / ``QUOTA_EXCEEDED`` replies instead of
+queueing without bound.  Per-request deadlines are enforced at
+admission and re-checked after execution.  :meth:`ServingServer.drain`
+implements graceful shutdown: stop accepting, flush inflight (zero
+dropped requests), drain every replica, and fold replica metrics into
+one ``serving.*`` snapshot.
+
+Requests on one connection may be **pipelined**: the server replies per
+request, possibly out of order, and the client matches replies to
+requests by ``id`` (see :mod:`repro.serving.client`).
+
+Wire schemas, verbs, and error codes are documented in
+``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import random
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.errors import (
+    DeadlineExceededError,
+    DrainingError,
+    InvalidLayoutError,
+    InvalidPermutationError,
+    OverloadedError,
+    PlanError,
+    ProtocolError,
+    QuotaExceededError,
+    ReproError,
+)
+from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
+from repro.runtime.service import TransposeService
+from repro.runtime.store import PlanStore, content_key
+from repro.serving.admission import AdmissionController
+from repro.serving.codec import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameTooLargeError,
+    pack_frame,
+    read_frame,
+)
+from repro.serving.ring import HashRing
+
+#: Protocol version, echoed by ``ping`` and checked by the client.
+PROTOCOL_VERSION = 1
+
+#: The request verbs the server understands.
+VERBS = ("ping", "execute", "submit", "batched", "stats", "drain")
+
+#: The routing policies.  ``hash`` is the production router; ``random``
+#: exists so the load benchmark can measure what routing locality buys.
+ROUTERS = ("hash", "random", "round_robin")
+
+#: exception type -> wire error code, most specific first.
+_ERROR_CODES = (
+    (FrameTooLargeError, "FRAME_TOO_LARGE"),
+    (ProtocolError, "BAD_REQUEST"),
+    (QuotaExceededError, "QUOTA_EXCEEDED"),
+    (OverloadedError, "OVERLOADED"),
+    (DeadlineExceededError, "DEADLINE_EXCEEDED"),
+    (DrainingError, "DRAINING"),
+    (InvalidPermutationError, "INVALID_PERMUTATION"),
+    (InvalidLayoutError, "INVALID_LAYOUT"),
+    (PlanError, "PLAN_ERROR"),
+    (ReproError, "INTERNAL"),
+)
+
+
+def error_code_of(exc: BaseException) -> str:
+    for etype, code in _ERROR_CODES:
+        if isinstance(exc, etype):
+            return code
+    return "INTERNAL"
+
+
+def _synth_dtype(elem_bytes: int) -> np.dtype:
+    """The dtype synthetic payloads use for a given element width."""
+    if elem_bytes == 8:
+        return np.dtype(np.float64)
+    if elem_bytes == 4:
+        return np.dtype(np.float32)
+    if elem_bytes in (1, 2):
+        return np.dtype(f"<i{elem_bytes}")
+    raise ProtocolError(f"unsupported elem_bytes {elem_bytes} for synth")
+
+
+class ServingServer:
+    """Asyncio TCP front end over ``replicas`` transpose services.
+
+    Parameters
+    ----------
+    replicas:
+        Number of independent :class:`TransposeService` shards.
+    host / port:
+        Bind address; port 0 picks a free port (see :attr:`port`).
+    store_path:
+        Shared persistent plan store all replicas warm-start from
+        (optional).  Each replica keeps a private autotune file next to
+        it so the calibrators don't fight over one file.
+    num_streams:
+        Worker streams per replica.
+    program_cache_size / program_cache_bytes:
+        Per-replica compiled-program cache bounds.  Sizing this *below*
+        the distinct-key count of the workload is what makes routing
+        locality measurable (and valuable).
+    max_inflight / tenant_rate / tenant_burst / max_queue_depth:
+        Admission control (see :class:`AdmissionController`).
+    router:
+        ``hash`` (consistent hashing, default), ``random``, or
+        ``round_robin``.
+    default_deadline_s:
+        Deadline applied when a request carries none (None = no limit).
+    max_frame_bytes:
+        Reject frames whose declared body exceeds this.
+    """
+
+    def __init__(
+        self,
+        replicas: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        spec: DeviceSpec = KEPLER_K40C,
+        store_path: Optional[Union[str, Path]] = None,
+        num_streams: int = 2,
+        predictor=None,
+        cache_capacity: Optional[int] = None,
+        program_cache_size: Optional[int] = None,
+        program_cache_bytes: Optional[int] = None,
+        max_inflight: int = 256,
+        tenant_rate: Optional[float] = None,
+        tenant_burst: Optional[float] = None,
+        max_queue_depth: Optional[int] = None,
+        router: str = "hash",
+        vnodes: int = 128,
+        router_seed: int = 0,
+        default_deadline_s: Optional[float] = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ):
+        if replicas <= 0:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        if router not in ROUTERS:
+            raise ValueError(f"router must be one of {ROUTERS}, got {router!r}")
+        self.spec = spec
+        self.host = host
+        self._port = port
+        self.router = router
+        self.max_frame_bytes = max_frame_bytes
+        self.default_deadline_s = default_deadline_s
+        self.store: Optional[PlanStore] = None
+        if store_path is not None:
+            self.store = PlanStore(store_path, autoflush=False)
+        service_kwargs = dict(
+            spec=spec,
+            predictor=predictor,
+            num_streams=num_streams,
+            program_cache_size=program_cache_size,
+            program_cache_bytes=program_cache_bytes,
+        )
+        if cache_capacity is not None:
+            service_kwargs["cache_capacity"] = cache_capacity
+        self.replicas: List[TransposeService] = []
+        for i in range(replicas):
+            kwargs = dict(service_kwargs)
+            if self.store is not None:
+                kwargs["store"] = self.store
+                kwargs["autotune_path"] = Path(self.store.path).with_name(
+                    f"autotune-r{i}.json"
+                )
+            self.replicas.append(TransposeService(**kwargs))
+        self.ring = HashRing(range(replicas), vnodes=vnodes)
+        self._rr = 0
+        self._random = random.Random(router_seed)
+        self.admission = AdmissionController(
+            max_inflight=max_inflight,
+            tenant_rate=tenant_rate,
+            tenant_burst=tenant_burst,
+            max_queue_depth=max_queue_depth,
+        )
+        self._counters: Dict[str, int] = {}
+        self._routed = [0] * replicas
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._writers: set = set()
+        self._draining = False
+        self._drain_task: Optional[asyncio.Task] = None
+        self._closed = False
+        self._idle_event = asyncio.Event()
+        self._idle_event.set()
+        self._synth: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "ServingServer":
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self._port
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self._port}"
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown: stop intake, flush inflight, drain shards.
+
+        New requests (and new connections) are refused with ``DRAINING``
+        the moment this is called; every already-admitted request runs
+        to completion and its reply is delivered before the replicas
+        close — zero dropped inflight requests.  Returns True when the
+        inflight pool emptied within ``timeout``.
+        """
+        self._draining = True
+        self._count("drains")
+        if self._server is not None:
+            self._server.close()
+        if self.admission.idle:
+            self._idle_event.set()
+        else:
+            self._idle_event.clear()
+        drained = True
+        try:
+            await asyncio.wait_for(self._idle_event.wait(), timeout)
+        except asyncio.TimeoutError:
+            drained = False
+        # Replica drains flush micro-batch windows and stop schedulers;
+        # run them off-loop (they block on joins).
+        loop = asyncio.get_running_loop()
+        for svc in self.replicas:
+            await loop.run_in_executor(None, svc.drain)
+        return drained
+
+    async def close(self) -> None:
+        """Drain (if not already), then release sockets and replicas."""
+        if self._closed:
+            return
+        if not self._draining:
+            await self.drain()
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._writers):
+            writer.close()
+        loop = asyncio.get_running_loop()
+        for svc in self.replicas:
+            await loop.run_in_executor(None, svc.close)
+        if self.store is not None:
+            self.store.close()
+
+    async def __aenter__(self) -> "ServingServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def route_key(self, key: str) -> int:
+        """The replica index a plan content key routes to."""
+        if self.router == "hash":
+            return self.ring.route(key)
+        if self.router == "random":
+            return self._random.randrange(len(self.replicas))
+        self._rr = (self._rr + 1) % len(self.replicas)
+        return self._rr
+
+    def _count(self, name: str, n: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle(self, reader, writer) -> None:
+        self._writers.add(writer)
+        self._count("connections")
+        write_lock = asyncio.Lock()
+        tasks: set = set()
+        try:
+            while True:
+                try:
+                    msg = await read_frame(reader, self.max_frame_bytes)
+                except EOFError:
+                    break
+                except FrameTooLargeError as exc:
+                    # Typed reply, then hang up: the body was never read,
+                    # so the stream position is unrecoverable.
+                    self._count("errors.FRAME_TOO_LARGE")
+                    await self._write(
+                        writer,
+                        write_lock,
+                        {
+                            "ok": False,
+                            "id": None,
+                            "error": "FRAME_TOO_LARGE",
+                            "message": str(exc),
+                        },
+                    )
+                    break
+                except ProtocolError as exc:
+                    self._count("errors.BAD_REQUEST")
+                    try:
+                        await self._write(
+                            writer,
+                            write_lock,
+                            {
+                                "ok": False,
+                                "id": None,
+                                "error": "BAD_REQUEST",
+                                "message": str(exc),
+                            },
+                        )
+                    except (ConnectionError, RuntimeError):
+                        pass
+                    break
+                # Dispatch concurrently so requests pipeline; replies
+                # are matched by id, not order.
+                task = asyncio.ensure_future(
+                    self._dispatch(msg, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            self._writers.discard(writer)
+            self._count("disconnects")
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _write(self, writer, write_lock, reply: dict) -> None:
+        frame = pack_frame(reply, max_frame_bytes=2**32 - 1)
+        async with write_lock:
+            if writer.is_closing():
+                raise ConnectionResetError("peer went away")
+            writer.write(frame)
+            await writer.drain()
+
+    async def _reply_error(
+        self, writer, write_lock, req_id, exc: BaseException
+    ) -> None:
+        code = error_code_of(exc)
+        self._count(f"errors.{code}")
+        try:
+            await self._write(
+                writer,
+                write_lock,
+                {"ok": False, "id": req_id, "error": code, "message": str(exc)},
+            )
+        except (ConnectionError, RuntimeError, OSError):
+            self._count("reply_failures")
+
+    # ------------------------------------------------------------------
+    # request dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, msg, writer, write_lock) -> None:
+        req_id = msg.get("id") if isinstance(msg, dict) else None
+        self._count("requests")
+        try:
+            if not isinstance(msg, dict):
+                raise ProtocolError(
+                    f"request must be a dict, got {type(msg).__name__}"
+                )
+            op = msg.get("op")
+            if op == "ping":
+                await self._write(
+                    writer,
+                    write_lock,
+                    {
+                        "ok": True,
+                        "id": req_id,
+                        "result": {
+                            "version": PROTOCOL_VERSION,
+                            "replicas": len(self.replicas),
+                            "router": self.router,
+                            "draining": self._draining,
+                        },
+                    },
+                )
+                return
+            if op == "stats":
+                await self._write(
+                    writer,
+                    write_lock,
+                    {"ok": True, "id": req_id, "result": self.serving_snapshot()},
+                )
+                return
+            if op == "drain":
+                if self._drain_task is None:
+                    self._drain_task = asyncio.ensure_future(
+                        self.drain(msg.get("timeout_s"))
+                    )
+                drained = await self._drain_task
+                await self._write(
+                    writer,
+                    write_lock,
+                    {
+                        "ok": True,
+                        "id": req_id,
+                        "result": {
+                            "drained": drained,
+                            "snapshot": self.serving_snapshot(),
+                        },
+                    },
+                )
+                return
+            if op not in VERBS:
+                self._count("errors.UNKNOWN_VERB")
+                try:
+                    await self._write(
+                        writer,
+                        write_lock,
+                        {
+                            "ok": False,
+                            "id": req_id,
+                            "error": "UNKNOWN_VERB",
+                            "message": f"unknown verb {op!r}; "
+                            f"supported: {', '.join(VERBS)}",
+                        },
+                    )
+                except (ConnectionError, RuntimeError, OSError):
+                    self._count("reply_failures")
+                return
+            await self._dispatch_execute(op, msg, req_id, writer, write_lock)
+        except BaseException as exc:  # typed error reply, never a crash
+            # NB: DeadlineExceededError is a TimeoutError, which IS an
+            # OSError since Python 3.3 — transport-failure handling
+            # must never swallow ReproError-typed exceptions.
+            if isinstance(
+                exc, (ConnectionError, OSError)
+            ) and not isinstance(exc, ReproError):
+                self._count("reply_failures")
+            else:
+                await self._reply_error(writer, write_lock, req_id, exc)
+
+    async def _dispatch_execute(
+        self, op, msg, req_id, writer, write_lock
+    ) -> None:
+        tenant = str(msg.get("tenant", "default"))
+        self._count(f"tenant.{tenant}.requests")
+        try:
+            if self._draining:
+                raise DrainingError("server is draining; intake is closed")
+            dims, perm, elem_bytes = self._problem_of(msg)
+            key = content_key(dims, perm, elem_bytes, self.spec)
+            replica = self.route_key(key)
+            svc = self.replicas[replica]
+            reason = self.admission.try_admit(
+                tenant, queue_depth=svc.scheduler.queue_depth
+            )
+            if reason is not None:
+                self._count(f"tenant.{tenant}.shed")
+                if reason == "QUOTA_EXCEEDED":
+                    raise QuotaExceededError(
+                        f"tenant {tenant!r} exhausted its quota"
+                    )
+                raise OverloadedError(
+                    f"{self.admission.inflight} requests inflight "
+                    f"(cap {self.admission.max_inflight}); back off and retry"
+                )
+        except BaseException as exc:
+            await self._reply_error(writer, write_lock, req_id, exc)
+            return
+        # --- permit held from here: every path below must release -----
+        try:
+            loop = asyncio.get_running_loop()
+            deadline_s = msg.get("deadline_ms")
+            deadline_s = (
+                float(deadline_s) / 1e3
+                if deadline_s is not None
+                else self.default_deadline_s
+            )
+            expires = (
+                loop.time() + deadline_s if deadline_s is not None else None
+            )
+            payload, return_output = self._payload_of(
+                msg, op, key, dims, elem_bytes
+            )
+            self._count(f"routed.replica{replica}")
+            self._count(f"tenant.{tenant}.routed")
+            if expires is not None and loop.time() > expires:
+                self._count(f"tenant.{tenant}.deadline_missed")
+                self._count("deadline_missed")
+                raise DeadlineExceededError(
+                    "deadline expired before dispatch"
+                )
+            if op == "batched":
+                fut = svc.submit_batched(dims, perm, elem_bytes, payload)
+            else:
+                fut = svc.submit(dims, perm, elem_bytes, payload)
+            report = await asyncio.wrap_future(fut)
+            late = expires is not None and loop.time() > expires
+            if late:
+                self._count(f"tenant.{tenant}.deadline_missed")
+                self._count("deadline_missed")
+                report.release()
+                raise DeadlineExceededError(
+                    f"deadline expired {1e3 * (loop.time() - expires):.1f} ms "
+                    "before the reply (work was executed and discarded)"
+                )
+            result = {
+                "replica": replica,
+                "stream": report.stream,
+                "schema": report.schema,
+                "sim_s": report.sim_time_s,
+                "wall_s": report.wall_time_s,
+                "queued_s": report.queued_s,
+                "parts": report.parts,
+                "batch": report.batch,
+                "backend": report.backend,
+            }
+            if return_output and report.output is not None:
+                result["output"] = np.asarray(report.output)
+            reply = {"ok": True, "id": req_id, "result": result}
+            try:
+                await self._write(writer, write_lock, reply)
+                self._count("replies")
+            finally:
+                report.release()
+        except BaseException as exc:
+            # Same TimeoutError-is-OSError trap as in _dispatch: typed
+            # errors (deadline misses included) must reach the peer.
+            if isinstance(
+                exc, (ConnectionError, OSError)
+            ) and not isinstance(exc, ReproError):
+                self._count("reply_failures")
+            else:
+                await self._reply_error(writer, write_lock, req_id, exc)
+        finally:
+            self.admission.release()
+            if self._draining and self.admission.idle:
+                self._idle_event.set()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _problem_of(msg) -> tuple:
+        dims = msg.get("dims")
+        perm = msg.get("perm")
+        if not dims or not perm:
+            raise ProtocolError("request needs non-empty dims and perm")
+        try:
+            dims = tuple(int(d) for d in dims)
+            perm = tuple(int(p) for p in perm)
+            elem_bytes = int(msg.get("elem_bytes", 8))
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed problem fields: {exc}") from None
+        return dims, perm, elem_bytes
+
+    def _payload_of(self, msg, op, key, dims, elem_bytes):
+        """The operand array for a request: explicit, synthetic, or None.
+
+        Synthetic payloads (``synth: true``) are generated server-side
+        once per content key and reused — the load-generator mode where
+        the wire carries requests, not tensors.  Synth replies omit the
+        output unless ``return_output`` asks for it.
+        """
+        payload = msg.get("payload")
+        synth = bool(msg.get("synth", False))
+        if payload is not None and synth:
+            raise ProtocolError("pass either payload or synth, not both")
+        if payload is not None:
+            if not isinstance(payload, np.ndarray):
+                raise ProtocolError("payload must be an ndarray")
+            return payload, bool(msg.get("return_output", True))
+        if synth:
+            arr = self._synth.get(key)
+            if arr is None:
+                import hashlib
+
+                dtype = _synth_dtype(elem_bytes)
+                seed = int.from_bytes(
+                    hashlib.blake2b(
+                        key.encode("utf-8"), digest_size=4
+                    ).digest(),
+                    "big",
+                )
+                rng = np.random.default_rng(seed)
+                volume = math.prod(dims)
+                if dtype.kind == "f":
+                    arr = rng.standard_normal(volume).astype(dtype)
+                else:
+                    arr = rng.integers(
+                        -100, 100, size=volume, dtype=dtype
+                    )
+                self._synth[key] = arr
+            return arr, bool(msg.get("return_output", False))
+        if op == "batched":
+            raise ProtocolError("batched requests need a payload (or synth)")
+        return None, False
+
+    # ------------------------------------------------------------------
+    # snapshot / metrics folding
+    # ------------------------------------------------------------------
+    def serving_snapshot(self) -> dict:
+        """Fold front-end counters and per-replica stats into one block.
+
+        The ``counters`` section is flat ``serving.*`` names (what the
+        CLI ``stats`` command prints); ``per_replica`` carries each
+        shard's program-cache effectiveness and backlog; and
+        ``runtime_counters`` sums every replica's service counters so
+        aggregate cache/exec accounting survives the fold.
+        """
+        counters = {
+            f"serving.{name}": value
+            for name, value in sorted(self._counters.items())
+        }
+        per_replica = []
+        runtime_counters: Dict[str, int] = {}
+        for i, svc in enumerate(self.replicas):
+            executor = (
+                svc.program_cache.stats()
+                if svc.program_cache is not None
+                else None
+            )
+            snap = svc.metrics.snapshot()
+            for name, value in snap["counters"].items():
+                runtime_counters[name] = runtime_counters.get(name, 0) + value
+            cache_stats = svc.cache.snapshot_stats().as_dict()
+            per_replica.append(
+                {
+                    "replica": i,
+                    "routed": self._counters.get(f"routed.replica{i}", 0),
+                    "queue_depth": svc.scheduler.queue_depth,
+                    "inflight": svc.inflight,
+                    "executor": executor,
+                    "plan_cache": {
+                        "resident": len(svc.cache),
+                        "hit_rate": cache_stats.get("hit_rate", 0.0),
+                    },
+                }
+            )
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "router": self.router,
+            "replicas": len(self.replicas),
+            "draining": self._draining,
+            "admission": self.admission.stats(),
+            "counters": counters,
+            "per_replica": per_replica,
+            "runtime_counters": runtime_counters,
+            "store": self.store.describe() if self.store is not None else None,
+        }

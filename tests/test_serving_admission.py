@@ -1,0 +1,102 @@
+"""Admission control: token buckets, inflight permits, backpressure."""
+
+import pytest
+
+from repro.serving.admission import AdmissionController, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0)
+        now = 100.0
+        assert all(bucket.take(now) for _ in range(3))
+        assert not bucket.take(now)
+
+    def test_lazy_refill(self):
+        bucket = TokenBucket(rate=2.0, burst=2.0)
+        assert bucket.take(10.0) and bucket.take(10.0)
+        assert not bucket.take(10.0)
+        # 0.5 s at 2 tokens/s refills exactly one token.
+        assert bucket.take(10.5)
+        assert not bucket.take(10.5)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2.0)
+        assert bucket.take(0.0)
+        assert bucket.tokens == pytest.approx(1.0)
+        bucket.take(1000.0)  # a long idle period must not overfill
+        assert bucket.tokens == pytest.approx(1.0)
+
+    def test_time_going_backwards_is_harmless(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        assert bucket.take(10.0)
+        assert not bucket.take(9.0)  # no refill from a reversed clock
+
+    @pytest.mark.parametrize("rate,burst", [(0, 1), (1, 0), (-1, 1)])
+    def test_invalid_parameters(self, rate, burst):
+        with pytest.raises(ValueError):
+            TokenBucket(rate, burst)
+
+
+class TestAdmissionController:
+    def test_inflight_cap_sheds_overloaded(self):
+        ctl = AdmissionController(max_inflight=2)
+        assert ctl.try_admit("a") is None
+        assert ctl.try_admit("a") is None
+        assert ctl.try_admit("a") == "OVERLOADED"
+        assert ctl.inflight == 2 and not ctl.idle
+        ctl.release()
+        assert ctl.try_admit("a") is None
+        ctl.release()
+        ctl.release()
+        assert ctl.idle
+        assert ctl.shed_overloaded == 1
+        assert ctl.admitted == 3
+
+    def test_release_without_admit_is_a_bug(self):
+        ctl = AdmissionController()
+        with pytest.raises(RuntimeError, match="without a matching admit"):
+            ctl.release()
+
+    def test_tenant_quota_is_per_tenant(self):
+        ctl = AdmissionController(tenant_rate=1.0, tenant_burst=1.0)
+        now = 50.0
+        assert ctl.try_admit("a", now=now) is None
+        assert ctl.try_admit("a", now=now) == "QUOTA_EXCEEDED"
+        # tenant b has its own bucket
+        assert ctl.try_admit("b", now=now) is None
+        assert ctl.shed_quota == 1
+        # a's bucket refills with time
+        assert ctl.try_admit("a", now=now + 1.5) is None
+
+    def test_quota_shed_consumes_no_permit(self):
+        ctl = AdmissionController(max_inflight=8, tenant_rate=1.0,
+                                  tenant_burst=1.0)
+        assert ctl.try_admit("a", now=0.0) is None
+        assert ctl.try_admit("a", now=0.0) == "QUOTA_EXCEEDED"
+        assert ctl.inflight == 1  # only the admitted request holds one
+
+    def test_queue_depth_backpressure(self):
+        ctl = AdmissionController(max_inflight=100, max_queue_depth=4)
+        assert ctl.try_admit("a", queue_depth=4) is None
+        assert ctl.try_admit("a", queue_depth=5) == "OVERLOADED"
+        assert ctl.shed_overloaded == 1
+
+    def test_burst_defaults_to_rate(self):
+        ctl = AdmissionController(tenant_rate=3.0)
+        assert ctl.tenant_burst == 3.0
+
+    def test_invalid_max_inflight(self):
+        with pytest.raises(ValueError, match="max_inflight"):
+            AdmissionController(max_inflight=0)
+
+    def test_stats_shape(self):
+        ctl = AdmissionController(max_inflight=4, tenant_rate=2.0,
+                                  max_queue_depth=10)
+        ctl.try_admit("a", now=0.0)
+        stats = ctl.stats()
+        assert stats["inflight"] == 1
+        assert stats["max_inflight"] == 4
+        assert stats["admitted"] == 1
+        assert stats["tenants"] == 1
+        assert stats["max_queue_depth"] == 10

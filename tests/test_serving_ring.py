@@ -1,0 +1,186 @@
+"""Consistent-hash ring: stability, determinism, and balance.
+
+The properties ISSUE 6 pins:
+
+- routing is deterministic across ring instances and across processes
+  (blake2b, not the salted builtin ``hash``),
+- adding/removing a replica only remaps the ~1/N of keys touching the
+  affected arcs — never a key between two untouched replicas,
+- a zipf-weighted key population spreads over replicas without any
+  replica hogging the distinct-key space.
+"""
+
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.serving.ring import DEFAULT_VNODES, HashRing
+
+
+def _keys(n: int, seed: int = 7):
+    rng = random.Random(seed)
+    return [f"dims{rng.randrange(10**9)}|perm{i}" for i in range(n)]
+
+
+class TestBasics:
+    def test_empty_ring_cannot_route(self):
+        with pytest.raises(ValueError, match="empty ring"):
+            HashRing().route("k")
+
+    def test_vnodes_must_be_positive(self):
+        with pytest.raises(ValueError, match="vnodes"):
+            HashRing(vnodes=0)
+
+    def test_duplicate_add_rejected(self):
+        ring = HashRing([0, 1])
+        with pytest.raises(ValueError, match="already"):
+            ring.add(0)
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ValueError, match="not on the ring"):
+            HashRing([0]).remove(3)
+
+    def test_len_and_nodes(self):
+        ring = HashRing(range(3))
+        assert len(ring) == 3
+        assert ring.nodes == [0, 1, 2]
+        ring.remove(1)
+        assert ring.nodes == [0, 2]
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.route(k) == "only" for k in _keys(50))
+
+    def test_distribution_counts_sum(self):
+        ring = HashRing(range(4))
+        keys = _keys(400)
+        dist = ring.distribution(keys)
+        assert sum(dist.values()) == len(keys)
+        assert set(dist) == {0, 1, 2, 3}
+
+
+class TestDeterminism:
+    def test_two_instances_agree(self):
+        a = HashRing(range(5))
+        b = HashRing(range(5))
+        for key in _keys(300):
+            assert a.route(key) == b.route(key)
+
+    def test_insertion_order_is_irrelevant(self):
+        a = HashRing([0, 1, 2, 3])
+        b = HashRing([3, 1, 0, 2])
+        for key in _keys(300):
+            assert a.route(key) == b.route(key)
+
+    def test_routing_is_stable_across_processes(self):
+        # The builtin hash() is salted per process; blake2b is not.  A
+        # fresh interpreter must route the same keys identically.
+        keys = _keys(40)
+        local = [HashRing(range(4)).route(k) for k in keys]
+        script = (
+            "import sys, json\n"
+            "from repro.serving.ring import HashRing\n"
+            "ring = HashRing(range(4))\n"
+            "keys = json.loads(sys.stdin.read())\n"
+            "print(json.dumps([ring.route(k) for k in keys]))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            input=__import__("json").dumps(keys),
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert __import__("json").loads(out.stdout) == local
+
+
+class TestStability:
+    def test_adding_a_node_only_moves_keys_to_it(self):
+        ring = HashRing(range(4))
+        keys = _keys(2000)
+        before = {k: ring.route(k) for k in keys}
+        ring.add(4)
+        moved = 0
+        for k in keys:
+            owner = ring.route(k)
+            if owner != before[k]:
+                # The consistent-hash contract: a new node only STEALS
+                # keys; no key migrates between two old nodes.
+                assert owner == 4
+                moved += 1
+        # ~1/5 of the key space moves; allow generous slack either way.
+        assert 0 < moved < len(keys) * 0.45
+
+    def test_removing_a_node_only_moves_its_keys(self):
+        ring = HashRing(range(5))
+        keys = _keys(2000)
+        before = {k: ring.route(k) for k in keys}
+        ring.remove(2)
+        for k in keys:
+            if before[k] != 2:
+                assert ring.route(k) == before[k]
+            else:
+                assert ring.route(k) != 2
+
+    def test_add_then_remove_restores_routing(self):
+        ring = HashRing(range(4))
+        keys = _keys(500)
+        before = {k: ring.route(k) for k in keys}
+        ring.add("temp")
+        ring.remove("temp")
+        assert {k: ring.route(k) for k in keys} == before
+
+
+class TestBalance:
+    def test_uniform_keys_spread_evenly(self):
+        replicas = 4
+        ring = HashRing(range(replicas))
+        dist = ring.distribution(_keys(8000))
+        for count in dist.values():
+            share = count / 8000
+            assert 0.5 / replicas < share < 2.0 / replicas, dist
+
+    def test_zipf_weighted_imbalance_is_bounded(self):
+        # Zipf request weights concentrate traffic on few keys; the
+        # ring can't fix that (one hot key lives on one replica), but
+        # with enough distinct keys no replica should own much more
+        # than its share of the *distinct-key* space, and the request
+        # share of any replica is bounded by its key share plus the
+        # hottest keys it happens to own.
+        rng = random.Random(11)
+        replicas = 4
+        ring = HashRing(range(replicas), vnodes=DEFAULT_VNODES)
+        distinct = _keys(512, seed=3)
+        s = 1.1  # zipf exponent of the load generator
+        weights = [1.0 / (rank + 1) ** s for rank in range(len(distinct))]
+        total = sum(weights)
+        requests: dict = {n: 0.0 for n in range(replicas)}
+        for key, w in zip(distinct, weights):
+            requests[ring.route(key)] += w / total
+        key_share = {
+            n: c / len(distinct)
+            for n, c in ring.distribution(distinct).items()
+        }
+        top_weight = weights[0] / total  # hottest single key's share
+        for node in range(replicas):
+            assert key_share[node] < 2.0 / replicas
+            # request share <= fair share + a few hot keys' worth
+            assert requests[node] < 1.0 / replicas + 3 * top_weight, (
+                requests,
+                key_share,
+            )
+        sampled = rng.choices(distinct, weights=weights, k=2000)
+        dist = ring.distribution(sampled)
+        assert sum(dist.values()) == 2000
+
+    def test_more_vnodes_tighten_the_spread(self):
+        keys = _keys(8000, seed=5)
+
+        def spread(vnodes: int) -> float:
+            dist = HashRing(range(4), vnodes=vnodes).distribution(keys)
+            shares = [c / len(keys) for c in dist.values()]
+            return max(shares) - min(shares)
+
+        assert spread(256) < spread(2)
