@@ -45,7 +45,7 @@ from pathlib import Path
 
 import numpy as np
 
-from conftest import bench_parser, gate, interleaved_ms, pick_repeats
+from conftest import bench_parser, env_stamp, gate, interleaved_ms, pick_repeats
 from repro.core.plan import make_plan
 from repro.kernels.common import reference_transpose
 from repro.runtime.autotune import ThroughputCalibrator
@@ -234,6 +234,10 @@ def main(argv=None):
         if r["auto_vs_best_ratio"] > MAX_AUTO_RATIO
     ]
     summary = {
+        "env": env_stamp(
+            speedup_gated,
+            "" if speedup_gated else f"fewer than {MIN_GATE_CPUS} cpus",
+        ),
         "cpus": cpus,
         "workers": workers,
         "repeats": repeats,

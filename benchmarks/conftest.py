@@ -86,6 +86,32 @@ def interleaved_ms(fns: Dict[str, object], repeats: int) -> Dict[str, tuple]:
     }
 
 
+def env_stamp(gated: bool, gate_reason: str = "") -> Dict[str, object]:
+    """The host/environment block every results JSON embeds.
+
+    Trajectory comparisons across machines are meaningless without it:
+    the procpool results, for example, gate their speedup check on the
+    CPU count, and a 1-CPU container's numbers must not be read as a
+    regression against an 8-core run.  ``gated`` records whether the
+    bench's performance thresholds were actually enforced on this host,
+    and ``gate_reason`` why not.
+    """
+    import platform
+    import sys as _sys
+
+    import numpy as _np
+
+    return {
+        "cpus": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": _np.__version__,
+        "platform": _sys.platform,
+        "machine": platform.machine(),
+        "perf_gated": bool(gated),
+        "gate_reason": gate_reason,
+    }
+
+
 def write_result(name: str, text: str) -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"

@@ -17,7 +17,7 @@ device [k40c|p100]
     Print the simulated device configuration (Table III analogue).
 
 serve [--requests N] [--clients C] [--streams S] [--payload]
-      [--batch-window S] [--backend thread|process|auto]
+      [--batch-window S] [--backend thread|process|codegen|auto]
       [--proc-workers N] [--state-dir DIR]
     Run a workload through the concurrent transpose-serving runtime
     (persistent plan store + metrics); ``--payload`` moves real data
@@ -25,8 +25,9 @@ serve [--requests N] [--clients C] [--streams S] [--payload]
     requires ``--payload``) concurrent same-problem requests coalesce
     into fused batched runs.  ``--backend`` selects the execution tier
     for eligible jobs (see docs/execution-tiers.md): the thread pool,
-    the out-of-GIL shared-memory process pool, or calibrated auto
-    routing.  See docs/runtime.md.
+    the out-of-GIL shared-memory process pool, generated cache-blocked
+    loop nests (docs/codegen.md), or calibrated auto routing.  See
+    docs/runtime.md.
 
 serve --listen HOST:PORT [--replicas R] [--streams S]
       [--router hash|random|round_robin] [--max-inflight N]
@@ -425,9 +426,20 @@ def cmd_serve(args) -> int:
             f"{pool['pipe_rehydrations']} pipe + "
             f"{pool['store_rehydrations']} store rehydrations"
         )
+    cg = stats.get("codegen")
+    if cg and (cg.get("programs_generated") or cg.get("fallbacks")):
+        print(
+            f"codegen ({cg['backend']}): "
+            f"{cg['programs_generated']} kernels generated, "
+            f"{cg['fallbacks']} fallbacks, "
+            f"artifact cache {cg['artifact_hits']} hits / "
+            f"{cg['artifact_misses']} misses "
+            f"({cg['search_s_saved'] * 1e3:.1f} ms search saved)"
+        )
     print(
         f"state: {state_dir} "
-        f"(plans.json: {stats['store']['entries']} entries, metrics.json)"
+        f"(plans.json: {stats['store']['entries']} entries "
+        f"+ {stats['store'].get('artifacts', 0)} artifacts, metrics.json)"
     )
     return 0
 
@@ -652,10 +664,31 @@ def cmd_stats(args) -> int:
             best = cell["best_parts"]
             marker = f"best parts={best}" if best else "exploring"
             print(f"  {key:<16s} {marker:<16s} {row}")
+    codegen = payload.get("codegen")
+    if codegen:
+        saved_ms = codegen.get("search_s_saved", 0.0) * 1e3
+        print(
+            f"codegen: backend={codegen.get('backend', '?')}, "
+            f"{codegen.get('programs_generated', 0)} kernels generated / "
+            f"{codegen.get('fallbacks', 0)} fallbacks, "
+            f"{codegen.get('searches', 0)} searches "
+            f"({codegen.get('search_s', 0.0) * 1e3:.1f} ms), "
+            f"artifact cache {codegen.get('artifact_hits', 0)} hits / "
+            f"{codegen.get('artifact_misses', 0)} misses "
+            f"({saved_ms:.1f} ms search saved)"
+        )
+        wins = codegen.get("backend_wins") or {}
+        for kind in sorted(wins):
+            row = "  ".join(
+                f"{backend}: {count}"
+                for backend, count in sorted(wins[kind].items())
+            )
+            print(f"  {kind:<16s} cells won  {row}")
     store = payload.get("store")
     if store:
         print(
-            f"store: {store['entries']} entries at {store['path']} "
+            f"store: {store['entries']} entries "
+            f"+ {store.get('artifacts', 0)} artifacts at {store['path']} "
             f"(v{store['store_version']}, "
             f"{store['corrupt_entries_dropped']} corrupt dropped)"
         )
@@ -742,9 +775,11 @@ def build_parser() -> argparse.ArgumentParser:
              "(requires --payload; default 0 = off)",
     )
     p.add_argument(
-        "--backend", choices=("thread", "process", "auto"), default="thread",
+        "--backend", choices=("thread", "process", "codegen", "auto"),
+        default="thread",
         help="execution tier for eligible jobs: the in-process thread "
-             "pool, the out-of-GIL shared-memory process pool, or "
+             "pool, the out-of-GIL shared-memory process pool, "
+             "generated cache-blocked loop nests (codegen), or "
              "calibrated auto routing (default %(default)s)",
     )
     p.add_argument(

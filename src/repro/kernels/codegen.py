@@ -1,0 +1,703 @@
+"""Codegen execution tier: specialized cache-blocked loop-nest kernels.
+
+The indexed/chunked executor programs move every element through NumPy
+fancy gather/scatter, which streams a volume-sized int64 index map
+*alongside* the data — roughly doubling DRAM traffic — and holds the
+GIL for the whole move.  The procpool results
+(``results/procpool_scaling.json``) show that path is memory-bound, not
+GIL-bound, on the large cases; HPTT demonstrates that on CPUs a
+cache-blocked loop nest with an explicit loop-order/blocking search
+beats gather-based transposition outright.  This module is that tier
+for the NumPy layer:
+
+1. **Search** (:func:`search_nest`) — an HPTT-style enumeration over
+   the two *critical* output axes (where the source's fastest axis
+   lands, and the output's own fastest axis), block-size candidates
+   per axis, and the tile-loop orders — scored entirely by the
+   repository's analytic DRAM model (:func:`nest_cost`, built on
+   :func:`~repro.kernels.common.lattice_run_transactions`), never by
+   measurement.  The paper's own slice search (Alg. 3) is the shape:
+   tiny candidate grid, analytic scoring, deterministic winner.
+2. **Generation** (:func:`nest_source`) — the winning configuration is
+   emitted as *source code*: a loop nest of NumPy slice assignments
+   specialized to the exact shape, blocks, and loop order (constants
+   baked in, ``exec``-compiled once).  Strided slice assignment
+   releases the GIL, so nest tasks also scale on the thread pool.
+3. **JIT** — when ``numba`` is installed (the ``jit`` optional
+   dependency), a fully scalarized loop nest is emitted instead and
+   ``numba.njit``-compiled; any numba failure falls back to the NumPy
+   slice backend at runtime, bit-exactly.  :func:`compile_backend`
+   reports which backend is active.
+4. **Fallback** — when the model says blocking cannot beat fancy
+   indexing (plus its map traffic) by :data:`PROFIT_MARGIN`, or the
+   operand is below :data:`NEST_MIN_BYTES`, :func:`maybe_nest_program`
+   returns ``None`` and the caller keeps the bit-exact
+   :class:`~repro.kernels.executor.IndexedProgram` route.
+
+Search outcomes are persisted as **artifacts** (loop order, blocks,
+source hash, search time) in the :class:`~repro.runtime.store
+.PlanStore` next to the plans, keyed by the fused geometry
+(:func:`artifact_key`), so a warm restart rebuilds zero searches —
+:func:`codegen_stats` counts hits/misses and the search seconds saved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import os
+import time
+from threading import Lock
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.kernels.common import lattice_run_transactions, strides_lattice
+from repro.kernels.executor import ExecutorProgram
+
+#: Cache-line granularity of the CPU cost model (bytes).
+LINE_BYTES = 64
+
+#: Effective last-level-cache budget for the source-line reuse test.
+#: Deliberately below a typical 1 MiB L2: the reuse working set shares
+#: the cache with the destination stream and everything else, so a
+#: tile whose reuse distance *equals* the nominal capacity already
+#: thrashes.  Overridable for foreign hosts.
+CACHE_BUDGET_BYTES = int(
+    os.environ.get("REPRO_CODEGEN_CACHE_BYTES", (1 << 20) * 3 // 4)
+)
+
+#: Modeled per-tile interpreter overhead, in cache-line equivalents.
+#: This is what makes the model reject tiny tiles (and tiny tensors):
+#: each tile costs one Python-level slice-assignment dispatch.
+TILE_OVERHEAD_LINES = 256
+
+#: Block-size candidates per critical axis (the axis's full extent is
+#: always added).  Powers of two bracketing one cache line of f64/f32
+#: elements up to a typical L1-resident panel.
+BLOCK_CANDIDATES = (8, 16, 32, 64)
+
+#: Writing destination lines out of ascending order defeats the
+#: hardware's sequential-writeback prefetch; tile-loop orders whose
+#: innermost loop is not the output's fastest axis pay this factor on
+#: the destination stream.
+NONSEQ_DST_FACTOR = 1.05
+
+#: Below this many payload bytes generation is never profitable: the
+#: whole move is a handful of cache-resident gathers and the nest's
+#: per-tile dispatch dominates anything the model could save.
+NEST_MIN_BYTES = 1 << 20
+
+#: The modeled nest must beat the modeled indexed path by this factor
+#: before a generated kernel replaces the (simpler) IndexedProgram.
+PROFIT_MARGIN = 1.2
+
+#: Bumped when the search space, cost model, or generated source shape
+#: changes: stale persisted artifacts are ignored, never misapplied.
+CODEGEN_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Optional numba backend (the `jit` extra)
+# ----------------------------------------------------------------------
+
+_NUMBA = None
+if os.environ.get("REPRO_CODEGEN_JIT", "1") != "0":  # pragma: no branch
+    try:  # pragma: no cover - exercised only with the jit extra installed
+        import numba as _NUMBA  # type: ignore[no-redef]
+    except Exception:  # ImportError, or a broken install
+        _NUMBA = None
+
+
+def compile_backend() -> str:
+    """Which codegen compile backend is active: ``numba`` or ``numpy``."""
+    return "numba" if _NUMBA is not None else "numpy"
+
+
+# ----------------------------------------------------------------------
+# Module-level codegen statistics
+# ----------------------------------------------------------------------
+
+_STATS_LOCK = Lock()
+_STATS = {
+    "searches": 0,
+    "search_s": 0.0,
+    "artifact_hits": 0,
+    "artifact_misses": 0,
+    "search_s_saved": 0.0,
+    "programs_generated": 0,
+    "fallbacks": 0,
+    "jit_compiled": 0,
+    "jit_failures": 0,
+}
+
+
+def _count(name: str, value=1) -> None:
+    with _STATS_LOCK:
+        _STATS[name] += value
+
+
+def codegen_stats() -> dict:
+    """Snapshot of the module's search/artifact/backend counters."""
+    with _STATS_LOCK:
+        snap = dict(_STATS)
+    snap["backend"] = compile_backend()
+    return snap
+
+
+def reset_codegen_stats() -> None:
+    """Zero the counters (benchmark cold-start conditions)."""
+    with _STATS_LOCK:
+        for key in _STATS:
+            _STATS[key] = 0.0 if isinstance(_STATS[key], float) else 0
+
+
+# ----------------------------------------------------------------------
+# Analytic cost model
+# ----------------------------------------------------------------------
+
+
+def _strides_of(shape: Sequence[int]) -> List[int]:
+    strides = [0] * len(shape)
+    s = 1
+    for a in range(len(shape) - 1, -1, -1):
+        strides[a] = s
+        s *= int(shape[a])
+    return strides
+
+
+def _inverse(axes: Sequence[int]) -> List[int]:
+    inv = [0] * len(axes)
+    for k, a in enumerate(axes):
+        inv[a] = k
+    return inv
+
+
+def nest_cost(
+    in_shape: Sequence[int],
+    axes: Sequence[int],
+    tiles: Sequence[int],
+    elem_bytes: int,
+    order: Sequence[int] = (),
+) -> float:
+    """Modeled cache-line traffic of one blocked nest configuration.
+
+    ``in_shape``/``axes`` are the NumPy input shape and transpose axes;
+    ``tiles`` gives the tile extent per *output* axis (full extent =
+    unblocked); ``order`` lists the blocked output axes outermost
+    first.  The unit is cache lines — comparable across configurations
+    and against :func:`indexed_cost`, nothing more.
+
+    The model reuses the kernels' DRAM primitives: per tile, the
+    destination touches ``tile_vol / r_dst`` contiguous runs and the
+    source ``tile_vol / r_src`` (``r`` = the contiguous run length the
+    tiling preserves on each side), each run costing
+    :func:`~repro.kernels.common.lattice_run_transactions` lines on its
+    stride lattice.  Source lines are *refetched* when the reuse
+    distance between consecutive visits — everything the nest touches
+    across the inner axes, twice (source + destination streams) —
+    exceeds :data:`CACHE_BUDGET_BYTES`; the penalty saturates at the
+    per-line element count.  A per-tile interpreter overhead term
+    (:data:`TILE_OVERHEAD_LINES`) makes small tiles and small tensors
+    lose, which is exactly the fallback regime.
+    """
+    nd = len(in_shape)
+    out_shape = [int(in_shape[a]) for a in axes]
+    tiles = [min(int(t), e) for t, e in zip(tiles, out_shape)]
+    src_strides = _strides_of(in_shape)
+    out_strides = _strides_of(out_shape)
+    moved_strides = [src_strides[axes[k]] for k in range(nd)]
+    inv = _inverse(axes)
+    eb = int(elem_bytes)
+
+    tile_vol = math.prod(tiles)
+    n_tiles = math.prod(
+        -(-out_shape[k] // tiles[k]) for k in range(nd)
+    )
+
+    # Contiguous run lengths a tile preserves on each side: walk the
+    # fastest axes inward until one is blocked below its full extent.
+    r_dst = 1
+    for k in range(nd - 1, -1, -1):
+        r_dst *= tiles[k]
+        if tiles[k] < out_shape[k]:
+            break
+    r_src = 1
+    for a in range(nd - 1, -1, -1):
+        r_src *= tiles[inv[a]]
+        if tiles[inv[a]] < int(in_shape[a]):
+            break
+
+    lat_dst = strides_lattice(
+        [out_strides[k] * eb for k in range(nd)], LINE_BYTES
+    )
+    lat_src = strides_lattice(
+        [moved_strides[k] * eb for k in range(nd)], LINE_BYTES
+    )
+    dst_lines = (
+        tile_vol / max(r_dst, 1)
+        * lattice_run_transactions(r_dst, eb, lat_dst, LINE_BYTES)
+    )
+    src_lines = (
+        tile_vol / max(r_src, 1)
+        * lattice_run_transactions(r_src, eb, lat_src, LINE_BYTES)
+    )
+
+    # Source-line refetch: the source's fastest axis lands at output
+    # position p.  Between consecutive values of that axis the nest
+    # sweeps every inner output axis, touching source + destination
+    # once each; when that working set overflows the cache budget, the
+    # partially-consumed source lines are gone and each line is re-read
+    # once per element it holds.
+    p = inv[nd - 1]
+    refetch = 1.0
+    if p != nd - 1:
+        reuse_elems = math.prod(tiles[k] for k in range(p + 1, nd))
+        if 2 * reuse_elems * eb > CACHE_BUDGET_BYTES:
+            refetch = float(min(max(LINE_BYTES // eb, 1), tiles[p]))
+
+    dst_factor = 1.0
+    if order and order[-1] != nd - 1 and tiles[nd - 1] < out_shape[nd - 1]:
+        dst_factor = NONSEQ_DST_FACTOR
+
+    cost = (src_lines * refetch + dst_lines * dst_factor) * n_tiles
+    cost += TILE_OVERHEAD_LINES * n_tiles
+    return cost
+
+
+def indexed_cost(
+    in_shape: Sequence[int], axes: Sequence[int], elem_bytes: int
+) -> float:
+    """Modeled cache-line traffic of the fancy-indexing route.
+
+    The same data movement as an unblocked nest (full-extent tiles,
+    including the refetch penalty — gather iterates in output order
+    exactly like the nest does), **plus** the volume-sized int64 index
+    map streaming alongside (the traffic the codegen tier exists to
+    remove).
+    """
+    out_shape = [int(in_shape[a]) for a in axes]
+    volume = math.prod(out_shape) if out_shape else 0
+    map_lines = volume * 8 / LINE_BYTES
+    return nest_cost(in_shape, axes, out_shape, elem_bytes) + map_lines
+
+
+# ----------------------------------------------------------------------
+# Search
+# ----------------------------------------------------------------------
+
+
+def critical_axes(axes: Sequence[int]) -> List[int]:
+    """The output axes worth blocking, HPTT-style: where the source's
+    fastest (stride-1) axis lands, and the output's own fastest axis.
+    Blocking any other axis changes neither side's run structure."""
+    nd = len(axes)
+    if nd == 0:
+        return []
+    p = _inverse(axes)[nd - 1]
+    return sorted({p, nd - 1})
+
+
+def _axis_candidates(extent: int) -> List[int]:
+    cands = {c for c in BLOCK_CANDIDATES if c < extent}
+    cands.add(int(extent))
+    return sorted(cands)
+
+
+def _loop_orders(blocked: Sequence[int], nd: int) -> List[Tuple[int, ...]]:
+    """Tile-loop order candidates: the blocked axes (axis 0 always
+    leads — it is the partition axis), in each relative order."""
+    inner = [a for a in blocked if a != 0]
+    orders = [tuple(inner)]
+    if len(inner) == 2:
+        orders.append((inner[1], inner[0]))
+    lead = [0] if (0 in blocked or True) else []
+    return [tuple(lead) + o for o in orders]
+
+
+def search_nest(
+    in_shape: Sequence[int], axes: Sequence[int], elem_bytes: int
+) -> dict:
+    """Exhaustive scored search over blocks x loop orders.
+
+    Returns the winning descriptor::
+
+        {"codegen_version", "in_shape", "axes", "elem_bytes",
+         "tiles", "order", "cost", "indexed_cost", "profitable",
+         "search_ms"}
+
+    ``profitable`` is the :data:`PROFIT_MARGIN` verdict against
+    :func:`indexed_cost`; deterministic: ties break toward larger
+    blocks (fewer tiles) and the destination-sequential loop order,
+    both already encoded in the score.
+    """
+    started = time.perf_counter()
+    nd = len(in_shape)
+    out_shape = [int(in_shape[a]) for a in axes]
+    crit = critical_axes(axes)
+    per_axis = [_axis_candidates(out_shape[a]) for a in crit]
+    orders = _loop_orders(sorted(set(crit) | {0}), nd)
+
+    best: Optional[Tuple[float, Tuple[int, ...], Tuple[int, ...]]] = None
+    combos: List[List[int]] = [[]]
+    for cands in per_axis:
+        combos = [c + [b] for c in combos for b in cands]
+    for combo in combos:
+        tiles = list(out_shape)
+        for a, b in zip(crit, combo):
+            tiles[a] = b
+        for order in orders:
+            cost = nest_cost(in_shape, axes, tiles, elem_bytes, order)
+            cand = (cost, tuple(tiles), order)
+            if best is None or cand < best:
+                best = cand
+    assert best is not None
+    cost, tiles, order = best
+    idx_cost = indexed_cost(in_shape, axes, elem_bytes)
+    volume_bytes = math.prod(out_shape) * int(elem_bytes) if out_shape else 0
+    profitable = (
+        volume_bytes >= NEST_MIN_BYTES and cost * PROFIT_MARGIN <= idx_cost
+    )
+    elapsed = time.perf_counter() - started
+    _count("searches")
+    _count("search_s", elapsed)
+    return {
+        "codegen_version": CODEGEN_VERSION,
+        "in_shape": [int(d) for d in in_shape],
+        "axes": [int(a) for a in axes],
+        "elem_bytes": int(elem_bytes),
+        "tiles": list(tiles),
+        "order": list(order),
+        "cost": round(cost, 3),
+        "indexed_cost": round(idx_cost, 3),
+        "profitable": bool(profitable),
+        "search_ms": round(elapsed * 1e3, 4),
+    }
+
+
+# ----------------------------------------------------------------------
+# Source generation
+# ----------------------------------------------------------------------
+
+
+def nest_source(
+    in_shape: Sequence[int],
+    axes: Sequence[int],
+    tiles: Sequence[int],
+    order: Sequence[int],
+    batch: bool = False,
+    scalar: bool = False,
+) -> str:
+    """The specialized kernel source for one searched configuration.
+
+    The emitted function ``_nest(moved, out_nd, lo, hi)`` copies the
+    transposed input view ``moved`` into ``out_nd`` between rows
+    ``lo:hi`` of output axis 0 (the partition axis) — every extent,
+    block size, and loop bound is a baked-in constant.  ``batch`` emits
+    the fused-batch variant (one leading ``:`` on every subscript, the
+    same nest moving all rows per tile).  ``scalar`` emits fully
+    scalarized element loops instead of slice assignments — the form
+    ``numba.njit`` compiles (and auto-vectorizes) directly.
+    """
+    nd = len(in_shape)
+    out_shape = [int(in_shape[a]) for a in axes]
+    tiles = [min(int(t), e) for t, e in zip(tiles, out_shape)]
+    looped = [a for a in order if a == 0 or tiles[a] < out_shape[a]]
+    if 0 not in looped:
+        looped = [0] + looped
+
+    lines = ["def _nest(moved, out_nd, lo, hi):"]
+    pad = "    "
+    depth = 1
+    bounds: Dict[int, Tuple[str, str]] = {}
+    for a in looped:
+        start, stop = ("lo", "hi") if a == 0 else ("0", str(out_shape[a]))
+        var, upper = f"i{a}", f"u{a}"
+        lines.append(
+            f"{pad * depth}for {var} in range({start}, {stop}, {tiles[a]}):"
+        )
+        depth += 1
+        lines.append(
+            f"{pad * depth}{upper} = min({var} + {tiles[a]}, {stop})"
+        )
+        bounds[a] = (var, upper)
+    if 0 not in bounds:
+        bounds[0] = ("lo", "hi")
+
+    if not scalar:
+        subs = []
+        for a in range(nd):
+            if a in bounds:
+                subs.append("{}:{}".format(*bounds[a]))
+            else:
+                subs.append(":")
+        sel = ", ".join(subs)
+        if batch:
+            sel = ":, " + sel
+        lines.append(f"{pad * depth}out_nd[{sel}] = moved[{sel}]")
+        return "\n".join(lines) + "\n"
+
+    # Scalarized form: element loops inside the tile loops, innermost
+    # loop over the output's fastest axis so the JIT vectorizes it
+    # (the batch loop, when present, runs outermost for the same
+    # reason).
+    if batch:
+        lines.append(
+            f"{pad * depth}for xb in range(out_nd.shape[0]):"
+        )
+        depth += 1
+    for a in range(nd):
+        lo_e, hi_e = bounds.get(a, ("0", str(out_shape[a])))
+        lines.append(
+            f"{pad * depth}for x{a} in range({lo_e}, {hi_e}):"
+        )
+        depth += 1
+    if batch:
+        idx = "xb, " + ", ".join(f"x{a}" for a in range(nd))
+    else:
+        idx = ", ".join(f"x{a}" for a in range(nd))
+    lines.append(f"{pad * depth}out_nd[{idx}] = moved[{idx}]")
+    return "\n".join(lines) + "\n"
+
+
+def _compile_source(source: str):
+    namespace: dict = {"min": min, "range": range}
+    exec(compile(source, "<repro-codegen>", "exec"), namespace)
+    return namespace["_nest"]
+
+
+def source_hash(*sources: str) -> str:
+    h = hashlib.sha1()
+    for s in sources:
+        h.update(s.encode())
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The program kind
+# ----------------------------------------------------------------------
+
+
+class NestProgram(ExecutorProgram):
+    """A generated cache-blocked loop nest, specialized to one problem.
+
+    Holds the compiled single and batch kernel functions plus the
+    descriptor the search produced.  Bit-exact against every other
+    program kind by construction: the nest assigns the transposed view
+    tile by tile, covering the output exactly once.  Partition tasks
+    are row ranges of output axis 0 (the generated kernels take
+    ``lo``/``hi`` bounds), so the scheduler fans nest tasks across the
+    thread pool like any other program — and slice assignment releases
+    the GIL, so they genuinely run concurrently.
+    """
+
+    kind = "nest"
+
+    def __init__(self, descriptor: dict):
+        in_shape = tuple(int(d) for d in descriptor["in_shape"])
+        super().__init__(int(np.prod(in_shape, dtype=np.int64)))
+        self.descriptor = dict(descriptor)
+        self.in_shape = in_shape
+        self.axes = tuple(int(a) for a in descriptor["axes"])
+        self.out_shape = tuple(self.in_shape[a] for a in self.axes)
+        self.tiles = tuple(int(t) for t in descriptor["tiles"])
+        self.order = tuple(int(a) for a in descriptor["order"])
+        self.source = nest_source(
+            self.in_shape, self.axes, self.tiles, self.order
+        )
+        self.batch_source = nest_source(
+            self.in_shape, self.axes, self.tiles, self.order, batch=True
+        )
+        self.descriptor["source_sha"] = source_hash(
+            self.source, self.batch_source
+        )
+        self.descriptor["backend"] = compile_backend()
+        self._fn = _compile_source(self.source)
+        self._batch_fn = _compile_source(self.batch_source)
+        self._jit = self._jit_batch = None
+        if _NUMBA is not None:  # pragma: no cover - needs the jit extra
+            try:
+                scalar = nest_source(
+                    self.in_shape, self.axes, self.tiles, self.order,
+                    scalar=True,
+                )
+                scalar_batch = nest_source(
+                    self.in_shape, self.axes, self.tiles, self.order,
+                    batch=True, scalar=True,
+                )
+                self._jit = _NUMBA.njit(cache=False)(
+                    _compile_source(scalar)
+                )
+                self._jit_batch = _NUMBA.njit(cache=False)(
+                    _compile_source(scalar_batch)
+                )
+                _count("jit_compiled")
+            except Exception:
+                self._jit = self._jit_batch = None
+                self.descriptor["backend"] = "numpy"
+                _count("jit_failures")
+        _count("programs_generated")
+
+    # -- pickling: compiled code objects and numba dispatchers do not
+    # pickle; the descriptor regenerates everything deterministically ----
+    def __getstate__(self) -> dict:
+        return {"descriptor": self.descriptor}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["descriptor"])
+
+    def _moved(self, src: np.ndarray) -> np.ndarray:
+        return np.transpose(src.reshape(self.in_shape), self.axes)
+
+    def _moved_batch(self, srcs: np.ndarray) -> np.ndarray:
+        axes = (0,) + tuple(a + 1 for a in self.axes)
+        return np.transpose(
+            srcs.reshape((srcs.shape[0],) + self.in_shape), axes
+        )
+
+    def _call(self, jit, fn, moved, out_nd, lo, hi) -> None:
+        if jit is not None:  # pragma: no cover - needs the jit extra
+            try:
+                jit(moved, out_nd, lo, hi)
+                return
+            except Exception:
+                # Typing/lowering failures surface before any element
+                # moves; drop to the slice backend permanently.
+                self._jit = self._jit_batch = None
+                self.descriptor["backend"] = "numpy"
+                _count("jit_failures")
+        fn(moved, out_nd, lo, hi)
+
+    def run(self, src: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        dst = out if out is not None else np.empty(self.volume, dtype=src.dtype)
+        out_nd = dst.reshape(self.out_shape)
+        self._call(
+            self._jit, self._fn, self._moved(src), out_nd, 0,
+            self.out_shape[0],
+        )
+        return dst
+
+    def run_batch(self, srcs, out: Optional[np.ndarray] = None) -> np.ndarray:
+        srcs = self.batch_view(srcs)
+        dst = out if out is not None else np.empty_like(srcs)
+        out_nd = dst.reshape((srcs.shape[0],) + self.out_shape)
+        self._call(
+            self._jit_batch, self._batch_fn, self._moved_batch(srcs),
+            out_nd, 0, self.out_shape[0],
+        )
+        return dst
+
+    @property
+    def nbytes(self) -> int:
+        # No frozen index arrays; the sources are the only state.
+        return len(self.source) + len(self.batch_source)
+
+    # -- partitioning: row ranges of output axis 0 (the generated
+    # kernels' lo/hi bounds) ---------------------------------------------
+    def partition(self, parts: int) -> List[Tuple[int, ...]]:
+        rows = self.out_shape[0]
+        parts = max(1, min(parts, rows))
+        bounds = np.linspace(0, rows, parts + 1, dtype=np.int64)
+        return [
+            (int(lo), int(hi))
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+
+    def run_part(
+        self, src: np.ndarray, out: np.ndarray, task: Tuple[int, ...]
+    ) -> None:
+        lo, hi = task
+        out_nd = out.reshape(self.out_shape)
+        self._call(self._jit, self._fn, self._moved(src), out_nd, lo, hi)
+
+
+# ----------------------------------------------------------------------
+# Artifact cache + compile entry point
+# ----------------------------------------------------------------------
+
+
+def artifact_key(
+    in_shape: Sequence[int], axes: Sequence[int], elem_bytes: int
+) -> str:
+    """The :class:`~repro.runtime.store.PlanStore` artifact key of one
+    fused geometry — derivable from the kernel alone, identically in
+    the parent and in process-pool workers."""
+    return "nest{}|{}|{}|{}".format(
+        CODEGEN_VERSION,
+        "x".join(str(int(d)) for d in in_shape),
+        ",".join(str(int(a)) for a in axes),
+        int(elem_bytes),
+    )
+
+
+def _valid_artifact(
+    desc, in_shape: Sequence[int], axes: Sequence[int], elem_bytes: int
+) -> bool:
+    if not isinstance(desc, dict):
+        return False
+    if desc.get("codegen_version") != CODEGEN_VERSION:
+        return False
+    return (
+        list(desc.get("in_shape", [])) == [int(d) for d in in_shape]
+        and list(desc.get("axes", [])) == [int(a) for a in axes]
+        and desc.get("elem_bytes") == int(elem_bytes)
+        and "tiles" in desc
+        and "order" in desc
+        and "profitable" in desc
+    )
+
+
+def nest_descriptor(
+    in_shape: Sequence[int],
+    axes: Sequence[int],
+    elem_bytes: int,
+    artifacts=None,
+) -> dict:
+    """The searched (or artifact-cached) descriptor for one geometry.
+
+    ``artifacts`` is any object with ``artifact(key)`` /
+    ``put_artifact(key, desc)`` — in practice the runtime's
+    :class:`~repro.runtime.store.PlanStore`.  A valid persisted
+    descriptor skips the search entirely (counted as an
+    ``artifact_hit``, crediting its recorded ``search_ms`` to
+    ``search_s_saved``); a miss searches and persists the outcome.
+    """
+    key = artifact_key(in_shape, axes, elem_bytes)
+    if artifacts is not None:
+        desc = artifacts.artifact(key)
+        if _valid_artifact(desc, in_shape, axes, elem_bytes):
+            _count("artifact_hits")
+            _count("search_s_saved", float(desc.get("search_ms", 0.0)) / 1e3)
+            return desc
+        _count("artifact_misses")
+    desc = search_nest(in_shape, axes, elem_bytes)
+    if artifacts is not None:
+        artifacts.put_artifact(key, desc)
+    return desc
+
+
+def maybe_nest_program(kernel, artifacts=None) -> Optional[NestProgram]:
+    """A generated nest program for the kernel, or ``None``.
+
+    ``None`` means the search judged generation unprofitable (or the
+    geometry is degenerate); the caller keeps the indexed/chunked
+    route, bit-exactly.  This is the hook
+    :func:`~repro.kernels.executor.compile_executor` calls when
+    ``codegen=True``.
+    """
+    in_shape = kernel.layout.as_numpy_shape()
+    axes = kernel.perm.numpy_axes()
+    if not in_shape or kernel.volume <= 0:
+        _count("fallbacks")
+        return None
+    if kernel.volume * kernel.elem_bytes < NEST_MIN_BYTES:
+        # Below the profitability floor the search's verdict is fixed;
+        # skip it entirely so small-problem compiles stay O(1).
+        _count("fallbacks")
+        return None
+    desc = nest_descriptor(in_shape, axes, kernel.elem_bytes, artifacts)
+    if not desc.get("profitable"):
+        _count("fallbacks")
+        return None
+    return NestProgram(desc)

@@ -575,6 +575,8 @@ def compile_executor(
     *,
     lowering: bool = True,
     max_index_bytes: int = DEFAULT_MAX_INDEX_BYTES,
+    codegen: bool = False,
+    artifacts=None,
 ) -> ExecutorProgram:
     """Lower one kernel to its best executor program.
 
@@ -589,12 +591,21 @@ def compile_executor(
        :meth:`~repro.kernels.base.TransposeKernel.lowering_regions`
        (the orthogonal kernels always do): one strided copy per slice
        variant, still zero index arrays.
-    3. **Fused index map** — when the kernel provides per-variant
+    3. **Generated nest** — only when ``codegen=True``: the
+       :mod:`repro.kernels.codegen` search may replace the index-map
+       route with a specialized cache-blocked loop nest
+       (:class:`~repro.kernels.codegen.NestProgram`); when the model
+       says blocking is not profitable it declines and selection falls
+       through, bit-exactly.  ``artifacts`` (a plan store) lets the
+       search reuse persisted descriptors.  Codegen never alters
+       routes 1-2: ``lowering=False, codegen=False`` stays the
+       materialized index-map oracle the tests rely on.
+    4. **Fused index map** — when the kernel provides per-variant
        relative maps and the volume-sized ``src_of_dst`` fits the
        index-memory budget.  ``lowering=False`` forces this route (or
-       4.), which the tests use as the materialized oracle against the
+       5.), which the tests use as the materialized oracle against the
        view/region chains.
-    4. **Chunked** — same relative maps, bounded materialization.
+    5. **Chunked** — same relative maps, bounded materialization.
 
     Kernels with none of these cannot be compiled (none exist in-tree;
     every schema provides at least one lowering).
@@ -618,6 +629,12 @@ def compile_executor(
             f"{type(kernel).__name__} provides neither a view lowering "
             "nor per-variant index maps"
         )
+    if codegen:
+        from repro.kernels.codegen import maybe_nest_program
+
+        nest = maybe_nest_program(kernel, artifacts)
+        if nest is not None:
+            return nest
     tables = _variant_tables(kernel)
     if kernel.volume * 8 <= max_index_bytes:
         return IndexedProgram(_fused_src_of_dst(kernel.volume, tables))
@@ -676,6 +693,8 @@ def executor_with_status(
     *,
     lowering: bool = True,
     max_index_bytes: int = DEFAULT_MAX_INDEX_BYTES,
+    codegen: bool = False,
+    artifacts=None,
     cache: Optional[BoundedLRU] = None,
 ) -> Tuple[ExecutorProgram, bool]:
     """The kernel's cached program plus whether this call was a hit.
@@ -686,13 +705,20 @@ def executor_with_status(
     plan of one problem) shares a single compiled program.  The compile
     options are part of the key: forcing ``lowering=False`` (the
     index-map oracle, and the regime the process-pool backend exists
-    for) caches separately from the default lowering.  ``cache`` swaps
-    the process-wide cache for a private one (per-replica serving).
+    for) caches separately from the default lowering, and
+    ``codegen=True`` (the generated-nest tier) separately from both —
+    a nest and its indexed fallback can coexist while the calibrator
+    compares them.  ``cache`` swaps the process-wide cache for a
+    private one (per-replica serving).
     """
     return cached_program(
-        kernel.execute_key() + (lowering, max_index_bytes),
+        kernel.execute_key() + (lowering, max_index_bytes, codegen),
         lambda: compile_executor(
-            kernel, lowering=lowering, max_index_bytes=max_index_bytes
+            kernel,
+            lowering=lowering,
+            max_index_bytes=max_index_bytes,
+            codegen=codegen,
+            artifacts=artifacts,
         ),
         cache,
     )
@@ -703,10 +729,16 @@ def executor_for(
     *,
     lowering: bool = True,
     max_index_bytes: int = DEFAULT_MAX_INDEX_BYTES,
+    codegen: bool = False,
+    artifacts=None,
 ) -> ExecutorProgram:
     """The kernel's cached compiled program (compiling on first use)."""
     return executor_with_status(
-        kernel, lowering=lowering, max_index_bytes=max_index_bytes
+        kernel,
+        lowering=lowering,
+        max_index_bytes=max_index_bytes,
+        codegen=codegen,
+        artifacts=artifacts,
     )[0]
 
 

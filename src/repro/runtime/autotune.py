@@ -24,6 +24,17 @@ pool and the process pool for the cells where the router has a real
 choice (large indexed/chunked programs — see
 :mod:`repro.runtime.procpool`), by the same explore-then-exploit rule
 ``choose`` uses for ``parts``.
+
+The codegen tier (:mod:`repro.kernels.codegen`) adds a third routable
+backend, ``codegen`` — the same thread pool, but running a generated
+cache-blocked loop nest instead of the index-map program — and with it
+the wrinkle that a backend can turn out not to *exist* for a cell: the
+nest search may judge a geometry unprofitable and fall back.  The
+scheduler reports that with :meth:`ThroughputCalibrator
+.mark_unavailable`, which pins the cell off that backend so
+``choose_backend`` never explores it again (otherwise the explore rule
+would retry the doomed backend forever).  Unavailability persists with
+the measurements.
 """
 
 from __future__ import annotations
@@ -32,7 +43,7 @@ import json
 import os
 from pathlib import Path
 from threading import Lock
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Set, Union
 
 #: Version 2 added the backend axis to the cell keys; v1 files (no
 #: backend prefix) would alias thread and process measurements, so they
@@ -95,6 +106,9 @@ class ThroughputCalibrator:
         #: cell key -> {str(parts): {"count": int, "total_s": float,
         #:                            "total_bytes": float}}
         self._cells: Dict[str, Dict[str, dict]] = {}
+        #: Cell keys whose backend declined the work (codegen fallback):
+        #: choose_backend skips these instead of exploring them forever.
+        self._unavailable: Set[str] = set()
         self._dirty = False
         if self.path is not None:
             self._load()
@@ -137,28 +151,92 @@ class ThroughputCalibrator:
                 best = max(best, s["total_bytes"] / max(s["total_s"], 1e-12))
         return best
 
-    def choose_backend(self, kind: str, total_bytes: int) -> str:
+    def choose_backend(
+        self,
+        kind: str,
+        total_bytes: int,
+        among: Optional[Sequence[str]] = None,
+    ) -> str:
         """The execution backend to run with, among ``self.backends``.
 
         Same explore-then-exploit shape as :meth:`choose`, one level
         up: while any backend's cell is still exploring ``parts``, that
         backend runs next (so both sides of the crossover get measured);
         once every backend is calibrated, the one whose best candidate
-        measured the highest bytes/second wins.
+        measured the highest bytes/second wins.  ``among`` restricts
+        the contest to the backends the caller's routing rules left
+        eligible for this job (the scheduler excludes, e.g., the
+        process pool for payloads below its dispatch floor); backends a
+        fallback declared unavailable for the cell are always skipped.
         """
-        if len(self.backends) == 1:
-            return self.backends[0]
+        backends = [
+            b for b in self.backends if among is None or b in among
+        ]
+        if not backends:
+            backends = [self.backends[0]]
+        if len(backends) == 1:
+            return backends[0]
         with self._lock:
             scored = []
-            for backend in self.backends:
+            for backend in backends:
                 key = self._key(kind, total_bytes, backend)
+                if key in self._unavailable:
+                    continue
                 cell = self._cells.get(key, {})
                 for p in self.candidates:
                     stats = cell.get(str(p))
                     if stats is None or stats["count"] < self.min_samples:
                         return backend
                 scored.append((self._best_bps(cell), backend))
+            if not scored:
+                return backends[0]
             return max(scored)[1]
+
+    def mark_unavailable(
+        self, kind: str, total_bytes: int, backend: str
+    ) -> None:
+        """Pin a cell off a backend that declined the work.
+
+        The codegen router calls this when the nest search judges a
+        geometry unprofitable: the job silently ran on the thread
+        backend instead, so leaving the ``codegen`` cell unmeasured
+        would make :meth:`choose_backend` re-explore it on every later
+        request.  Persisted alongside the measurements.
+        """
+        key = self._key(kind, total_bytes, backend)
+        with self._lock:
+            if key not in self._unavailable:
+                self._unavailable.add(key)
+                self._dirty = True
+        if self.autoflush:
+            self.flush()
+
+    def backend_wins(self) -> Dict[str, Dict[str, int]]:
+        """Per program kind, how many calibrated cells each backend wins.
+
+        The CLI's codegen-vs-indexed scoreboard: a cell counts for the
+        backend whose best calibrated candidate measured the highest
+        throughput among all backends sharing that ``kind|2^cls`` cell
+        (cells still exploring, or with a single contender, are
+        skipped).
+        """
+        with self._lock:
+            grouped: Dict[str, Dict[str, float]] = {}
+            for key, cell in self._cells.items():
+                backend, _, rest = key.partition(":")
+                best = self._best_bps(cell)
+                if best < 0:
+                    continue
+                grouped.setdefault(rest, {})[backend] = best
+            wins: Dict[str, Dict[str, int]] = {}
+            for rest, per_backend in grouped.items():
+                if len(per_backend) < 2:
+                    continue
+                kind = rest.split("|", 1)[0]
+                winner = max(per_backend.items(), key=lambda kv: kv[1])[0]
+                wins.setdefault(kind, {})
+                wins[kind][winner] = wins[kind].get(winner, 0) + 1
+            return wins
 
     def record(
         self,
@@ -221,12 +299,14 @@ class ThroughputCalibrator:
                 "backends": list(self.backends),
                 "min_samples": self.min_samples,
                 "path": str(self.path) if self.path else None,
+                "unavailable": sorted(self._unavailable),
                 "cells": cells,
             }
 
     def reset(self) -> None:
         with self._lock:
             self._cells.clear()
+            self._unavailable.clear()
             self._dirty = True
 
     # ---- persistence -------------------------------------------------
@@ -261,6 +341,11 @@ class ThroughputCalibrator:
                     continue
             if clean:
                 self._cells[key] = clean
+        unavailable = payload.get("unavailable", [])
+        if isinstance(unavailable, list):
+            self._unavailable.update(
+                k for k in unavailable if isinstance(k, str)
+            )
 
     def flush(self) -> None:
         """Atomically persist the table (no-op without a path)."""
@@ -270,6 +355,7 @@ class ThroughputCalibrator:
             payload = {
                 "autotune_version": AUTOTUNE_VERSION,
                 "pool_size": self.pool_size,
+                "unavailable": sorted(self._unavailable),
                 "cells": {
                     k: {p: dict(s) for p, s in v.items()}
                     for k, v in self._cells.items()

@@ -127,10 +127,22 @@ class _Worker:
         from repro.kernels.executor import compile_executor
         from repro.runtime.store import rehydrate_plan
 
-        lowering, max_index_bytes = compile_opts
+        # Older clients ship (lowering, max_index_bytes); the codegen
+        # tier added a third flag.  Workers pass the shared store as the
+        # artifact source so a codegen rebuild reuses the parent's
+        # persisted nest descriptor instead of re-searching.
+        if len(compile_opts) == 2:
+            lowering, max_index_bytes = compile_opts
+            codegen = False
+        else:
+            lowering, max_index_bytes, codegen = compile_opts
         plan = rehydrate_plan(entry, spec)
         program = compile_executor(
-            plan.kernel, lowering=lowering, max_index_bytes=max_index_bytes
+            plan.kernel,
+            lowering=lowering,
+            max_index_bytes=max_index_bytes,
+            codegen=codegen,
+            artifacts=self.store,
         )
         self.programs.put(cache_key, program)
         self.counters[source] += 1

@@ -24,14 +24,22 @@ For both, the part count defaults to what the attached
 be fastest for the program kind and payload size — finished runs feed
 their wall time back into the calibrator.
 
-The scheduler also routes between two execution **backends**: its own
-thread pool, and the shared-memory :class:`~repro.runtime.procpool
-.ProcessPool` (created lazily).  View/region programs are pure strided
-NumPy copies that release the GIL, so they stay on threads; large
-indexed/chunked programs hold the GIL for their whole fused
-gather/scatter, so with ``backend="process"`` (or ``"auto"``, where the
-calibrator's backend axis decides) their partition tasks run in worker
-processes that scatter directly into the shared-memory output block.
+The scheduler also routes between execution **backends**: its own
+thread pool, the shared-memory :class:`~repro.runtime.procpool
+.ProcessPool` (created lazily), and the generated-kernel **codegen**
+tier (:mod:`repro.kernels.codegen`).  View/region programs are pure
+strided NumPy copies that release the GIL, so they stay on threads;
+large indexed/chunked programs hold the GIL for their whole fused
+gather/scatter, so with ``backend="process"`` their partition tasks
+run in worker processes that scatter directly into the shared-memory
+output block, and with ``backend="codegen"`` the job is recompiled
+with ``codegen=True`` — when the loop-nest search is profitable the
+resulting :class:`~repro.kernels.codegen.NestProgram` runs its
+row-range partition tasks on the *thread* pool (slice assignment
+releases the GIL), and when it declines the job falls back to threads
+and the calibrator cell is marked unavailable.  Under ``"auto"`` the
+calibrator's backend axis arbitrates between every eligible backend
+online.
 Output buffers for split/batched jobs are leased from a
 :class:`~repro.runtime.arena.BufferArena` instead of ``np.empty`` — the
 report carries the lease (:attr:`ExecutionReport.block`) and callers
@@ -53,6 +61,7 @@ import numpy as np
 from repro.core.plan import TransposePlan
 from repro.gpusim.cost import CostModel
 from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
+from repro.kernels.codegen import NEST_MIN_BYTES
 from repro.kernels.executor import DEFAULT_MAX_INDEX_BYTES, executor_with_status
 from repro.runtime.arena import ArenaBlock, BufferArena
 from repro.runtime.autotune import ThroughputCalibrator
@@ -61,7 +70,7 @@ from repro.runtime.metrics import MetricsRegistry
 _SHUTDOWN = object()
 
 #: The backends a scheduler can be asked to run.
-BACKENDS = ("thread", "process", "auto")
+BACKENDS = ("thread", "process", "codegen", "auto")
 
 #: Below this many payload bytes a job never routes to the process
 #: pool: pipe dispatch plus segment attach costs more than the whole
@@ -132,6 +141,8 @@ class _PartitionedJob:
         total: int,
         batch: int = 1,
         block: Optional[ArenaBlock] = None,
+        backend: str = "thread",
+        record_kind: Optional[str] = None,
     ):
         self.plan = plan
         self.program = program
@@ -145,6 +156,13 @@ class _PartitionedJob:
         self.remaining = total
         self.batch = batch
         self.block = block
+        #: The routed backend the report carries; ``codegen`` jobs run
+        #: on the thread pool but are accounted under their own name.
+        self.backend = backend
+        #: The calibrator cell kind: for codegen jobs, the kind of the
+        #: program the nest *replaced* (indexed/chunked), so the
+        #: backend-axis cells compared by ``choose_backend`` line up.
+        self.record_kind = record_kind if record_kind else program.kind
         self.started: Optional[float] = None
         self.failed = False
         self.cancelled = False
@@ -171,6 +189,7 @@ class StreamScheduler:
         store_path=None,
         proc_start_method: Optional[str] = None,
         program_cache=None,
+        store=None,
     ):
         if num_streams <= 0:
             raise ValueError(f"num_streams must be positive, got {num_streams}")
@@ -184,11 +203,16 @@ class StreamScheduler:
         #: Online parts auto-tuner consulted when ``parts`` is omitted;
         #: finished split jobs feed their wall time back into it.
         self.tuner = tuner
-        #: ``thread`` | ``process`` | ``auto`` — where eligible split
-        #: jobs run (view/region and small jobs always stay on threads).
+        #: ``thread`` | ``process`` | ``codegen`` | ``auto`` — where
+        #: eligible split jobs run (view/region and small jobs always
+        #: stay on threads).
         self.backend = backend
         self.arena = arena if arena is not None else BufferArena()
         self._own_arena = arena is None
+        #: The persistent :class:`~repro.runtime.store.PlanStore` whose
+        #: artifact section backs the codegen tier's descriptor cache
+        #: (``None`` = searches are re-run per process).
+        self.store = store
         #: Private compiled-program cache (``None`` = the process-wide
         #: one).  Sharded serving gives each replica its own so routing
         #: locality is observable as per-replica hit rate.
@@ -244,11 +268,15 @@ class StreamScheduler:
         """Which backend one split job runs on.
 
         Static rules first: view/region programs are strided NumPy
-        copies that already release the GIL — threads always win.  Small
-        payloads never amortize process dispatch.  What remains (large
-        indexed/chunked, the GIL-bound fancy-indexing regime) honors a
-        fixed ``process`` choice, and under ``auto`` asks the
-        calibrator's backend axis, measuring both sides first.
+        copies that already release the GIL — threads always win, and
+        the codegen tier has nothing to improve on.  Small payloads
+        never amortize process dispatch (nor a generated nest's
+        per-tile overhead).  What remains (large indexed/chunked, the
+        GIL-bound fancy-indexing regime) honors a fixed ``process`` or
+        ``codegen`` choice when the job clears that backend's floor,
+        and under ``auto`` asks the calibrator's backend axis —
+        restricted to the backends this job is actually eligible for —
+        measuring every side first.
         """
         choice = backend if backend is not None else self.backend
         if choice not in BACKENDS:
@@ -259,17 +287,59 @@ class StreamScheduler:
             return "thread"
         if program.kind in ("view", "region"):
             return "thread"
-        if total_bytes < PROC_MIN_BYTES:
-            return "thread"
-        if not self.arena.use_shared_memory:
-            return "thread"
+        codegen_ok = total_bytes >= NEST_MIN_BYTES
+        process_ok = (
+            total_bytes >= PROC_MIN_BYTES and self.arena.use_shared_memory
+        )
+        if choice == "codegen":
+            return "codegen" if codegen_ok else "thread"
         if choice == "process":
+            return "process" if process_ok else "thread"
+        # auto
+        if self.tuner is not None:
+            known = getattr(self.tuner, "backends", ())
+            eligible = ["thread"]
+            if codegen_ok and "codegen" in known:
+                eligible.append("codegen")
+            if process_ok and "process" in known:
+                eligible.append("process")
+            if len(eligible) > 1:
+                return self.tuner.choose_backend(
+                    program.kind, total_bytes, among=eligible
+                )
+            return "thread"
+        if process_ok:
             return "process"
-        if self.tuner is not None and "process" in getattr(
-            self.tuner, "backends", ()
-        ):
-            return self.tuner.choose_backend(program.kind, total_bytes)
-        return "process"
+        return "codegen" if codegen_ok else "thread"
+
+    def _resolve_codegen(self, plan, program, lowering: bool, nbytes: int):
+        """Swap a codegen-routed job's program for its generated nest.
+
+        Recompiles the kernel with ``codegen=True`` (cached under its
+        own program-cache key, descriptors reused from the plan store's
+        artifact section).  When the search declines — the model says
+        blocking cannot beat fancy indexing here — the job falls back
+        to the thread backend on the original program, and the
+        calibrator cell is pinned unavailable so ``auto`` routing never
+        re-explores a backend that does not exist for this cell.
+
+        Returns ``(program, backend)``.
+        """
+        nest, hit = executor_with_status(
+            plan.kernel,
+            lowering=lowering,
+            codegen=True,
+            artifacts=self.store,
+            cache=self.program_cache,
+        )
+        self.metrics.inc("exec_cache_hits" if hit else "exec_cache_misses")
+        if nest.kind == "nest":
+            self.metrics.inc("codegen_jobs")
+            return nest, "codegen"
+        self.metrics.inc("codegen_fallbacks")
+        if self.tuner is not None:
+            self.tuner.mark_unavailable(program.kind, nbytes, "codegen")
+        return program, "thread"
 
     def _ensure_procpool(self):
         with self._procpool_lock:
@@ -405,15 +475,20 @@ class StreamScheduler:
         """
         if self._closed:
             raise RuntimeError("scheduler is shut down")
-        compile_opts = (lowering, DEFAULT_MAX_INDEX_BYTES)
+        compile_opts = (lowering, DEFAULT_MAX_INDEX_BYTES, False)
         program, hit = executor_with_status(
             plan.kernel, lowering=lowering, cache=self.program_cache
         )
         self.metrics.inc("exec_cache_hits" if hit else "exec_cache_misses")
         src = plan.kernel.check_input(payload)
+        record_kind = program.kind
         chosen = self._route(program, src.nbytes, backend)
+        if chosen == "codegen":
+            program, chosen = self._resolve_codegen(
+                plan, program, lowering, src.nbytes
+            )
         if parts is None:
-            parts = self._pick_parts(program.kind, src.nbytes, chosen)
+            parts = self._pick_parts(record_kind, src.nbytes, chosen)
         tasks = program.partition(parts)
         enqueued = time.perf_counter()
         if chosen == "process":
@@ -432,6 +507,8 @@ class StreamScheduler:
             enqueued,
             len(tasks),
             block=out_block,
+            backend=chosen,
+            record_kind=record_kind,
         )
         self._enqueue_split(job, tasks)
         return fut
@@ -460,7 +537,7 @@ class StreamScheduler:
             raise RuntimeError("scheduler is shut down")
         if not len(payloads):
             raise ValueError("submit_batch requires at least one payload")
-        compile_opts = (lowering, DEFAULT_MAX_INDEX_BYTES)
+        compile_opts = (lowering, DEFAULT_MAX_INDEX_BYTES, False)
         program, hit = executor_with_status(
             plan.kernel, lowering=lowering, cache=self.program_cache
         )
@@ -469,9 +546,14 @@ class StreamScheduler:
             [plan.kernel.check_input(p) for p in payloads]
         )
         rows = srcs.shape[0]
+        record_kind = program.kind
         chosen = self._route(program, srcs.nbytes, backend)
+        if chosen == "codegen":
+            program, chosen = self._resolve_codegen(
+                plan, program, lowering, srcs.nbytes
+            )
         if parts is None:
-            parts = self._pick_parts(program.kind, srcs.nbytes, chosen)
+            parts = self._pick_parts(record_kind, srcs.nbytes, chosen)
         nparts = max(1, min(parts, rows))
         bounds = np.linspace(0, rows, nparts + 1, dtype=np.int64)
         tasks = [
@@ -506,6 +588,8 @@ class StreamScheduler:
             len(tasks),
             batch=rows,
             block=outs_block,
+            backend=chosen,
+            record_kind=record_kind,
         )
         self._enqueue_split(job, tasks)
         return fut
@@ -554,11 +638,11 @@ class StreamScheduler:
         self.metrics.set_gauge("queue_depth", self._queue.qsize())
         if self.tuner is not None:
             self.tuner.record(
-                job.program.kind,
+                job.record_kind,
                 job.src.nbytes,
                 job.parts,
                 wall,
-                backend="thread",
+                backend=job.backend,
             )
         job.fut.set_result(
             ExecutionReport(
@@ -571,7 +655,7 @@ class StreamScheduler:
                 output=job.out,
                 parts=job.parts,
                 batch=job.batch,
-                backend="thread",
+                backend=job.backend,
                 block=job.block,
             )
         )

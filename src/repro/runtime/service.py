@@ -87,8 +87,10 @@ class TransposeService:
         ``thread`` keeps everything on the stream workers, ``process``
         sends eligible large indexed/chunked jobs to the shared-memory
         :class:`~repro.runtime.procpool.ProcessPool` (``proc_workers``
-        processes, created lazily), ``auto`` lets the calibrator's
-        backend axis pick per (kind, size) cell.
+        processes, created lazily), ``codegen`` recompiles them as
+        generated cache-blocked loop nests (``docs/codegen.md``) run on
+        the stream workers, ``auto`` lets the calibrator's backend axis
+        pick per (kind, size) cell across all three.
     arena:
         Share a :class:`~repro.runtime.arena.BufferArena` between
         services; by default the scheduler owns a fresh one.
@@ -136,7 +138,18 @@ class TransposeService:
         self._flights = SingleFlight()
         if autotune_path is None and self.store is not None:
             autotune_path = Path(self.store.path).with_name("autotune.json")
-        backends = ("thread",) if backend == "thread" else ("thread", "process")
+        # The calibrator cells the service measures: only the backends
+        # this configuration can actually route to, so exploration never
+        # waits on a backend that will never run.  ``auto`` arbitrates
+        # across all three tiers.
+        if backend == "thread":
+            backends = ("thread",)
+        elif backend == "process":
+            backends = ("thread", "process")
+        elif backend == "codegen":
+            backends = ("thread", "codegen")
+        else:
+            backends = ("thread", "process", "codegen")
         self.autotuner = ThroughputCalibrator(
             pool_size=num_streams, path=autotune_path, backends=backends
         )
@@ -163,6 +176,7 @@ class TransposeService:
             arena=arena,
             store_path=self.store.path if self.store is not None else None,
             program_cache=self.program_cache,
+            store=self.store,
         )
         self._batcher = MicroBatcher(
             self._flush_batch, window_s=batch_window_s, max_batch=batch_max
@@ -464,7 +478,9 @@ class TransposeService:
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Full JSON-friendly status: metrics + cache + streams + store
-        + compiled-executor program cache + batching + autotune."""
+        + compiled-executor program cache + batching + autotune +
+        codegen."""
+        from repro.kernels.codegen import codegen_stats
         from repro.kernels.executor import exec_cache_stats
 
         executor = (
@@ -472,6 +488,8 @@ class TransposeService:
             if self.program_cache is not None
             else exec_cache_stats()
         )
+        codegen = codegen_stats()
+        codegen["backend_wins"] = self.autotuner.backend_wins()
         return {
             "device": self.spec.name,
             "metrics": self.metrics.snapshot(),
@@ -484,6 +502,7 @@ class TransposeService:
             "scheduler": self.scheduler.snapshot(),
             "batching": self._batcher.stats(),
             "autotune": self.autotuner.table(),
+            "codegen": codegen,
             "store": self.store.describe() if self.store else None,
         }
 

@@ -212,6 +212,11 @@ class PlanStore:
         self.autoflush = autoflush
         self._lock = Lock()
         self._entries: Dict[str, dict] = {}
+        #: Non-plan build artifacts (generated-kernel descriptors from
+        #: :mod:`repro.kernels.codegen`), persisted in the same file
+        #: under a separate namespace so warm restarts skip searches
+        #: the same way they skip planning.
+        self._artifacts: Dict[str, dict] = {}
         #: Entries dropped during load because they were malformed.
         self.corrupt_entries = 0
         #: True when the whole file was unreadable and moved aside.
@@ -252,6 +257,18 @@ class PlanStore:
                 self._entries[key] = entry
             else:
                 self.corrupt_entries += 1
+        # The artifacts section is optional (files written before the
+        # codegen tier simply lack it) and individually validated the
+        # same way: malformed records are dropped, never fatal.
+        artifacts = payload.get("artifacts", {})
+        if isinstance(artifacts, dict):
+            for key, desc in artifacts.items():
+                if isinstance(desc, dict):
+                    self._artifacts[key] = desc
+                else:
+                    self.corrupt_entries += 1
+        else:
+            self.corrupt_entries += 1
 
     def flush(self) -> None:
         """Atomically persist the current entries (tmp file + rename)."""
@@ -259,6 +276,7 @@ class PlanStore:
             payload = {
                 "store_version": STORE_VERSION,
                 "entries": dict(self._entries),
+                "artifacts": dict(self._artifacts),
             }
             self._dirty = False
         self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -325,6 +343,7 @@ class PlanStore:
         fresh = PlanStore.__new__(PlanStore)
         fresh.path = self.path
         fresh._entries = {}
+        fresh._artifacts = {}
         fresh.corrupt_entries = 0
         fresh.recovered_from_corruption = False
         fresh._load()
@@ -332,7 +351,33 @@ class PlanStore:
             merged = dict(fresh._entries)
             merged.update(self._entries)
             self._entries = merged
+            merged_art = dict(fresh._artifacts)
+            merged_art.update(self._artifacts)
+            self._artifacts = merged_art
             self.corrupt_entries += fresh.corrupt_entries
+
+    # ---- artifact interface (codegen descriptors) --------------------
+    def artifact(self, key: str) -> Optional[dict]:
+        """The persisted build artifact for a key, or None.
+
+        Artifacts are auxiliary build outcomes keyed by content — today
+        the :mod:`repro.kernels.codegen` loop-nest descriptors, keyed by
+        fused geometry — living alongside plans so one warm file skips
+        both planning and the loop-order search.
+        """
+        with self._lock:
+            return self._artifacts.get(key)
+
+    def put_artifact(self, key: str, desc: dict) -> None:
+        with self._lock:
+            self._artifacts[key] = dict(desc)
+            self._dirty = True
+        if self.autoflush:
+            self.flush()
+
+    def artifact_keys(self):
+        with self._lock:
+            return list(self._artifacts)
 
     # ---- introspection ----------------------------------------------
     def __len__(self) -> int:
@@ -346,6 +391,7 @@ class PlanStore:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._artifacts.clear()
             self._dirty = True
 
     def close(self) -> None:
@@ -357,6 +403,7 @@ class PlanStore:
             return {
                 "path": str(self.path),
                 "entries": len(self._entries),
+                "artifacts": len(self._artifacts),
                 "store_version": STORE_VERSION,
                 "corrupt_entries_dropped": self.corrupt_entries,
                 "recovered_from_corruption": self.recovered_from_corruption,

@@ -1,0 +1,441 @@
+"""Codegen tier: search, generated programs, artifacts, and routing.
+
+The contract under test (``docs/codegen.md``): the HPTT-style search
+is deterministic and scored purely by the analytic DRAM model; the
+generated :class:`~repro.kernels.codegen.NestProgram` is bit-exact
+against the reference on every execution surface; unprofitable
+geometries fall back to the index-map route without changing any
+existing compile result; descriptors persist as plan-store artifacts
+so a warm restart runs zero searches; and the scheduler's ``codegen``
+backend routes, falls back, and reports correctly.
+"""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.plan import make_plan
+from repro.kernels import codegen as cg
+from repro.kernels.common import reference_transpose
+from repro.kernels.executor import compile_executor
+from repro.runtime.autotune import ThroughputCalibrator
+from repro.runtime.scheduler import StreamScheduler
+from repro.runtime.store import PlanStore
+
+#: The gated memory-bound geometries, scaled to ~4 MiB for test speed
+#: (still above NEST_MIN_BYTES so the search can be profitable).
+OD_DIMS, OD_PERM = (64, 32, 16, 16), (3, 2, 1, 0)
+OA_DIMS, OA_PERM = (16, 32, 32, 32), (1, 0, 3, 2)
+
+
+def _nest_program(dims=OD_DIMS, perm=OD_PERM, artifacts=None):
+    plan = make_plan(dims, perm)
+    program = compile_executor(
+        plan.kernel, lowering=False, codegen=True, artifacts=artifacts
+    )
+    return plan, program
+
+
+@pytest.fixture(autouse=True)
+def _fresh_counters():
+    cg.reset_codegen_stats()
+    yield
+    cg.reset_codegen_stats()
+
+
+# ----------------------------------------------------------------------
+# Search
+# ----------------------------------------------------------------------
+
+
+class TestSearch:
+    def test_deterministic(self):
+        a = cg.search_nest((32, 32, 64, 128), (3, 2, 1, 0), 8)
+        b = cg.search_nest((32, 32, 64, 128), (3, 2, 1, 0), 8)
+        a.pop("search_ms"), b.pop("search_ms")
+        assert a == b
+
+    def test_descriptor_shape(self):
+        desc = cg.search_nest((32, 32, 64, 128), (3, 2, 1, 0), 8)
+        assert desc["codegen_version"] == cg.CODEGEN_VERSION
+        assert desc["profitable"] is True
+        assert len(desc["tiles"]) == 4
+        assert desc["order"][0] == 0  # axis 0 leads: the partition axis
+        assert desc["cost"] * cg.PROFIT_MARGIN <= desc["indexed_cost"]
+        json.dumps(desc)  # artifact records must be JSON-clean
+
+    def test_blocks_critical_axes_only(self):
+        """Only where the source's fastest axis lands and the output's
+        own fastest axis are ever blocked below their extent."""
+        in_shape, axes = (32, 32, 64, 128), (3, 2, 1, 0)
+        desc = cg.search_nest(in_shape, axes, 8)
+        out_shape = [in_shape[a] for a in axes]
+        crit = set(cg.critical_axes(axes))
+        for k, (tile, extent) in enumerate(zip(desc["tiles"], out_shape)):
+            if tile < extent:
+                assert k in crit
+
+    def test_identity_still_beats_indexed(self):
+        """Identity is just a copy — the nest must still price below the
+        indexed path, which pays for a volume-sized gather map."""
+        desc = cg.search_nest((64, 64, 64, 8), (0, 1, 2, 3), 8)
+        assert desc["profitable"]
+
+    def test_short_runs_unprofitable(self):
+        """Full reversal with tiny trailing extents: every run is a few
+        elements no matter how the nest is blocked, so the modelled win
+        over indexed falls inside the profit margin and is rejected."""
+        desc = cg.search_nest((2, 2, 2, 128, 128, 8), (5, 4, 3, 2, 1, 0), 8)
+        assert not desc["profitable"]
+        assert desc["cost"] * cg.PROFIT_MARGIN > desc["indexed_cost"]
+
+    def test_cost_model_prefers_measured_best(self):
+        """The validated ranking on the od-reverse gate case: blocking
+        the critical pair beats the unblocked nest."""
+        in_shape, axes = (32, 32, 64, 128), (3, 2, 1, 0)
+        out_shape = [in_shape[a] for a in axes]
+        best = cg.search_nest(in_shape, axes, 8)
+        full = cg.nest_cost(in_shape, axes, out_shape, 8)
+        assert best["cost"] < full
+
+    def test_indexed_cost_adds_map_traffic(self):
+        in_shape, axes = (32, 32, 64, 128), (3, 2, 1, 0)
+        out_shape = [in_shape[a] for a in axes]
+        vol = int(np.prod(in_shape))
+        idx = cg.indexed_cost(in_shape, axes, 8)
+        unblocked = cg.nest_cost(in_shape, axes, out_shape, 8)
+        assert idx == pytest.approx(
+            unblocked + vol * 8 / cg.LINE_BYTES
+        )
+
+
+# ----------------------------------------------------------------------
+# Generated programs
+# ----------------------------------------------------------------------
+
+
+class TestNestProgram:
+    @pytest.mark.parametrize(
+        "dims,perm", [(OD_DIMS, OD_PERM), (OA_DIMS, OA_PERM)]
+    )
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_run_parity(self, dims, perm, dtype):
+        plan = make_plan(dims, perm, elem_bytes=np.dtype(dtype).itemsize)
+        program = compile_executor(plan.kernel, lowering=False, codegen=True)
+        assert program.kind == "nest"
+        src = (
+            np.random.default_rng(0)
+            .standard_normal(plan.layout.volume)
+            .astype(dtype)
+        )
+        ref = reference_transpose(src, plan.layout, plan.perm)
+        assert np.array_equal(program.run(src), ref)
+        out = np.empty_like(src)
+        assert program.run(src, out=out) is out
+        assert np.array_equal(out, ref)
+
+    def test_run_batch_parity(self):
+        plan, program = _nest_program()
+        srcs = np.random.default_rng(1).standard_normal(
+            (3, plan.layout.volume)
+        )
+        refs = np.stack(
+            [reference_transpose(s, plan.layout, plan.perm) for s in srcs]
+        )
+        assert np.array_equal(program.run_batch(srcs), refs)
+        outs = np.empty_like(srcs)
+        program.run_batch(srcs, out=outs)
+        assert np.array_equal(outs, refs)
+
+    def test_partition_covers_output_exactly(self):
+        plan, program = _nest_program()
+        tasks = program.partition(5)
+        rows = program.out_shape[0]
+        assert tasks[0][0] == 0 and tasks[-1][1] == rows
+        for (lo_a, hi_a), (lo_b, _) in zip(tasks, tasks[1:]):
+            assert hi_a == lo_b
+        src = np.random.default_rng(2).standard_normal(plan.layout.volume)
+        ref = reference_transpose(src, plan.layout, plan.perm)
+        out = np.empty_like(src)
+        for task in tasks:
+            program.run_part(src, out, task)
+        assert np.array_equal(out, ref)
+
+    def test_partition_caps_at_rows(self):
+        _, program = _nest_program()
+        rows = program.out_shape[0]
+        assert len(program.partition(rows * 10)) == rows
+
+    def test_pickle_regenerates_from_descriptor(self):
+        plan, program = _nest_program()
+        clone = pickle.loads(pickle.dumps(program))
+        assert clone.kind == "nest"
+        assert clone.descriptor["tiles"] == program.descriptor["tiles"]
+        assert clone.source == program.source
+        src = np.random.default_rng(3).standard_normal(plan.layout.volume)
+        assert np.array_equal(clone.run(src), program.run(src))
+
+    def test_source_hash_tracks_source(self):
+        _, program = _nest_program()
+        sha = program.descriptor["source_sha"]
+        assert sha == cg.source_hash(program.source, program.batch_source)
+        assert sha != cg.source_hash(program.source)
+
+    def test_backend_reported(self):
+        _, program = _nest_program()
+        assert program.descriptor["backend"] == cg.compile_backend()
+        assert cg.compile_backend() in ("numpy", "numba")
+        assert cg.codegen_stats()["backend"] == cg.compile_backend()
+
+
+# ----------------------------------------------------------------------
+# Compile integration + fallback
+# ----------------------------------------------------------------------
+
+
+class TestCompileIntegration:
+    def test_codegen_flag_off_is_unchanged(self):
+        plan = make_plan(OD_DIMS, OD_PERM)
+        assert compile_executor(plan.kernel, lowering=False).kind == "indexed"
+
+    def test_small_problem_falls_back_without_search(self):
+        plan = make_plan((8, 8, 8), (2, 1, 0))
+        program = compile_executor(plan.kernel, lowering=False, codegen=True)
+        assert program.kind == "indexed"
+        stats = cg.codegen_stats()
+        assert stats["searches"] == 0
+        assert stats["fallbacks"] == 1
+
+    def test_view_lowering_untouched_by_codegen(self):
+        plan = make_plan(OD_DIMS, OD_PERM)
+        program = compile_executor(plan.kernel, codegen=True)
+        assert program.kind in ("view", "region")
+
+    def test_unprofitable_geometry_falls_back_bit_exactly(self):
+        # Short-run full reversal above the size floor: searched, rejected.
+        plan = make_plan((8, 128, 128, 2, 2, 2), (5, 4, 3, 2, 1, 0))
+        program = compile_executor(plan.kernel, lowering=False, codegen=True)
+        assert program.kind in ("indexed", "chunked")
+        stats = cg.codegen_stats()
+        assert stats["fallbacks"] == 1
+        src = np.random.default_rng(4).standard_normal(plan.layout.volume)
+        ref = reference_transpose(src, plan.layout, plan.perm)
+        assert np.array_equal(program.run(src), ref)
+
+
+# ----------------------------------------------------------------------
+# Artifact cache
+# ----------------------------------------------------------------------
+
+
+class TestArtifacts:
+    def test_artifact_round_trip(self, tmp_path):
+        store = PlanStore(tmp_path / "plans.json")
+        _, program = _nest_program(artifacts=store)
+        stats = cg.codegen_stats()
+        assert stats["searches"] == 1
+        assert stats["artifact_misses"] == 1
+        assert store.describe()["artifacts"] == 1
+
+        # A second handle on the flushed file: the restarted process.
+        cg.reset_codegen_stats()
+        warm = PlanStore(tmp_path / "plans.json")
+        _, again = _nest_program(artifacts=warm)
+        stats = cg.codegen_stats()
+        assert stats["searches"] == 0
+        assert stats["artifact_hits"] == 1
+        assert stats["search_s_saved"] > 0
+        assert again.descriptor["tiles"] == program.descriptor["tiles"]
+
+    def test_stale_version_artifact_researched(self, tmp_path):
+        store = PlanStore(tmp_path / "plans.json")
+        plan = make_plan(OD_DIMS, OD_PERM)
+        kernel = plan.kernel
+        key = cg.artifact_key(
+            kernel.layout.as_numpy_shape(),
+            kernel.perm.numpy_axes(),
+            kernel.elem_bytes,
+        )
+        desc = cg.search_nest(
+            kernel.layout.as_numpy_shape(),
+            kernel.perm.numpy_axes(),
+            kernel.elem_bytes,
+        )
+        desc["codegen_version"] = cg.CODEGEN_VERSION + 1
+        store.put_artifact(key, desc)
+        cg.reset_codegen_stats()
+        program = compile_executor(
+            kernel, lowering=False, codegen=True, artifacts=store
+        )
+        assert program.kind == "nest"
+        stats = cg.codegen_stats()
+        assert stats["searches"] == 1  # stale artifact never applied
+        assert stats["artifact_misses"] == 1
+        # And the store now holds the fresh descriptor.
+        assert store.artifact(key)["codegen_version"] == cg.CODEGEN_VERSION
+
+    def test_artifacts_survive_reload_merge(self, tmp_path):
+        a = PlanStore(tmp_path / "plans.json")
+        a.put_artifact("k1", {"x": 1})
+        b = PlanStore(tmp_path / "plans.json")
+        b.put_artifact("k2", {"x": 2})
+        a.reload()
+        assert a.artifact("k2") == {"x": 2}
+        assert a.artifact("k1") == {"x": 1}
+
+    def test_pre_artifact_store_file_loads(self, tmp_path):
+        """Files written before the codegen tier lack the artifacts
+        section entirely; they must load clean."""
+        path = tmp_path / "plans.json"
+        path.write_text(json.dumps({"store_version": 1, "entries": {}}))
+        store = PlanStore(path)
+        assert store.artifact("anything") is None
+        assert store.describe()["artifacts"] == 0
+        assert not store.recovered_from_corruption
+
+
+# ----------------------------------------------------------------------
+# Scheduler routing
+# ----------------------------------------------------------------------
+
+
+class TestSchedulerRouting:
+    def test_codegen_backend_runs_nest(self, tmp_path):
+        store = PlanStore(tmp_path / "plans.json")
+        tuner = ThroughputCalibrator(
+            pool_size=2, backends=("thread", "codegen")
+        )
+        with StreamScheduler(
+            num_streams=2, tuner=tuner, backend="codegen", store=store
+        ) as sched:
+            plan = make_plan(OD_DIMS, OD_PERM)
+            src = np.random.default_rng(6).standard_normal(
+                plan.layout.volume
+            )
+            ref = reference_transpose(src, plan.layout, plan.perm)
+            report = sched.submit_partitioned(
+                plan, src, lowering=False
+            ).result()
+            assert report.backend == "codegen"
+            assert np.array_equal(report.output, ref)
+            report.release()
+            assert sched.metrics.snapshot()["counters"]["codegen_jobs"] == 1
+
+    def test_codegen_batch_parity(self, tmp_path):
+        with StreamScheduler(num_streams=2, backend="codegen") as sched:
+            plan = make_plan(OD_DIMS, OD_PERM)
+            srcs = [
+                np.random.default_rng(7 + i).standard_normal(
+                    plan.layout.volume
+                )
+                for i in range(3)
+            ]
+            refs = np.stack(
+                [reference_transpose(s, plan.layout, plan.perm) for s in srcs]
+            )
+            report = sched.submit_batch(plan, srcs, lowering=False).result()
+            assert report.backend == "codegen"
+            assert np.array_equal(report.output, refs)
+            report.release()
+
+    def test_unprofitable_falls_back_to_thread_and_pins_cell(self):
+        tuner = ThroughputCalibrator(
+            pool_size=2, backends=("thread", "codegen")
+        )
+        with StreamScheduler(
+            num_streams=2, tuner=tuner, backend="codegen"
+        ) as sched:
+            plan = make_plan((8, 128, 128, 2, 2, 2), (5, 4, 3, 2, 1, 0))
+            src = np.random.default_rng(8).standard_normal(
+                plan.layout.volume
+            )
+            ref = reference_transpose(src, plan.layout, plan.perm)
+            report = sched.submit_partitioned(
+                plan, src, lowering=False
+            ).result()
+            assert report.backend == "thread"
+            assert np.array_equal(report.output, ref)
+            report.release()
+            counters = sched.metrics.snapshot()["counters"]
+            assert counters["codegen_fallbacks"] == 1
+            # The cell is pinned: auto routing never re-explores codegen.
+            assert (
+                tuner.choose_backend(
+                    "indexed", src.nbytes, among=("thread", "codegen")
+                )
+                != "codegen"
+            )
+
+    def test_small_jobs_stay_on_threads(self):
+        with StreamScheduler(num_streams=2, backend="codegen") as sched:
+            plan = make_plan((16, 16, 16), (2, 1, 0))
+            src = np.random.default_rng(9).standard_normal(
+                plan.layout.volume
+            )
+            report = sched.submit_partitioned(
+                plan, src, lowering=False
+            ).result()
+            assert report.backend == "thread"
+            report.release()
+
+    def test_tuner_records_under_codegen_backend(self, tmp_path):
+        tuner = ThroughputCalibrator(
+            pool_size=2, backends=("thread", "codegen")
+        )
+        with StreamScheduler(
+            num_streams=2, tuner=tuner, backend="codegen"
+        ) as sched:
+            plan = make_plan(OD_DIMS, OD_PERM)
+            src = np.random.default_rng(10).standard_normal(
+                plan.layout.volume
+            )
+            sched.submit_partitioned(
+                plan, src, lowering=False
+            ).result().release()
+            cells = tuner.table()["cells"]
+            # Recorded under the codegen backend with the kind of the
+            # program the nest replaced, so backend cells compare.
+            assert any(k.startswith("codegen:indexed|") for k in cells)
+
+
+# ----------------------------------------------------------------------
+# Calibrator extensions
+# ----------------------------------------------------------------------
+
+
+class TestCalibrator:
+    def test_mark_unavailable_persists(self, tmp_path):
+        path = tmp_path / "autotune.json"
+        t = ThroughputCalibrator(
+            pool_size=2, path=path, backends=("thread", "codegen")
+        )
+        t.mark_unavailable("indexed", 1 << 22, "codegen")
+        t.flush()
+        t2 = ThroughputCalibrator(
+            pool_size=2, path=path, backends=("thread", "codegen")
+        )
+        assert (
+            t2.choose_backend("indexed", 1 << 22) != "codegen"
+        )
+
+    def test_choose_backend_among_restricts(self):
+        t = ThroughputCalibrator(
+            pool_size=2, backends=("thread", "process", "codegen")
+        )
+        # process would explore first in full order; among excludes it.
+        assert t.choose_backend(
+            "indexed", 1 << 22, among=("thread", "codegen")
+        ) in ("thread", "codegen")
+
+    def test_backend_wins_counts_calibrated_cells(self):
+        t = ThroughputCalibrator(
+            pool_size=1, backends=("thread", "codegen"), min_samples=1
+        )
+        nbytes = 1 << 22
+        for p in t.candidates:
+            t.record("indexed", nbytes, p, 1.0, backend="thread")
+            t.record("indexed", nbytes, p, 0.25, backend="codegen")
+        wins = t.backend_wins()
+        assert wins == {"indexed": {"codegen": 1}}

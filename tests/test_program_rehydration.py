@@ -4,7 +4,10 @@ A pool worker obtains programs two ways: rebuilding them from a plan
 content key via the persistent store (``serialize_plan`` -> ``PlanStore``
 -> ``rehydrate_plan`` -> ``compile_executor``), or — for frozen program
 state — by pickle.  Every program kind (view / region / indexed /
-chunked) must round-trip both ways bit-exactly, with the kind preserved.
+chunked / nest) must round-trip both ways bit-exactly, with the kind
+preserved.  Nest programs carry compiled code objects, which do not
+pickle: their ``__getstate__`` ships only the search descriptor and
+regeneration is deterministic, which these tests pin down.
 """
 
 import pickle
@@ -31,6 +34,12 @@ KIND_CASES = {
         (32, 32, 32, 32),
         (3, 0, 1, 2),
         {"lowering": False, "max_index_bytes": 1 << 16},
+    ),
+    # Large enough (4 MiB) that the loop-nest search is profitable.
+    "nest": (
+        (64, 32, 16, 16),
+        (3, 2, 1, 0),
+        {"lowering": False, "codegen": True},
     ),
 }
 
