@@ -306,6 +306,9 @@ def cmd_serve(args) -> int:
         batch_window_s=args.batch_window,
         backend=args.backend,
         proc_workers=args.proc_workers,
+        codegen_refine=args.codegen_refine,
+        feedback=args.feedback,
+        shadow_fraction=args.shadow_fraction,
     )
     errors = []
 
@@ -366,6 +369,10 @@ def cmd_serve(args) -> int:
         for t in clients:
             t.join()
         wall = time.perf_counter() - started
+        if args.feedback and not errors:
+            # Fold this run's telemetry into a candidate model before
+            # snapshotting, so `repro stats` shows it shadowed.
+            service.retrain_model()
         # Snapshot while the pool workers are still alive so their
         # warm-up counters make it into the metrics file.
         stats = service.stats()
@@ -435,6 +442,17 @@ def cmd_serve(args) -> int:
             f"artifact cache {cg['artifact_hits']} hits / "
             f"{cg['artifact_misses']} misses "
             f"({cg['search_s_saved'] * 1e3:.1f} ms search saved)"
+        )
+    model = stats.get("model")
+    if model:
+        active = (model.get("versions") or {}).get(model["active"]) or {}
+        err = active.get("mean_err_pct")
+        print(
+            f"model: active {model['active']}"
+            + (f" ({err:.1f}% shadow error)" if err is not None else "")
+            + f", candidate {model['candidate'] or 'none'}, "
+            f"{model['observed']} shadowed observations, "
+            f"{model['promotions']} promotions"
         )
     print(
         f"state: {state_dir} "
@@ -684,6 +702,44 @@ def cmd_stats(args) -> int:
                 for backend, count in sorted(wins[kind].items())
             )
             print(f"  {kind:<16s} cells won  {row}")
+    model = payload.get("model")
+    if model:
+        print(
+            f"model: active {model.get('active', 'offline')}, "
+            f"candidate {model.get('candidate') or 'none'}, "
+            f"shadow fraction {model.get('shadow_fraction', 0):g}, "
+            f"{model.get('observed', 0)} observations, "
+            f"{model.get('promotions', 0)} promotions"
+        )
+        for version in sorted(model.get("versions") or {}):
+            v = model["versions"][version]
+            err = v.get("mean_err_pct")
+            marker = " (active)" if version == model.get("active") else (
+                " (candidate)" if version == model.get("candidate") else ""
+            )
+            print(
+                f"  {version:<10s}{marker:<12s} "
+                f"shadow n={v.get('shadow_count', 0):<5d} "
+                + (f"err {err:6.1f}%  " if err is not None else
+                   "err    n/a  ")
+                + " ".join(
+                    f"{schema}: {s['mean_err_pct']:.1f}% (n={s['count']})"
+                    for schema, s in sorted(
+                        (v.get("schemas") or {}).items()
+                    )
+                )
+            )
+        # Backend routing lives in the same decision loop: what the
+        # calibrator measured beats what any model predicted.
+        wins = (payload.get("codegen") or {}).get("backend_wins") or {}
+        if wins:
+            row = "  ".join(
+                f"{kind}: " + "/".join(
+                    f"{b}={c}" for b, c in sorted(wins[kind].items())
+                )
+                for kind in sorted(wins)
+            )
+            print(f"  backend wins  {row}")
     store = payload.get("store")
     if store:
         print(
@@ -786,6 +842,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--proc-workers", type=int, default=None, metavar="N",
         help="process-pool worker count (default: os.cpu_count(); "
              "only used with --backend process/auto)",
+    )
+    p.add_argument(
+        "--codegen-refine", type=int, default=0, metavar="K",
+        help="keep the top-K analytic nest configs and let a timed "
+             "micro-probe on this host pick the winner (persisted as a "
+             "plan-store artifact; default 0 = analytic winner only)",
+    )
+    p.add_argument(
+        "--feedback", action="store_true",
+        help="attach the model feedback loop: sample executions into "
+             "per-schema reservoirs, shadow-score model versions, and "
+             "retrain a candidate from this run's telemetry "
+             "(state persists as models.json in --state-dir)",
+    )
+    p.add_argument(
+        "--shadow-fraction", type=float, default=None, metavar="F",
+        help="fraction of executions shadow-predicted under every "
+             "model version (default 0.25; requires --feedback)",
     )
     p.add_argument(
         "--dtype",

@@ -34,11 +34,25 @@ for the NumPy layer:
    returns ``None`` and the caller keeps the bit-exact
    :class:`~repro.kernels.executor.IndexedProgram` route.
 
+Two measurement-era extensions (see ``docs/codegen.md``):
+
+- The cache budget the reuse test prices against is **probed from the
+  host** at import (sysfs ``cache/index*/size``, largest per-core
+  level-<=2 data cache, 3/4 of it) instead of assuming 768 KiB; the
+  ``REPRO_CODEGEN_CACHE_BYTES`` env knob still overrides
+  (:func:`detect_cache_budget`).
+- With ``refine >= 2`` the search keeps its analytic top-K shortlist
+  and a **timed micro-probe** (:func:`refine_descriptor`) on the live
+  host picks the winner — HPTT's measured refinement, bounded to K
+  generated kernels and a handful of runs, with hysteresis so the
+  refined pick is never slower than the analytic one.
+
 Search outcomes are persisted as **artifacts** (loop order, blocks,
-source hash, search time) in the :class:`~repro.runtime.store
-.PlanStore` next to the plans, keyed by the fused geometry
-(:func:`artifact_key`), so a warm restart rebuilds zero searches —
-:func:`codegen_stats` counts hits/misses and the search seconds saved.
+source hash, search time, probe outcome) in the :class:`~repro.runtime
+.store.PlanStore` next to the plans, keyed by the fused geometry
+(:func:`artifact_key`), so a warm restart rebuilds zero searches and
+runs zero probes — :func:`codegen_stats` counts hits/misses and the
+search seconds saved.
 """
 
 from __future__ import annotations
@@ -58,14 +72,95 @@ from repro.kernels.executor import ExecutorProgram
 #: Cache-line granularity of the CPU cost model (bytes).
 LINE_BYTES = 64
 
-#: Effective last-level-cache budget for the source-line reuse test.
-#: Deliberately below a typical 1 MiB L2: the reuse working set shares
+#: Fallback effective cache budget when the host exposes no cache
+#: topology (3/4 of a typical 1 MiB L2): the reuse working set shares
 #: the cache with the destination stream and everything else, so a
 #: tile whose reuse distance *equals* the nominal capacity already
-#: thrashes.  Overridable for foreign hosts.
-CACHE_BUDGET_BYTES = int(
-    os.environ.get("REPRO_CODEGEN_CACHE_BYTES", (1 << 20) * 3 // 4)
-)
+#: thrashes.
+DEFAULT_CACHE_BUDGET = (1 << 20) * 3 // 4
+
+#: Where Linux exposes the per-core cache hierarchy.
+_SYSFS_CACHE_ROOT = "/sys/devices/system/cpu/cpu0/cache"
+
+
+def parse_cache_size(text) -> Optional[int]:
+    """Bytes of a sysfs cache ``size`` string (``"48K"``, ``"2M"``)."""
+    if not isinstance(text, str):
+        return None
+    text = text.strip()
+    scale = 1
+    if text[-1:] in ("K", "k"):
+        scale, text = 1024, text[:-1]
+    elif text[-1:] in ("M", "m"):
+        scale, text = 1 << 20, text[:-1]
+    elif text[-1:] in ("G", "g"):
+        scale, text = 1 << 30, text[:-1]
+    try:
+        n = int(text)
+    except ValueError:
+        return None
+    return n * scale if n > 0 else None
+
+
+def probe_cache_bytes(root: str = _SYSFS_CACHE_ROOT) -> Optional[int]:
+    """The host's largest *per-core* data cache, in bytes, or ``None``.
+
+    Walks ``cache/index*/`` under cpu0 and keeps the biggest
+    non-instruction cache at level <= 2.  The shared L3 is deliberately
+    excluded: the reuse test models what one worker thread can keep
+    resident, and on a loaded pool the LLC belongs to everyone.
+    """
+    best: Optional[int] = None
+    try:
+        entries = sorted(os.listdir(root))
+    except OSError:
+        return None
+    for name in entries:
+        if not name.startswith("index"):
+            continue
+        d = os.path.join(root, name)
+        try:
+            with open(os.path.join(d, "type")) as f:
+                ctype = f.read().strip()
+            with open(os.path.join(d, "level")) as f:
+                level = int(f.read().strip())
+            with open(os.path.join(d, "size")) as f:
+                size = parse_cache_size(f.read())
+        except (OSError, ValueError):
+            continue
+        if ctype == "Instruction" or level > 2 or size is None:
+            continue
+        if best is None or size > best:
+            best = size
+    return best
+
+
+def detect_cache_budget(env=None, root: str = _SYSFS_CACHE_ROOT) -> int:
+    """The effective cache budget for the reuse test, in bytes.
+
+    ``REPRO_CODEGEN_CACHE_BYTES`` wins verbatim when set (the PR-7
+    knob, kept for foreign hosts and pinned experiments); otherwise 3/4
+    of the probed per-core cache (:func:`probe_cache_bytes`); otherwise
+    :data:`DEFAULT_CACHE_BUDGET`.
+    """
+    env = os.environ if env is None else env
+    override = env.get("REPRO_CODEGEN_CACHE_BYTES")
+    if override:
+        try:
+            return int(override)
+        except ValueError:
+            pass
+    probed = probe_cache_bytes(root)
+    if probed:
+        return probed * 3 // 4
+    return DEFAULT_CACHE_BUDGET
+
+
+#: Effective cache budget for the source-line reuse test, resolved at
+#: import: env override, else probed from sysfs, else the fallback.
+#: Cost functions read it at call time (or take ``cache_budget=``), so
+#: tests pin it explicitly.
+CACHE_BUDGET_BYTES = detect_cache_budget()
 
 #: Modeled per-tile interpreter overhead, in cache-line equivalents.
 #: This is what makes the model reject tiny tiles (and tiny tensors):
@@ -129,6 +224,9 @@ _STATS = {
     "fallbacks": 0,
     "jit_compiled": 0,
     "jit_failures": 0,
+    "refinements": 0,
+    "refine_switches": 0,
+    "probe_s": 0.0,
 }
 
 
@@ -179,6 +277,7 @@ def nest_cost(
     tiles: Sequence[int],
     elem_bytes: int,
     order: Sequence[int] = (),
+    cache_budget: Optional[int] = None,
 ) -> float:
     """Modeled cache-line traffic of one blocked nest configuration.
 
@@ -202,6 +301,7 @@ def nest_cost(
     lose, which is exactly the fallback regime.
     """
     nd = len(in_shape)
+    budget = CACHE_BUDGET_BYTES if cache_budget is None else int(cache_budget)
     out_shape = [int(in_shape[a]) for a in axes]
     tiles = [min(int(t), e) for t, e in zip(tiles, out_shape)]
     src_strides = _strides_of(in_shape)
@@ -253,7 +353,7 @@ def nest_cost(
     refetch = 1.0
     if p != nd - 1:
         reuse_elems = math.prod(tiles[k] for k in range(p + 1, nd))
-        if 2 * reuse_elems * eb > CACHE_BUDGET_BYTES:
+        if 2 * reuse_elems * eb > budget:
             refetch = float(min(max(LINE_BYTES // eb, 1), tiles[p]))
 
     dst_factor = 1.0
@@ -266,7 +366,10 @@ def nest_cost(
 
 
 def indexed_cost(
-    in_shape: Sequence[int], axes: Sequence[int], elem_bytes: int
+    in_shape: Sequence[int],
+    axes: Sequence[int],
+    elem_bytes: int,
+    cache_budget: Optional[int] = None,
 ) -> float:
     """Modeled cache-line traffic of the fancy-indexing route.
 
@@ -279,7 +382,11 @@ def indexed_cost(
     out_shape = [int(in_shape[a]) for a in axes]
     volume = math.prod(out_shape) if out_shape else 0
     map_lines = volume * 8 / LINE_BYTES
-    return nest_cost(in_shape, axes, out_shape, elem_bytes) + map_lines
+    return (
+        nest_cost(in_shape, axes, out_shape, elem_bytes,
+                  cache_budget=cache_budget)
+        + map_lines
+    )
 
 
 # ----------------------------------------------------------------------
@@ -316,7 +423,11 @@ def _loop_orders(blocked: Sequence[int], nd: int) -> List[Tuple[int, ...]]:
 
 
 def search_nest(
-    in_shape: Sequence[int], axes: Sequence[int], elem_bytes: int
+    in_shape: Sequence[int],
+    axes: Sequence[int],
+    elem_bytes: int,
+    top_k: int = 1,
+    cache_budget: Optional[int] = None,
 ) -> dict:
     """Exhaustive scored search over blocks x loop orders.
 
@@ -324,21 +435,27 @@ def search_nest(
 
         {"codegen_version", "in_shape", "axes", "elem_bytes",
          "tiles", "order", "cost", "indexed_cost", "profitable",
-         "search_ms"}
+         "cache_budget", "search_ms"}
 
     ``profitable`` is the :data:`PROFIT_MARGIN` verdict against
     :func:`indexed_cost`; deterministic: ties break toward larger
     blocks (fewer tiles) and the destination-sequential loop order,
     both already encoded in the score.
+
+    ``top_k > 1`` additionally records the ``top_k`` best-scored
+    distinct configurations under ``"candidates"`` (winner first, by
+    ascending modeled cost) — the analytic shortlist
+    :func:`refine_descriptor` micro-probes on the live host.
     """
     started = time.perf_counter()
     nd = len(in_shape)
+    budget = CACHE_BUDGET_BYTES if cache_budget is None else int(cache_budget)
     out_shape = [int(in_shape[a]) for a in axes]
     crit = critical_axes(axes)
     per_axis = [_axis_candidates(out_shape[a]) for a in crit]
     orders = _loop_orders(sorted(set(crit) | {0}), nd)
 
-    best: Optional[Tuple[float, Tuple[int, ...], Tuple[int, ...]]] = None
+    scored: List[Tuple[float, Tuple[int, ...], Tuple[int, ...]]] = []
     combos: List[List[int]] = [[]]
     for cands in per_axis:
         combos = [c + [b] for c in combos for b in cands]
@@ -347,13 +464,14 @@ def search_nest(
         for a, b in zip(crit, combo):
             tiles[a] = b
         for order in orders:
-            cost = nest_cost(in_shape, axes, tiles, elem_bytes, order)
-            cand = (cost, tuple(tiles), order)
-            if best is None or cand < best:
-                best = cand
-    assert best is not None
-    cost, tiles, order = best
-    idx_cost = indexed_cost(in_shape, axes, elem_bytes)
+            cost = nest_cost(
+                in_shape, axes, tiles, elem_bytes, order, cache_budget=budget
+            )
+            scored.append((cost, tuple(tiles), order))
+    assert scored
+    scored.sort()
+    cost, tiles, order = scored[0]
+    idx_cost = indexed_cost(in_shape, axes, elem_bytes, cache_budget=budget)
     volume_bytes = math.prod(out_shape) * int(elem_bytes) if out_shape else 0
     profitable = (
         volume_bytes >= NEST_MIN_BYTES and cost * PROFIT_MARGIN <= idx_cost
@@ -361,7 +479,7 @@ def search_nest(
     elapsed = time.perf_counter() - started
     _count("searches")
     _count("search_s", elapsed)
-    return {
+    desc = {
         "codegen_version": CODEGEN_VERSION,
         "in_shape": [int(d) for d in in_shape],
         "axes": [int(a) for a in axes],
@@ -371,8 +489,23 @@ def search_nest(
         "cost": round(cost, 3),
         "indexed_cost": round(idx_cost, 3),
         "profitable": bool(profitable),
+        "cache_budget": budget,
         "search_ms": round(elapsed * 1e3, 4),
     }
+    if top_k > 1:
+        seen = set()
+        candidates = []
+        for c, t, o in scored:
+            if (t, o) in seen:
+                continue
+            seen.add((t, o))
+            candidates.append(
+                {"tiles": list(t), "order": list(o), "cost": round(c, 3)}
+            )
+            if len(candidates) >= top_k:
+                break
+        desc["candidates"] = candidates
+    return desc
 
 
 # ----------------------------------------------------------------------
@@ -613,6 +746,94 @@ class NestProgram(ExecutorProgram):
 
 
 # ----------------------------------------------------------------------
+# Measured refinement
+# ----------------------------------------------------------------------
+
+#: Timed runs per shortlisted configuration in the micro-probe (after
+#: one untimed warm-up); best-of is kept, so transient stalls do not
+#: crown a loser.
+PROBE_REPS = 2
+
+#: A shortlisted configuration must measure at least this much faster
+#: than the analytic winner to replace it.  The hysteresis keeps the
+#: "refined is never slower than analytic" property robust to timing
+#: noise: close calls stay with the model's pick.
+REFINE_SWITCH_MARGIN = 0.05
+
+_PROBE_DTYPES = {
+    1: np.uint8,
+    2: np.uint16,
+    4: np.float32,
+    8: np.float64,
+    16: np.complex128,
+}
+
+
+def refine_descriptor(desc: dict, reps: int = PROBE_REPS) -> dict:
+    """Pick the shortlist winner by a timed micro-probe on the live host.
+
+    The analytic model ranks configurations; HPTT's lesson is that the
+    last factor-of-small between close candidates is decided by the
+    machine, not the model.  Each ``"candidates"`` entry (see
+    :func:`search_nest` with ``top_k > 1``) is generated, warmed once,
+    and timed ``reps`` times on a real operand of the exact geometry;
+    the measured argmin replaces the analytic pick only when it wins by
+    :data:`REFINE_SWITCH_MARGIN`.  Returns a new descriptor annotated
+    with ``refined``/``probe`` (the input is unchanged); descriptors
+    without a shortlist, or unprofitable ones, pass through untouched.
+    """
+    cands = desc.get("candidates")
+    if not desc.get("profitable") or not cands or len(cands) < 2:
+        return desc
+    started = time.perf_counter()
+    eb = int(desc["elem_bytes"])
+    dtype = _PROBE_DTYPES.get(eb, np.dtype((np.void, eb)))
+    volume = math.prod(int(d) for d in desc["in_shape"])
+    # The source must be *written* before timing: anonymous pages are
+    # lazily backed by the shared zero page until first write, so an
+    # untouched buffer reads as a working set of one page and the probe
+    # would rank candidates on fiction.
+    src = np.empty(volume, dtype=dtype)
+    src.view(np.uint8).reshape(volume, eb)[:] = 1
+    out = np.empty(volume, dtype=dtype)
+    programs = [
+        NestProgram({**desc, "tiles": c["tiles"], "order": c["order"]})
+        for c in cands
+    ]
+    for program in programs:
+        program.run(src, out=out)  # warm-up: page faults, JIT, caches
+    # Round-robin best-of timing: host drift (another core waking up,
+    # a GC pause) hits every candidate equally instead of whichever one
+    # happened to be on the clock.
+    measured = [math.inf] * len(programs)
+    for _ in range(max(1, reps)):
+        for i, program in enumerate(programs):
+            t0 = time.perf_counter()
+            program.run(src, out=out)
+            measured[i] = min(measured[i], time.perf_counter() - t0)
+    win = min(range(len(measured)), key=measured.__getitem__)
+    if measured[win] >= measured[0] * (1.0 - REFINE_SWITCH_MARGIN):
+        win = 0  # hysteresis: the analytic winner keeps close calls
+    elapsed = time.perf_counter() - started
+    _count("refinements")
+    _count("probe_s", elapsed)
+    if win != 0:
+        _count("refine_switches")
+    refined = dict(desc)
+    refined["tiles"] = list(cands[win]["tiles"])
+    refined["order"] = list(cands[win]["order"])
+    refined["cost"] = cands[win]["cost"]
+    refined["refined"] = True
+    refined["probe"] = {
+        "reps": int(max(1, reps)),
+        "picked": win,
+        "probe_ms": round(elapsed * 1e3, 3),
+        "measured_ms": [round(t * 1e3, 4) for t in measured],
+    }
+    return refined
+
+
+# ----------------------------------------------------------------------
 # Artifact cache + compile entry point
 # ----------------------------------------------------------------------
 
@@ -653,6 +874,7 @@ def nest_descriptor(
     axes: Sequence[int],
     elem_bytes: int,
     artifacts=None,
+    refine: int = 0,
 ) -> dict:
     """The searched (or artifact-cached) descriptor for one geometry.
 
@@ -662,6 +884,12 @@ def nest_descriptor(
     descriptor skips the search entirely (counted as an
     ``artifact_hit``, crediting its recorded ``search_ms`` to
     ``search_s_saved``); a miss searches and persists the outcome.
+
+    ``refine >= 2`` keeps the analytic top-``refine`` shortlist and
+    lets :func:`refine_descriptor`'s timed micro-probe pick the winner
+    before the descriptor persists.  Artifact hits are returned as-is
+    whether or not they were refined — a warm restart performs zero
+    searches *and* zero probes.
     """
     key = artifact_key(in_shape, axes, elem_bytes)
     if artifacts is not None:
@@ -669,22 +897,32 @@ def nest_descriptor(
         if _valid_artifact(desc, in_shape, axes, elem_bytes):
             _count("artifact_hits")
             _count("search_s_saved", float(desc.get("search_ms", 0.0)) / 1e3)
+            _count(
+                "search_s_saved",
+                float(desc.get("probe", {}).get("probe_ms", 0.0)) / 1e3,
+            )
             return desc
         _count("artifact_misses")
-    desc = search_nest(in_shape, axes, elem_bytes)
+    top_k = max(1, int(refine))
+    desc = search_nest(in_shape, axes, elem_bytes, top_k=top_k)
+    if top_k > 1:
+        desc = refine_descriptor(desc)
     if artifacts is not None:
         artifacts.put_artifact(key, desc)
     return desc
 
 
-def maybe_nest_program(kernel, artifacts=None) -> Optional[NestProgram]:
+def maybe_nest_program(
+    kernel, artifacts=None, refine: int = 0
+) -> Optional[NestProgram]:
     """A generated nest program for the kernel, or ``None``.
 
     ``None`` means the search judged generation unprofitable (or the
     geometry is degenerate); the caller keeps the indexed/chunked
     route, bit-exactly.  This is the hook
     :func:`~repro.kernels.executor.compile_executor` calls when
-    ``codegen=True``.
+    ``codegen=True``; ``refine`` is the micro-probe shortlist size
+    (see :func:`nest_descriptor`; 0 keeps the pure-analytic pick).
     """
     in_shape = kernel.layout.as_numpy_shape()
     axes = kernel.perm.numpy_axes()
@@ -696,7 +934,9 @@ def maybe_nest_program(kernel, artifacts=None) -> Optional[NestProgram]:
         # skip it entirely so small-problem compiles stay O(1).
         _count("fallbacks")
         return None
-    desc = nest_descriptor(in_shape, axes, kernel.elem_bytes, artifacts)
+    desc = nest_descriptor(
+        in_shape, axes, kernel.elem_bytes, artifacts, refine=refine
+    )
     if not desc.get("profitable"):
         _count("fallbacks")
         return None

@@ -577,6 +577,7 @@ def compile_executor(
     max_index_bytes: int = DEFAULT_MAX_INDEX_BYTES,
     codegen: bool = False,
     artifacts=None,
+    refine: int = 0,
 ) -> ExecutorProgram:
     """Lower one kernel to its best executor program.
 
@@ -597,9 +598,12 @@ def compile_executor(
        (:class:`~repro.kernels.codegen.NestProgram`); when the model
        says blocking is not profitable it declines and selection falls
        through, bit-exactly.  ``artifacts`` (a plan store) lets the
-       search reuse persisted descriptors.  Codegen never alters
-       routes 1-2: ``lowering=False, codegen=False`` stays the
-       materialized index-map oracle the tests rely on.
+       search reuse persisted descriptors; ``refine >= 2`` lets a
+       timed micro-probe pick among the analytic top-``refine``
+       shortlist (:func:`~repro.kernels.codegen.refine_descriptor`).
+       Codegen never alters routes 1-2: ``lowering=False,
+       codegen=False`` stays the materialized index-map oracle the
+       tests rely on.
     4. **Fused index map** — when the kernel provides per-variant
        relative maps and the volume-sized ``src_of_dst`` fits the
        index-memory budget.  ``lowering=False`` forces this route (or
@@ -632,7 +636,7 @@ def compile_executor(
     if codegen:
         from repro.kernels.codegen import maybe_nest_program
 
-        nest = maybe_nest_program(kernel, artifacts)
+        nest = maybe_nest_program(kernel, artifacts, refine=refine)
         if nest is not None:
             return nest
     tables = _variant_tables(kernel)
@@ -696,6 +700,7 @@ def executor_with_status(
     codegen: bool = False,
     artifacts=None,
     cache: Optional[BoundedLRU] = None,
+    refine: int = 0,
 ) -> Tuple[ExecutorProgram, bool]:
     """The kernel's cached program plus whether this call was a hit.
 
@@ -709,7 +714,10 @@ def executor_with_status(
     ``codegen=True`` (the generated-nest tier) separately from both —
     a nest and its indexed fallback can coexist while the calibrator
     compares them.  ``cache`` swaps the process-wide cache for a
-    private one (per-replica serving).
+    private one (per-replica serving).  ``refine`` (the codegen
+    micro-probe shortlist size) is deliberately NOT part of the key:
+    refinement is a per-deployment compile policy, and the refined
+    descriptor persists as the geometry's artifact either way.
     """
     return cached_program(
         kernel.execute_key() + (lowering, max_index_bytes, codegen),
@@ -719,6 +727,7 @@ def executor_with_status(
             max_index_bytes=max_index_bytes,
             codegen=codegen,
             artifacts=artifacts,
+            refine=refine,
         ),
         cache,
     )

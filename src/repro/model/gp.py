@@ -1,0 +1,225 @@
+"""Gaussian-process regression for the online cost model.
+
+The offline Table II model is a per-schema *linear* fit — the right
+shape for the paper's simulated-GPU time, but the feedback loop
+(:mod:`repro.model.feedback`) retrains on **measured host wall time**,
+which bends with cache effects, pool contention, and dispatch overhead
+that no linear-in-features model captures.  A GP with an RBF kernel
+fits those curves from a few dozen reservoir samples and, unlike the
+point-estimate models, reports *how sure it is*: ``predict_with_std``
+returns a posterior standard deviation per query, which is what turns
+the calibrator's fixed explore counts into principled explore/exploit
+(GPy is the exemplar here, per PAPERS.md — this is the dependency-free
+subset the feedback loop needs, not a framework).
+
+Exact GP inference is O(n^3) in training points; the feedback reservoir
+caps n at a few hundred, and :class:`GPModel` additionally subsamples
+deterministically above :data:`MAX_GP_POINTS`, so fits stay in the
+low-millisecond range.
+
+Numerics: inputs are standardized per feature, targets are centered and
+scaled, the length scale defaults to the median pairwise distance
+heuristic, and the kernel is solved by Cholesky with a jitter retry —
+the standard recipe for small, well-conditioned exact GPs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+
+#: Hard cap on training points an exact GP will keep (O(n^3) fit).
+MAX_GP_POINTS = 512
+
+#: Relative noise floor added to the kernel diagonal (fraction of the
+#: signal variance); measured wall times are noisy, so the default is
+#: deliberately not tiny.
+DEFAULT_NOISE = 1e-2
+
+_JITTERS = (0.0, 1e-10, 1e-8, 1e-6, 1e-4)
+
+
+def _median_heuristic(X: np.ndarray) -> float:
+    """Median pairwise euclidean distance of (standardized) rows.
+
+    The classic default length scale: about half the points fall within
+    one length scale of each other, so the kernel is neither a delta
+    spike (interpolation-only) nor flat (global mean).
+    """
+    n = X.shape[0]
+    if n < 2:
+        return 1.0
+    d2 = np.sum((X[:, None, :] - X[None, :, :]) ** 2, axis=-1)
+    upper = d2[np.triu_indices(n, k=1)]
+    med = float(np.sqrt(np.median(upper)))
+    return med if med > 0 else 1.0
+
+
+class GPModel:
+    """Exact RBF-kernel GP regression on a small training set.
+
+    Drop-in alongside :class:`repro.model.regression.FittedModel` for
+    the prediction surface (``feature_names``, ``predict``,
+    ``predict_one``, ``predict_batch``, ``precision_error_pct``) plus
+    the GP extras (``predict_with_std``, ``to_dict``/``from_dict``).
+    """
+
+    def __init__(
+        self,
+        feature_names: Sequence[str],
+        X: np.ndarray,
+        y: np.ndarray,
+        length_scale: Optional[float] = None,
+        noise: float = DEFAULT_NOISE,
+    ) -> None:
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ModelError(
+                f"X {X.shape} and y {y.shape} disagree on sample count"
+            )
+        if X.shape[0] < 2:
+            raise ModelError("a GP needs at least 2 training points")
+        if X.shape[1] != len(feature_names):
+            raise ModelError(
+                f"{len(feature_names)} names for {X.shape[1]} feature columns"
+            )
+        if noise <= 0:
+            raise ModelError(f"noise must be positive, got {noise}")
+        if X.shape[0] > MAX_GP_POINTS:
+            # Deterministic thinning: evenly spaced rows keep the
+            # sample spread without an RNG (reproducible across runs).
+            idx = np.linspace(0, X.shape[0] - 1, MAX_GP_POINTS).round()
+            idx = np.unique(idx.astype(np.intp))
+            X, y = X[idx], y[idx]
+
+        self.feature_names: List[str] = [str(n) for n in feature_names]
+        self._X_raw = X.copy()
+        self._y_raw = y.copy()
+        self.noise = float(noise)
+
+        # Standardize features; constant columns scale by 1 (stay 0).
+        self._x_mean = X.mean(axis=0)
+        x_std = X.std(axis=0)
+        self._x_std = np.where(x_std > 0, x_std, 1.0)
+        Xs = (X - self._x_mean) / self._x_std
+
+        self._y_mean = float(y.mean())
+        y_std = float(y.std())
+        self._y_std = y_std if y_std > 0 else 1.0
+        ys = (y - self._y_mean) / self._y_std
+
+        self.length_scale = float(
+            length_scale if length_scale is not None else _median_heuristic(Xs)
+        )
+        if self.length_scale <= 0:
+            raise ModelError(
+                f"length_scale must be positive, got {self.length_scale}"
+            )
+
+        K = self._kernel(Xs, Xs)
+        n = K.shape[0]
+        last_err: Optional[Exception] = None
+        for jitter in _JITTERS:
+            try:
+                self._chol = np.linalg.cholesky(
+                    K + (self.noise + jitter) * np.eye(n)
+                )
+                break
+            except np.linalg.LinAlgError as err:  # pragma: no cover - rare
+                last_err = err
+        else:  # pragma: no cover - needs a pathological kernel
+            raise ModelError(f"GP kernel not positive definite: {last_err}")
+        self._Xs = Xs
+        self._alpha = np.linalg.solve(
+            self._chol.T, np.linalg.solve(self._chol, ys)
+        )
+
+    # ---- kernel ------------------------------------------------------
+    def _kernel(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        d2 = (
+            np.sum(A**2, axis=1)[:, None]
+            + np.sum(B**2, axis=1)[None, :]
+            - 2.0 * (A @ B.T)
+        )
+        return np.exp(-0.5 * np.maximum(d2, 0.0) / self.length_scale**2)
+
+    # ---- prediction --------------------------------------------------
+    def _standardize(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if X.shape[1] != len(self.feature_names):
+            raise ModelError(
+                f"expected {len(self.feature_names)} features, got {X.shape[1]}"
+            )
+        return (X - self._x_mean) / self._x_std
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        Ks = self._kernel(self._standardize(X), self._Xs)
+        return Ks @ self._alpha * self._y_std + self._y_mean
+
+    def predict_one(self, x: Sequence[float]) -> float:
+        return float(self.predict(np.asarray(x, dtype=np.float64)[None, :])[0])
+
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ModelError(f"X must be 2-D, got shape {X.shape}")
+        return self.predict(X)
+
+    def predict_with_std(
+        self, X: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and standard deviation per query row.
+
+        The std is the model's own uncertainty — small near training
+        points, approaching the prior far from them — which is what UCB
+        routing and shadow gating weigh against the point estimate.
+        """
+        Xs = self._standardize(X)
+        Ks = self._kernel(Xs, self._Xs)
+        mean = Ks @ self._alpha * self._y_std + self._y_mean
+        v = np.linalg.solve(self._chol, Ks.T)
+        var = 1.0 + self.noise - np.sum(v**2, axis=0)
+        std = np.sqrt(np.maximum(var, 0.0)) * self._y_std
+        return mean, std
+
+    def precision_error_pct(self, X: np.ndarray, y: np.ndarray) -> float:
+        """The paper's precision metric over held-out pairs."""
+        y = np.asarray(y, dtype=np.float64)
+        if np.any(y <= 0):
+            raise ModelError("actual times must be positive")
+        pred = self.predict(X)
+        return float(np.mean(np.abs(y - pred) / y) * 100.0)
+
+    @property
+    def n_train(self) -> int:
+        return int(self._Xs.shape[0])
+
+    # ---- persistence -------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-friendly state: the (possibly thinned) training set and
+        hyperparameters — refitting from these is exact."""
+        return {
+            "kind": "gp",
+            "feature_names": list(self.feature_names),
+            "X": self._X_raw.tolist(),
+            "y": self._y_raw.tolist(),
+            "length_scale": self.length_scale,
+            "noise": self.noise,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GPModel":
+        try:
+            return cls(
+                feature_names=payload["feature_names"],
+                X=np.asarray(payload["X"], dtype=np.float64),
+                y=np.asarray(payload["y"], dtype=np.float64),
+                length_scale=float(payload["length_scale"]),
+                noise=float(payload["noise"]),
+            )
+        except (KeyError, TypeError, ValueError) as err:
+            raise ModelError(f"bad GP payload: {err}") from err

@@ -35,20 +35,33 @@ scheduler reports that with :meth:`ThroughputCalibrator
 ``choose_backend`` never explores it again (otherwise the explore rule
 would retry the doomed backend forever).  Unavailability persists with
 the measurements.
+
+The v3 table turns exploitation **Bayesian**: each candidate keeps a
+Welford running mean/variance of its per-run throughput, and once the
+fixed minimum-sample explore pass finishes, :meth:`choose` and
+:meth:`choose_backend` pick the **UCB** argmax — measured throughput
+plus ``ucb_beta`` standard errors — so a candidate whose few samples
+were noisy keeps earning re-measurement while consistently-measured
+cells lock in.  With zero observed variance UCB degenerates to the old
+plain argmax, so low-noise hosts behave exactly as before.  v2 tables
+migrate in place (aggregate throughput becomes the mean, variance
+starts at zero); v1 and corrupt tables are still discarded.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
 from pathlib import Path
 from threading import Lock
 from typing import Dict, List, Optional, Sequence, Set, Union
 
-#: Version 2 added the backend axis to the cell keys; v1 files (no
-#: backend prefix) would alias thread and process measurements, so they
-#: are discarded on load.
-AUTOTUNE_VERSION = 2
+#: Version 2 added the backend axis to the cell keys (v1 files would
+#: alias thread and process measurements, so they are discarded on
+#: load).  Version 3 added per-candidate Welford mean/variance of the
+#: per-run throughput for UCB exploit; v2 files migrate losslessly.
+AUTOTUNE_VERSION = 3
 
 #: The cell-key backend prefix used when the caller does not say —
 #: the in-process thread pool, the only backend before the process tier.
@@ -57,6 +70,11 @@ DEFAULT_BACKEND = "thread"
 #: Measurements per (cell, candidate) before the calibrator stops
 #: exploring that candidate.
 DEFAULT_MIN_SAMPLES = 2
+
+#: Standard-error multiplier on the UCB exploration bonus.  2.0 keeps a
+#: noisy candidate in contention until its mean is pinned down to about
+#: two standard errors; 0.0 recovers the pre-v3 plain argmax.
+DEFAULT_UCB_BETA = 2.0
 
 
 def parts_candidates(pool_size: int) -> List[int]:
@@ -77,11 +95,14 @@ class ThroughputCalibrator:
     moved payload bytes)``.  :meth:`choose` returns the first
     under-sampled candidate (exploration, in ascending order) until
     every candidate of the cell has ``min_samples`` measurements, then
-    the candidate with the highest measured bytes/second
-    (exploitation); :meth:`choose_backend` applies the same rule across
-    the ``backends`` the scheduler runs.  :meth:`record` feeds a
-    finished run back in.  Thread-safe; state optionally persists to
-    ``path`` (atomic JSON, corruption-tolerant).
+    the candidate with the highest **upper confidence bound** on the
+    measured bytes/second — throughput plus ``ucb_beta`` standard
+    errors of its per-run samples (Bayesian exploitation: noisy
+    candidates stay in contention, stable ones lock in);
+    :meth:`choose_backend` applies the same rule across the
+    ``backends`` the scheduler runs.  :meth:`record` feeds a finished
+    run back in.  Thread-safe; state optionally persists to ``path``
+    (atomic JSON, corruption-tolerant, v2 tables migrate in place).
     """
 
     def __init__(
@@ -91,20 +112,26 @@ class ThroughputCalibrator:
         min_samples: int = DEFAULT_MIN_SAMPLES,
         autoflush: bool = False,
         backends: Sequence[str] = (DEFAULT_BACKEND,),
+        ucb_beta: float = DEFAULT_UCB_BETA,
     ):
         if pool_size <= 0:
             raise ValueError(f"pool_size must be positive, got {pool_size}")
         if not backends:
             raise ValueError("at least one backend is required")
+        if ucb_beta < 0:
+            raise ValueError(f"ucb_beta must be >= 0, got {ucb_beta}")
         self.pool_size = pool_size
         self.candidates = parts_candidates(pool_size)
         self.backends = tuple(backends)
         self.min_samples = max(1, min_samples)
+        self.ucb_beta = float(ucb_beta)
         self.path = Path(path) if path is not None else None
         self.autoflush = autoflush
         self._lock = Lock()
         #: cell key -> {str(parts): {"count": int, "total_s": float,
-        #:                            "total_bytes": float}}
+        #:   "total_bytes": float, "mean_bps": float, "m2_bps": float}}
+        #: where mean/m2 are the Welford running moments of per-run
+        #: bytes/second (m2 = sum of squared deviations).
         self._cells: Dict[str, Dict[str, dict]] = {}
         #: Cell keys whose backend declined the work (codegen fallback):
         #: choose_backend skips these instead of exploring them forever.
@@ -124,12 +151,33 @@ class ThroughputCalibrator:
     ) -> str:
         return f"{backend}:{kind}|2^{self.size_class(total_bytes)}"
 
+    # ---- scoring -----------------------------------------------------
+    @staticmethod
+    def _bps(stats: dict) -> float:
+        """Aggregate measured throughput of one candidate's samples."""
+        return stats["total_bytes"] / max(stats["total_s"], 1e-12)
+
+    def _ucb(self, stats: dict) -> float:
+        """Upper confidence bound on a candidate's throughput.
+
+        Aggregate bytes/second plus ``ucb_beta`` standard errors of the
+        per-run throughput samples.  One sample (or zero variance)
+        contributes no bonus, so deterministic measurements reduce to
+        the plain argmax the pre-v3 table used.
+        """
+        n = stats["count"]
+        bonus = 0.0
+        if n > 1 and self.ucb_beta > 0:
+            var = max(stats.get("m2_bps", 0.0), 0.0) / (n - 1)
+            bonus = self.ucb_beta * math.sqrt(var / n)
+        return self._bps(stats) + bonus
+
     # ---- choose / record --------------------------------------------
     def choose(
         self, kind: str, total_bytes: int, backend: str = DEFAULT_BACKEND
     ) -> int:
         """The ``parts`` to run with: explore until calibrated, then
-        the measured-throughput argmax."""
+        the UCB argmax over the measured candidates."""
         key = self._key(kind, total_bytes, backend)
         with self._lock:
             cell = self._cells.get(key, {})
@@ -137,18 +185,22 @@ class ThroughputCalibrator:
                 stats = cell.get(str(p))
                 if stats is None or stats["count"] < self.min_samples:
                     return p
-            return max(
-                self.candidates,
-                key=lambda p: cell[str(p)]["total_bytes"]
-                / max(cell[str(p)]["total_s"], 1e-12),
-            )
+            return max(self.candidates, key=lambda p: self._ucb(cell[str(p)]))
 
     def _best_bps(self, cell: Dict[str, dict]) -> float:
-        """Highest calibrated throughput in a cell (lock held)."""
+        """Highest calibrated measured throughput in a cell (lock held)."""
         best = -1.0
         for s in cell.values():
             if s["count"] >= self.min_samples:
-                best = max(best, s["total_bytes"] / max(s["total_s"], 1e-12))
+                best = max(best, self._bps(s))
+        return best
+
+    def _best_ucb(self, cell: Dict[str, dict]) -> float:
+        """Highest calibrated UCB score in a cell (lock held)."""
+        best = -1.0
+        for s in cell.values():
+            if s["count"] >= self.min_samples:
+                best = max(best, self._ucb(s))
         return best
 
     def choose_backend(
@@ -187,7 +239,7 @@ class ThroughputCalibrator:
                     stats = cell.get(str(p))
                     if stats is None or stats["count"] < self.min_samples:
                         return backend
-                scored.append((self._best_bps(cell), backend))
+                scored.append((self._best_ucb(cell), backend))
             if not scored:
                 return backends[0]
             return max(scored)[1]
@@ -250,14 +302,28 @@ class ThroughputCalibrator:
         if seconds <= 0 or parts <= 0:
             return
         key = self._key(kind, total_bytes, backend)
+        run_bps = float(total_bytes) / float(seconds)
         with self._lock:
             cell = self._cells.setdefault(key, {})
             stats = cell.setdefault(
-                str(parts), {"count": 0, "total_s": 0.0, "total_bytes": 0.0}
+                str(parts),
+                {
+                    "count": 0,
+                    "total_s": 0.0,
+                    "total_bytes": 0.0,
+                    "mean_bps": 0.0,
+                    "m2_bps": 0.0,
+                },
             )
             stats["count"] += 1
             stats["total_s"] += float(seconds)
             stats["total_bytes"] += float(total_bytes)
+            # Welford update of the per-run throughput moments.
+            delta = run_bps - stats.get("mean_bps", 0.0)
+            stats["mean_bps"] = stats.get("mean_bps", 0.0) + delta / stats["count"]
+            stats["m2_bps"] = stats.get("m2_bps", 0.0) + delta * (
+                run_bps - stats["mean_bps"]
+            )
             self._dirty = True
         if self.autoflush:
             self.flush()
@@ -298,6 +364,7 @@ class ThroughputCalibrator:
                 "candidates": self.candidates,
                 "backends": list(self.backends),
                 "min_samples": self.min_samples,
+                "ucb_beta": self.ucb_beta,
                 "path": str(self.path) if self.path else None,
                 "unavailable": sorted(self._unavailable),
                 "cells": cells,
@@ -317,11 +384,12 @@ class ThroughputCalibrator:
             return
         if (
             not isinstance(payload, dict)
-            or payload.get("autotune_version") != AUTOTUNE_VERSION
+            or payload.get("autotune_version") not in (2, AUTOTUNE_VERSION)
             or payload.get("pool_size") != self.pool_size
         ):
             # A foreign pool shape measured different candidates; its
-            # numbers would mislead choose().  Start fresh.
+            # numbers would mislead choose().  v1 tables (no backend
+            # prefix) would alias thread/process cells.  Start fresh.
             return
         cells = payload.get("cells")
         if not isinstance(cells, dict):
@@ -332,10 +400,25 @@ class ThroughputCalibrator:
             clean = {}
             for p_str, s in cell.items():
                 try:
+                    count = int(s["count"])
+                    total_s = float(s["total_s"])
+                    total_bytes = float(s["total_bytes"])
+                    # v2 cells (and hand-trimmed v3 files) carry no
+                    # throughput moments: seed the mean from the
+                    # aggregate and the variance from zero, which is
+                    # exactly the lossless "no spread observed yet"
+                    # migration — UCB then equals the old argmax until
+                    # fresh runs land.
+                    mean_bps = float(
+                        s.get("mean_bps", total_bytes / max(total_s, 1e-12))
+                    )
+                    m2_bps = max(float(s.get("m2_bps", 0.0)), 0.0)
                     clean[str(int(p_str))] = {
-                        "count": int(s["count"]),
-                        "total_s": float(s["total_s"]),
-                        "total_bytes": float(s["total_bytes"]),
+                        "count": count,
+                        "total_s": total_s,
+                        "total_bytes": total_bytes,
+                        "mean_bps": mean_bps,
+                        "m2_bps": m2_bps,
                     }
                 except (KeyError, TypeError, ValueError):
                     continue
@@ -346,6 +429,8 @@ class ThroughputCalibrator:
             self._unavailable.update(
                 k for k in unavailable if isinstance(k, str)
             )
+        if payload.get("autotune_version") != AUTOTUNE_VERSION:
+            self._dirty = True  # rewrite migrated tables in v3 form
 
     def flush(self) -> None:
         """Atomically persist the table (no-op without a path)."""

@@ -190,6 +190,7 @@ class StreamScheduler:
         proc_start_method: Optional[str] = None,
         program_cache=None,
         store=None,
+        codegen_refine: int = 0,
     ):
         if num_streams <= 0:
             raise ValueError(f"num_streams must be positive, got {num_streams}")
@@ -217,6 +218,10 @@ class StreamScheduler:
         #: one).  Sharded serving gives each replica its own so routing
         #: locality is observable as per-replica hit rate.
         self.program_cache = program_cache
+        #: Codegen micro-probe shortlist size: ``>= 2`` lets first-time
+        #: nest compiles time the analytic top-K on the live host
+        #: before the winner persists (0 = pure-analytic pick).
+        self.codegen_refine = int(codegen_refine)
         self._proc_workers = proc_workers
         self._proc_start_method = proc_start_method
         self._store_path = store_path
@@ -331,6 +336,7 @@ class StreamScheduler:
             codegen=True,
             artifacts=self.store,
             cache=self.program_cache,
+            refine=self.codegen_refine,
         )
         self.metrics.inc("exec_cache_hits" if hit else "exec_cache_misses")
         if nest.kind == "nest":

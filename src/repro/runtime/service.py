@@ -35,6 +35,7 @@ from repro.core.cache import DEFAULT_CAPACITY, PlanCache
 from repro.core.plan import Predictor, TransposePlan
 from repro.errors import DrainingError, InvalidLayoutError
 from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
+from repro.model.feedback import DEFAULT_SHADOW_FRACTION, FeedbackLoop
 from repro.runtime.autotune import ThroughputCalibrator
 from repro.runtime.batching import MicroBatcher, SingleFlight
 from repro.runtime.metrics import MetricsRegistry
@@ -100,6 +101,22 @@ class TransposeService:
         Sharded serving uses this so each replica's cache only holds its
         routed key subset and per-replica hit rate is meaningful (see
         ``docs/serving.md``).
+    feedback / shadow_fraction:
+        ``feedback=True`` attaches a :class:`~repro.model.feedback
+        .FeedbackLoop` (persisted as ``models.json`` next to the plan
+        store): executed plans feed per-schema sample reservoirs, a
+        ``shadow_fraction`` of traffic is shadow-predicted under every
+        tracked model version, and :meth:`retrain_model` fits candidate
+        models that promote into live planning only after beating the
+        incumbent's predicted-vs-measured error (``docs/model.md``).
+        Pass a ready :class:`FeedbackLoop` to share one across
+        services.  When the caller supplies ``predictor`` explicitly,
+        the loop still records and scores but never overrides it.
+    codegen_refine:
+        When > 0, codegen compilation keeps the top-K analytic nest
+        configurations and a short timed micro-probe on this host picks
+        the winner (persisted in the plan store's artifact section, so
+        warm restarts skip both search and probe — ``docs/codegen.md``).
     """
 
     def __init__(
@@ -123,6 +140,9 @@ class TransposeService:
         arena=None,
         program_cache_size: Optional[int] = None,
         program_cache_bytes: Optional[int] = None,
+        feedback: Union[bool, FeedbackLoop, None] = None,
+        shadow_fraction: Optional[float] = None,
+        codegen_refine: int = 0,
     ):
         if store is not None and store_path is not None:
             raise ValueError("pass either store or store_path, not both")
@@ -135,6 +155,31 @@ class TransposeService:
             cache_capacity, store=self.store, on_event=self._cache_event
         )
         self._predictor = predictor
+        # An explicitly supplied predictor is the caller's decision;
+        # feedback promotions then score silently instead of replacing
+        # it (the stats table still shows who would have won).
+        self._user_predictor = predictor is not None
+        self.feedback: Optional[FeedbackLoop] = None
+        if feedback:
+            if isinstance(feedback, FeedbackLoop):
+                self.feedback = feedback
+            else:
+                fb_path = (
+                    Path(self.store.path).with_name("models.json")
+                    if self.store is not None
+                    else None
+                )
+                self.feedback = FeedbackLoop(
+                    fb_path,
+                    spec=spec,
+                    shadow_fraction=(
+                        shadow_fraction
+                        if shadow_fraction is not None
+                        else DEFAULT_SHADOW_FRACTION
+                    ),
+                )
+            if not self._user_predictor:
+                self._predictor = self.feedback.predictor()
         self._flights = SingleFlight()
         if autotune_path is None and self.store is not None:
             autotune_path = Path(self.store.path).with_name("autotune.json")
@@ -177,6 +222,7 @@ class TransposeService:
             store_path=self.store.path if self.store is not None else None,
             program_cache=self.program_cache,
             store=self.store,
+            codegen_refine=codegen_refine,
         )
         self._batcher = MicroBatcher(
             self._flush_batch, window_s=batch_window_s, max_batch=batch_max
@@ -222,6 +268,45 @@ class TransposeService:
         """Executions dispatched but not yet resolved."""
         with self._inflight_lock:
             return self._inflight
+
+    def _observe_feedback(self, plan, fut):
+        """Feed a resolved execution into the model feedback loop.
+
+        Only jobs that moved real data count (timing-only submissions
+        have no ``output``); batched runs contribute their *per-operand*
+        wall time so the sample matches what the predictor estimates.
+        When a shadow observation promotes a candidate model, planning
+        flips to it immediately (unless the caller pinned a predictor).
+        """
+        if self.feedback is None:
+            return fut
+
+        def _cb(f) -> None:
+            if f.cancelled() or f.exception() is not None:
+                return
+            report = f.result()
+            if report.output is None or report.wall_time_s <= 0:
+                return
+            wall = report.wall_time_s / max(1, report.batch)
+            promoted = self.feedback.observe(self.metrics, plan.kernel, wall)
+            if promoted and not self._user_predictor:
+                self._predictor = self.feedback.predictor()
+
+        fut.add_done_callback(_cb)
+        return fut
+
+    def retrain_model(self) -> Optional[str]:
+        """Fit a candidate model version from accumulated telemetry.
+
+        Returns the new version name (``None`` when no schema has
+        enough reservoir samples yet).  The candidate starts shadowed —
+        it steers nothing until it out-predicts the incumbent on live
+        traffic.  Raises when the service was built without
+        ``feedback``.
+        """
+        if self.feedback is None:
+            raise RuntimeError("service was created without feedback=True")
+        return self.feedback.retrain(self.metrics)
 
     def plan(
         self,
@@ -303,7 +388,9 @@ class TransposeService:
         payload = self._check_payload(dims, elem_bytes, payload)
         plan = self.plan(dims, perm, elem_bytes, spec)
         self.metrics.inc("executions_submitted")
-        return self._track(self.scheduler.submit(plan, payload))
+        return self._track(
+            self._observe_feedback(plan, self.scheduler.submit(plan, payload))
+        )
 
     def execute(
         self,
@@ -352,8 +439,11 @@ class TransposeService:
         plan = self.plan(dims, perm, elem_bytes, spec)
         self.metrics.inc("executions_submitted")
         return self._track(
-            self.scheduler.submit_partitioned(
-                plan, payload, parts, backend=backend, lowering=lowering
+            self._observe_feedback(
+                plan,
+                self.scheduler.submit_partitioned(
+                    plan, payload, parts, backend=backend, lowering=lowering
+                ),
             )
         )
 
@@ -435,7 +525,9 @@ class TransposeService:
             )
         plan = self.plan(dims, perm, elem_bytes, spec)
         self.metrics.inc("executions_submitted")
-        batch_fut = self.scheduler.submit_batch(plan, payloads)
+        batch_fut = self._observe_feedback(
+            plan, self.scheduler.submit_batch(plan, payloads)
+        )
 
         def _resolve(done) -> None:
             exc = done.exception()
@@ -503,6 +595,7 @@ class TransposeService:
             "batching": self._batcher.stats(),
             "autotune": self.autotuner.table(),
             "codegen": codegen,
+            "model": self.feedback.stats() if self.feedback else None,
             "store": self.store.describe() if self.store else None,
         }
 
@@ -510,6 +603,8 @@ class TransposeService:
         if self.store is not None:
             self.store.flush()
         self.autotuner.flush()
+        if self.feedback is not None:
+            self.feedback.flush()
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Orderly intake shutdown: stop accepting executions, flush
@@ -540,6 +635,8 @@ class TransposeService:
         self.drain()
         self._closed = True
         self.autotuner.close()
+        if self.feedback is not None:
+            self.feedback.close()
         if self.store is not None:
             self.store.close()
 

@@ -217,3 +217,107 @@ class TestBackendAxis:
     def test_requires_a_backend(self):
         with pytest.raises(ValueError, match="backend"):
             ThroughputCalibrator(pool_size=2, backends=())
+
+
+class TestV3Migration:
+    def _v2_payload(self):
+        """A PR-7-era table: no per-run variance fields in the cells."""
+        return {
+            "autotune_version": 2,
+            "pool_size": 2,
+            "cells": {
+                "thread:indexed|2^22": {
+                    "1": {
+                        "count": 3,
+                        "total_s": 3.0,
+                        "total_bytes": 3 * (1 << 22),
+                    },
+                    "2": {
+                        "count": 3,
+                        "total_s": 1.0,
+                        "total_bytes": 3 * (1 << 22),
+                    },
+                },
+                "codegen:indexed|2^22": {
+                    "1": {
+                        "count": 2,
+                        "total_s": 0.5,
+                        "total_bytes": 2 * (1 << 22),
+                    },
+                },
+            },
+        }
+
+    def test_v2_loads_without_losing_measurements(self, tmp_path):
+        path = tmp_path / "autotune.json"
+        path.write_text(json.dumps(self._v2_payload()))
+        cal = ThroughputCalibrator(
+            pool_size=2,
+            path=path,
+            min_samples=1,
+            backends=("thread", "codegen"),
+        )
+        cells = cal.table()["cells"]
+        # Every v2 measurement survives with its aggregates intact.
+        assert cells["thread:indexed|2^22"]["parts"]["2"]["count"] == 3
+        assert cells["codegen:indexed|2^22"]["parts"]["1"]["count"] == 2
+        # Exploitation picks straight from the migrated throughputs.
+        assert cal.choose("indexed", 1 << 22) == 2
+
+    def test_v2_migration_rewrites_as_v3(self, tmp_path):
+        path = tmp_path / "autotune.json"
+        path.write_text(json.dumps(self._v2_payload()))
+        cal = ThroughputCalibrator(pool_size=2, path=path, min_samples=1)
+        cal.close()  # migrated tables are dirty and must rewrite
+        upgraded = json.loads(path.read_text())
+        assert upgraded["autotune_version"] == AUTOTUNE_VERSION
+        stats = upgraded["cells"]["thread:indexed|2^22"]["1"]
+        assert stats["m2_bps"] == 0.0  # no per-run history: zero variance
+        assert stats["mean_bps"] == pytest.approx(1 << 22)
+
+    def test_migrated_cells_keep_accumulating_variance(self, tmp_path):
+        path = tmp_path / "autotune.json"
+        path.write_text(json.dumps(self._v2_payload()))
+        cal = ThroughputCalibrator(pool_size=2, path=path, min_samples=1)
+        cal.record("indexed", 1 << 22, 2, 0.25)
+        stats = cal._cells["thread:indexed|2^22"]["2"]
+        assert stats["count"] == 4
+        assert stats["m2_bps"] > 0  # the new, faster run spread the cell
+
+    def test_truncated_file_fresh_table_and_service_start(self, tmp_path):
+        """A half-written autotune.json must not take down service
+        construction; the calibrator restarts empty and recalibrates."""
+        from repro.runtime.service import TransposeService
+
+        state = tmp_path / "state"
+        state.mkdir()
+        (state / "autotune.json").write_text(
+            json.dumps({"autotune_version": AUTOTUNE_VERSION})[:25]
+        )
+        with TransposeService(store_path=state / "plans.json") as svc:
+            assert svc.autotuner.table()["cells"] == {}
+            report = svc.execute(
+                (8, 8, 8), (2, 1, 0), 8,
+                payload=__import__("numpy").arange(512, dtype=float),
+            )
+            assert report.output is not None
+
+    def test_ucb_beta_in_table_snapshot(self):
+        cal = ThroughputCalibrator(pool_size=2, ucb_beta=1.5)
+        assert cal.table()["ucb_beta"] == 1.5
+
+    def test_negative_ucb_beta_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputCalibrator(pool_size=2, ucb_beta=-0.1)
+
+    def test_ucb_explores_high_variance_cells(self):
+        """With positive beta, a noisy-but-equal-mean candidate ranks
+        above a steady one; with beta 0 the tie stands."""
+        noisy = ThroughputCalibrator(pool_size=2, min_samples=2, ucb_beta=2.0)
+        nbytes = 1 << 20
+        # parts=1: two identical runs.  parts=2: same mean, high spread.
+        for s in (1.0, 1.0):
+            noisy.record("view", nbytes, 1, s)
+        for s in (0.5, 1.5):
+            noisy.record("view", nbytes, 2, s)
+        assert noisy.choose("view", nbytes) == 2

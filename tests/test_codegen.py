@@ -45,6 +45,19 @@ def _fresh_counters():
     cg.reset_codegen_stats()
 
 
+@pytest.fixture(autouse=True)
+def _pinned_cache_budget(monkeypatch):
+    """Pin the search's cache budget to the historical 768 KiB.
+
+    The budget now probes the host's sysfs cache hierarchy, so the
+    profitability/ranking assertions below would flip between machines
+    (a big-L2 host makes the unblocked nests in these geometries fit).
+    The probe itself is covered by :class:`TestCacheProbe` with
+    synthetic sysfs trees.
+    """
+    monkeypatch.setattr(cg, "CACHE_BUDGET_BYTES", 768 * 1024)
+
+
 # ----------------------------------------------------------------------
 # Search
 # ----------------------------------------------------------------------
@@ -439,3 +452,221 @@ class TestCalibrator:
             t.record("indexed", nbytes, p, 0.25, backend="codegen")
         wins = t.backend_wins()
         assert wins == {"indexed": {"codegen": 1}}
+
+
+# ----------------------------------------------------------------------
+# Host cache probing
+# ----------------------------------------------------------------------
+
+
+class TestCacheProbe:
+    def _sysfs(self, tmp_path, caches):
+        """Build a fake cpu0 cache tree: [(type, level, size), ...]."""
+        root = tmp_path / "cache"
+        for i, (ctype, level, size) in enumerate(caches):
+            d = root / f"index{i}"
+            d.mkdir(parents=True)
+            (d / "type").write_text(ctype + "\n")
+            (d / "level").write_text(f"{level}\n")
+            (d / "size").write_text(size + "\n")
+        return str(root)
+
+    def test_parse_cache_size(self):
+        assert cg.parse_cache_size("48K") == 48 * 1024
+        assert cg.parse_cache_size("2M") == 2 << 20
+        assert cg.parse_cache_size("1G") == 1 << 30
+        assert cg.parse_cache_size(" 512K\n") == 512 * 1024
+        assert cg.parse_cache_size("768") == 768
+        assert cg.parse_cache_size("") is None
+        assert cg.parse_cache_size("banana") is None
+        assert cg.parse_cache_size("0K") is None
+        assert cg.parse_cache_size(None) is None
+
+    def test_probe_prefers_largest_per_core_cache(self, tmp_path):
+        root = self._sysfs(
+            tmp_path,
+            [
+                ("Data", 1, "48K"),
+                ("Instruction", 1, "32K"),
+                ("Unified", 2, "2M"),
+                ("Unified", 3, "105M"),  # shared LLC: excluded
+            ],
+        )
+        assert cg.probe_cache_bytes(root) == 2 << 20
+
+    def test_probe_skips_instruction_and_garbage(self, tmp_path):
+        root = self._sysfs(
+            tmp_path,
+            [
+                ("Instruction", 1, "32K"),
+                ("Data", 1, "junk"),
+                ("Data", 1, "64K"),
+            ],
+        )
+        assert cg.probe_cache_bytes(root) == 64 * 1024
+
+    def test_probe_missing_tree(self, tmp_path):
+        assert cg.probe_cache_bytes(str(tmp_path / "nope")) is None
+
+    def test_detect_env_override_wins(self, tmp_path):
+        root = self._sysfs(tmp_path, [("Unified", 2, "2M")])
+        assert (
+            cg.detect_cache_budget(
+                env={"REPRO_CODEGEN_CACHE_BYTES": "123456"}, root=root
+            )
+            == 123456
+        )
+
+    def test_detect_probed_three_quarters(self, tmp_path):
+        root = self._sysfs(tmp_path, [("Unified", 2, "2M")])
+        assert cg.detect_cache_budget(env={}, root=root) == (2 << 20) * 3 // 4
+
+    def test_detect_fallback(self, tmp_path):
+        assert (
+            cg.detect_cache_budget(env={}, root=str(tmp_path / "nope"))
+            == cg.DEFAULT_CACHE_BUDGET
+        )
+
+    def test_bad_env_override_falls_through(self, tmp_path):
+        root = self._sysfs(tmp_path, [("Unified", 2, "2M")])
+        assert (
+            cg.detect_cache_budget(
+                env={"REPRO_CODEGEN_CACHE_BYTES": "lots"}, root=root
+            )
+            == (2 << 20) * 3 // 4
+        )
+
+    def test_cost_functions_take_explicit_budget(self):
+        """A bigger budget can only keep or lower the modelled cost
+        (fewer refetches), and the explicit param bypasses the global."""
+        in_shape, axes = (32, 32, 64, 128), (3, 2, 1, 0)
+        out_shape = [in_shape[a] for a in axes]
+        small = cg.nest_cost(in_shape, axes, out_shape, 8,
+                             cache_budget=256 * 1024)
+        large = cg.nest_cost(in_shape, axes, out_shape, 8,
+                             cache_budget=64 << 20)
+        assert large <= small
+
+    def test_search_records_budget(self):
+        desc = cg.search_nest(
+            (32, 32, 64, 128), (3, 2, 1, 0), 8, cache_budget=512 * 1024
+        )
+        assert desc["cache_budget"] == 512 * 1024
+
+
+# ----------------------------------------------------------------------
+# Measured refinement
+# ----------------------------------------------------------------------
+
+
+class TestRefine:
+    def test_top_k_candidates(self):
+        desc = cg.search_nest((32, 32, 64, 128), (3, 2, 1, 0), 8, top_k=4)
+        cands = desc["candidates"]
+        assert 2 <= len(cands) <= 4
+        # Winner first, ascending analytic cost, deduped.
+        assert cands[0]["tiles"] == desc["tiles"]
+        assert cands[0]["order"] == desc["order"]
+        costs = [c["cost"] for c in cands]
+        assert costs == sorted(costs)
+        assert len({(tuple(c["tiles"]), tuple(c["order"])) for c in cands}) \
+            == len(cands)
+        json.dumps(desc)
+
+    def test_top_k_one_has_no_candidates(self):
+        desc = cg.search_nest((32, 32, 64, 128), (3, 2, 1, 0), 8)
+        assert "candidates" not in desc
+
+    def test_refine_passthrough_without_shortlist(self):
+        desc = cg.search_nest((32, 32, 64, 128), (3, 2, 1, 0), 8)
+        assert cg.refine_descriptor(desc) is desc
+
+    def test_refine_passthrough_unprofitable(self):
+        desc = cg.search_nest(
+            (2, 2, 2, 128, 128, 8), (5, 4, 3, 2, 1, 0), 8, top_k=4
+        )
+        assert not desc["profitable"]
+        assert cg.refine_descriptor(desc) is desc
+
+    def test_refine_annotates_and_counts(self):
+        desc = cg.search_nest(OD_DIMS, OD_PERM, 8, top_k=3)
+        refined = cg.refine_descriptor(desc, reps=1)
+        assert refined is not desc
+        assert refined["refined"] is True
+        probe = refined["probe"]
+        assert probe["picked"] in range(len(desc["candidates"]))
+        assert len(probe["measured_ms"]) == len(desc["candidates"])
+        assert probe["probe_ms"] > 0
+        picked = desc["candidates"][probe["picked"]]
+        assert refined["tiles"] == list(picked["tiles"])
+        assert refined["order"] == list(picked["order"])
+        stats = cg.codegen_stats()
+        assert stats["refinements"] == 1
+        assert stats["probe_s"] > 0
+        json.dumps(refined)
+
+    def test_refine_hysteresis_keeps_analytic_on_close_calls(self, monkeypatch):
+        """When every candidate measures identically, the analytic
+        winner must keep the pick (index 0), never a noise flip."""
+        desc = cg.search_nest(OD_DIMS, OD_PERM, 8, top_k=3)
+        ticks = iter(range(10_000))
+        monkeypatch.setattr(cg.time, "perf_counter", lambda: next(ticks) * 1.0)
+        refined = cg.refine_descriptor(desc, reps=2)
+        assert refined["probe"]["picked"] == 0
+        assert cg.codegen_stats()["refine_switches"] == 0
+
+    def test_refined_program_parity(self):
+        desc = cg.search_nest(OD_DIMS, OD_PERM, 8, top_k=4)
+        refined = cg.refine_descriptor(desc, reps=1)
+        volume = int(np.prod(OD_DIMS))
+        src = np.random.default_rng(0).standard_normal(volume)
+        base = cg.NestProgram(
+            {k: v for k, v in desc.items() if k != "candidates"}
+        )
+        probed = cg.NestProgram(
+            {k: v for k, v in refined.items() if k != "probe"}
+        )
+        assert np.array_equal(probed.run(src), base.run(src))
+
+    def test_artifact_hit_skips_probe(self, tmp_path):
+        store = PlanStore(tmp_path / "plans.json")
+        plan = make_plan(OD_DIMS, OD_PERM)
+        program = compile_executor(
+            plan.kernel, lowering=False, codegen=True, artifacts=store,
+            refine=4,
+        )
+        assert program.kind == "nest"
+        assert program.descriptor.get("refined") is True
+        cold = cg.codegen_stats()
+        assert cold["searches"] == 1
+        assert cold["refinements"] == 1
+
+        cg.reset_codegen_stats()
+        from repro.kernels.executor import clear_exec_caches
+
+        clear_exec_caches()
+        warm_store = PlanStore(tmp_path / "plans.json")
+        again = compile_executor(
+            plan.kernel, lowering=False, codegen=True, artifacts=warm_store,
+            refine=4,
+        )
+        assert again.kind == "nest"
+        assert again.descriptor.get("refined") is True
+        warm = cg.codegen_stats()
+        assert warm["searches"] == 0
+        assert warm["refinements"] == 0
+        assert warm["artifact_hits"] == 1
+        # Saved time credits the probe as well as the search.
+        assert warm["search_s_saved"] > 0
+        assert again.descriptor["tiles"] == program.descriptor["tiles"]
+
+    def test_refine_zero_matches_plain_compile(self, tmp_path):
+        """refine=0 (the default) must behave exactly as before."""
+        store = PlanStore(tmp_path / "plans.json")
+        plan = make_plan(OD_DIMS, OD_PERM)
+        program = compile_executor(
+            plan.kernel, lowering=False, codegen=True, artifacts=store
+        )
+        assert program.kind == "nest"
+        assert "refined" not in program.descriptor
+        assert cg.codegen_stats()["refinements"] == 0

@@ -1,0 +1,410 @@
+"""The measurement loop: reservoirs, GP model, shadow-gated retraining.
+
+Contract under test (``docs/model.md``): executed plans sample into
+bounded per-schema reservoirs; the GP fits measured wall times and
+reports calibrated uncertainty; retraining produces a *candidate*
+version that steers nothing until the shadow scoreboard shows it
+out-predicting the incumbent on live traffic; and the whole loop state
+survives a restart (and arbitrary corruption of its file) next to the
+plan store.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.layout import TensorLayout
+from repro.core.permutation import Permutation
+from repro.core.taxonomy import Schema
+from repro.errors import ModelError
+from repro.kernels.naive import NaiveKernel
+from repro.kernels.orthogonal_distinct import OrthogonalDistinctKernel
+from repro.model.feedback import (
+    OFFLINE_VERSION,
+    FeedbackLoop,
+    FeedbackPredictor,
+    collect_training_data,
+    record_execution_sample,
+    sample_name,
+)
+from repro.model.features import FEATURE_NAMES, feature_vector
+from repro.model.gp import GPModel
+from repro.runtime.metrics import MetricsRegistry, SampleReservoir
+
+
+def od_kernel(dims=(64, 3, 64), perm=(2, 1, 0)):
+    return OrthogonalDistinctKernel(
+        TensorLayout(dims), Permutation(perm), 1, 1, 1, 1
+    )
+
+
+# ----------------------------------------------------------------------
+# Sample reservoirs
+# ----------------------------------------------------------------------
+
+
+class TestReservoir:
+    def test_keeps_everything_below_capacity(self):
+        r = SampleReservoir("x", capacity=8)
+        for i in range(8):
+            assert r.offer(float(i), {"i": i})
+        assert [v for v, _ in r.samples()] == [float(i) for i in range(8)]
+
+    def test_bounded_and_uniformish(self):
+        r = SampleReservoir("x", capacity=32)
+        for i in range(10_000):
+            r.offer(float(i))
+        snap = r.snapshot()
+        assert snap["kept"] == 32
+        assert snap["offered"] == 10_000
+        # Algorithm R keeps a uniform sample: the mean of the kept
+        # values must land near the population mean, not near either
+        # end (a fixed window would sit at ~5000 +- 16).
+        assert 2000 < snap["mean"] < 8000
+
+    def test_deterministic_per_name(self):
+        a, b = SampleReservoir("same", 16), SampleReservoir("same", 16)
+        for i in range(1000):
+            a.offer(float(i))
+            b.offer(float(i))
+        assert [v for v, _ in a.samples()] == [v for v, _ in b.samples()]
+
+    def test_meta_callable_lazy(self):
+        calls = []
+        r = SampleReservoir("x", capacity=1)
+        r.offer(1.0, meta=lambda: calls.append(1) or {"n": 1})
+        rejected = 0
+        for i in range(500):
+            if not r.offer(2.0, meta=lambda: calls.append(1) or {"n": 2}):
+                rejected += 1
+        # The meta thunk ran only for admitted offers.
+        assert rejected > 0
+        assert len(calls) == 501 - rejected
+
+    def test_registry_observe_sample(self):
+        m = MetricsRegistry(reservoir_capacity=4)
+        for i in range(10):
+            m.observe_sample("lat", float(i), meta={"i": i})
+        snap = m.snapshot()["samples"]["lat"]
+        assert snap["kept"] == 4 and snap["offered"] == 10
+        assert m.reservoir_names() == ["lat"]
+        m.reset()
+        assert m.reservoir("lat") is None
+
+
+# ----------------------------------------------------------------------
+# Recording + collection
+# ----------------------------------------------------------------------
+
+
+class TestCollection:
+    def test_record_and_collect(self):
+        m = MetricsRegistry()
+        k = od_kernel()
+        assert record_execution_sample(m, k, 1e-3)
+        data = collect_training_data(m)
+        X, y = data[Schema.ORTHOGONAL_DISTINCT]
+        assert X.shape == (1, len(FEATURE_NAMES[Schema.ORTHOGONAL_DISTINCT]))
+        assert y[0] == 1e-3
+        assert np.array_equal(X[0], feature_vector(k))
+
+    def test_naive_schema_skipped(self):
+        """Naive has no registered feature set; sampling it would KeyError
+        at admission time deep inside the reservoir."""
+        m = MetricsRegistry()
+        nk = NaiveKernel(TensorLayout((4, 4)), Permutation((1, 0)))
+        assert nk.schema not in FEATURE_NAMES
+        assert not record_execution_sample(m, nk, 1e-3)
+        assert m.reservoir(sample_name(nk.schema)) is None
+
+    def test_degenerate_wall_time_skipped(self):
+        m = MetricsRegistry()
+        assert not record_execution_sample(m, od_kernel(), 0.0)
+        assert not record_execution_sample(m, od_kernel(), -1.0)
+
+    def test_collect_drops_wrong_arity_meta(self):
+        m = MetricsRegistry()
+        name = sample_name(Schema.ORTHOGONAL_DISTINCT)
+        m.observe_sample(name, 1e-3, meta={"features": [1.0, 2.0]})  # stale
+        record_execution_sample(m, od_kernel(), 2e-3)
+        X, y = collect_training_data(m)[Schema.ORTHOGONAL_DISTINCT]
+        assert X.shape[0] == 1 and y[0] == 2e-3
+
+
+# ----------------------------------------------------------------------
+# GP regression
+# ----------------------------------------------------------------------
+
+
+class TestGP:
+    def _data(self, n=40, seed=0):
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(0.0, 4.0, size=(n, 2))
+        y = np.sin(X[:, 0]) + 0.1 * X[:, 1] + 2.0
+        return X, y
+
+    def test_interpolates_training_set(self):
+        X, y = self._data()
+        gp = GPModel(["a", "b"], X, y, noise=1e-4)
+        pred = gp.predict(X)
+        assert np.allclose(pred, y, atol=0.05)
+
+    def test_generalizes_nearby(self):
+        X, y = self._data()
+        gp = GPModel(["a", "b"], X, y)
+        Xq, yq = self._data(n=20, seed=1)
+        assert gp.precision_error_pct(Xq, yq) < 10.0
+
+    def test_std_grows_away_from_data(self):
+        X, y = self._data()
+        gp = GPModel(["a", "b"], X, y)
+        _, near = gp.predict_with_std(X[:1])
+        _, far = gp.predict_with_std(np.array([[40.0, -40.0]]))
+        assert far[0] > near[0] * 3
+
+    def test_serialization_roundtrip(self):
+        X, y = self._data()
+        gp = GPModel(["a", "b"], X, y)
+        clone = GPModel.from_dict(json.loads(json.dumps(gp.to_dict())))
+        Xq = self._data(n=5, seed=2)[0]
+        assert np.allclose(clone.predict(Xq), gp.predict(Xq))
+
+    def test_thinning_caps_points(self):
+        from repro.model.gp import MAX_GP_POINTS
+
+        rng = np.random.default_rng(3)
+        X = rng.uniform(size=(MAX_GP_POINTS + 200, 1))
+        gp = GPModel(["a"], X, X[:, 0])
+        assert gp.n_train <= MAX_GP_POINTS
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            GPModel(["a"], np.zeros((1, 1)), np.zeros(1))  # < 2 points
+        with pytest.raises(ModelError):
+            GPModel(["a", "b"], np.zeros((3, 1)), np.zeros(3))  # name arity
+        with pytest.raises(ModelError):
+            GPModel(["a"], np.zeros((3, 1)), np.zeros(3), noise=0.0)
+        with pytest.raises(ModelError):
+            GPModel.from_dict({"kind": "gp"})
+
+    def test_constant_features_survive(self):
+        X = np.array([[1.0, 5.0], [2.0, 5.0], [3.0, 5.0]])
+        gp = GPModel(["a", "const"], X, np.array([1.0, 2.0, 3.0]))
+        assert np.isfinite(gp.predict_one([2.5, 5.0]))
+
+
+# ----------------------------------------------------------------------
+# FeedbackPredictor
+# ----------------------------------------------------------------------
+
+
+class TestFeedbackPredictor:
+    def test_prefers_fitted_model_for_analytic_schema(self):
+        from repro.gpusim.cost import CostModel
+        from repro.model.pretrained import ANALYTIC_SCHEMAS, SchemaPredictor
+
+        schema = next(iter(ANALYTIC_SCHEMAS & set(FEATURE_NAMES)))
+        names = FEATURE_NAMES[schema]
+        rng = np.random.default_rng(0)
+        X = rng.uniform(1.0, 2.0, size=(8, len(names)))
+        gp = GPModel(names, X, np.full(8, 42.0))
+        base = SchemaPredictor({schema: gp}, fallback=CostModel())
+        fb = FeedbackPredictor({schema: gp}, fallback=CostModel())
+        assert base._model_for(schema) is None  # analytic fallback wins
+        assert fb._model_for(schema) is gp  # measured model wins
+
+
+# ----------------------------------------------------------------------
+# The loop: retrain, shadow, promote, persist
+# ----------------------------------------------------------------------
+
+
+def _fill_metrics(m, n=24, seed=0):
+    rng = np.random.default_rng(seed)
+    for _ in range(n):
+        d = int(rng.choice([32, 48, 64, 96]))
+        record_execution_sample(m, od_kernel((d, 3, d)), 1e-3 * d)
+
+
+def _replay(loop, m, n=24, seed=1):
+    """Feed observations whose wall time is exactly what the trained
+    model saw: the GP should predict them almost perfectly."""
+    rng = np.random.default_rng(seed)
+    promoted = False
+    for _ in range(n):
+        d = int(rng.choice([32, 48, 64, 96]))
+        promoted |= loop.observe(m, od_kernel((d, 3, d)), 1e-3 * d)
+    return promoted
+
+
+class TestFeedbackLoop:
+    def test_retrain_produces_candidate_not_active(self, tmp_path):
+        m = MetricsRegistry()
+        _fill_metrics(m)
+        loop = FeedbackLoop(tmp_path / "models.json", min_train_points=8)
+        v = loop.retrain(m)
+        assert v == "v1"
+        assert loop.candidate_version == "v1"
+        assert loop.active_version == OFFLINE_VERSION
+        # Candidate steers nothing yet.
+        assert loop.predictor() is loop.base_predictor
+
+    def test_retrain_needs_enough_points(self):
+        m = MetricsRegistry()
+        _fill_metrics(m, n=3)
+        loop = FeedbackLoop(min_train_points=8)
+        assert loop.retrain(m) is None
+
+    def test_promotion_requires_measured_win(self, tmp_path):
+        m = MetricsRegistry()
+        _fill_metrics(m)
+        loop = FeedbackLoop(
+            tmp_path / "models.json",
+            shadow_fraction=1.0,
+            min_shadow_samples=4,
+            min_train_points=8,
+        )
+        loop.retrain(m)
+        promoted = _replay(loop, m, n=12)
+        assert promoted
+        assert loop.active_version == "v1"
+        assert loop.candidate_version is None
+        assert loop.promotions == 1
+        # The promoted predictor now drives planning and predicts wall
+        # time (1 ms/extent), not the offline simulated-GPU time.
+        pred = loop.predictor()(od_kernel((64, 3, 64)))
+        assert pred == pytest.approx(64e-3, rel=0.2)
+
+    def test_no_promotion_below_min_samples(self):
+        m = MetricsRegistry()
+        _fill_metrics(m)
+        loop = FeedbackLoop(
+            shadow_fraction=1.0, min_shadow_samples=100, min_train_points=8
+        )
+        loop.retrain(m)
+        assert not _replay(loop, m, n=20)
+        assert loop.active_version == OFFLINE_VERSION
+
+    def test_shadow_fraction_zero_never_scores(self):
+        m = MetricsRegistry()
+        _fill_metrics(m)
+        loop = FeedbackLoop(shadow_fraction=0.0, min_train_points=8)
+        loop.retrain(m)
+        assert not _replay(loop, m, n=20)
+        assert loop.stats()["versions"][OFFLINE_VERSION]["shadow_count"] == 0
+
+    def test_retrain_replaces_stale_candidate(self):
+        m = MetricsRegistry()
+        _fill_metrics(m)
+        loop = FeedbackLoop(min_train_points=8)
+        assert loop.retrain(m) == "v1"
+        assert loop.retrain(m) == "v2"
+        assert loop.candidate_version == "v2"
+        assert "v1" not in loop.stats()["versions"]
+
+    def test_persistence_roundtrip(self, tmp_path):
+        path = tmp_path / "models.json"
+        m = MetricsRegistry()
+        _fill_metrics(m)
+        loop = FeedbackLoop(
+            path, shadow_fraction=1.0, min_shadow_samples=4,
+            min_train_points=8,
+        )
+        loop.retrain(m)
+        _replay(loop, m, n=12)
+        loop.close()
+
+        reborn = FeedbackLoop(path)
+        assert reborn.active_version == "v1"
+        assert reborn.promotions == 1
+        assert reborn._next_version == 2
+        pred = reborn.predictor()(od_kernel((48, 3, 48)))
+        assert pred == pytest.approx(48e-3, rel=0.2)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "{ not json",
+            json.dumps({"feedback_version": 999}),
+            json.dumps({"feedback_version": 1, "active": "v9", "models": {}}),
+            json.dumps({"feedback_version": 1, "active": "offline",
+                        "models": {"v1": {"orthogonal-distinct": {"kind": "?"}}},
+                        "shadow": {}}),
+            json.dumps({"feedback_version": 1})[:10],
+        ],
+    )
+    def test_corrupt_file_starts_fresh(self, tmp_path, payload):
+        path = tmp_path / "models.json"
+        path.write_text(payload)
+        loop = FeedbackLoop(path)
+        assert loop.active_version == OFFLINE_VERSION
+        assert loop.candidate_version is None
+
+    def test_validates_shadow_fraction(self):
+        with pytest.raises(ValueError):
+            FeedbackLoop(shadow_fraction=1.5)
+
+
+# ----------------------------------------------------------------------
+# Service integration
+# ----------------------------------------------------------------------
+
+
+class TestServiceIntegration:
+    DIMS, PERM = (16, 16, 16, 16), (3, 2, 1, 0)
+
+    def test_service_records_and_retrains(self, tmp_path):
+        from repro.runtime.service import TransposeService
+
+        payload = np.arange(np.prod(self.DIMS), dtype=np.float64)
+        with TransposeService(
+            store_path=tmp_path / "plans.json",
+            feedback=True,
+            shadow_fraction=1.0,
+            num_streams=2,
+        ) as svc:
+            for _ in range(10):
+                svc.execute(self.DIMS, self.PERM, 8, payload)
+            svc.drain()
+            assert svc.retrain_model() == "v1"
+            model = svc.stats()["model"]
+            assert model["candidate"] == "v1"
+            assert model["observed"] == 10
+            assert model["versions"]["offline"]["shadow_count"] == 10
+            samples = svc.metrics.snapshot()["samples"]
+            assert sum(s["kept"] for s in samples.values()) == 10
+        # The loop persisted next to the plan store.
+        assert (tmp_path / "models.json").exists()
+
+    def test_timing_only_submissions_not_sampled(self, tmp_path):
+        from repro.runtime.service import TransposeService
+
+        with TransposeService(
+            store_path=tmp_path / "plans.json", feedback=True
+        ) as svc:
+            svc.execute(self.DIMS, self.PERM, 8)  # no payload
+            svc.drain()
+            assert svc.stats()["model"]["observed"] == 0
+
+    def test_service_without_feedback(self, tmp_path):
+        from repro.runtime.service import TransposeService
+
+        with TransposeService(store_path=tmp_path / "plans.json") as svc:
+            assert svc.stats()["model"] is None
+            with pytest.raises(RuntimeError):
+                svc.retrain_model()
+
+    def test_explicit_predictor_never_overridden(self, tmp_path):
+        from repro.runtime.service import TransposeService
+
+        def sentinel(kernel):
+            return 1.0
+
+        with TransposeService(
+            store_path=tmp_path / "plans.json",
+            feedback=True,
+            predictor=sentinel,
+        ) as svc:
+            assert svc._predictor is sentinel
+            assert svc._user_predictor
