@@ -1,0 +1,291 @@
+"""Native throughput: C-emitted transpose kernels vs the Python nest.
+
+The same 64 MiB OD/OA cases as ``bench_codegen_throughput``, but the
+comparison is *within* the codegen tier: the C backend emitted by
+``repro.kernels.native`` (compiled out-of-band, loaded via ctypes with
+the GIL released for the whole call) against the exec-compiled Python
+slice nest running the identical descriptor.  Per case:
+
+**parity first** — the native-backed :class:`~repro.kernels.codegen
+.NestProgram` must produce bit-identical output to ``np.transpose`` on
+``run``, ``run_batch``, and the ``partition``/``run_part`` path, before
+anything is timed.
+
+**warm throughput** — warm ``run`` of the native program vs a
+``use_native=False`` twin of the same descriptor, interleaved; the
+acceptance gate is ``>= MIN_NATIVE_SPEEDUP`` in full mode (the win is
+removing per-tile interpreter dispatch, so it gates on any CPU count).
+
+**warm restart** — the plan store is reopened, every compiled program
+and dlopen handle dropped, exactly what a restarted process (or a
+procpool worker) sees.  Rebuilding the programs must run ZERO compiler
+invocations: the on-disk ``plans_native/`` object cache is asserted to
+serve every case (``native_compiled == 0``, ``native_so_cache_hits >=
+cases``), alongside the zero-search artifact-cache invariant.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_native_throughput.py
+
+writes ``results/native_throughput.json``.  CI runs ``--smoke``:
+smaller operands, fewer repeats, gating only the deterministic
+invariants.  Without a C toolchain (``CC=/bin/false``) the perf gate is
+skipped and the same parity/restart assertions run against the
+pure-Python fallback chain — the bench must still pass.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import bench_parser, env_stamp, gate, interleaved_ms, pick_repeats
+from repro.core.plan import make_plan
+from repro.kernels.codegen import (
+    NestProgram,
+    codegen_stats,
+    native_enabled,
+    reset_codegen_stats,
+)
+from repro.kernels.common import reference_transpose
+from repro.kernels.executor import clear_exec_caches, compile_executor
+from repro.kernels.native import compiler_info
+
+RESULTS_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "results"
+    / "native_throughput.json"
+)
+
+#: name -> (full dims, smoke dims, perm).  All f64; the full cases are
+#: 64 MiB, the smoke cases ~8 MiB (still above NEST_MIN_BYTES).  The
+#: oa-partial extents are skewed so the swapped inner pair forms a
+#: strided plane well past the cache-resident span — the regime the
+#: blocked micro-kernel exists for (a cube's inner plane is one
+#: contiguous L1-resident block, where every implementation is just
+#: memcpy-bound).
+CASES = {
+    "od-reverse-64MiB": (
+        (128, 64, 32, 32),
+        (64, 32, 16, 16),
+        (3, 2, 1, 0),
+    ),
+    "oa-partial-64MiB": (
+        (64, 32768, 2, 2),
+        (32, 8192, 2, 2),
+        (1, 0, 3, 2),
+    ),
+}
+
+#: Warm native run over the warm Python nest, full mode, any host.
+MIN_NATIVE_SPEEDUP = 2.0
+
+#: Batch rows for the run_batch parity check.
+PARITY_BATCH = 2
+
+
+def bench_case(name, dims, perm, repeats, store, have_cc):
+    plan = make_plan(dims, perm)
+    volume = plan.layout.volume
+    src = np.random.default_rng(3).standard_normal(volume)
+    ref = reference_transpose(src, plan.layout, plan.perm)
+
+    t0 = time.perf_counter()
+    nest = compile_executor(
+        plan.kernel, lowering=False, codegen=True, artifacts=store
+    )
+    compile_ms = (time.perf_counter() - t0) * 1e3
+    assert nest.kind == "nest", (
+        f"{name}: search declined a {src.nbytes >> 20} MiB "
+        f"memory-bound case (kind={nest.kind})"
+    )
+    backend = nest.descriptor["backend"]
+    if have_cc:
+        assert backend == "c", (
+            f"{name}: toolchain present but backend is {backend!r}"
+        )
+
+    # The twin runs the identical descriptor through the interpreted
+    # nest — same tiles, same loop order, native attach forced off.
+    python_nest = NestProgram(dict(nest.descriptor), use_native=False)
+    assert python_nest.descriptor["backend"] != "c"
+
+    # Parity on every execution surface before any timing.
+    assert np.array_equal(nest.run(src), ref), f"{name}: run parity"
+    srcs = np.stack([src * (i + 1) for i in range(PARITY_BATCH)])
+    refs = np.stack(
+        [reference_transpose(s, plan.layout, plan.perm) for s in srcs]
+    )
+    assert np.array_equal(nest.run_batch(srcs), refs), (
+        f"{name}: run_batch parity"
+    )
+    tasks = nest.partition(4)
+    assert len(tasks) > 1, f"{name}: degenerate partition {tasks}"
+    out = np.empty(volume)
+    for task in tasks:
+        nest.run_part(src, out, task)
+    assert np.array_equal(out, ref), f"{name}: partition parity"
+    assert np.array_equal(python_nest.run(src), ref), (
+        f"{name}: python twin parity"
+    )
+
+    out_n = np.empty(volume)
+    out_p = np.empty(volume)
+    nest.run(src, out=out_n)  # warm both before interleaving
+    python_nest.run(src, out=out_p)
+    timed = interleaved_ms(
+        {
+            "python": lambda: python_nest.run(src, out=out_p),
+            "native": lambda: nest.run(src, out=out_n),
+        },
+        repeats,
+    )
+    python_ms, _ = timed["python"]
+    native_ms, _ = timed["native"]
+    desc = nest.descriptor
+    return {
+        "dims": list(dims),
+        "perm": list(perm),
+        "schema": plan.schema.value,
+        "backend": backend,
+        "payload_mib": round(src.nbytes / (1 << 20), 1),
+        "tiles": list(desc["tiles"]),
+        "order": list(desc["order"]),
+        "compile_ms": round(compile_ms, 3),
+        "python_ms": round(python_ms, 3),
+        "native_ms": round(native_ms, 3),
+        "native_speedup": round(python_ms / native_ms, 3),
+    }
+
+
+def main(argv=None):
+    ap = bench_parser(__doc__.splitlines()[0])
+    ap.add_argument("--out", type=Path, default=RESULTS_PATH)
+    args = ap.parse_args(argv)
+    repeats = pick_repeats(args, full=7, smoke=2)
+
+    from repro.runtime.store import PlanStore
+
+    have_cc = native_enabled()
+    cc = compiler_info()
+    state_dir = Path(tempfile.mkdtemp(prefix="repro-native-bench-"))
+    store = PlanStore(state_dir / "plans.json")
+    reset_codegen_stats()
+
+    results = {}
+    for name, (full_dims, smoke_dims, perm) in CASES.items():
+        dims = smoke_dims if args.smoke else full_dims
+        results[name] = bench_case(name, dims, perm, repeats, store, have_cc)
+
+    cold = codegen_stats()
+    failures = []
+    if have_cc and cold["native_attached"] < len(CASES):
+        failures.append(
+            f"cold pass attached native to {cold['native_attached']} of "
+            f"{len(CASES)} cases"
+        )
+    if have_cc and (
+        cold["native_call_failures"]
+        or cold["native_compile_failures"]
+        or cold["native_load_failures"]
+    ):
+        failures.append(
+            f"native fallbacks fired: "
+            f"{cold['native_compile_failures']} compile / "
+            f"{cold['native_load_failures']} load / "
+            f"{cold['native_call_failures']} call"
+        )
+
+    # Warm restart: reopen the store, drop every compiled program and
+    # dlopen handle — what a new process (or procpool worker) sees.
+    # The on-disk object cache must serve every case: zero compiler
+    # invocations, zero loop-order searches.
+    store.close()
+    clear_exec_caches()
+    reset_codegen_stats()
+    warm_store = PlanStore(state_dir / "plans.json")
+    for name, (full_dims, smoke_dims, perm) in CASES.items():
+        dims = smoke_dims if args.smoke else full_dims
+        plan = make_plan(dims, perm)
+        program = compile_executor(
+            plan.kernel, lowering=False, codegen=True, artifacts=warm_store
+        )
+        assert program.kind == "nest", f"{name}: warm rebuild fell back"
+        if have_cc:
+            assert program.descriptor["backend"] == "c", (
+                f"{name}: warm rebuild lost the native backend"
+            )
+    warm = codegen_stats()
+    if warm["searches"] != 0:
+        failures.append(
+            f"warm restart re-ran {warm['searches']} loop-order searches "
+            "(expected 0)"
+        )
+    if have_cc and warm["native_compiled"] != 0:
+        failures.append(
+            f"warm restart invoked the compiler {warm['native_compiled']} "
+            "times (expected 0: the .so cache must serve every case)"
+        )
+    if have_cc and warm["native_so_cache_hits"] < len(CASES):
+        failures.append(
+            f"warm restart hit the .so cache {warm['native_so_cache_hits']} "
+            f"times for {len(CASES)} cases"
+        )
+
+    print(
+        f"{'case':<20s} {'backend':<8s} {'MiB':>6s} {'python':>9s} "
+        f"{'native':>9s} {'speedup':>8s}  {'tiles':<18s}"
+    )
+    for name, r in results.items():
+        print(
+            f"{name:<20s} {r['backend']:<8s} {r['payload_mib']:>6.1f} "
+            f"{r['python_ms']:>7.2f}ms {r['native_ms']:>7.2f}ms "
+            f"{r['native_speedup']:>7.2f}x  "
+            f"{'x'.join(str(t) for t in r['tiles']):<18s}"
+        )
+    print(
+        f"toolchain: {cc['path'] or 'none'}"
+        + (f" ({cc['version']})" if cc["version"] else "")
+        + f"; cold: {cold['native_compiled']} compiled; warm restart: "
+        f"{warm['native_compiled']} compiles, "
+        f"{warm['native_so_cache_hits']} .so cache hits, "
+        f"{warm['searches']} searches"
+    )
+
+    if args.smoke:
+        # Throughput needs a quiet host; smoke gates only the
+        # deterministic invariants (parity asserted in bench_case, the
+        # compile/search counters above).
+        return gate("NATIVE SMOKE REGRESSION", failures, smoke=True)
+
+    if have_cc:
+        failures += [
+            f"{name}: native speedup {r['native_speedup']}x < "
+            f"{MIN_NATIVE_SPEEDUP}x over the Python nest"
+            for name, r in results.items()
+            if r["native_speedup"] < MIN_NATIVE_SPEEDUP
+        ]
+    summary = {
+        "env": env_stamp(have_cc, "" if have_cc else "no C toolchain"),
+        "repeats": repeats,
+        "min_native_speedup": MIN_NATIVE_SPEEDUP,
+        "warm_restart": {
+            "native_compiled": warm["native_compiled"],
+            "native_so_cache_hits": warm["native_so_cache_hits"],
+            "searches": warm["searches"],
+        },
+        "cases": results,
+    }
+    args.out.parent.mkdir(exist_ok=True)
+    args.out.write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return gate("ACCEPTANCE THRESHOLDS NOT MET", failures)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -101,12 +101,17 @@ def env_stamp(gated: bool, gate_reason: str = "") -> Dict[str, object]:
 
     import numpy as _np
 
+    from repro.kernels.native import compiler_info
+
+    cc = compiler_info()
     return {
         "cpus": os.cpu_count(),
         "python": platform.python_version(),
         "numpy": _np.__version__,
         "platform": _sys.platform,
         "machine": platform.machine(),
+        "cc": cc["path"],
+        "cc_version": cc["version"],
         "perf_gated": bool(gated),
         "gate_reason": gate_reason,
     }

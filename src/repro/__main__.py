@@ -18,7 +18,8 @@ device [k40c|p100]
 
 serve [--requests N] [--clients C] [--streams S] [--payload]
       [--batch-window S] [--backend thread|process|codegen|auto]
-      [--proc-workers N] [--state-dir DIR]
+      [--proc-workers N] [--retrain-every N] [--retrain-every-s SEC]
+      [--state-dir DIR]
     Run a workload through the concurrent transpose-serving runtime
     (persistent plan store + metrics); ``--payload`` moves real data
     through the compiled executors.  With ``--batch-window`` (seconds,
@@ -289,6 +290,15 @@ def cmd_serve(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if (
+        args.retrain_every is not None or args.retrain_every_s is not None
+    ) and not args.feedback:
+        print(
+            "error: --retrain-every/--retrain-every-s schedule model "
+            "retraining and require --feedback",
+            file=sys.stderr,
+        )
+        return 2
     problems = _serve_problems(args)
     elem_bytes = _elem_bytes(args.dtype)
     state_dir = Path(args.state_dir).expanduser()
@@ -309,6 +319,8 @@ def cmd_serve(args) -> int:
         codegen_refine=args.codegen_refine,
         feedback=args.feedback,
         shadow_fraction=args.shadow_fraction,
+        retrain_every=args.retrain_every,
+        retrain_every_s=args.retrain_every_s,
     )
     errors = []
 
@@ -443,6 +455,17 @@ def cmd_serve(args) -> int:
             f"{cg['artifact_misses']} misses "
             f"({cg['search_s_saved'] * 1e3:.1f} ms search saved)"
         )
+        native = cg.get("native") or {}
+        if native.get("available") or cg.get("native_attached"):
+            print(
+                f"native ({native.get('cc') or 'no toolchain'}): "
+                f"{cg.get('native_compiled', 0)} compiled, "
+                f"{cg.get('native_so_cache_hits', 0)} .so cache hits, "
+                f"{cg.get('native_attached', 0)} attached, "
+                f"fallbacks {cg.get('native_compile_failures', 0)} compile / "
+                f"{cg.get('native_load_failures', 0)} load / "
+                f"{cg.get('native_call_failures', 0)} call"
+            )
     model = stats.get("model")
     if model:
         active = (model.get("versions") or {}).get(model["active"]) or {}
@@ -695,6 +718,20 @@ def cmd_stats(args) -> int:
             f"{codegen.get('artifact_misses', 0)} misses "
             f"({saved_ms:.1f} ms search saved)"
         )
+        native = codegen.get("native") or {}
+        if native.get("available") or codegen.get("native_attached"):
+            cc = native.get("cc") or "no toolchain"
+            version = native.get("cc_version") or ""
+            print(
+                f"  native: cc={cc}"
+                + (f" ({version})" if version else "")
+                + f", {codegen.get('native_compiled', 0)} compiled / "
+                f"{codegen.get('native_so_cache_hits', 0)} .so cache hits, "
+                f"{codegen.get('native_attached', 0)} attached, "
+                f"fallbacks {codegen.get('native_compile_failures', 0)} "
+                f"compile / {codegen.get('native_load_failures', 0)} load / "
+                f"{codegen.get('native_call_failures', 0)} call"
+            )
         wins = codegen.get("backend_wins") or {}
         for kind in sorted(wins):
             row = "  ".join(
@@ -860,6 +897,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--shadow-fraction", type=float, default=None, metavar="F",
         help="fraction of executions shadow-predicted under every "
              "model version (default 0.25; requires --feedback)",
+    )
+    p.add_argument(
+        "--retrain-every", type=int, default=None, metavar="N",
+        help="retrain a candidate model every N resolved requests from "
+             "a background tick (requires --feedback)",
+    )
+    p.add_argument(
+        "--retrain-every-s", type=float, default=None, metavar="SEC",
+        help="retrain a candidate model every SEC seconds from a "
+             "background tick (requires --feedback; combinable with "
+             "--retrain-every)",
     )
     p.add_argument(
         "--dtype",

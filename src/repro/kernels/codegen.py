@@ -66,6 +66,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.kernels import native as _native
 from repro.kernels.common import lattice_run_transactions, strides_lattice
 from repro.kernels.executor import ExecutorProgram
 
@@ -210,11 +211,31 @@ def compile_backend() -> str:
 
 
 # ----------------------------------------------------------------------
+# Optional native (C) backend — repro.kernels.native
+# ----------------------------------------------------------------------
+
+#: ``REPRO_CODEGEN_NATIVE=0`` force-disables the native tier even when
+#: a host toolchain exists (mirrors ``REPRO_CODEGEN_JIT`` for numba).
+_NATIVE_ENABLED = os.environ.get("REPRO_CODEGEN_NATIVE", "1") != "0"
+
+
+def native_enabled() -> bool:
+    """Whether the native (C) backend may attach to new programs."""
+    return _NATIVE_ENABLED and _native.toolchain() is not None
+
+
+# ----------------------------------------------------------------------
 # Module-level codegen statistics
 # ----------------------------------------------------------------------
 
 _STATS_LOCK = Lock()
-_STATS = {
+
+#: Zero state of every counter.  Snapshot and reset both operate on the
+#: whole dict under :data:`_STATS_LOCK` — one lock, whole-dict copy —
+#: so concurrent schedulers can never observe a torn mix of pre- and
+#: post-reset values (e.g. native wins from one epoch against python
+#: wins from another).
+_STATS_ZERO = {
     "searches": 0,
     "search_s": 0.0,
     "artifact_hits": 0,
@@ -227,7 +248,19 @@ _STATS = {
     "refinements": 0,
     "refine_switches": 0,
     "probe_s": 0.0,
+    # Native (C) backend — counted by repro.kernels.native through the
+    # set_counter hook, so they live under this same lock.
+    "native_compiled": 0,
+    "native_so_cache_hits": 0,
+    "native_compile_failures": 0,
+    "native_load_failures": 0,
+    "native_call_failures": 0,
+    "native_unsupported": 0,
+    "native_toolchain_missing": 0,
+    "native_attached": 0,
 }
+
+_STATS = dict(_STATS_ZERO)
 
 
 def _count(name: str, value=1) -> None:
@@ -235,19 +268,44 @@ def _count(name: str, value=1) -> None:
         _STATS[name] += value
 
 
+# Route the native module's counters through the same dict + lock:
+# codegen_stats() is then a single consistent snapshot across the
+# python, numba, and C backends.
+_native.set_counter(_count)
+
+
 def codegen_stats() -> dict:
-    """Snapshot of the module's search/artifact/backend counters."""
+    """One atomic snapshot of the search/artifact/backend counters.
+
+    The counter dict is copied whole under the single module lock
+    (never key-by-key), so a snapshot taken while other schedulers are
+    counting — or while :func:`reset_codegen_stats` runs — is always
+    internally consistent.  The derived ``backend``/``native`` fields
+    are pure functions of process state, appended after the copy.
+    """
     with _STATS_LOCK:
         snap = dict(_STATS)
     snap["backend"] = compile_backend()
+    info = _native.compiler_info()
+    snap["native"] = {
+        "enabled": _NATIVE_ENABLED,
+        "available": bool(_NATIVE_ENABLED and info["available"]),
+        "cc": info["path"],
+        "cc_version": info["version"],
+    }
     return snap
 
 
 def reset_codegen_stats() -> None:
-    """Zero the counters (benchmark cold-start conditions)."""
+    """Zero the counters (benchmark cold-start conditions).
+
+    The zero state replaces the live values in one operation under the
+    same lock :func:`_count` and :func:`codegen_stats` take, so a
+    concurrent snapshot sees either the old epoch or the new one —
+    never a mix.
+    """
     with _STATS_LOCK:
-        for key in _STATS:
-            _STATS[key] = 0.0 if isinstance(_STATS[key], float) else 0
+        _STATS.update(_STATS_ZERO)
 
 
 # ----------------------------------------------------------------------
@@ -626,7 +684,12 @@ class NestProgram(ExecutorProgram):
 
     kind = "nest"
 
-    def __init__(self, descriptor: dict):
+    def __init__(
+        self,
+        descriptor: dict,
+        native_dir=None,
+        use_native: Optional[bool] = None,
+    ):
         in_shape = tuple(int(d) for d in descriptor["in_shape"])
         super().__init__(int(np.prod(in_shape, dtype=np.int64)))
         self.descriptor = dict(descriptor)
@@ -647,6 +710,22 @@ class NestProgram(ExecutorProgram):
         self.descriptor["backend"] = compile_backend()
         self._fn = _compile_source(self.source)
         self._batch_fn = _compile_source(self.batch_source)
+        # Native (C) backend: compiled out-of-band, loaded via ctypes,
+        # GIL released for the whole call.  Any failure to attach —
+        # no toolchain, unsupported width, compile or dlopen error —
+        # keeps the numba/python chain below, bit-exactly.
+        self._native = self._native_batch = None
+        self._elem_bytes = int(descriptor.get("elem_bytes", 0))
+        want_native = _NATIVE_ENABLED if use_native is None else use_native
+        if want_native and self._elem_bytes > 0:
+            kit = _native.native_kernel(
+                self.in_shape, self.axes, self.tiles, self.order,
+                self._elem_bytes, cache_dir=native_dir,
+            )
+            if kit is not None:
+                self._native, self._native_batch = kit
+                self.descriptor["backend"] = "c"
+                _count("native_attached")
         self._jit = self._jit_batch = None
         if _NUMBA is not None:  # pragma: no cover - needs the jit extra
             try:
@@ -667,9 +746,18 @@ class NestProgram(ExecutorProgram):
                 _count("jit_compiled")
             except Exception:
                 self._jit = self._jit_batch = None
-                self.descriptor["backend"] = "numpy"
+                self._sync_backend()
                 _count("jit_failures")
         _count("programs_generated")
+
+    def _sync_backend(self) -> None:
+        """Record the surviving backend chain head: c > numba > numpy."""
+        if self._native is not None:
+            self.descriptor["backend"] = "c"
+        elif self._jit is not None:  # pragma: no cover - needs jit extra
+            self.descriptor["backend"] = "numba"
+        else:
+            self.descriptor["backend"] = "numpy"
 
     # -- pickling: compiled code objects and numba dispatchers do not
     # pickle; the descriptor regenerates everything deterministically ----
@@ -697,12 +785,42 @@ class NestProgram(ExecutorProgram):
                 # Typing/lowering failures surface before any element
                 # moves; drop to the slice backend permanently.
                 self._jit = self._jit_batch = None
-                self.descriptor["backend"] = "numpy"
+                self._sync_backend()
                 _count("jit_failures")
         fn(moved, out_nd, lo, hi)
 
+    def _native_eligible(self, src: np.ndarray, dst: np.ndarray) -> bool:
+        """Whether this call may take the C entry point.
+
+        A ``False`` here is per-call, not permanent: the emitted object
+        bakes the element width in, and raw pointers require both flat
+        buffers to be C-contiguous (they always are on the scheduler
+        path; oddly-strided callers just take the Python nest).
+        """
+        return (
+            self._native is not None
+            and src.dtype.itemsize == self._elem_bytes
+            and src.flags["C_CONTIGUOUS"]
+            and dst.flags["C_CONTIGUOUS"]
+        )
+
+    def _native_failed(self) -> None:
+        # A foreign call raised (corrupt object, dlclose under us):
+        # nothing moved, so drop to the numba/python chain permanently.
+        self._native = self._native_batch = None
+        self._sync_backend()
+        _count("native_call_failures")
+
     def run(self, src: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
         dst = out if out is not None else np.empty(self.volume, dtype=src.dtype)
+        if self._native_eligible(src, dst):
+            try:
+                self._native(
+                    src.ctypes.data, dst.ctypes.data, 0, self.out_shape[0]
+                )
+                return dst
+            except Exception:
+                self._native_failed()
         out_nd = dst.reshape(self.out_shape)
         self._call(
             self._jit, self._fn, self._moved(src), out_nd, 0,
@@ -713,6 +831,15 @@ class NestProgram(ExecutorProgram):
     def run_batch(self, srcs, out: Optional[np.ndarray] = None) -> np.ndarray:
         srcs = self.batch_view(srcs)
         dst = out if out is not None else np.empty_like(srcs)
+        if self._native_batch is not None and self._native_eligible(srcs, dst):
+            try:
+                self._native_batch(
+                    srcs.ctypes.data, dst.ctypes.data, srcs.shape[0],
+                    0, self.out_shape[0],
+                )
+                return dst
+            except Exception:
+                self._native_failed()
         out_nd = dst.reshape((srcs.shape[0],) + self.out_shape)
         self._call(
             self._jit_batch, self._batch_fn, self._moved_batch(srcs),
@@ -741,6 +868,16 @@ class NestProgram(ExecutorProgram):
         self, src: np.ndarray, out: np.ndarray, task: Tuple[int, ...]
     ) -> None:
         lo, hi = task
+        if self._native_eligible(src, out):
+            try:
+                # Offsets are absolute in the emitted kernel, so every
+                # partition task shares the same base pointers; ctypes
+                # releases the GIL for the whole call, which is what
+                # lets nest partition tasks scale on the thread pool.
+                self._native(src.ctypes.data, out.ctypes.data, lo, hi)
+                return
+            except Exception:
+                self._native_failed()
         out_nd = out.reshape(self.out_shape)
         self._call(self._jit, self._fn, self._moved(src), out_nd, lo, hi)
 
@@ -940,4 +1077,9 @@ def maybe_nest_program(
     if not desc.get("profitable"):
         _count("fallbacks")
         return None
-    return NestProgram(desc)
+    # The native (C) object cache lives next to the plan store when one
+    # is attached, so warm restarts and procpool workers rehydrating by
+    # content key reuse the compiled objects — zero compiles.
+    return NestProgram(
+        desc, native_dir=getattr(artifacts, "native_dir", None)
+    )

@@ -598,9 +598,13 @@ def compile_executor(
        (:class:`~repro.kernels.codegen.NestProgram`); when the model
        says blocking is not profitable it declines and selection falls
        through, bit-exactly.  ``artifacts`` (a plan store) lets the
-       search reuse persisted descriptors; ``refine >= 2`` lets a
-       timed micro-probe pick among the analytic top-``refine``
-       shortlist (:func:`~repro.kernels.codegen.refine_descriptor`).
+       search reuse persisted descriptors — and, when the store exposes
+       a ``native_dir``, lets the nest attach its compiled C backend
+       from the store's on-disk object cache (``repro.kernels.native``;
+       fallback chain ``c`` → ``numba`` → ``python``, always
+       bit-exact).  ``refine >= 2`` lets a timed micro-probe pick among
+       the analytic top-``refine`` shortlist
+       (:func:`~repro.kernels.codegen.refine_descriptor`).
        Codegen never alters routes 1-2: ``lowering=False,
        codegen=False`` stays the materialized index-map oracle the
        tests rely on.
@@ -757,6 +761,15 @@ def exec_cache_stats() -> dict:
 
 
 def clear_exec_caches() -> None:
-    """Drop every compiled program (cold-start benchmark conditions)."""
+    """Drop every compiled program (cold-start benchmark conditions).
+
+    Also drops the native tier's in-memory dlopen handles so a fresh
+    compile run re-loads objects from disk the way a restarted process
+    would; the on-disk shared-object cache is deliberately kept — that
+    persistence is the property warm-restart benchmarks measure.
+    """
     _PROGRAM_CACHE.clear()
     _PROGRAM_CACHE.reset_stats()
+    from repro.kernels.native import clear_loaded_cache
+
+    clear_loaded_cache()

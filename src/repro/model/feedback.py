@@ -144,6 +144,23 @@ class FeedbackPredictor(SchemaPredictor):
             return m
         return super()._model_for(schema)
 
+    def predict_with_uncertainty(self, kernel) -> Tuple[float, float]:
+        """Posterior ``(mean, std)`` of one kernel's predicted time.
+
+        GP-backed schemas report their own posterior standard deviation
+        (``predict_with_std``); linear and analytic routes have no
+        uncertainty surface and report 0.0, so callers widen nothing.
+        The plan search uses this to keep pruning honest: a candidate
+        is only discarded against ``mean + std``, never against an
+        overconfident mean alone.
+        """
+        m = self._model_for(kernel.schema)
+        with_std = getattr(m, "predict_with_std", None)
+        if with_std is None:
+            return float(self(kernel)), 0.0
+        mean, std = with_std(feature_vector(kernel)[None, :])
+        return max(float(mean[0]), self.min_time), max(float(std[0]), 0.0)
+
 
 def _model_to_dict(model) -> dict:
     if isinstance(model, GPModel):

@@ -72,6 +72,14 @@ class _Worker:
         self.conn = conn
         self.store = None
         self.store_path = config.get("store_path")
+        if config.get("native_dir"):
+            # Pin the native object cache to the parent's store-adjacent
+            # directory before any program builds: content-key
+            # rehydration *and* pipe-shipped pickles then both find the
+            # parent's compiled .so objects — zero compiles in workers.
+            from repro.kernels.native import set_default_cache_dir
+
+            set_default_cache_dir(config["native_dir"])
         self.programs = BoundedLRU(
             maxsize=config.get("max_programs", WORKER_MAX_PROGRAMS),
             max_bytes=config.get(
@@ -305,8 +313,13 @@ class ProcessPool:
                 f"num_workers must be positive, got {num_workers}"
             )
         self.start_method = start_method or default_start_method()
+        from repro.runtime.store import native_cache_dir
+
         config = {
             "store_path": str(store_path) if store_path else None,
+            "native_dir": (
+                str(native_cache_dir(store_path)) if store_path else None
+            ),
             "max_programs": max_programs,
             "max_program_bytes": max_program_bytes,
         }

@@ -341,6 +341,12 @@ class StreamScheduler:
         self.metrics.inc("exec_cache_hits" if hit else "exec_cache_misses")
         if nest.kind == "nest":
             self.metrics.inc("codegen_jobs")
+            # Which backend the nest actually attached: jobs running the
+            # compiled-C tier (GIL released whole-call, out-of-band
+            # objects from the store's native dir) vs the numba/python
+            # chain — the split the serving stats tables report.
+            if nest.descriptor.get("backend") == "c":
+                self.metrics.inc("codegen_native_jobs")
             return nest, "codegen"
         self.metrics.inc("codegen_fallbacks")
         if self.tuner is not None:

@@ -26,7 +26,7 @@ import math
 import time
 from dataclasses import replace
 from pathlib import Path
-from threading import Event, Lock
+from threading import Event, Lock, Thread
 from typing import Optional, Sequence, Union
 
 import numpy as np
@@ -117,6 +117,14 @@ class TransposeService:
         configurations and a short timed micro-probe on this host picks
         the winner (persisted in the plan store's artifact section, so
         warm restarts skip both search and probe — ``docs/codegen.md``).
+    retrain_every / retrain_every_s:
+        Scheduled model retraining (requires ``feedback``): a
+        background tick calls :meth:`retrain_model` every
+        ``retrain_every`` resolved executions and/or every
+        ``retrain_every_s`` seconds, so candidate models enter the
+        shadow pipeline continuously instead of only when an operator
+        remembers to call :meth:`retrain_model` at end of run.
+        Retraining runs on the tick thread, never on a stream worker.
     """
 
     def __init__(
@@ -143,6 +151,8 @@ class TransposeService:
         feedback: Union[bool, FeedbackLoop, None] = None,
         shadow_fraction: Optional[float] = None,
         codegen_refine: int = 0,
+        retrain_every: Optional[int] = None,
+        retrain_every_s: Optional[float] = None,
     ):
         if store is not None and store_path is not None:
             raise ValueError("pass either store or store_path, not both")
@@ -233,6 +243,28 @@ class TransposeService:
         self._inflight_lock = Lock()
         self._idle = Event()
         self._idle.set()
+        # ---- scheduled retraining tick -------------------------------
+        if (retrain_every is not None or retrain_every_s is not None) and (
+            self.feedback is None
+        ):
+            raise ValueError(
+                "retrain_every/retrain_every_s require feedback=True"
+            )
+        if retrain_every is not None and retrain_every <= 0:
+            raise ValueError("retrain_every must be positive")
+        if retrain_every_s is not None and retrain_every_s <= 0:
+            raise ValueError("retrain_every_s must be positive")
+        self.retrain_every = retrain_every
+        self.retrain_every_s = retrain_every_s
+        self._since_retrain = 0
+        self._retrain_wake = Event()
+        self._retrain_stop = False
+        self._retrain_thread: Optional[Thread] = None
+        if retrain_every is not None or retrain_every_s is not None:
+            self._retrain_thread = Thread(
+                target=self._retrain_tick, name="retrain-tick", daemon=True
+            )
+            self._retrain_thread.start()
 
     # ------------------------------------------------------------------
     def _cache_event(self, event: str) -> None:
@@ -262,6 +294,55 @@ class TransposeService:
             self._inflight -= 1
             if self._inflight == 0:
                 self._idle.set()
+            if self.retrain_every is not None:
+                self._since_retrain += 1
+                due = self._since_retrain >= self.retrain_every
+            else:
+                due = False
+        if due:
+            # Wake the tick thread; retraining never runs on the
+            # scheduler thread resolving this future.
+            self._retrain_wake.set()
+
+    def _retrain_tick(self) -> None:
+        """Background loop behind scheduled retraining.
+
+        Sleeps until the request-count trigger fires
+        (:meth:`_untrack` sets the wake event after ``retrain_every``
+        resolved executions) or ``retrain_every_s`` elapses, then calls
+        :meth:`retrain_model`.  Fit outcomes surface in the metrics
+        registry (``model_retrain_ticks`` / ``model_retrain_fits``);
+        a failed fit is counted and the loop keeps ticking — scheduled
+        retraining must never take the serving path down.
+        """
+        while True:
+            fired = self._retrain_wake.wait(timeout=self.retrain_every_s)
+            if self._retrain_stop:
+                return
+            with self._inflight_lock:
+                if fired and self.retrain_every is not None:
+                    if self._since_retrain < self.retrain_every:
+                        # Spurious wake (e.g. counter reset raced): skip.
+                        self._retrain_wake.clear()
+                        continue
+                self._since_retrain = 0
+            self._retrain_wake.clear()
+            self.metrics.inc("model_retrain_ticks")
+            try:
+                version = self.retrain_model()
+            except Exception:
+                self.metrics.inc("model_retrain_errors")
+                continue
+            if version is not None:
+                self.metrics.inc("model_retrain_fits")
+
+    def _stop_retrain_tick(self) -> None:
+        if self._retrain_thread is None:
+            return
+        self._retrain_stop = True
+        self._retrain_wake.set()
+        self._retrain_thread.join(timeout=5.0)
+        self._retrain_thread = None
 
     @property
     def inflight(self) -> int:
@@ -622,6 +703,7 @@ class TransposeService:
         if self._closed:
             return True
         self._draining = True
+        self._stop_retrain_tick()
         # Flush open micro-batch windows while the service still plans
         # and schedules; their futures join the inflight count.
         self._batcher.close()

@@ -38,6 +38,20 @@ from repro.kernels.orthogonal_distinct import OrthogonalDistinctKernel
 STORE_VERSION = 1
 
 
+def native_cache_dir(store_path: Union[str, Path]) -> Path:
+    """The native compiled-object cache directory for a store path.
+
+    The :mod:`repro.kernels.native` tier caches compiled shared objects
+    *next to* the plan store (``plans.json`` → ``plans_native/``), so
+    the warm-restart property extends to compiled kernels: a process —
+    or a pool worker — reopening the same store path finds the same
+    objects and runs zero compiles.  Derivation is a pure function of
+    the path, so parent and workers agree without coordination.
+    """
+    path = Path(store_path)
+    return path.with_name(path.stem + "_native")
+
+
 def _key_str(
     dims: Sequence[int],
     perm: Sequence[int],
@@ -356,6 +370,14 @@ class PlanStore:
             self._artifacts = merged_art
             self.corrupt_entries += fresh.corrupt_entries
 
+    @property
+    def native_dir(self) -> Path:
+        """Where this store's native compiled objects live (see
+        :func:`native_cache_dir`); consumed by
+        :func:`repro.kernels.codegen.maybe_nest_program` via the
+        ``artifacts`` handle."""
+        return native_cache_dir(self.path)
+
     # ---- artifact interface (codegen descriptors) --------------------
     def artifact(self, key: str) -> Optional[dict]:
         """The persisted build artifact for a key, or None.
@@ -400,10 +422,15 @@ class PlanStore:
 
     def describe(self) -> dict:
         with self._lock:
+            native = self.native_dir
             return {
                 "path": str(self.path),
                 "entries": len(self._entries),
                 "artifacts": len(self._artifacts),
+                "native_dir": str(native),
+                "native_objects": (
+                    len(list(native.glob("*.so"))) if native.is_dir() else 0
+                ),
                 "store_version": STORE_VERSION,
                 "corrupt_entries_dropped": self.corrupt_entries,
                 "recovered_from_corruption": self.recovered_from_corruption,

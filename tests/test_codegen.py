@@ -198,9 +198,16 @@ class TestNestProgram:
 
     def test_backend_reported(self):
         _, program = _nest_program()
-        assert program.descriptor["backend"] == cg.compile_backend()
+        backend = program.descriptor["backend"]
+        if cg.native_enabled():
+            assert backend == "c"
+        else:
+            assert backend == cg.compile_backend()
         assert cg.compile_backend() in ("numpy", "numba")
-        assert cg.codegen_stats()["backend"] == cg.compile_backend()
+        snap = cg.codegen_stats()
+        assert snap["backend"] == cg.compile_backend()
+        assert snap["native"]["enabled"] is True
+        assert snap["native"]["available"] == cg.native_enabled()
 
 
 # ----------------------------------------------------------------------

@@ -13,12 +13,16 @@ cases where it is actually deployed).  Each program is checked on
 ``run_part`` path the scheduler uses.
 """
 
+import threading
+
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.permutation import Permutation
 from repro.core.plan import make_plan
-from repro.kernels.codegen import NestProgram, search_nest
+from repro.kernels import native
+from repro.kernels.codegen import NestProgram, codegen_stats, search_nest
 from repro.kernels.executor import compile_executor
 
 DTYPES = (np.float64, np.float32, np.int64, np.int32, np.complex128)
@@ -134,3 +138,147 @@ def test_search_is_deterministic(problem):
     a, b = search_nest(in_shape, axes, eb), search_nest(in_shape, axes, eb)
     a.pop("search_ms"), b.pop("search_ms")
     assert a == b
+
+
+# ----------------------------------------------------------------------
+# Native (C) backend: parity sweep + forced-failure fallback chains
+# ----------------------------------------------------------------------
+
+_FALLBACK_DIMS, _FALLBACK_PERM = (4, 3, 8), (2, 1, 0)
+
+
+def _nest_desc(dims, perm, dtype=np.float64):
+    in_shape = dims[::-1]
+    axes = Permutation(perm).numpy_axes()
+    return search_nest(in_shape, axes, np.dtype(dtype).itemsize)
+
+
+def _check_fallback_program(program, dtype=np.float64, seed=19):
+    """The fallback chain must stay bit-exact on every surface."""
+    src = _source(program.volume, dtype, seed=seed)
+    ref = _np_reference(src, _FALLBACK_DIMS, _FALLBACK_PERM)
+    _check_all_surfaces(program, src, ref, _FALLBACK_DIMS, _FALLBACK_PERM)
+
+
+@given(problems())
+@settings(max_examples=25, deadline=None, derandomize=True)
+def test_native_backend_matches_numpy(problem):
+    """Random geometry through the C backend: every surface bit-exact.
+
+    With a toolchain present the attach is asserted, so the sweep
+    really exercises the emitted C (memcpy path, blocked micro-kernel,
+    16-byte struct elements) and not a silent Python fallback; without
+    one (the CI ``CC=/bin/false`` leg) the same sweep covers the
+    fallback chain.
+    """
+    dims, perm, dtype = problem
+    desc = _nest_desc(dims, perm, dtype)
+    program = NestProgram(desc)
+    if (
+        native.toolchain() is not None
+        and np.dtype(dtype).itemsize in native.SUPPORTED_ELEM_BYTES
+    ):
+        assert program.descriptor["backend"] == "c"
+    src = _source(program.volume, dtype, seed=17)
+    ref = _np_reference(src, dims, perm)
+    _check_all_surfaces(program, src, ref, dims, perm)
+
+
+def test_missing_toolchain_falls_back(monkeypatch):
+    """``CC=/bin/false`` disables the tier: counted, chain bit-exact."""
+    monkeypatch.setenv("REPRO_CC", "/bin/false")
+    native.reset_toolchain_cache()
+    try:
+        assert native.toolchain() is None
+        before = codegen_stats()["native_toolchain_missing"]
+        program = NestProgram(_nest_desc(_FALLBACK_DIMS, _FALLBACK_PERM))
+        assert program.descriptor["backend"] != "c"
+        after = codegen_stats()["native_toolchain_missing"]
+        assert after == before + 1
+        _check_fallback_program(program)
+    finally:
+        monkeypatch.undo()
+        native.reset_toolchain_cache()
+
+
+def test_compile_error_falls_back(monkeypatch):
+    """A source the toolchain rejects: counted, chain bit-exact."""
+    if native.toolchain() is None:
+        pytest.skip("no C toolchain on this host")
+    monkeypatch.setattr(
+        native, "native_source", lambda *a, **k: "this is not C\n"
+    )
+    before = codegen_stats()["native_compile_failures"]
+    program = NestProgram(_nest_desc(_FALLBACK_DIMS, _FALLBACK_PERM))
+    assert program.descriptor["backend"] != "c"
+    assert codegen_stats()["native_compile_failures"] == before + 1
+    _check_fallback_program(program)
+
+
+def test_load_error_falls_back(monkeypatch, tmp_path):
+    """An object dlopen rejects: counted, chain bit-exact."""
+    if native.toolchain() is None:
+        pytest.skip("no C toolchain on this host")
+    bogus = tmp_path / "bogus.so"
+    bogus.write_bytes(b"this is not a shared object")
+    monkeypatch.setattr(native, "ensure_compiled", lambda *a, **k: bogus)
+    before = codegen_stats()["native_load_failures"]
+    program = NestProgram(_nest_desc(_FALLBACK_DIMS, _FALLBACK_PERM))
+    assert program.descriptor["backend"] != "c"
+    assert codegen_stats()["native_load_failures"] == before + 1
+    _check_fallback_program(program)
+
+
+def test_concurrent_compiles_converge(tmp_path):
+    """Threads racing to compile one source produce exactly one object
+    and zero failures (the serve workload builds the same program from
+    several client threads at once)."""
+    if native.toolchain() is None:
+        pytest.skip("no C toolchain on this host")
+    desc = _nest_desc(_FALLBACK_DIMS, _FALLBACK_PERM)
+    src = native.native_source(
+        desc["in_shape"],
+        desc["axes"],
+        desc["tiles"],
+        desc["order"],
+        desc["elem_bytes"],
+    )
+    tc = native.toolchain()
+    before = codegen_stats()
+    results, errors = [], []
+
+    def build():
+        try:
+            results.append(native.ensure_compiled(src, tmp_path, tc))
+        except Exception as exc:  # the assertion target: no error escapes
+            errors.append(exc)
+
+    threads = [threading.Thread(target=build) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(set(results)) == 1 and results[0].is_file()
+    after = codegen_stats()
+    assert after["native_compiled"] == before["native_compiled"] + 1
+    assert after["native_compile_failures"] == before["native_compile_failures"]
+
+
+def test_call_failure_drops_to_python_permanently():
+    """A faulting foreign call demotes the program, bit-exactly."""
+    if native.toolchain() is None:
+        pytest.skip("no C toolchain on this host")
+    program = NestProgram(_nest_desc(_FALLBACK_DIMS, _FALLBACK_PERM))
+    assert program.descriptor["backend"] == "c"
+
+    def boom(*args):
+        raise OSError("injected native fault")
+
+    before = codegen_stats()["native_call_failures"]
+    program._native = boom
+    program._native_batch = boom
+    _check_fallback_program(program)
+    assert program.descriptor["backend"] != "c"
+    assert program._native is None and program._native_batch is None
+    assert codegen_stats()["native_call_failures"] == before + 1
