@@ -226,12 +226,14 @@ def _cmd_serve_listen(args) -> int:
             tenant_rate=args.tenant_rate,
             max_queue_depth=args.max_queue_depth,
             router=args.router,
+            zero_copy=not args.copying_codec,
         )
         await server.start()
         print(
             f"serving on {server.address}: {args.replicas} replicas x "
             f"{args.streams} streams, router={args.router}, "
-            f"max_inflight={args.max_inflight}"
+            f"max_inflight={args.max_inflight}, "
+            f"data path={'copying' if args.copying_codec else 'zero-copy'}"
             + (
                 f", stopping after {args.max_requests} requests"
                 if args.max_requests
@@ -256,10 +258,14 @@ def _cmd_serve_listen(args) -> int:
             drained = await server.drain()
             snapshot = server.serving_snapshot()
             await server.close()
+            data_path = snapshot.get("data_path") or {}
             print(
                 f"drained: {'clean' if drained else 'TIMED OUT'}, "
                 f"{snapshot['counters'].get('serving.requests', 0)} requests "
-                f"served"
+                f"served, tensor bytes "
+                f"{data_path.get('tensor_bytes_zero_copy', 0) / 1e6:.1f} MB "
+                f"zero-copy / "
+                f"{data_path.get('tensor_bytes_copied', 0) / 1e6:.1f} MB copied"
             )
         return snapshot
 
@@ -500,9 +506,23 @@ def _print_serving_block(serving: dict) -> None:
     print(
         f"serving: protocol v{serving.get('protocol_version', '?')}, "
         f"{serving.get('replicas', '?')} replicas, "
-        f"router={serving.get('router', '?')}"
+        f"router={serving.get('router', '?')}, "
+        f"data path={'zero-copy' if serving.get('zero_copy') else 'copying'}"
         + (" (draining)" if serving.get("draining") else "")
     )
+    data_path = serving.get("data_path")
+    if data_path:
+        copied = data_path.get("tensor_bytes_copied", 0)
+        zero = data_path.get("tensor_bytes_zero_copy", 0)
+        arena = serving.get("arena") or {}
+        print(
+            f"data path: {zero / 1e6:.1f} MB zero-copy, "
+            f"{copied / 1e6:.1f} MB copied; arena "
+            f"{arena.get('reuses', 0)} lease reuses / "
+            f"{arena.get('allocations', 0)} allocations, "
+            f"{arena.get('active_blocks', 0)} active, "
+            f"{arena.get('leaked', 0)} leaked"
+        )
     counters = serving.get("counters") or {}
     if counters:
         for name in sorted(counters):
@@ -950,6 +970,11 @@ def build_parser() -> argparse.ArgumentParser:
     net.add_argument(
         "--max-requests", type=int, default=None, metavar="N",
         help="drain and exit after N requests (default: run until Ctrl-C)",
+    )
+    net.add_argument(
+        "--copying-codec", action="store_true",
+        help="disable the zero-copy data path (the comparison baseline: "
+             "contiguous frames out, owned array copies in)",
     )
     p.set_defaults(func=cmd_serve)
 

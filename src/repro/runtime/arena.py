@@ -305,6 +305,27 @@ class BufferArena:
             destroy._destroy()
 
     # ------------------------------------------------------------------
+    def counters(self) -> Dict[str, int]:
+        """Just the integer event/occupancy counters of :meth:`stats`.
+
+        The serving snapshot folds these under ``serving.arena.*`` so
+        lease churn and leaks show up next to the request counters.
+        """
+        s = self.stats()
+        return {
+            k: int(s[k])
+            for k in (
+                "allocations",
+                "reuses",
+                "releases",
+                "trimmed",
+                "leaked",
+                "auto_reclaimed",
+                "active_blocks",
+                "active_bytes",
+            )
+        }
+
     def stats(self) -> dict:
         with self._lock:
             active = list(self._leases.values())

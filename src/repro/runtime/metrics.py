@@ -224,6 +224,15 @@ class MetricsRegistry:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def counters(self) -> Dict[str, int]:
+        """A consistent copy of every counter (one lock acquisition).
+
+        The serving snapshot folds these under ``serving.*`` names; a
+        copy keeps callers from iterating a dict that concurrent
+        ``inc`` calls mutate."""
+        with self._lock:
+            return dict(self._counters)
+
     def gauge(self, name: str) -> Optional[float]:
         with self._lock:
             return self._gauges.get(name)

@@ -245,13 +245,26 @@ class StreamScheduler:
 
     # ------------------------------------------------------------------
     def submit(
-        self, plan: TransposePlan, payload: Optional[np.ndarray] = None
+        self,
+        plan: TransposePlan,
+        payload: Optional[np.ndarray] = None,
+        out: Optional[np.ndarray] = None,
     ) -> "Future[ExecutionReport]":
-        """Enqueue one execution; resolves to an :class:`ExecutionReport`."""
+        """Enqueue one execution; resolves to an :class:`ExecutionReport`.
+
+        ``out``, when given, receives the transposed data in place (it
+        must be C-contiguous with the plan's volume and the payload's
+        dtype) and becomes ``report.output`` — no arena block is leased,
+        and the caller owns the buffer's lifetime.  The zero-copy
+        serving path points ``out`` at an arena lease so the reply can
+        be encoded as views over it.
+        """
         if self._closed:
             raise RuntimeError("scheduler is shut down")
+        if out is not None and payload is None:
+            raise ValueError("out= requires a payload")
         fut: "Future[ExecutionReport]" = Future()
-        self._queue.put((plan, payload, fut, time.perf_counter()))
+        self._queue.put((plan, payload, out, fut, time.perf_counter()))
         depth = self._queue.qsize()
         self.metrics.set_gauge("queue_depth", depth)
         self.metrics.max_gauge("queue_depth_peak", depth)
@@ -682,7 +695,7 @@ class StreamScheduler:
             if isinstance(item, _PartTask):
                 self._run_part(stream, item)
                 continue
-            plan, payload, fut, enqueued = item
+            plan, payload, out, fut, enqueued = item
             if not fut.set_running_or_notify_cancel():
                 continue
             started = time.perf_counter()
@@ -697,9 +710,15 @@ class StreamScheduler:
                         "exec_cache_hits" if hit else "exec_cache_misses"
                     )
                     src = plan.kernel.check_input(payload)
-                    block, output = self.arena.empty(
-                        (plan.kernel.volume,), src.dtype
-                    )
+                    if out is not None:
+                        # Caller-owned destination (e.g. a serving-layer
+                        # arena lease): no block is leased here and
+                        # report.release() is a no-op.
+                        output = plan.kernel.check_output(out, src.dtype)
+                    else:
+                        block, output = self.arena.empty(
+                            (plan.kernel.volume,), src.dtype
+                        )
                     program.run(src, out=output)
                 # Use the stream's own cost model only when the plan was
                 # built for this stream's device; a foreign plan keeps

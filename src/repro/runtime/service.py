@@ -457,6 +457,7 @@ class TransposeService:
         elem_bytes: int = 8,
         payload: Optional[np.ndarray] = None,
         spec: Optional[DeviceSpec] = None,
+        out: Optional[np.ndarray] = None,
     ):
         """Plan (coalesced/cached) and enqueue the execution.
 
@@ -464,13 +465,23 @@ class TransposeService:
         :class:`~repro.runtime.scheduler.ExecutionReport`.  ``payload``
         is the linearized input data; without it the stream still
         retires the launch on its simulated clock (a timing-only call).
+        ``out``, when given, receives the transposed data in place and
+        becomes the report's output (no arena lease; the caller owns
+        the buffer — the serving layer points this at its own lease so
+        replies encode as views over it).
         """
         self._check_intake()
         payload = self._check_payload(dims, elem_bytes, payload)
+        if out is not None:
+            if payload is None:
+                raise InvalidLayoutError("out= requires a payload to move")
+            self._check_payload(dims, elem_bytes, out)
         plan = self.plan(dims, perm, elem_bytes, spec)
         self.metrics.inc("executions_submitted")
         return self._track(
-            self._observe_feedback(plan, self.scheduler.submit(plan, payload))
+            self._observe_feedback(
+                plan, self.scheduler.submit(plan, payload, out=out)
+            )
         )
 
     def execute(

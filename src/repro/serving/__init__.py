@@ -8,6 +8,15 @@ bounded caches stay hot, admission control with per-tenant quotas and
 typed load shedding (:mod:`~repro.serving.admission`), graceful drain,
 and a pooled retrying client (:mod:`~repro.serving.client`).
 
+The data path is zero-copy by default: scatter-gather frame emission
+(:func:`~repro.serving.codec.pack_frame_parts` +
+:func:`~repro.serving.codec.write_parts`, which hands each tensor
+memoryview to the transport individually so the socket sends straight
+from the source array), ``buffer_factory`` decoding straight into
+arena leases server-side, and ``out=`` execution into the egress
+lease — tensor bytes are touched once per direction, with
+per-connection :class:`~repro.serving.codec.CodecStats` proving it.
+
 See ``docs/serving.md`` for the wire protocol and semantics;
 ``benchmarks/bench_serving_load.py`` is the million-request load
 generator that produces ``results/serving_load.json``.
@@ -19,15 +28,24 @@ from repro.serving.admission import AdmissionController, TokenBucket
 from repro.serving.client import ServingClient, exception_for
 from repro.serving.codec import (
     DEFAULT_MAX_FRAME_BYTES,
+    CodecStats,
     FrameTooLargeError,
     decode,
     decode_frame,
     encode,
+    encode_parts,
     pack_frame,
+    pack_frame_parts,
     read_frame,
+    write_parts,
 )
 from repro.serving.ring import HashRing
-from repro.serving.server import PROTOCOL_VERSION, ServingServer, error_code_of
+from repro.serving.server import (
+    PROTOCOL_VERSION,
+    ReplyTooLargeError,
+    ServingServer,
+    error_code_of,
+)
 
 __all__ = [
     "ServingServer",
@@ -37,12 +55,17 @@ __all__ = [
     "TokenBucket",
     "PROTOCOL_VERSION",
     "DEFAULT_MAX_FRAME_BYTES",
+    "CodecStats",
     "FrameTooLargeError",
+    "ReplyTooLargeError",
     "encode",
+    "encode_parts",
     "decode",
     "pack_frame",
+    "pack_frame_parts",
     "decode_frame",
     "read_frame",
+    "write_parts",
     "error_code_of",
     "exception_for",
 ]

@@ -42,13 +42,19 @@ from repro.errors import (
 )
 from repro.serving.codec import (
     DEFAULT_MAX_FRAME_BYTES,
+    CodecStats,
+    decode,
     pack_frame,
+    pack_frame_parts,
     read_frame,
 )
+from repro.serving.server import ReplyTooLargeError
+from repro.serving.wire import FrameConnection
 
 #: wire error code -> exception type raised client-side.
 ERROR_TYPES = {
     "FRAME_TOO_LARGE": ProtocolError,
+    "REPLY_TOO_LARGE": ReplyTooLargeError,
     "BAD_REQUEST": ProtocolError,
     "UNKNOWN_VERB": ProtocolError,
     "OVERLOADED": OverloadedError,
@@ -73,13 +79,40 @@ def exception_for(code: str, message: str) -> ReproError:
     return exc
 
 
-class _Connection:
-    """One pipelined connection: a writer plus a reply-pump task."""
+def _fresh_buffer(shape, dtype) -> np.ndarray:
+    """The client-side decode ``buffer_factory``: reply tensors land in
+    one fresh array (the storage the caller receives) instead of a
+    frame-buffer view plus an owned copy."""
+    return np.empty(shape, dtype=dtype)
 
-    def __init__(self, reader, writer, max_frame_bytes: int):
+
+class _Connection:
+    """One pipelined connection: a writer plus a reply-pump task.
+
+    Zero-copy connections run on the readinto wire transport
+    (:class:`~repro.serving.wire.FrameConnection`): reply frames are
+    recv'd straight into the buffer decode reads and reply tensors land
+    in fresh arrays via ``buffer_factory``; requests go out as
+    scatter-gather memoryview parts over the caller's arrays.  Copying
+    connections keep the original StreamReader/``pack_frame`` path.
+    """
+
+    def __init__(
+        self,
+        max_frame_bytes: int,
+        *,
+        reader=None,
+        writer=None,
+        wire: Optional[FrameConnection] = None,
+        zero_copy: bool = True,
+        stats: Optional[CodecStats] = None,
+    ):
         self.reader = reader
-        self.writer = writer
+        self.writer = wire if wire is not None else writer
+        self.wire = wire
         self.max_frame_bytes = max_frame_bytes
+        self.zero_copy = zero_copy
+        self.stats = stats
         self.pending: dict = {}
         self.lock = asyncio.Lock()
         self.pump = asyncio.ensure_future(self._pump())
@@ -87,7 +120,14 @@ class _Connection:
     async def _pump(self) -> None:
         try:
             while True:
-                reply = await read_frame(self.reader, self.max_frame_bytes)
+                if self.wire is not None:
+                    reply = await self.wire.read_frame()
+                else:
+                    reply = await read_frame(
+                        self.reader,
+                        self.max_frame_bytes,
+                        stats=self.stats,
+                    )
                 fut = self.pending.pop(reply.get("id"), None)
                 if fut is not None and not fut.done():
                     fut.set_result(reply)
@@ -107,10 +147,24 @@ class _Connection:
     async def request(self, msg: dict) -> dict:
         fut: "asyncio.Future" = asyncio.get_running_loop().create_future()
         self.pending[msg["id"]] = fut
-        frame = pack_frame(msg, max_frame_bytes=self.max_frame_bytes)
-        async with self.lock:
-            self.writer.write(frame)
-            await self.writer.drain()
+        if self.zero_copy:
+            # Scatter-gather send: payload tensors go out as memoryview
+            # parts over the caller's arrays.  The transport consumes
+            # every part before write_parts returns, so the arrays only
+            # need to stay unmutated until drain() below.
+            parts = pack_frame_parts(
+                msg, max_frame_bytes=self.max_frame_bytes, stats=self.stats
+            )
+            async with self.lock:
+                self.wire.write_parts(parts)
+                await self.wire.drain()
+        else:
+            frame = pack_frame(
+                msg, max_frame_bytes=self.max_frame_bytes, stats=self.stats
+            )
+            async with self.lock:
+                self.writer.write(frame)
+                await self.writer.drain()
         return await fut
 
     async def close(self) -> None:
@@ -140,6 +194,11 @@ class ServingClient:
         propagates.  0 disables retrying.
     backoff_base_s / backoff_max_s:
         Decorrelated-jitter exponential backoff bounds between retries.
+    zero_copy:
+        Send payload tensors as scatter-gather memoryview parts and
+        land reply tensors in fresh storage directly (default); False
+        selects the copying codec baseline.  Either way the wire bytes
+        are identical.
     rng:
         Jitter source (tests pass a seeded :class:`random.Random`).
     """
@@ -154,6 +213,7 @@ class ServingClient:
         backoff_base_s: float = 0.005,
         backoff_max_s: float = 0.25,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        zero_copy: bool = True,
         rng: Optional[random.Random] = None,
     ):
         if pool_size <= 0:
@@ -165,6 +225,10 @@ class ServingClient:
         self.backoff_base_s = backoff_base_s
         self.backoff_max_s = backoff_max_s
         self.max_frame_bytes = max_frame_bytes
+        self.zero_copy = bool(zero_copy)
+        #: Tensor-byte accounting across the pool (asyncio-single-
+        #: threaded, so one shared instance is race-free).
+        self.codec_stats = CodecStats()
         self._rng = rng if rng is not None else random.Random()
         self._ids = itertools.count(1)
         self._conns: list = []
@@ -176,11 +240,41 @@ class ServingClient:
 
     # ------------------------------------------------------------------
     async def connect(self) -> "ServingClient":
-        for _ in range(self.pool_size):
-            reader, writer = await asyncio.open_connection(self.host, self.port)
-            self._conns.append(
-                _Connection(reader, writer, self.max_frame_bytes)
+        loop = asyncio.get_running_loop()
+
+        def _decode_reply(body: bytearray):
+            return decode(
+                body, buffer_factory=_fresh_buffer, stats=self.codec_stats
             )
+
+        for _ in range(self.pool_size):
+            if self.zero_copy:
+                _, wire = await loop.create_connection(
+                    lambda: FrameConnection(
+                        max_frame_bytes=self.max_frame_bytes,
+                        decoder=_decode_reply,
+                    ),
+                    self.host,
+                    self.port,
+                )
+                conn = _Connection(
+                    self.max_frame_bytes,
+                    wire=wire,
+                    zero_copy=True,
+                    stats=self.codec_stats,
+                )
+            else:
+                reader, writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+                conn = _Connection(
+                    self.max_frame_bytes,
+                    reader=reader,
+                    writer=writer,
+                    zero_copy=False,
+                    stats=self.codec_stats,
+                )
+            self._conns.append(conn)
         return self
 
     async def close(self) -> None:

@@ -15,6 +15,25 @@ declared frame longer than ``max_frame_bytes`` raises
 :class:`FrameTooLargeError` *before* the body is read, so a hostile or
 buggy peer cannot make the server buffer an arbitrary amount.
 
+Two data paths share the one wire format (``docs/serving.md`` has the
+copy-count table):
+
+- the **copying** path — :func:`encode` / :func:`pack_frame` build one
+  contiguous ``bytes`` frame (``tobytes`` + join + prefix concat), and
+  :func:`decode` hands back owned writable array copies.  Kept as the
+  baseline the load bench compares against.
+- the **zero-copy** path — :func:`encode_parts` /
+  :func:`pack_frame_parts` return a list of buffer-protocol parts in
+  which every tensor is a flat ``uint8`` *view* of the source array
+  (no ``tobytes``, no join), ready for ``writer.writelines(...)``;
+  on decode, a ``buffer_factory`` callback lands tensor payloads
+  directly in caller-provided storage (e.g. a
+  :class:`~repro.runtime.arena.BufferArena` lease) with one
+  readinto-style slice assignment instead of ``frombuffer().copy()``.
+
+Both paths feed a :class:`CodecStats`, so the zero-copy invariant
+(``tensor_bytes_copied == 0``) is observable and regression-testable.
+
 Frame layout (see ``docs/serving.md`` for the verb schemas)::
 
     +----------------+----------------------------------+
@@ -38,7 +57,7 @@ from __future__ import annotations
 
 import asyncio
 import struct
-from typing import Any, List, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -67,9 +86,51 @@ _T_LIST = 0xDD
 _T_DICT = 0xDF
 _T_NDARRAY = 0xC7
 
+#: ``buffer_factory(shape, dtype) -> ndarray``: caller-provided storage
+#: a decoded tensor lands in (C-contiguous, writable, exact shape/dtype).
+BufferFactory = Callable[[Tuple[int, ...], np.dtype], np.ndarray]
+
 
 class FrameTooLargeError(ProtocolError):
     """A frame declared a body longer than the negotiated maximum."""
+
+
+class CodecStats:
+    """Tensor-byte accounting for one endpoint (a connection, a client).
+
+    Every ndarray crossing the codec adds its ``nbytes`` to exactly one
+    bucket per traversal: ``tensor_bytes_zero_copy`` when it moved as a
+    view (encode) or landed straight in caller-provided storage
+    (decode), ``tensor_bytes_copied`` when an intermediate copy was
+    taken (``tobytes``, ``frombuffer().copy()``, or a forced
+    ``ascontiguousarray`` of a non-contiguous source).  The serving
+    layer folds these into ``MetricsRegistry`` counters; the load bench
+    asserts ``tensor_bytes_copied == 0`` on the zero-copy happy path.
+    """
+
+    __slots__ = ("tensor_bytes_copied", "tensor_bytes_zero_copy")
+
+    def __init__(self) -> None:
+        self.tensor_bytes_copied = 0
+        self.tensor_bytes_zero_copy = 0
+
+    def count(self, nbytes: int, copied: bool) -> None:
+        if copied:
+            self.tensor_bytes_copied += int(nbytes)
+        else:
+            self.tensor_bytes_zero_copy += int(nbytes)
+
+    def as_dict(self) -> dict:
+        return {
+            "tensor_bytes_copied": self.tensor_bytes_copied,
+            "tensor_bytes_zero_copy": self.tensor_bytes_zero_copy,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CodecStats(copied={self.tensor_bytes_copied}, "
+            f"zero_copy={self.tensor_bytes_zero_copy})"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -77,7 +138,42 @@ class FrameTooLargeError(ProtocolError):
 # ----------------------------------------------------------------------
 
 
-def _encode_into(obj: Any, out: List[bytes], depth: int) -> None:
+def _byte_part(obj) -> Any:
+    """A bytes-like part for a ``bytes``/``bytearray``/``memoryview``
+    input **without** forcing a copy when the object already exposes a
+    contiguous buffer (``b"".join``, ``writer.write`` and
+    ``writer.writelines`` all consume buffer-protocol objects
+    directly).  Non-contiguous memoryviews are the one case that must
+    materialize."""
+    if isinstance(obj, (bytes, bytearray)):
+        return obj
+    if obj.contiguous:
+        return obj if obj.format == "B" and obj.ndim == 1 else obj.cast("B")
+    return bytes(obj)
+
+
+def _part_nbytes(part) -> int:
+    return part.nbytes if isinstance(part, memoryview) else len(part)
+
+
+def _tensor_view(arr: np.ndarray) -> memoryview:
+    """A flat ``uint8`` memoryview over a C-contiguous array's bytes.
+
+    ``reshape(-1)`` then ``view(uint8)`` are both views (never copies)
+    on a C-contiguous source, and work where ``memoryview(arr)`` alone
+    would not flatten: 0-d arrays, zero-size arrays, read-only arrays,
+    and non-native-endian dtypes all export a plain ``'B'`` buffer.
+    """
+    return memoryview(arr.reshape(-1).view(np.uint8))
+
+
+def _encode_into(
+    obj: Any,
+    out: List[Any],
+    depth: int,
+    zero_copy: bool,
+    stats: Optional[CodecStats],
+) -> None:
     if depth > MAX_DEPTH:
         raise ProtocolError(f"encode nesting deeper than {MAX_DEPTH}")
     if obj is None:
@@ -95,22 +191,32 @@ def _encode_into(obj: Any, out: List[bytes], depth: int) -> None:
         out.append(bytes((_T_STR,)) + _LEN.pack(len(raw)))
         out.append(raw)
     elif isinstance(obj, (bytes, bytearray, memoryview)):
-        raw = bytes(obj)
-        out.append(bytes((_T_BYTES,)) + _LEN.pack(len(raw)))
+        raw = _byte_part(obj)
+        out.append(bytes((_T_BYTES,)) + _LEN.pack(_part_nbytes(raw)))
         out.append(raw)
     elif isinstance(obj, np.ndarray):
-        arr = np.ascontiguousarray(obj)
+        arr = obj if obj.flags.c_contiguous else np.ascontiguousarray(obj)
         dt = arr.dtype.str.encode("ascii")
         if len(dt) > 255 or arr.ndim > 255:
             raise ProtocolError("unencodable ndarray (dtype/ndim too wide)")
         head = bytes((_T_NDARRAY, len(dt))) + dt + bytes((arr.ndim,))
         head += b"".join(_LEN.pack(int(d)) for d in arr.shape)
         out.append(head)
-        out.append(arr.tobytes())
+        if zero_copy:
+            # The part references the source array's memory; the caller
+            # owns keeping it alive (and stable) until the write drains.
+            data: Any = _tensor_view(arr)
+        else:
+            data = arr.tobytes()
+        out.append(data)
+        if stats is not None:
+            stats.count(
+                arr.nbytes, copied=arr is not obj or not zero_copy
+            )
     elif isinstance(obj, (list, tuple)):
         out.append(bytes((_T_LIST,)) + _LEN.pack(len(obj)))
         for item in obj:
-            _encode_into(item, out, depth + 1)
+            _encode_into(item, out, depth + 1, zero_copy, stats)
     elif isinstance(obj, dict):
         out.append(bytes((_T_DICT,)) + _LEN.pack(len(obj)))
         for key, value in obj.items():
@@ -121,27 +227,107 @@ def _encode_into(obj: Any, out: List[bytes], depth: int) -> None:
             raw = key.encode("utf-8")
             out.append(_LEN.pack(len(raw)))
             out.append(raw)
-            _encode_into(value, out, depth + 1)
+            _encode_into(value, out, depth + 1, zero_copy, stats)
     else:
         raise ProtocolError(f"unencodable type {type(obj).__name__}")
 
 
-def encode(obj: Any) -> bytes:
-    """Encode one value to its body bytes (no length prefix)."""
-    out: List[bytes] = []
-    _encode_into(obj, out, 0)
+def encode(obj: Any, stats: Optional[CodecStats] = None) -> bytes:
+    """Encode one value to its body bytes (no length prefix).
+
+    The copying path: tensor data is materialized (``tobytes``) and the
+    chunks joined into one contiguous body.
+    """
+    out: List[Any] = []
+    _encode_into(obj, out, 0, zero_copy=False, stats=stats)
     return b"".join(out)
 
 
-def pack_frame(obj: Any, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> bytes:
-    """One full wire frame: length prefix + encoded body."""
-    body = encode(obj)
+def encode_parts(obj: Any, stats: Optional[CodecStats] = None) -> List[Any]:
+    """Encode one value as a list of buffer-protocol body parts.
+
+    Tensor data appears as flat ``uint8`` memoryviews **over the source
+    arrays** — no ``tobytes``, no join.  The concatenation of the parts
+    is byte-identical to :func:`encode`'s output.  The parts borrow the
+    source buffers: keep every encoded array alive and unmutated until
+    the parts are fully written (``writer.writelines(parts)`` followed
+    by ``drain()``).
+    """
+    out: List[Any] = []
+    _encode_into(obj, out, 0, zero_copy=True, stats=stats)
+    return out
+
+
+def pack_frame(
+    obj: Any,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    stats: Optional[CodecStats] = None,
+) -> bytes:
+    """One full wire frame: length prefix + encoded body (one buffer)."""
+    body = encode(obj, stats=stats)
     if len(body) > max_frame_bytes:
         raise FrameTooLargeError(
             f"frame body of {len(body)} bytes exceeds the "
             f"{max_frame_bytes}-byte cap"
         )
     return _LEN.pack(len(body)) + body
+
+
+def pack_frame_parts(
+    obj: Any,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    stats: Optional[CodecStats] = None,
+) -> List[Any]:
+    """One full wire frame as scatter-gather parts for ``writelines``.
+
+    Returns ``[length_prefix, *body_parts]``; the body length is summed
+    over the parts, never joined.  Same lifetime contract as
+    :func:`encode_parts`.
+    """
+    parts = encode_parts(obj, stats=stats)
+    body_len = sum(_part_nbytes(p) for p in parts)
+    if body_len > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"frame body of {body_len} bytes exceeds the "
+            f"{max_frame_bytes}-byte cap"
+        )
+    return [_LEN.pack(body_len), *parts]
+
+
+#: Parts at or below this size are coalesced into one small join before
+#: writing; larger parts are written individually so the transport can
+#: send straight from the source memoryview.  (Python 3.11's
+#: ``Transport.writelines`` joins *all* parts into one buffer first,
+#: which would re-copy every tensor byte we just avoided copying.)
+WRITE_COALESCE_MAX = 32 * 1024
+
+
+def write_parts(
+    writer: "asyncio.StreamWriter",
+    parts: List[Any],
+    coalesce_max: int = WRITE_COALESCE_MAX,
+) -> None:
+    """Scatter-gather frame write: headers join, tensors do not.
+
+    Consecutive small parts (tags, lengths, scalars) are joined into
+    one buffer per run — a few hundred bytes, not a copy that matters —
+    while each large part (a tensor's memoryview) is handed to the
+    transport on its own, letting the socket send directly from the
+    source array's memory when the write buffer is empty.  By the time
+    this returns every part has been consumed (sent or buffered), so
+    the caller may release the source buffers after ``drain()``.
+    """
+    small: List[Any] = []
+    for part in parts:
+        if _part_nbytes(part) <= coalesce_max:
+            small.append(part)
+            continue
+        if small:
+            writer.write(b"".join(small))
+            small.clear()
+        writer.write(part)
+    if small:
+        writer.write(b"".join(small))
 
 
 # ----------------------------------------------------------------------
@@ -157,7 +343,71 @@ def _need(buf: bytes, pos: int, n: int) -> None:
         )
 
 
-def _decode_at(buf: bytes, pos: int, depth: int) -> Tuple[Any, int]:
+def _decode_ndarray(
+    buf: bytes,
+    pos: int,
+    buffer_factory: Optional[BufferFactory],
+    stats: Optional[CodecStats],
+) -> Tuple[np.ndarray, int]:
+    _need(buf, pos, 1)
+    dt_len = buf[pos]
+    pos += 1
+    _need(buf, pos, dt_len)
+    try:
+        dtype = np.dtype(buf[pos : pos + dt_len].decode("ascii"))
+    except (UnicodeDecodeError, TypeError) as exc:
+        raise ProtocolError(f"invalid ndarray dtype: {exc}") from None
+    pos += dt_len
+    _need(buf, pos, 1)
+    ndim = buf[pos]
+    pos += 1
+    shape = []
+    for _ in range(ndim):
+        _need(buf, pos, 4)
+        shape.append(_LEN.unpack_from(buf, pos)[0])
+        pos += 4
+    count = int(np.prod(shape, dtype=np.int64))
+    nbytes = count * dtype.itemsize
+    _need(buf, pos, nbytes)
+    if buffer_factory is not None:
+        # Zero-copy landing: one readinto-style slice assignment moves
+        # the payload straight into caller-provided storage (an arena
+        # lease on the server) — no intermediate array is allocated.
+        dest = buffer_factory(tuple(shape), dtype)
+        if (
+            not isinstance(dest, np.ndarray)
+            or dest.dtype != dtype
+            or dest.shape != tuple(shape)
+            or not dest.flags.c_contiguous
+            or not dest.flags.writeable
+        ):
+            raise TypeError(
+                "buffer_factory must return a writable C-contiguous "
+                f"ndarray of shape {tuple(shape)} and dtype {dtype}"
+            )
+        if nbytes:
+            dest.reshape(-1).view(np.uint8)[:] = np.frombuffer(
+                buf, dtype=np.uint8, count=nbytes, offset=pos
+            )
+        if stats is not None:
+            stats.count(nbytes, copied=False)
+        return dest, pos + nbytes
+    arr = np.frombuffer(
+        buf, dtype=dtype, count=count, offset=pos
+    ).reshape(shape)
+    if stats is not None:
+        stats.count(nbytes, copied=True)
+    # The frame buffer is short-lived; give callers a writable copy.
+    return arr.copy(), pos + nbytes
+
+
+def _decode_at(
+    buf: bytes,
+    pos: int,
+    depth: int,
+    buffer_factory: Optional[BufferFactory],
+    stats: Optional[CodecStats],
+) -> Tuple[Any, int]:
     if depth > MAX_DEPTH:
         raise ProtocolError(f"decode nesting deeper than {MAX_DEPTH}")
     _need(buf, pos, 1)
@@ -189,32 +439,11 @@ def _decode_at(buf: bytes, pos: int, depth: int) -> Tuple[Any, int]:
         n = _LEN.unpack_from(buf, pos)[0]
         pos += 4
         _need(buf, pos, n)
-        return buf[pos : pos + n], pos + n
+        # bytes() so callers see the same type whether the body arrived
+        # as bytes (streams) or a bytearray (the readinto wire path).
+        return bytes(buf[pos : pos + n]), pos + n
     if tag == _T_NDARRAY:
-        _need(buf, pos, 1)
-        dt_len = buf[pos]
-        pos += 1
-        _need(buf, pos, dt_len)
-        try:
-            dtype = np.dtype(buf[pos : pos + dt_len].decode("ascii"))
-        except (UnicodeDecodeError, TypeError) as exc:
-            raise ProtocolError(f"invalid ndarray dtype: {exc}") from None
-        pos += dt_len
-        _need(buf, pos, 1)
-        ndim = buf[pos]
-        pos += 1
-        shape = []
-        for _ in range(ndim):
-            _need(buf, pos, 4)
-            shape.append(_LEN.unpack_from(buf, pos)[0])
-            pos += 4
-        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
-        _need(buf, pos, nbytes)
-        arr = np.frombuffer(
-            buf, dtype=dtype, count=nbytes // dtype.itemsize, offset=pos
-        ).reshape(shape)
-        # The frame buffer is short-lived; give callers a writable copy.
-        return arr.copy(), pos + nbytes
+        return _decode_ndarray(buf, pos, buffer_factory, stats)
     if tag == _T_LIST:
         _need(buf, pos, 4)
         n = _LEN.unpack_from(buf, pos)[0]
@@ -224,7 +453,7 @@ def _decode_at(buf: bytes, pos: int, depth: int) -> Tuple[Any, int]:
         _need(buf, pos, n)
         items = []
         for _ in range(n):
-            item, pos = _decode_at(buf, pos, depth + 1)
+            item, pos = _decode_at(buf, pos, depth + 1, buffer_factory, stats)
             items.append(item)
         return items, pos
     if tag == _T_DICT:
@@ -243,14 +472,31 @@ def _decode_at(buf: bytes, pos: int, depth: int) -> Tuple[Any, int]:
             except UnicodeDecodeError as exc:
                 raise ProtocolError(f"invalid UTF-8 in key: {exc}") from None
             pos += key_len
-            obj[key], pos = _decode_at(buf, pos, depth + 1)
+            obj[key], pos = _decode_at(
+                buf, pos, depth + 1, buffer_factory, stats
+            )
         return obj, pos
     raise ProtocolError(f"unknown wire tag 0x{tag:02x}")
 
 
-def decode(body: bytes) -> Any:
-    """Decode one body; raises :class:`ProtocolError` on any violation."""
-    value, pos = _decode_at(bytes(body), 0, 0)
+def decode(
+    body: bytes,
+    buffer_factory: Optional[BufferFactory] = None,
+    stats: Optional[CodecStats] = None,
+) -> Any:
+    """Decode one body; raises :class:`ProtocolError` on any violation.
+
+    Without ``buffer_factory`` every tensor decodes to an owned
+    writable copy.  With it, each tensor payload lands directly in the
+    storage the factory returns for its ``(shape, dtype)`` — the
+    zero-copy ingress path.
+
+    ``body`` may be ``bytes`` or a ``bytearray``; a ``bytearray`` (the
+    buffer :class:`~repro.serving.wire.FrameConnection` recv'd into) is
+    decoded in place, never copied.
+    """
+    buf = body if isinstance(body, (bytes, bytearray)) else bytes(body)
+    value, pos = _decode_at(buf, 0, 0, buffer_factory, stats)
     if pos != len(body):
         raise ProtocolError(
             f"{len(body) - pos} trailing bytes after the encoded value"
@@ -259,7 +505,10 @@ def decode(body: bytes) -> Any:
 
 
 def decode_frame(
-    frame: bytes, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    frame: bytes,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    buffer_factory: Optional[BufferFactory] = None,
+    stats: Optional[CodecStats] = None,
 ) -> Any:
     """Decode one full frame (prefix + body) from a byte string."""
     if len(frame) < 4:
@@ -273,7 +522,7 @@ def decode_frame(
         raise ProtocolError(
             f"frame declares {n} body bytes but carries {len(frame) - 4}"
         )
-    return decode(frame[4:])
+    return decode(frame[4:], buffer_factory=buffer_factory, stats=stats)
 
 
 # ----------------------------------------------------------------------
@@ -284,6 +533,8 @@ def decode_frame(
 async def read_frame(
     reader: "asyncio.StreamReader",
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    buffer_factory: Optional[BufferFactory] = None,
+    stats: Optional[CodecStats] = None,
 ):
     """Read and decode one frame from a stream.
 
@@ -291,6 +542,7 @@ async def read_frame(
     connection close (EOF exactly between frames), :class:`ProtocolError`
     on a mid-frame truncation, and :class:`FrameTooLargeError` as soon
     as an oversized length prefix arrives — without reading the body.
+    ``buffer_factory``/``stats`` behave as in :func:`decode`.
     """
     try:
         head = await reader.readexactly(4)
@@ -313,4 +565,4 @@ async def read_frame(
             f"connection closed inside a frame body "
             f"({len(exc.partial)}/{n} bytes)"
         ) from None
-    return decode(body)
+    return decode(body, buffer_factory=buffer_factory, stats=stats)

@@ -22,6 +22,22 @@ implements graceful shutdown: stop accepting, flush inflight (zero
 dropped requests), drain every replica, and fold replica metrics into
 one ``serving.*`` snapshot.
 
+**Zero-copy data path** (default; see the copy-count table in
+``docs/serving.md``): request tensors decode straight into
+:class:`~repro.runtime.arena.BufferArena` leases via the codec's
+``buffer_factory`` hook, the transpose runs with ``out=`` pointing at a
+second lease, and the reply is emitted with
+:func:`~repro.serving.codec.write_parts` over memoryview parts of that
+lease — a request's tensor bytes are touched
+once on ingress (the socket read) and once on egress (the socket
+write).  Both leases are released only after the write drains.  The
+per-connection :class:`~repro.serving.codec.CodecStats` byte counters
+are folded into the server's :class:`MetricsRegistry`
+(``serving.tensor_bytes_copied`` / ``serving.tensor_bytes_zero_copy``),
+so the invariant is observable and regression-testable; construct with
+``zero_copy=False`` for the copying baseline the load bench compares
+against.
+
 Requests on one connection may be **pipelined**: the server replies per
 request, possibly out of order, and the client matches replies to
 requests by ``id`` (see :mod:`repro.serving.client`).
@@ -36,7 +52,7 @@ import asyncio
 import math
 import random
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -52,16 +68,23 @@ from repro.errors import (
     ReproError,
 )
 from repro.gpusim.spec import KEPLER_K40C, DeviceSpec
+from repro.runtime.arena import ArenaBlock, BufferArena
+from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.service import TransposeService
 from repro.runtime.store import PlanStore, content_key
 from repro.serving.admission import AdmissionController
 from repro.serving.codec import (
     DEFAULT_MAX_FRAME_BYTES,
+    CodecStats,
     FrameTooLargeError,
+    decode,
     pack_frame,
+    pack_frame_parts,
     read_frame,
+    write_parts,
 )
 from repro.serving.ring import HashRing
+from repro.serving.wire import FrameConnection
 
 #: Protocol version, echoed by ``ping`` and checked by the client.
 PROTOCOL_VERSION = 1
@@ -73,8 +96,21 @@ VERBS = ("ping", "execute", "submit", "batched", "stats", "drain")
 #: exists so the load benchmark can measure what routing locality buys.
 ROUTERS = ("hash", "random", "round_robin")
 
+
+class ReplyTooLargeError(FrameTooLargeError):
+    """A *reply* the server built exceeds the connection's frame cap.
+
+    Distinct from :class:`FrameTooLargeError` (the peer sent us an
+    oversized frame) so the requester gets a structured
+    ``REPLY_TOO_LARGE`` error — e.g. "your output is bigger than the
+    negotiated cap, lower ``return_output``" — instead of the server
+    emitting a frame the peer's codec would refuse and desync on.
+    """
+
+
 #: exception type -> wire error code, most specific first.
 _ERROR_CODES = (
+    (ReplyTooLargeError, "REPLY_TOO_LARGE"),
     (FrameTooLargeError, "FRAME_TOO_LARGE"),
     (ProtocolError, "BAD_REQUEST"),
     (QuotaExceededError, "QUOTA_EXCEEDED"),
@@ -106,6 +142,63 @@ def _synth_dtype(elem_bytes: int) -> np.dtype:
     raise ProtocolError(f"unsupported elem_bytes {elem_bytes} for synth")
 
 
+class _ConnState:
+    """Per-connection mutable state: the write lock serializing frame
+    emission plus the connection's codec byte accounting.
+
+    :meth:`fold_into` moves only the *delta* since the last fold into
+    the server registry, so live connections can be folded at every
+    snapshot (and once more at disconnect) without double counting.
+    """
+
+    __slots__ = ("write_lock", "stats", "_folded_copied", "_folded_zero")
+
+    def __init__(self) -> None:
+        self.write_lock = asyncio.Lock()
+        self.stats = CodecStats()
+        self._folded_copied = 0
+        self._folded_zero = 0
+
+    def fold_into(self, metrics: MetricsRegistry) -> None:
+        dc = self.stats.tensor_bytes_copied - self._folded_copied
+        dz = self.stats.tensor_bytes_zero_copy - self._folded_zero
+        if dc:
+            metrics.inc("tensor_bytes_copied", dc)
+            self._folded_copied += dc
+        if dz:
+            metrics.inc("tensor_bytes_zero_copy", dz)
+            self._folded_zero += dz
+
+
+class _LeaseScope:
+    """The arena leases of one request's lifecycle.
+
+    The codec's ``buffer_factory`` lands every ingress tensor in a
+    lease from here, and the dispatcher adds the egress output lease;
+    :meth:`release` returns them all once the reply has drained (or the
+    request dies on any earlier path).  Idempotent — the dispatcher
+    releases eagerly before dropping the admission permit (so drain
+    leak checks are deterministic) and the connection handler keeps a
+    backstop release.
+    """
+
+    __slots__ = ("arena", "blocks")
+
+    def __init__(self, arena: BufferArena) -> None:
+        self.arena = arena
+        self.blocks: List[ArenaBlock] = []
+
+    def factory(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        block, view = self.arena.empty(shape, dtype)
+        self.blocks.append(block)
+        return view
+
+    def release(self) -> None:
+        blocks, self.blocks = self.blocks, []
+        for block in blocks:
+            block.release()
+
+
 class ServingServer:
     """Asyncio TCP front end over ``replicas`` transpose services.
 
@@ -133,7 +226,13 @@ class ServingServer:
     default_deadline_s:
         Deadline applied when a request carries none (None = no limit).
     max_frame_bytes:
-        Reject frames whose declared body exceeds this.
+        Reject frames whose declared body exceeds this; replies are
+        held to the same cap (``REPLY_TOO_LARGE``).
+    zero_copy:
+        Use the arena-backed scatter-gather data path (default).
+        ``False`` selects the copying codec baseline: contiguous
+        ``pack_frame`` frames out, owned array copies in — same wire
+        format, ~6 extra tensor passes per round trip.
     """
 
     def __init__(
@@ -158,6 +257,7 @@ class ServingServer:
         router_seed: int = 0,
         default_deadline_s: Optional[float] = None,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        zero_copy: bool = True,
     ):
         if replicas <= 0:
             raise ValueError(f"replicas must be positive, got {replicas}")
@@ -169,6 +269,7 @@ class ServingServer:
         self.router = router
         self.max_frame_bytes = max_frame_bytes
         self.default_deadline_s = default_deadline_s
+        self.zero_copy = bool(zero_copy)
         self.store: Optional[PlanStore] = None
         if store_path is not None:
             self.store = PlanStore(store_path, autoflush=False)
@@ -199,10 +300,20 @@ class ServingServer:
             tenant_burst=tenant_burst,
             max_queue_depth=max_queue_depth,
         )
-        self._counters: Dict[str, int] = {}
+        #: Request/ingress/egress buffer pool; heap-backed — the leases
+        #: never cross a process boundary, and sub-segment churn of the
+        #: shm path would only add filesystem round-trips here.
+        self.arena = BufferArena(use_shared_memory=False)
+        self.metrics = MetricsRegistry()
+        # Materialize the data-path counters so snapshots (and the
+        # tensor_bytes_copied == 0 assertions) see them even when idle.
+        self.metrics.inc("tensor_bytes_copied", 0)
+        self.metrics.inc("tensor_bytes_zero_copy", 0)
+        self._conns: set = set()
         self._routed = [0] * replicas
         self._server: Optional[asyncio.base_events.Server] = None
         self._writers: set = set()
+        self._conn_tasks: set = set()
         self._draining = False
         self._drain_task: Optional[asyncio.Task] = None
         self._closed = False
@@ -214,9 +325,19 @@ class ServingServer:
     # lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> "ServingServer":
-        self._server = await asyncio.start_server(
-            self._handle, self.host, self._port
-        )
+        loop = asyncio.get_running_loop()
+        if self.zero_copy:
+            # The readinto wire transport: inbound frame bodies are
+            # recv'd straight into the buffer decode reads, and tensors
+            # land in arena leases from there.
+            self._server = await loop.create_server(
+                self._wire_connection, self.host, self._port
+            )
+        else:
+            # Copying baseline: the original StreamReader data path.
+            self._server = await asyncio.start_server(
+                self._handle, self.host, self._port
+            )
         self._port = self._server.sockets[0].getsockname()[1]
         return self
 
@@ -240,6 +361,12 @@ class ServingServer:
         to completion and its reply is delivered before the replicas
         close — zero dropped inflight requests.  Returns True when the
         inflight pool emptied within ``timeout``.
+
+        Admitted requests release their arena leases *before* dropping
+        their admission permit, so once the pool is idle and the shards
+        have drained, ``serving.arena.leases_at_drain`` records how many
+        leases were still outstanding — zero unless a connection was
+        torn down mid-frame at exactly the wrong moment.
         """
         self._draining = True
         self._count("drains")
@@ -259,6 +386,9 @@ class ServingServer:
         loop = asyncio.get_running_loop()
         for svc in self.replicas:
             await loop.run_in_executor(None, svc.drain)
+        self.metrics.inc(
+            "arena.leases_at_drain", self.arena.stats()["active_blocks"]
+        )
         return drained
 
     async def close(self) -> None:
@@ -273,9 +403,14 @@ class ServingServer:
             await self._server.wait_closed()
         for writer in list(self._writers):
             writer.close()
+        if self._conn_tasks:
+            await asyncio.gather(
+                *list(self._conn_tasks), return_exceptions=True
+            )
         loop = asyncio.get_running_loop()
         for svc in self.replicas:
             await loop.run_in_executor(None, svc.close)
+        self.arena.close()
         if self.store is not None:
             self.store.close()
 
@@ -298,43 +433,97 @@ class ServingServer:
         return self._rr
 
     def _count(self, name: str, n: int = 1) -> None:
-        self._counters[name] = self._counters.get(name, 0) + n
+        self.metrics.inc(name, n)
 
     # ------------------------------------------------------------------
     # connection handling
     # ------------------------------------------------------------------
+    def _wire_connection(self) -> FrameConnection:
+        """One zero-copy connection: a :class:`FrameConnection` whose
+        per-frame decoder opens a :class:`_LeaseScope` and lands every
+        ingress tensor in it, handled by the shared serve loop."""
+        conn = _ConnState()
+
+        def decoder(body: bytearray):
+            scope = _LeaseScope(self.arena)
+            try:
+                msg = decode(
+                    body, buffer_factory=scope.factory, stats=conn.stats
+                )
+            except BaseException:
+                # Decode failures may already hold ingress leases.
+                scope.release()
+                raise
+            return msg, scope
+
+        def on_connect(wire: FrameConnection) -> None:
+            task = asyncio.ensure_future(self._serve_wire(wire, conn))
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+
+        return FrameConnection(
+            max_frame_bytes=self.max_frame_bytes,
+            decoder=decoder,
+            on_connect=on_connect,
+        )
+
+    async def _serve_wire(self, wire: FrameConnection, conn: _ConnState) -> None:
+        async def recv():
+            return await wire.read_frame()
+
+        await self._serve_conn(recv, wire, conn)
+
     async def _handle(self, reader, writer) -> None:
+        # Copying-baseline connections: frames come off a StreamReader
+        # and decode to owned array copies; no lease scopes exist.
+        conn = _ConnState()
+
+        async def recv():
+            msg = await read_frame(
+                reader, self.max_frame_bytes, stats=conn.stats
+            )
+            return msg, None
+
+        await self._serve_conn(recv, writer, conn)
+
+    async def _serve_conn(self, recv, writer, conn: _ConnState) -> None:
+        """The per-connection serve loop, transport-agnostic: ``recv``
+        yields ``(msg, lease_scope_or_None)`` per frame, ``writer`` is a
+        :class:`asyncio.StreamWriter` or :class:`FrameConnection`."""
         self._writers.add(writer)
+        self._conns.add(conn)
         self._count("connections")
-        write_lock = asyncio.Lock()
         tasks: set = set()
         try:
             while True:
                 try:
-                    msg = await read_frame(reader, self.max_frame_bytes)
+                    msg, scope = await recv()
                 except EOFError:
                     break
                 except FrameTooLargeError as exc:
                     # Typed reply, then hang up: the body was never read,
                     # so the stream position is unrecoverable.
                     self._count("errors.FRAME_TOO_LARGE")
-                    await self._write(
-                        writer,
-                        write_lock,
-                        {
-                            "ok": False,
-                            "id": None,
-                            "error": "FRAME_TOO_LARGE",
-                            "message": str(exc),
-                        },
-                    )
+                    try:
+                        await self._write(
+                            writer,
+                            conn,
+                            {
+                                "ok": False,
+                                "id": None,
+                                "error": "FRAME_TOO_LARGE",
+                                "message": str(exc),
+                            },
+                        )
+                    except (ConnectionError, RuntimeError, OSError):
+                        pass
                     break
                 except ProtocolError as exc:
                     self._count("errors.BAD_REQUEST")
                     try:
                         await self._write(
                             writer,
-                            write_lock,
+                            conn,
                             {
                                 "ok": False,
                                 "id": None,
@@ -342,13 +531,15 @@ class ServingServer:
                                 "message": str(exc),
                             },
                         )
-                    except (ConnectionError, RuntimeError):
+                    except (ConnectionError, RuntimeError, OSError):
                         pass
+                    break
+                except ConnectionError:
                     break
                 # Dispatch concurrently so requests pipeline; replies
                 # are matched by id, not order.
                 task = asyncio.ensure_future(
-                    self._dispatch(msg, writer, write_lock)
+                    self._dispatch(msg, writer, conn, scope)
                 )
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
@@ -356,6 +547,8 @@ class ServingServer:
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)
             self._writers.discard(writer)
+            conn.fold_into(self.metrics)
+            self._conns.discard(conn)
             self._count("disconnects")
             writer.close()
             try:
@@ -363,23 +556,48 @@ class ServingServer:
             except (ConnectionError, OSError):
                 pass
 
-    async def _write(self, writer, write_lock, reply: dict) -> None:
-        frame = pack_frame(reply, max_frame_bytes=2**32 - 1)
-        async with write_lock:
+    async def _write(self, writer, conn: _ConnState, reply: dict) -> None:
+        # Replies respect the same frame cap the peer's read side
+        # enforces; an oversized one becomes a typed REPLY_TOO_LARGE
+        # error instead of a frame the client codec would refuse.
+        try:
+            if self.zero_copy:
+                parts = pack_frame_parts(
+                    reply,
+                    max_frame_bytes=self.max_frame_bytes,
+                    stats=conn.stats,
+                )
+            else:
+                frame = pack_frame(
+                    reply,
+                    max_frame_bytes=self.max_frame_bytes,
+                    stats=conn.stats,
+                )
+        except ReplyTooLargeError:
+            raise
+        except FrameTooLargeError as exc:
+            raise ReplyTooLargeError(str(exc)) from None
+        async with conn.write_lock:
             if writer.is_closing():
                 raise ConnectionResetError("peer went away")
-            writer.write(frame)
+            if self.zero_copy:
+                # Scatter-gather emission: the transport consumes every
+                # part (sent or buffered) before write_parts returns, so
+                # arena leases backing them may be released after drain().
+                write_parts(writer, parts)
+            else:
+                writer.write(frame)
             await writer.drain()
 
     async def _reply_error(
-        self, writer, write_lock, req_id, exc: BaseException
+        self, writer, conn: _ConnState, req_id, exc: BaseException
     ) -> None:
         code = error_code_of(exc)
         self._count(f"errors.{code}")
         try:
             await self._write(
                 writer,
-                write_lock,
+                conn,
                 {"ok": False, "id": req_id, "error": code, "message": str(exc)},
             )
         except (ConnectionError, RuntimeError, OSError):
@@ -388,7 +606,9 @@ class ServingServer:
     # ------------------------------------------------------------------
     # request dispatch
     # ------------------------------------------------------------------
-    async def _dispatch(self, msg, writer, write_lock) -> None:
+    async def _dispatch(
+        self, msg, writer, conn: _ConnState, scope: Optional[_LeaseScope]
+    ) -> None:
         req_id = msg.get("id") if isinstance(msg, dict) else None
         self._count("requests")
         try:
@@ -400,7 +620,7 @@ class ServingServer:
             if op == "ping":
                 await self._write(
                     writer,
-                    write_lock,
+                    conn,
                     {
                         "ok": True,
                         "id": req_id,
@@ -409,6 +629,7 @@ class ServingServer:
                             "replicas": len(self.replicas),
                             "router": self.router,
                             "draining": self._draining,
+                            "zero_copy": self.zero_copy,
                         },
                     },
                 )
@@ -416,7 +637,7 @@ class ServingServer:
             if op == "stats":
                 await self._write(
                     writer,
-                    write_lock,
+                    conn,
                     {"ok": True, "id": req_id, "result": self.serving_snapshot()},
                 )
                 return
@@ -428,7 +649,7 @@ class ServingServer:
                 drained = await self._drain_task
                 await self._write(
                     writer,
-                    write_lock,
+                    conn,
                     {
                         "ok": True,
                         "id": req_id,
@@ -444,7 +665,7 @@ class ServingServer:
                 try:
                     await self._write(
                         writer,
-                        write_lock,
+                        conn,
                         {
                             "ok": False,
                             "id": req_id,
@@ -456,7 +677,7 @@ class ServingServer:
                 except (ConnectionError, RuntimeError, OSError):
                     self._count("reply_failures")
                 return
-            await self._dispatch_execute(op, msg, req_id, writer, write_lock)
+            await self._dispatch_execute(op, msg, req_id, writer, conn, scope)
         except BaseException as exc:  # typed error reply, never a crash
             # NB: DeadlineExceededError is a TimeoutError, which IS an
             # OSError since Python 3.3 — transport-failure handling
@@ -466,10 +687,18 @@ class ServingServer:
             ) and not isinstance(exc, ReproError):
                 self._count("reply_failures")
             else:
-                await self._reply_error(writer, write_lock, req_id, exc)
+                await self._reply_error(writer, conn, req_id, exc)
+        finally:
+            # Backstop: execute paths release eagerly (before their
+            # admission permit drops); everything else — ping/stats,
+            # malformed requests that never reached dispatch_execute —
+            # ends its leases here.
+            if scope is not None:
+                scope.release()
 
     async def _dispatch_execute(
-        self, op, msg, req_id, writer, write_lock
+        self, op, msg, req_id, writer, conn: _ConnState,
+        scope: Optional[_LeaseScope],
     ) -> None:
         tenant = str(msg.get("tenant", "default"))
         self._count(f"tenant.{tenant}.requests")
@@ -494,7 +723,7 @@ class ServingServer:
                     f"(cap {self.admission.max_inflight}); back off and retry"
                 )
         except BaseException as exc:
-            await self._reply_error(writer, write_lock, req_id, exc)
+            await self._reply_error(writer, conn, req_id, exc)
             return
         # --- permit held from here: every path below must release -----
         try:
@@ -521,6 +750,12 @@ class ServingServer:
                 )
             if op == "batched":
                 fut = svc.submit_batched(dims, perm, elem_bytes, payload)
+            elif scope is not None and payload is not None:
+                # The transpose writes its output directly into an
+                # egress lease; the reply below is encoded as views
+                # over it, released only after the write drains.
+                out_view = scope.factory((math.prod(dims),), payload.dtype)
+                fut = svc.submit(dims, perm, elem_bytes, payload, out=out_view)
             else:
                 fut = svc.submit(dims, perm, elem_bytes, payload)
             report = await asyncio.wrap_future(fut)
@@ -548,7 +783,7 @@ class ServingServer:
                 result["output"] = np.asarray(report.output)
             reply = {"ok": True, "id": req_id, "result": result}
             try:
-                await self._write(writer, write_lock, reply)
+                await self._write(writer, conn, reply)
                 self._count("replies")
             finally:
                 report.release()
@@ -560,8 +795,13 @@ class ServingServer:
             ) and not isinstance(exc, ReproError):
                 self._count("reply_failures")
             else:
-                await self._reply_error(writer, write_lock, req_id, exc)
+                await self._reply_error(writer, conn, req_id, exc)
         finally:
+            # Leases die before the permit drops: when the admission
+            # pool reads idle at drain time, no request still holds
+            # arena blocks — the leak check is deterministic.
+            if scope is not None:
+                scope.release()
             self.admission.release()
             if self._draining and self.admission.idle:
                 self._idle_event.set()
@@ -630,15 +870,23 @@ class ServingServer:
         """Fold front-end counters and per-replica stats into one block.
 
         The ``counters`` section is flat ``serving.*`` names (what the
-        CLI ``stats`` command prints); ``per_replica`` carries each
-        shard's program-cache effectiveness and backlog; and
-        ``runtime_counters`` sums every replica's service counters so
-        aggregate cache/exec accounting survives the fold.
+        CLI ``stats`` command prints) including the data-path byte
+        counters and the ``serving.arena.*`` lease accounting;
+        ``per_replica`` carries each shard's program-cache effectiveness
+        and backlog; and ``runtime_counters`` sums every replica's
+        service counters so aggregate cache/exec accounting survives the
+        fold.
         """
+        # Live connections fold their codec-byte deltas first, so the
+        # snapshot reflects requests on still-open connections too.
+        for live in list(self._conns):
+            live.fold_into(self.metrics)
+        raw = self.metrics.counters()
         counters = {
-            f"serving.{name}": value
-            for name, value in sorted(self._counters.items())
+            f"serving.{name}": value for name, value in sorted(raw.items())
         }
+        for name, value in sorted(self.arena.counters().items()):
+            counters[f"serving.arena.{name}"] = value
         per_replica = []
         runtime_counters: Dict[str, int] = {}
         for i, svc in enumerate(self.replicas):
@@ -654,7 +902,7 @@ class ServingServer:
             per_replica.append(
                 {
                     "replica": i,
-                    "routed": self._counters.get(f"routed.replica{i}", 0),
+                    "routed": raw.get(f"routed.replica{i}", 0),
                     "queue_depth": svc.scheduler.queue_depth,
                     "inflight": svc.inflight,
                     "executor": executor,
@@ -669,8 +917,14 @@ class ServingServer:
             "router": self.router,
             "replicas": len(self.replicas),
             "draining": self._draining,
+            "zero_copy": self.zero_copy,
             "admission": self.admission.stats(),
             "counters": counters,
+            "data_path": {
+                "tensor_bytes_copied": raw.get("tensor_bytes_copied", 0),
+                "tensor_bytes_zero_copy": raw.get("tensor_bytes_zero_copy", 0),
+            },
+            "arena": self.arena.stats(),
             "per_replica": per_replica,
             "runtime_counters": runtime_counters,
             "store": self.store.describe() if self.store is not None else None,

@@ -1,0 +1,333 @@
+"""Readinto framed transport: the ingress half of the zero-copy path.
+
+:class:`asyncio.StreamReader` costs every inbound frame two full extra
+passes — the socket chunk is ``extend``-ed into the reader's internal
+``bytearray``, then ``readexactly`` carves an owned copy back out — plus
+an epoll register/unregister storm, because multi-MiB frames overflow
+the reader's 64 KiB flow-control limit on every chunk.  For a serving
+path whose premise is that transposition is memory-bandwidth-bound
+(so a redundant pass over the tensor costs as much as the transpose),
+that is the single largest avoidable cost left once the codec stops
+copying.
+
+:class:`FrameConnection` replaces the stream pair with one
+:class:`asyncio.BufferedProtocol`: the event loop ``recv_into``\\ s the
+kernel's bytes **directly into the frame-body buffer** that
+:func:`~repro.serving.codec.decode` then reads in place — ingress
+tensor bytes are touched exactly once in user space (the decode slice
+into caller-provided storage) after the unavoidable socket read.
+Egress reuses :func:`~repro.serving.codec.write_parts` semantics:
+:meth:`FrameConnection.write` hands each tensor memoryview straight to
+the transport, which sends from the source array's memory whenever the
+socket accepts the bytes inline.
+
+Decoding happens inside the protocol callback through a caller-supplied
+``decoder(body: bytearray) -> Any``, so each side binds its own
+landing policy (the server leases a fresh
+:class:`~repro.runtime.arena.BufferArena` scope per frame, the client
+decodes into fresh arrays) and :meth:`read_frame` yields fully
+materialized messages.  Decoded-but-unconsumed frames are bounded by
+``high_water``; past it the transport pauses reading until the consumer
+catches up.
+
+Only the zero-copy data path runs on this transport.  The copying
+baseline (``zero_copy=False``) keeps the original
+``StreamReader``/``read_frame`` machinery, so the load benchmark's
+comparison measures the old data path against the new one end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Callable, List, Optional
+
+from repro.errors import ProtocolError
+from repro.serving.codec import (
+    DEFAULT_MAX_FRAME_BYTES,
+    WRITE_COALESCE_MAX,
+    FrameTooLargeError,
+    _part_nbytes,
+)
+
+_HEADER_LEN = 4
+
+
+class FrameConnection(asyncio.BufferedProtocol):
+    """One framed connection: readinto ingress, scatter-gather egress.
+
+    The read side is a two-state machine (header, then body): each
+    ``get_buffer`` hands the event loop a view of exactly the bytes the
+    current frame still needs, so the kernel writes them in place and
+    no reassembly buffer exists.  A completed body is decoded
+    immediately (``decoder``) and queued for :meth:`read_frame`; decode
+    failures and oversized length prefixes are queued as the exceptions
+    the streams path would have raised, in arrival order.
+
+    The write side mirrors enough of :class:`asyncio.StreamWriter`
+    (``write`` / ``drain`` / ``is_closing`` / ``close`` /
+    ``wait_closed``) that the serving code drives either interchangeably.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        decoder: Callable[[bytearray], Any],
+        high_water: int = 32,
+        on_connect: Optional[Callable[["FrameConnection"], None]] = None,
+    ):
+        self.max_frame_bytes = max_frame_bytes
+        self._decoder = decoder
+        self._high_water = high_water
+        self._on_connect = on_connect
+        self._transport: Optional[asyncio.Transport] = None
+        # -- read state --------------------------------------------------
+        self._header = bytearray(_HEADER_LEN)
+        self._hview = memoryview(self._header)
+        self._body: Optional[bytearray] = None
+        self._bview: Optional[memoryview] = None
+        self._pos = 0
+        self._in_body = False
+        self._fatal = False
+        self._trash: Optional[memoryview] = None  # sink after a fatal error
+        self._items: deque = deque()  # ("msg", value) | ("exc", exception)
+        self._read_waiter: Optional[asyncio.Future] = None
+        self._read_paused = False
+        self._final_exc: Optional[BaseException] = None
+        self._eof_delivered = False
+        # -- write state -------------------------------------------------
+        self._write_paused = False
+        self._drain_waiters: deque = deque()
+        self._closed_fut: Optional[asyncio.Future] = None
+
+    # ------------------------------------------------------------------
+    # asyncio.BufferedProtocol callbacks
+    # ------------------------------------------------------------------
+    def connection_made(self, transport) -> None:
+        self._transport = transport
+        self._closed_fut = asyncio.get_running_loop().create_future()
+        if self._on_connect is not None:
+            self._on_connect(self)
+
+    def get_buffer(self, sizehint: int):
+        if self._fatal:
+            if self._trash is None:
+                self._trash = memoryview(bytearray(65536))
+            return self._trash
+        if self._in_body:
+            return self._bview[self._pos :]
+        return self._hview[self._pos :]
+
+    def buffer_updated(self, nbytes: int) -> None:
+        if self._fatal:
+            return
+        self._pos += nbytes
+        if not self._in_body:
+            if self._pos < _HEADER_LEN:
+                return
+            n = int.from_bytes(self._header, "big")
+            if n > self.max_frame_bytes:
+                self._deliver_exc(
+                    FrameTooLargeError(
+                        f"frame declares a {n}-byte body "
+                        f"(cap {self.max_frame_bytes})"
+                    )
+                )
+                return
+            if n == 0:
+                # An empty body can never hold an encoded value; fail
+                # exactly like decode(b"") on the streams path would.
+                self._deliver_exc(
+                    ProtocolError("truncated body: need 1 bytes at offset 0, have 0")
+                )
+                return
+            self._body = bytearray(n)
+            self._bview = memoryview(self._body)
+            self._pos = 0
+            self._in_body = True
+            return
+        if self._pos < len(self._body):
+            return
+        body, self._body, self._bview = self._body, None, None
+        self._pos = 0
+        self._in_body = False
+        try:
+            # Decode in place: tensor payloads are sliced out of `body`
+            # straight into whatever storage the decoder's factory
+            # provides; everything else fully materializes, so the
+            # buffer dies here and no frame outlives its decode.
+            item = ("msg", self._decoder(body))
+        except BaseException as exc:
+            self._deliver_exc(exc)
+            return
+        self._deliver(item)
+
+    def eof_received(self) -> bool:
+        if not self._fatal:
+            if self._in_body or self._pos:
+                got = self._pos
+                want = len(self._body) if self._in_body else _HEADER_LEN
+                where = "body" if self._in_body else "header"
+                self._deliver_exc(
+                    ProtocolError(
+                        f"connection closed inside a frame {where} "
+                        f"({got}/{want} bytes)"
+                    )
+                )
+            else:
+                self._eof_delivered = True
+                self._deliver_exc(EOFError("connection closed between frames"))
+        return False  # let the transport close
+
+    def connection_lost(self, exc: Optional[BaseException]) -> None:
+        if self._final_exc is None:
+            self._final_exc = (
+                exc
+                if exc is not None
+                else EOFError("connection closed between frames")
+            )
+        if exc is not None and not self._fatal:
+            self._deliver(("exc", exc))
+            self._fatal = True
+        elif not self._eof_delivered and not self._fatal:
+            self._eof_delivered = True
+            self._deliver(("exc", EOFError("connection closed between frames")))
+            self._fatal = True
+        self._wake_reader()
+        err = ConnectionResetError(f"connection lost: {exc}")
+        while self._drain_waiters:
+            waiter = self._drain_waiters.popleft()
+            if not waiter.done():
+                waiter.set_exception(err)
+        if self._closed_fut is not None and not self._closed_fut.done():
+            self._closed_fut.set_result(None)
+
+    def pause_writing(self) -> None:
+        self._write_paused = True
+
+    def resume_writing(self) -> None:
+        self._write_paused = False
+        while self._drain_waiters:
+            waiter = self._drain_waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
+
+    # ------------------------------------------------------------------
+    # delivery plumbing
+    # ------------------------------------------------------------------
+    def _deliver(self, item) -> None:
+        self._items.append(item)
+        self._wake_reader()
+        if (
+            not self._read_paused
+            and len(self._items) >= self._high_water
+            and self._transport is not None
+        ):
+            try:
+                self._transport.pause_reading()
+                self._read_paused = True
+            except (RuntimeError, AttributeError):
+                pass
+
+    def _deliver_exc(self, exc: BaseException) -> None:
+        # The stream position is unrecoverable past any frame-level
+        # error; deliver it in order, then sink whatever else arrives.
+        self._fatal = True
+        self._deliver(("exc", exc))
+
+    def _wake_reader(self) -> None:
+        waiter, self._read_waiter = self._read_waiter, None
+        if waiter is not None and not waiter.done():
+            waiter.set_result(None)
+
+    # ------------------------------------------------------------------
+    # consumer API (read side)
+    # ------------------------------------------------------------------
+    async def read_frame(self) -> Any:
+        """The next decoded message, in arrival order.
+
+        Raises whatever the streams path would have: :class:`EOFError`
+        on a clean close between frames, :class:`FrameTooLargeError` on
+        an oversized length prefix, :class:`ProtocolError` on a decode
+        failure or mid-frame hangup, and the transport's own exception
+        on an abortive close.
+        """
+        while True:
+            if self._items:
+                kind, value = self._items.popleft()
+                if (
+                    self._read_paused
+                    and not self._fatal
+                    and len(self._items) <= self._high_water // 2
+                    and self._transport is not None
+                ):
+                    try:
+                        self._transport.resume_reading()
+                        self._read_paused = False
+                    except (RuntimeError, AttributeError):
+                        pass
+                if kind == "msg":
+                    return value
+                raise value
+            if self._final_exc is not None:
+                raise self._final_exc
+            loop = asyncio.get_running_loop()
+            self._read_waiter = loop.create_future()
+            try:
+                await self._read_waiter
+            finally:
+                self._read_waiter = None
+
+    # ------------------------------------------------------------------
+    # writer API (StreamWriter-compatible subset)
+    # ------------------------------------------------------------------
+    def write(self, data) -> None:
+        self._transport.write(data)
+
+    def write_parts(
+        self, parts: List[Any], coalesce_max: int = WRITE_COALESCE_MAX
+    ) -> None:
+        """Scatter-gather frame write, as :func:`codec.write_parts`."""
+        small: List[Any] = []
+        for part in parts:
+            if _part_nbytes(part) <= coalesce_max:
+                small.append(part)
+                continue
+            if small:
+                self._transport.write(b"".join(small))
+                small.clear()
+            self._transport.write(part)
+        if small:
+            self._transport.write(b"".join(small))
+
+    async def drain(self) -> None:
+        if self._final_exc is not None and not isinstance(
+            self._final_exc, EOFError
+        ):
+            raise ConnectionResetError(f"connection lost: {self._final_exc}")
+        if self._transport is None or self._transport.is_closing():
+            # Mirror StreamWriter.drain on a closing transport.
+            await asyncio.sleep(0)
+            return
+        if not self._write_paused:
+            return
+        waiter = asyncio.get_running_loop().create_future()
+        self._drain_waiters.append(waiter)
+        await waiter
+
+    def is_closing(self) -> bool:
+        return self._transport is None or self._transport.is_closing()
+
+    def close(self) -> None:
+        if self._transport is not None:
+            self._transport.close()
+
+    async def wait_closed(self) -> None:
+        if self._closed_fut is not None:
+            await self._closed_fut
+
+    def get_extra_info(self, name: str, default=None):
+        if self._transport is None:
+            return default
+        return self._transport.get_extra_info(name, default)

@@ -229,6 +229,47 @@ class TestPayloadValidation:
             assert service.metrics.counter("executions_submitted") == 0
 
 
+class TestOutParameter:
+    """``out=``: the transpose lands in caller-provided storage (how the
+    zero-copy serving path points execution at an arena lease)."""
+
+    def test_out_receives_transpose_and_is_the_report_output(self):
+        rng = np.random.default_rng(21)
+        dims, perm = (4, 5, 6), (2, 0, 1)
+        src = rng.standard_normal(int(np.prod(dims)))
+        dest = np.empty_like(src)
+        with TransposeService(predictor=ORACLE, num_streams=1) as service:
+            expected = np.asarray(
+                service.execute(dims, perm, payload=src).output
+            ).copy()
+            report = service.submit(dims, perm, payload=src, out=dest).result(
+                timeout=60
+            )
+        np.testing.assert_array_equal(dest, expected)
+        # No arena block is leased: the report's output is a view over
+        # the caller's buffer, not a fresh allocation.
+        assert np.shares_memory(np.asarray(report.output), dest)
+        report.release()  # a no-op for caller-owned storage
+        np.testing.assert_array_equal(dest, expected)
+
+    def test_out_without_payload_rejected(self):
+        from repro.errors import InvalidLayoutError
+
+        with TransposeService(predictor=ORACLE, num_streams=1) as service:
+            with pytest.raises(InvalidLayoutError, match="payload"):
+                service.submit((4, 3, 5), (2, 0, 1), out=np.zeros(60))
+
+    def test_out_wrong_volume_rejected(self):
+        from repro.errors import InvalidLayoutError
+
+        with TransposeService(predictor=ORACLE, num_streams=1) as service:
+            with pytest.raises(InvalidLayoutError):
+                service.submit(
+                    (4, 3, 5), (2, 0, 1),
+                    payload=np.zeros(60), out=np.zeros(59),
+                )
+
+
 class TestBatchedService:
     def test_batched_outputs_match_single_requests(self):
         rng = np.random.default_rng(7)

@@ -1,0 +1,188 @@
+"""Property-based round-trip tests for the zero-copy wire codec.
+
+Hypothesis drives ndarrays through every layout the serving data path
+has to survive — non-contiguous slices, read-only buffers, zero-size
+and 0-d arrays, non-native-endian dtypes — over **both** codec paths:
+
+* the copying baseline (``encode`` -> ``decode``), and
+* the zero-copy parts path (``encode_parts`` -> ``decode`` with a
+  ``buffer_factory``), which the wire transport runs in production.
+
+The invariants: both paths produce byte-identical wire frames, both
+decodes are bit-exact against the source, and the ``CodecStats``
+buckets attribute every tensor byte to the right side of the
+copied/zero-copy ledger.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.serving.codec import (
+    CodecStats,
+    decode,
+    decode_frame,
+    encode,
+    encode_parts,
+    pack_frame,
+    pack_frame_parts,
+)
+
+#: Every width/endianness class the serving protocol carries: native
+#: and byte-swapped floats and ints, plus single-byte (order-free).
+DTYPES = ("<f8", ">f8", "<f4", ">f4", "<i4", ">i4", "<i2", "|u1")
+
+
+@st.composite
+def ndarrays(draw) -> np.ndarray:
+    """Small arrays spanning the codec's layout edge cases.
+
+    Values are small integers, exact in every sampled dtype, so
+    bit-exactness assertions never trip over rounding.
+    """
+    dtype = np.dtype(draw(st.sampled_from(DTYPES)))
+    shape = tuple(draw(st.lists(st.integers(0, 4), max_size=3)))
+    count = int(np.prod(shape, dtype=np.int64))
+    base = (np.arange(max(count, 1), dtype=np.int64) % 120)[:count]
+    arr = base.reshape(shape).astype(dtype)
+    variant = draw(
+        st.sampled_from(("contiguous", "sliced", "readonly", "fortran"))
+    )
+    if variant == "sliced" and arr.ndim >= 1:
+        # A strided view equal to `arr` but (usually) non-contiguous.
+        arr = np.repeat(arr, 2, axis=0)[::2]
+    elif variant == "readonly":
+        arr = arr.copy()
+        arr.setflags(write=False)
+    elif variant == "fortran":
+        arr = np.asfortranarray(arr)
+    return arr
+
+
+def _assert_bit_exact(got: np.ndarray, want: np.ndarray) -> None:
+    assert isinstance(got, np.ndarray)
+    assert got.dtype == want.dtype
+    assert got.shape == want.shape
+    assert got.tobytes() == want.tobytes()
+
+
+def _join_parts(parts) -> bytes:
+    return b"".join(bytes(p) for p in parts)
+
+
+class TestNdarrayRoundtrip:
+    @given(arr=ndarrays())
+    @settings(max_examples=80, deadline=None)
+    def test_copying_path(self, arr):
+        _assert_bit_exact(decode(encode(arr)), arr)
+
+    @given(arr=ndarrays())
+    @settings(max_examples=80, deadline=None)
+    def test_zero_copy_path(self, arr):
+        landed = []
+
+        def factory(shape, dtype):
+            dest = np.empty(shape, dtype=dtype)
+            landed.append(dest)
+            return dest
+
+        back = decode(_join_parts(encode_parts(arr)), buffer_factory=factory)
+        _assert_bit_exact(back, arr)
+        # The decoded array IS the factory's storage, not a copy of it.
+        assert len(landed) == 1 and back is landed[0]
+
+    @given(arr=ndarrays())
+    @settings(max_examples=80, deadline=None)
+    def test_paths_produce_identical_wire_bytes(self, arr):
+        assert _join_parts(encode_parts(arr)) == encode(arr)
+        assert _join_parts(pack_frame_parts(arr)) == pack_frame(arr)
+
+    @given(arr=ndarrays())
+    @settings(max_examples=80, deadline=None)
+    def test_both_decodes_agree(self, arr):
+        body = encode(arr)
+        plain = decode(body)
+        factored = decode(
+            body, buffer_factory=lambda s, d: np.empty(s, dtype=d)
+        )
+        _assert_bit_exact(factored, plain)
+
+
+class TestCodecStats:
+    @given(arr=ndarrays())
+    @settings(max_examples=80, deadline=None)
+    def test_encode_parts_buckets(self, arr):
+        stats = CodecStats()
+        encode_parts(arr, stats=stats)
+        if arr.flags.c_contiguous:
+            # Views straight over the source array: nothing copied,
+            # even read-only / non-native-endian / 0-d sources.
+            assert stats.tensor_bytes_copied == 0
+            assert stats.tensor_bytes_zero_copy == arr.nbytes
+        else:
+            # The one unavoidable copy: compaction of a strided source.
+            assert stats.tensor_bytes_copied == arr.nbytes
+            assert stats.tensor_bytes_zero_copy == 0
+
+    @given(arr=ndarrays())
+    @settings(max_examples=40, deadline=None)
+    def test_decode_buckets(self, arr):
+        body = encode(arr)
+        copying = CodecStats()
+        decode(body, stats=copying)
+        assert copying.tensor_bytes_copied == arr.nbytes
+        assert copying.tensor_bytes_zero_copy == 0
+        landing = CodecStats()
+        decode(
+            body,
+            buffer_factory=lambda s, d: np.empty(s, dtype=d),
+            stats=landing,
+        )
+        assert landing.tensor_bytes_copied == 0
+        assert landing.tensor_bytes_zero_copy == arr.nbytes
+
+
+#: Scalars with exact wire representations (i64 / f64 / utf-8 / raw).
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**60), 2**60),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=12),
+    st.binary(max_size=12),
+)
+
+#: Request-shaped messages: flat fields plus tensor payloads, like the
+#: serving protocol's execute frames.
+_messages = st.dictionaries(
+    st.text(max_size=6),
+    st.one_of(_scalars, st.lists(_scalars, max_size=3), ndarrays()),
+    max_size=4,
+)
+
+
+def _assert_equal_tree(got, want) -> None:
+    if isinstance(want, np.ndarray):
+        _assert_bit_exact(got, want)
+    elif isinstance(want, dict):
+        assert isinstance(got, dict) and got.keys() == want.keys()
+        for key in want:
+            _assert_equal_tree(got[key], want[key])
+    elif isinstance(want, list):
+        assert isinstance(got, list) and len(got) == len(want)
+        for g, w in zip(got, want):
+            _assert_equal_tree(g, w)
+    else:
+        assert got == want and type(got) is type(want)
+
+
+class TestMessageRoundtrip:
+    @given(msg=_messages)
+    @settings(max_examples=50, deadline=None)
+    def test_frame_parity_and_both_decodes(self, msg):
+        frame = pack_frame(msg)
+        assert _join_parts(pack_frame_parts(msg)) == frame
+        _assert_equal_tree(decode_frame(frame), msg)
+        factored = decode(
+            frame[4:], buffer_factory=lambda s, d: np.empty(s, dtype=d)
+        )
+        _assert_equal_tree(factored, msg)

@@ -1,0 +1,283 @@
+"""The readinto wire transport and the zero-copy data path end to end.
+
+Unit tests drive :class:`FrameConnection` over real loopback sockets
+against a raw stream peer (so framing, error ordering, and hangup
+semantics are exercised exactly as production sees them); the E2E class
+covers what the load bench gates — bit-exact parity between codec
+modes, ``REPLY_TOO_LARGE`` as a typed error, the tensor-byte ledger,
+and lease hygiene across drain.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.model.pretrained import oracle_predictor
+from repro.serving import ServingClient, ServingServer
+from repro.serving.codec import (
+    FrameTooLargeError,
+    decode,
+    pack_frame,
+    read_frame,
+)
+from repro.serving.server import ReplyTooLargeError
+from repro.serving.wire import FrameConnection
+
+ORACLE = oracle_predictor()
+
+DIMS, PERM = (6, 5, 4), (2, 0, 1)
+
+
+class _Loopback:
+    """One FrameConnection accepting from one raw stream peer."""
+
+    def __init__(self, server, wire, reader, writer):
+        self.server = server
+        self.wire = wire
+        self.reader = reader
+        self.writer = writer
+
+    async def close(self) -> None:
+        self.writer.close()
+        self.server.close()
+        await self.server.wait_closed()
+
+
+async def loopback(**wire_kwargs) -> _Loopback:
+    loop = asyncio.get_running_loop()
+    accepted: list = []
+    wire_kwargs.setdefault("decoder", decode)
+    server = await loop.create_server(
+        lambda: FrameConnection(on_connect=accepted.append, **wire_kwargs),
+        "127.0.0.1",
+        0,
+    )
+    port = server.sockets[0].getsockname()[1]
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    while not accepted:  # the accept callback runs on the next tick
+        await asyncio.sleep(0)
+    return _Loopback(server, accepted[0], reader, writer)
+
+
+class TestFrameConnection:
+    def test_frames_decode_in_order_then_eof(self):
+        async def run():
+            lb = await loopback()
+            lb.writer.write(pack_frame({"a": 1}) + pack_frame([1, 2, 3]))
+            lb.writer.write_eof()
+            assert await lb.wire.read_frame() == {"a": 1}
+            assert await lb.wire.read_frame() == [1, 2, 3]
+            with pytest.raises(EOFError):
+                await lb.wire.read_frame()
+            await lb.close()
+
+        asyncio.run(run())
+
+    def test_fragmented_delivery_reassembles(self):
+        async def run():
+            lb = await loopback()
+            frame = pack_frame({"op": "execute", "payload": list(range(50))})
+            for i in range(len(frame)):  # worst case: one byte per recv
+                lb.writer.write(frame[i : i + 1])
+                await lb.writer.drain()
+            got = await lb.wire.read_frame()
+            assert got["payload"] == list(range(50))
+            await lb.close()
+
+        asyncio.run(run())
+
+    def test_oversized_prefix_is_frame_too_large(self):
+        async def run():
+            lb = await loopback(max_frame_bytes=64)
+            lb.writer.write((65).to_bytes(4, "big"))
+            with pytest.raises(FrameTooLargeError):
+                await lb.wire.read_frame()
+            await lb.close()
+
+        asyncio.run(run())
+
+    def test_empty_body_is_protocol_error(self):
+        async def run():
+            lb = await loopback()
+            lb.writer.write((0).to_bytes(4, "big"))
+            with pytest.raises(ProtocolError):
+                await lb.wire.read_frame()
+            await lb.close()
+
+        asyncio.run(run())
+
+    def test_decode_failure_is_protocol_error(self):
+        async def run():
+            lb = await loopback()
+            lb.writer.write((1).to_bytes(4, "big") + b"\x99")
+            with pytest.raises(ProtocolError, match="unknown wire tag"):
+                await lb.wire.read_frame()
+            await lb.close()
+
+        asyncio.run(run())
+
+    def test_good_frame_before_bad_one_still_delivers(self):
+        async def run():
+            lb = await loopback()
+            lb.writer.write(pack_frame({"ok": True}))
+            lb.writer.write((1).to_bytes(4, "big") + b"\x99")
+            assert await lb.wire.read_frame() == {"ok": True}
+            with pytest.raises(ProtocolError):
+                await lb.wire.read_frame()
+            await lb.close()
+
+        asyncio.run(run())
+
+    def test_mid_frame_hangup_is_protocol_error(self):
+        async def run():
+            lb = await loopback()
+            lb.writer.write((10).to_bytes(4, "big") + b"abc")
+            await lb.writer.drain()
+            lb.writer.close()
+            with pytest.raises(ProtocolError, match="inside a frame"):
+                await lb.wire.read_frame()
+            await lb.close()
+
+        asyncio.run(run())
+
+    def test_write_parts_bytes_on_the_wire(self):
+        async def run():
+            lb = await loopback()
+            big = np.arange(48_000, dtype=np.uint8)  # above coalesce cap
+            parts = [b"head", memoryview(big), b"tail"]
+            want = b"head" + big.tobytes() + b"tail"
+            lb.wire.write_parts(parts)
+            await lb.wire.drain()
+            assert await lb.reader.readexactly(len(want)) == want
+            await lb.close()
+
+        asyncio.run(run())
+
+    def test_writer_surface_matches_streamwriter(self):
+        async def run():
+            lb = await loopback()
+            assert not lb.wire.is_closing()
+            assert lb.wire.get_extra_info("peername") is not None
+            lb.wire.write(pack_frame(7))
+            await lb.wire.drain()
+            assert await read_frame(lb.reader) == 7
+            lb.wire.close()
+            await lb.wire.wait_closed()
+            assert lb.wire.is_closing()
+            await lb.close()
+
+        asyncio.run(run())
+
+
+def run_serving(coro_fn, **server_kwargs):
+    async def main():
+        kwargs = dict(replicas=2, num_streams=1, predictor=ORACLE)
+        kwargs.update(server_kwargs)
+        server = ServingServer(**kwargs)
+        await server.start()
+        try:
+            return await coro_fn(server)
+        finally:
+            await server.close()
+
+    return asyncio.run(main())
+
+
+class TestDataPathEndToEnd:
+    def test_codec_modes_are_bit_exact(self):
+        rng = np.random.default_rng(11)
+        src = rng.standard_normal(int(np.prod(DIMS)))
+        outputs = {}
+        for zero_copy in (True, False):
+
+            async def scenario(server):
+                async with ServingClient(
+                    server.host, server.port, zero_copy=server.zero_copy
+                ) as client:
+                    result = await client.execute(DIMS, PERM, 8, payload=src)
+                outputs[server.zero_copy] = np.asarray(result["output"])
+
+            run_serving(scenario, zero_copy=zero_copy)
+        np.testing.assert_array_equal(outputs[True], outputs[False])
+
+    def test_zero_copy_ledger_and_lease_hygiene(self):
+        rng = np.random.default_rng(12)
+        src = rng.standard_normal(int(np.prod(DIMS)))
+
+        async def scenario(server):
+            async with ServingClient(server.host, server.port) as client:
+                for _ in range(4):
+                    await client.execute(DIMS, PERM, 8, payload=src)
+                snap = await client.stats()
+                assert snap["data_path"]["tensor_bytes_copied"] == 0
+                # 4 requests x (ingress + egress) x the operand size.
+                assert (
+                    snap["data_path"]["tensor_bytes_zero_copy"]
+                    >= 8 * src.nbytes
+                )
+                assert client.codec_stats.tensor_bytes_copied == 0
+                drained = await client.drain(timeout_s=30.0)
+            counters = drained["snapshot"]["counters"]
+            assert counters["serving.arena.leases_at_drain"] == 0
+            assert drained["snapshot"]["arena"]["active_blocks"] == 0
+            assert drained["snapshot"]["arena"]["leaked"] == 0
+
+        run_serving(scenario)
+
+    def test_copying_baseline_fills_the_copied_bucket(self):
+        rng = np.random.default_rng(13)
+        src = rng.standard_normal(int(np.prod(DIMS)))
+
+        async def scenario(server):
+            async with ServingClient(
+                server.host, server.port, zero_copy=False
+            ) as client:
+                await client.execute(DIMS, PERM, 8, payload=src)
+                snap = await client.stats()
+            assert snap["data_path"]["tensor_bytes_copied"] >= 2 * src.nbytes
+            assert client.codec_stats.tensor_bytes_copied >= 2 * src.nbytes
+
+        run_serving(scenario, zero_copy=False)
+
+    @pytest.mark.parametrize("zero_copy", [True, False])
+    def test_reply_too_large_is_typed(self, zero_copy):
+        # The request (synth, tiny) fits the cap; the reply, carrying
+        # the 960-element f64 output, cannot.
+        async def scenario(server):
+            async with ServingClient(
+                server.host,
+                server.port,
+                zero_copy=server.zero_copy,
+                max_frame_bytes=server.max_frame_bytes,
+            ) as client:
+                with pytest.raises(ReplyTooLargeError) as err:
+                    await client.execute(
+                        (8, 10, 12), (2, 0, 1), 8,
+                        synth=True, return_output=True,
+                    )
+                assert err.value.code == "REPLY_TOO_LARGE"
+                # The connection survives a shed reply: next request ok.
+                info = await client.ping()
+            assert info["draining"] is False
+            assert server.admission.idle
+
+        run_serving(scenario, zero_copy=zero_copy, max_frame_bytes=4096)
+
+    def test_wire_request_tensors_land_in_arena_leases(self):
+        rng = np.random.default_rng(14)
+        src = rng.standard_normal(int(np.prod(DIMS)))
+
+        async def scenario(server):
+            before = server.arena.stats()["reuses"]
+            async with ServingClient(server.host, server.port) as client:
+                for _ in range(6):
+                    await client.execute(DIMS, PERM, 8, payload=src)
+            after = server.arena.stats()
+            # Steady-state requests recycle blocks instead of growing
+            # the arena: ingress + egress leases both come from it.
+            assert after["reuses"] > before
+            assert after["active_blocks"] == 0
+
+        run_serving(scenario)
